@@ -1,0 +1,77 @@
+"""Ablation: the Appendix A.1 grid-size model vs fixed policies.
+
+In the fewer-tiles-than-SMs regime the model picks g per problem; the
+alternatives a library could ship instead are "always fill the machine"
+(g = p) and "never split" (g = t).  The design claim: the model is at
+least as good as both across the strong-scaling slice, and strictly
+better somewhere against each.
+"""
+
+import numpy as np
+
+from repro.gemm import FP16_FP32, Blocking, GemmProblem, TileGrid
+from repro.gpu import A100, KernelCostModel, basic_streamk_makespan
+from repro.model import calibrate, select_grid_size
+
+from .common import banner, emit
+
+# Strong-scaling slice: few tiles, deep k.
+SHAPES = [
+    (128, 128, k) for k in (1024, 2048, 4096, 8192, 16384, 32768)
+] + [
+    (256, 256, k) for k in (2048, 8192, 16384)
+] + [
+    (256, 3584, 8192),
+    (1024, 1024, 1024),
+    (512, 1536, 4096),
+    (384, 896, 12288),
+]
+
+
+def run_ablation():
+    blk = Blocking(128, 128, 32)
+    cost = KernelCostModel(gpu=A100, blocking=blk, dtype=FP16_FP32)
+    params = calibrate(A100, blk, FP16_FP32)
+    rows = []
+    for m, n, k in SHAPES:
+        grid = TileGrid(GemmProblem(m, n, k, dtype=FP16_FP32), blk)
+        t, ipt = grid.num_tiles, grid.iters_per_tile
+        g_model = select_grid_size(grid, params, A100.num_sms).g
+        spans = {
+            "model": basic_streamk_makespan(t, g_model, ipt, cost),
+            "fill (g=p)": basic_streamk_makespan(t, A100.num_sms, ipt, cost),
+            "no-split (g=t)": basic_streamk_makespan(t, t, ipt, cost),
+        }
+        rows.append(((m, n, k), g_model, spans))
+    return rows
+
+
+def test_ablation_gridsize(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    banner("Ablation: grid-size selection policy (strong-scaling slice)")
+    print("%-22s %8s %12s %12s %12s" % ("shape", "g_model", "model", "g=p", "g=t"))
+    ratios_p, ratios_t = [], []
+    for (shape, g_model, spans) in rows:
+        print(
+            "%-22s %8d %12.0f %12.0f %12.0f"
+            % (str(shape), g_model, spans["model"], spans["fill (g=p)"], spans["no-split (g=t)"])
+        )
+        ratios_p.append(spans["fill (g=p)"] / spans["model"])
+        ratios_t.append(spans["no-split (g=t)"] / spans["model"])
+    print(
+        "geomean slowdown if always g=p: %.2fx; if never splitting: %.2fx"
+        % (np.exp(np.mean(np.log(ratios_p))), np.exp(np.mean(np.log(ratios_t))))
+    )
+    emit(
+        "ablation_gridsize",
+        {
+            "always_fill_geomean": float(np.exp(np.mean(np.log(ratios_p)))),
+            "never_split_geomean": float(np.exp(np.mean(np.log(ratios_t)))),
+        },
+    )
+
+    # The model never loses to either fixed policy (it considered both)...
+    assert min(ratios_p) > 0.999 and min(ratios_t) > 0.999
+    # ...and strictly beats each somewhere on this slice.
+    assert max(ratios_p) > 1.2
+    assert max(ratios_t) > 1.2

@@ -1,0 +1,64 @@
+"""Ablation: quantization inefficiency vs processor width.
+
+The paper's introduction argues the problem is getting worse: "an
+increased core count will require fewer waves to produce a given tile
+count", so oversubscription — and with it data-parallel utilization —
+shrinks as GPUs widen.  This bench sweeps machine width at fixed problem
+sizes and measures (a) how the data-parallel ensemble's efficiency decays
+and (b) that Stream-K's does not — the structural claim that motivates
+the whole paper.
+"""
+
+import numpy as np
+
+from repro.corpus import CorpusSpec, generate_corpus
+from repro.gemm import FP16_FP32
+from repro.gpu import A100
+from repro.harness import evaluate_corpus
+from repro.metrics import relative_performance
+
+from .common import banner, emit
+
+SLICE = CorpusSpec(size=600, seed=41)
+WIDTHS = (27, 54, 108, 216)
+
+
+def run_sweep():
+    shapes = generate_corpus(SLICE)
+    rows = []
+    for width in WIDTHS:
+        gpu = A100.with_sms(width)
+        res = evaluate_corpus(shapes, FP16_FP32, gpu)
+        rows.append(
+            (
+                width,
+                relative_performance(res.singleton, res.streamk),
+                relative_performance(res.oracle, res.streamk),
+            )
+        )
+    return rows
+
+
+def test_ablation_processor_width(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    banner("Ablation: Stream-K advantage vs processor width (%d shapes)" % SLICE.size)
+    print("%8s %28s %28s" % ("SMs", "vs singleton (avg/max)", "vs oracle (avg/max)"))
+    for width, vs_single, vs_oracle in rows:
+        print(
+            "%8d %17.2fx / %.2fx %19.2fx / %.2fx"
+            % (width, vs_single.average, vs_single.maximum,
+               vs_oracle.average, vs_oracle.maximum)
+        )
+    emit(
+        "ablation_width",
+        {
+            str(w): {"vs_singleton": s, "vs_oracle": o}
+            for w, s, o in rows
+        },
+    )
+
+    # The motivating trend: the singleton's quantization penalty — and so
+    # Stream-K's average advantage over it — grows with machine width.
+    averages = [s.average for _, s, _ in rows]
+    assert averages[-1] > averages[0]
+    assert all(a > 0.95 for a in averages)

@@ -1,0 +1,28 @@
+"""Figure 1: data-parallel quantization on the hypothetical 4-SM GPU.
+
+Paper: 384x384x128 GEMM; (a) 128x128 tiles -> 9 CTAs, 75% utilization
+ceiling; (b) 128x64 tiles -> 18 CTAs, 90% ceiling.
+"""
+
+from repro.harness import fig1_data_parallel_quantization
+
+from .common import banner, emit, paper_vs_measured
+
+
+def test_fig1_data_parallel(benchmark):
+    out = benchmark.pedantic(
+        fig1_data_parallel_quantization, rounds=1, iterations=1
+    )
+    banner("Figure 1. Data-parallel schedules, 384x384x128 on 4 SMs")
+    paper_vs_measured(
+        [
+            ("(a) 128x128 tiles", "9", str(out["a_128x128"]["tiles"])),
+            ("(a) utilization ceiling", "75%", "%.0f%%" % (100 * out["a_128x128"]["utilization"])),
+            ("(b) 128x64 tiles", "18", str(out["b_128x64"]["tiles"])),
+            ("(b) utilization ceiling", "90%", "%.0f%%" % (100 * out["b_128x64"]["utilization"])),
+        ]
+    )
+    emit("fig1_data_parallel", out)
+    assert abs(out["a_128x128"]["utilization"] - 0.75) < 1e-9
+    assert abs(out["b_128x64"]["utilization"] - 0.90) < 1e-9
+    assert out["a_128x128"]["max_rel_error"] < 1e-4  # fp16 inputs, fp32 accum

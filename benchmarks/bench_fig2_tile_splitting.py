@@ -1,0 +1,29 @@
+"""Figure 2: tile-splitting schedules for 384x384x128 on 4 SMs.
+
+Paper: (a) fixed-split s=2 -> 18 CTAs, 90% quantization efficiency;
+(b) basic Stream-K g=4 -> 72 MAC-loop iterations per CTA, ~100%
+quantization efficiency.
+"""
+
+from repro.harness import fig2_tile_splitting
+
+from .common import banner, emit, paper_vs_measured
+
+
+def test_fig2_tile_splitting(benchmark):
+    out = benchmark.pedantic(fig2_tile_splitting, rounds=1, iterations=1)
+    banner("Figure 2. Tile-splitting schedules, 384x384x128 on 4 SMs")
+    fs, sk = out["a_fixed_split_s2"], out["b_stream_k_g4"]
+    paper_vs_measured(
+        [
+            ("(a) fixed-split grid", "18", str(fs["g"])),
+            ("(a) quantization eff", "90%", "%.0f%%" % (100 * fs["quantization_efficiency"])),
+            ("(b) Stream-K grid", "4", str(sk["g"])),
+            ("(b) iters per CTA", "72", str(sk["iters_per_cta"])),
+            ("(b) quantization eff", "~100%", "%.1f%%" % (100 * sk["quantization_efficiency"])),
+        ]
+    )
+    emit("fig2_tile_splitting", out)
+    assert sk["quantization_efficiency"] == 1.0
+    assert sk["iters_per_cta"] == 72
+    assert fs["quantization_efficiency"] == 0.90

@@ -1,0 +1,29 @@
+"""Figure 4: the 32,824-shape evaluation corpus.
+
+Paper: m, n, k log-sampled in [128, 8192]; computation volumes spanning
+~six orders of magnitude (the extreme corners 128^3 .. 8192^3 span 5.4
+decades; the realized log-sample spans slightly less).
+"""
+
+from repro.harness import fig4_corpus_statistics
+
+from .common import banner, corpus_spec, emit, paper_vs_measured
+
+
+def test_fig4_corpus(benchmark):
+    spec = corpus_spec()
+    out = benchmark.pedantic(
+        fig4_corpus_statistics, args=(spec,), rounds=1, iterations=1
+    )
+    banner("Figure 4. Evaluation corpus")
+    paper_vs_measured(
+        [
+            ("shapes", "32,824", "{:,}".format(out["count"])),
+            ("axis domain", "128..8192", "%d..%d" % (out["axis_min"], out["axis_max"])),
+            ("volume span (decades)", "~6", "%.1f" % out["volume_orders_of_magnitude"]),
+        ]
+    )
+    emit("fig4_corpus", out)
+    assert out["count"] == spec.size
+    assert out["axis_min"] >= 128 and out["axis_max"] <= 8192
+    assert out["volume_orders_of_magnitude"] > 4.5

@@ -1,0 +1,35 @@
+"""Figure 5: FP16->32 roofline utilization landscapes over the corpus.
+
+Paper: the data-parallel singleton (5a) and cuBLAS (5b) show wide dynamic
+ranges per intensity regime; the oracle (5c) is tighter; Stream-K (5d) is
+the tightest and hugs the ceilings.
+"""
+
+from repro.gemm import FP16_FP32
+from repro.harness import roofline_landscapes
+from repro.metrics import format_roofline_rows
+
+from .common import banner, corpus_spec, emit
+
+
+def test_fig5_roofline_fp16(benchmark):
+    spec = corpus_spec()
+    out = benchmark.pedantic(
+        roofline_landscapes, args=(FP16_FP32,), kwargs={"spec": spec},
+        rounds=1, iterations=1,
+    )
+    banner("Figure 5. FP16->32 roofline landscapes (%d shapes)" % spec.size)
+    for system, data in out.items():
+        print()
+        print(
+            format_roofline_rows(
+                data["summary"],
+                "%s  (band width %.1f points, median %.1f%% of peak)"
+                % (system, data["band_width"], data["median_percent_of_peak"]),
+            )
+        )
+    emit("fig5_roofline_fp16", out)
+
+    # The paper's band-ordering claim.
+    assert out["stream_k"]["band_width"] < out["data_parallel_singleton"]["band_width"]
+    assert out["stream_k"]["band_width"] < out["cublas_like"]["band_width"]

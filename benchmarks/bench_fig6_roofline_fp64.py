@@ -1,0 +1,35 @@
+"""Figure 6: FP64 roofline utilization landscapes over the corpus.
+
+Same structure as Figure 5 at double precision: Stream-K's band is
+narrower than the singleton's and the heuristic ensemble's.
+"""
+
+from repro.gemm import FP64
+from repro.harness import roofline_landscapes
+from repro.metrics import format_roofline_rows
+
+from .common import banner, corpus_spec, emit
+
+
+def test_fig6_roofline_fp64(benchmark):
+    spec = corpus_spec()
+    out = benchmark.pedantic(
+        roofline_landscapes, args=(FP64,), kwargs={"spec": spec},
+        rounds=1, iterations=1,
+    )
+    banner("Figure 6. FP64 roofline landscapes (%d shapes)" % spec.size)
+    for system, data in out.items():
+        print()
+        print(
+            format_roofline_rows(
+                data["summary"],
+                "%s  (band width %.1f points, median %.1f%% of peak)"
+                % (system, data["band_width"], data["median_percent_of_peak"]),
+            )
+        )
+    emit("fig6_roofline_fp64", out)
+
+    assert out["stream_k"]["band_width"] < out["data_parallel_singleton"]["band_width"]
+    assert out["stream_k"]["median_percent_of_peak"] >= (
+        out["data_parallel_singleton"]["median_percent_of_peak"]
+    )

@@ -1,0 +1,44 @@
+"""Figure 7: Stream-K speedup vs the cuBLAS-like ensemble.
+
+Paper: in the compute-bound regime (FP64 >150 ops/B, FP16->32 >400 ops/B)
+Stream-K achieves "unilaterally higher performance" — virtually no
+slowdowns; below the thresholds the relative performance is noisy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gemm import FP16_FP32, FP64
+from repro.harness import fig7_speedup_vs_cublas
+
+from .common import banner, corpus_spec, emit
+
+
+@pytest.mark.parametrize("dtype", [FP64, FP16_FP32], ids=lambda d: d.name)
+def test_fig7_speedup_vs_cublas(benchmark, dtype):
+    spec = corpus_spec()
+    out = benchmark.pedantic(
+        fig7_speedup_vs_cublas, args=(dtype,), kwargs={"spec": spec},
+        rounds=1, iterations=1,
+    )
+    banner("Figure 7. %s Stream-K speedup vs cuBLAS-like" % dtype.name)
+    print("overall       :", out["overall"])
+    print("compute-bound :", out["compute_bound"], "(n=%d)" % out["compute_bound_count"])
+    print("slowdown fraction overall        : %.3f" % out["slowdown_fraction_overall"])
+    print("slowdown fraction compute-bound  : %.3f" % out["slowdown_fraction_compute_bound"])
+    # the speedup-vs-intensity series (the scatter of the figure),
+    # summarized as deciles of speedup by intensity halves:
+    med = float(np.median(out["intensity"]))
+    lo = out["speedup"][out["intensity"] < med]
+    hi = out["speedup"][out["intensity"] >= med]
+    print("low-intensity half  median speedup: %.2fx" % float(np.median(lo)))
+    print("high-intensity half median speedup: %.2fx" % float(np.median(hi)))
+    emit(
+        "fig7_speedup_%s" % dtype.name,
+        {k: v for k, v in out.items() if k not in ("intensity", "speedup")},
+    )
+
+    assert out["compute_bound"].minimum > 0.85
+    assert out["slowdown_fraction_compute_bound"] < 0.10
+    # the noisy sub-threshold regime is allowed to contain slowdowns
+    assert out["slowdown_fraction_overall"] >= out["slowdown_fraction_compute_bound"]

@@ -1,0 +1,44 @@
+"""Figure 8: the Appendix A.1 analytical model's grid-size curves.
+
+Paper (FP16->32, 128x128x32 blocking on the A100's 108 SMs):
+
+  (a) 256x3584x8192 : 56 tiles, 256 iters/tile -> g_best = 108
+  (b) 1024x1024x1024: 64 tiles,  32 iters/tile -> g_best = 64
+  (c) 128x128x16384 :  1 tile,  512 iters/tile -> g_best = 8
+"""
+
+from repro.harness import fig8_analytical_model
+
+from .common import banner, emit, paper_vs_measured
+
+
+def test_fig8_analytical_model(benchmark):
+    out = benchmark.pedantic(fig8_analytical_model, rounds=1, iterations=1)
+    banner("Figure 8. Analytical grid-size model (A100, fp16 128x128x32)")
+    print(
+        "calibrated constants: a=%.1f b=%.1f c=%.2f d=%.1f cycles"
+        % (out["params"]["a"], out["params"]["b"], out["params"]["c"], out["params"]["d"])
+    )
+    rows = []
+    for key in ("a_256x3584x8192", "b_1024x1024x1024", "c_128x128x16384"):
+        sc = out[key]
+        rows.append(
+            ("g_best %s (t=%d)" % (key, sc["tiles"]), str(sc["paper_g_best"]), str(sc["g_best"]))
+        )
+    paper_vs_measured(rows)
+    # print the (c) curve coarsely — the dip structure of the figure
+    sc = out["c_128x128x16384"]
+    print("\nmodeled cycles vs g for (c):")
+    for g in (1, 2, 4, 8, 16, 32, 64, 108):
+        idx = g - 1
+        print("  g=%3d  %10.0f cycles" % (g, sc["predicted_cycles"][idx]))
+    emit(
+        "fig8_model",
+        {
+            k: (v if k == "params" else {kk: vv for kk, vv in v.items()})
+            for k, v in out.items()
+        },
+    )
+
+    for key in ("a_256x3584x8192", "b_1024x1024x1024", "c_128x128x16384"):
+        assert out[key]["g_best"] == out[key]["paper_g_best"]

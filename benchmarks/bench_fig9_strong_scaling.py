@@ -1,0 +1,28 @@
+"""Figure 9: strong scaling of 128x128x384 on the 4-SM GPU.
+
+Paper: data-parallel confines the enormous k dimension to a single CTA
+(25% of the machine); Stream-K parallelizes across k and uses all four SMs.
+"""
+
+from repro.harness import fig9_strong_scaling
+
+from .common import banner, emit, paper_vs_measured
+
+
+def test_fig9_strong_scaling(benchmark):
+    out = benchmark.pedantic(fig9_strong_scaling, rounds=1, iterations=1)
+    banner("Figure 9. Strong scaling, 128x128x384 on 4 SMs")
+    paper_vs_measured(
+        [
+            ("data-parallel CTAs", "1", str(out["data_parallel"]["g"])),
+            ("data-parallel SM use", "25%", "%.0f%%" % (100 * out["data_parallel"]["utilization"])),
+            ("Stream-K CTAs", "4", str(out["stream_k"]["g"])),
+            ("Stream-K SM use", "~100%", "%.0f%%" % (100 * out["stream_k"]["utilization"])),
+        ]
+    )
+    print("speedup: %.2fx" % out["speedup"])
+    emit("fig9_strong_scaling", out)
+
+    assert out["data_parallel"]["g"] == 1
+    assert out["stream_k"]["g"] == 4
+    assert out["speedup"] > 2.0

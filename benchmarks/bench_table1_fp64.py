@@ -1,0 +1,52 @@
+"""Table 1: Stream-K FP64 relative performance over the evaluation corpus.
+
+Paper (NVIDIA A100, 32,824 shapes):
+
+            vs CUTLASS 64x64x16   vs cuBLAS   vs cuBLAS >150 ops/B   vs oracle
+  Average   1.23x                 1.06x       1.03x                  1.05x
+  StdDev    0.45                  0.10        0.03                   0.09
+  Min       0.77x                 0.68x       0.99x                  0.70x
+  Max       5.63x                 2.55x       1.24x                  1.64x
+"""
+
+from repro.gemm import FP64
+from repro.harness import relative_performance_table
+from repro.metrics import format_relative_table
+
+from .common import banner, corpus_spec, emit, paper_vs_measured
+
+PAPER = {
+    "vs CUTLASS 64x64x16": (1.23, 0.45, 0.77, 5.63),
+    "vs cuBLAS": (1.06, 0.10, 0.68, 2.55),
+    "vs cuBLAS >150 ops/B": (1.03, 0.03, 0.99, 1.24),
+    "vs CUTLASS oracle": (1.05, 0.09, 0.70, 1.64),
+}
+
+
+def test_table1_fp64(benchmark):
+    spec = corpus_spec()
+    cols = benchmark.pedantic(
+        relative_performance_table, args=(FP64,), kwargs={"spec": spec},
+        rounds=1, iterations=1,
+    )
+    banner("Table 1. Stream-K FP64 Relative Performance (%d shapes)" % spec.size)
+    print(format_relative_table(cols, title=""))
+    print()
+    for (name, rp), paper_key in zip(cols.items(), PAPER):
+        pa, ps, pmin, pmax = PAPER[paper_key]
+        paper_vs_measured(
+            [
+                (name + " avg", "%.2fx" % pa, "%.2fx" % rp.average),
+                (name + " std", "%.2f" % ps, "%.2f" % rp.stddev),
+                (name + " min", "%.2fx" % pmin, "%.2fx" % rp.minimum),
+                (name + " max", "%.2fx" % pmax, "%.2fx" % rp.maximum),
+            ]
+        )
+        print()
+    emit("table1_fp64", {"measured": cols, "paper": PAPER})
+
+    # Directional assertions: who wins must match the paper.
+    assert cols["vs CUTLASS 64x64x16"].average > 1.1
+    assert cols["vs cuBLAS"].average > 1.0
+    assert cols["vs cuBLAS >150 ops/B"].minimum > 0.95
+    assert cols["vs CUTLASS oracle"].average > 1.0

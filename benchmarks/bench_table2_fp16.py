@@ -1,0 +1,61 @@
+"""Table 2: Stream-K FP16->32 relative performance over the corpus.
+
+Paper (NVIDIA A100, 32,824 shapes):
+
+            vs CUTLASS 128x128x32   vs cuBLAS   vs cuBLAS >400 ops/B*  vs oracle
+  Average   1.63x                   1.13x       1.15x                  1.12x
+  StdDev    1.46                    0.45        0.12                   0.37
+  Min       0.80x                   0.64x       0.98x                  0.61x
+  Max       14.7x                   6.74x       1.85x                  4.63x
+
+(*the paper prints the column as ">150 ops/B" but defines the FP16->32
+compute-bound threshold as 400 ops/byte in the text; we use 400.)
+
+Known deviation (EXPERIMENTS.md): our simulator compresses the extreme
+strong-scaling tail (max speedups of ~2-4x rather than 14.7x) and weights
+the memory-bound small-shape regime more heavily, so the all-problem
+averages are lower than the paper's; the compute-bound column and every
+directional claim reproduce.
+"""
+
+from repro.gemm import FP16_FP32
+from repro.harness import relative_performance_table
+from repro.metrics import format_relative_table
+
+from .common import banner, corpus_spec, emit, paper_vs_measured
+
+PAPER = {
+    "vs CUTLASS 128x128x32": (1.63, 1.46, 0.80, 14.7),
+    "vs cuBLAS": (1.13, 0.45, 0.64, 6.74),
+    "vs cuBLAS >400 ops/B": (1.15, 0.12, 0.98, 1.85),
+    "vs CUTLASS oracle": (1.12, 0.37, 0.61, 4.63),
+}
+
+
+def test_table2_fp16(benchmark):
+    spec = corpus_spec()
+    cols = benchmark.pedantic(
+        relative_performance_table, args=(FP16_FP32,), kwargs={"spec": spec},
+        rounds=1, iterations=1,
+    )
+    banner(
+        "Table 2. Stream-K FP16->32 Relative Performance (%d shapes)" % spec.size
+    )
+    print(format_relative_table(cols, title=""))
+    print()
+    for (name, rp), paper_key in zip(cols.items(), PAPER):
+        pa, ps, pmin, pmax = PAPER[paper_key]
+        paper_vs_measured(
+            [
+                (name + " avg", "%.2fx" % pa, "%.2fx" % rp.average),
+                (name + " std", "%.2f" % ps, "%.2f" % rp.stddev),
+                (name + " min", "%.2fx" % pmin, "%.2fx" % rp.minimum),
+                (name + " max", "%.2fx" % pmax, "%.2fx" % rp.maximum),
+            ]
+        )
+        print()
+    emit("table2_fp16", {"measured": cols, "paper": PAPER})
+
+    assert cols["vs CUTLASS 128x128x32"].average > 1.05
+    assert cols["vs cuBLAS >400 ops/B"].average > 1.05
+    assert cols["vs cuBLAS >400 ops/B"].minimum > 0.85

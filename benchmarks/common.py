@@ -1,0 +1,46 @@
+"""Shared benchmark-harness utilities.
+
+Every bench regenerates one paper table/figure: it runs the experiment
+(timed by pytest-benchmark, one round — these are sweeps, not
+microbenchmarks), prints the same rows the paper reports side by side with
+the paper's published values, and drops a JSON artifact under
+``benchmarks/artifacts/``.
+
+Set ``REPRO_CORPUS_SIZE`` to shrink the corpus for smoke runs; the default
+is the paper's full 32,824 shapes.
+"""
+
+import os
+
+from repro.corpus import PAPER_CORPUS, CorpusSpec
+from repro.harness import write_json
+
+ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+
+
+def corpus_spec() -> CorpusSpec:
+    """The corpus used by the corpus-scale benches (env-overridable)."""
+    size = os.environ.get("REPRO_CORPUS_SIZE")
+    if size:
+        return CorpusSpec(size=int(size))
+    return PAPER_CORPUS
+
+
+def emit(name: str, payload) -> str:
+    """Write a bench's artifact and return its path."""
+    return write_json(os.path.join(ARTIFACT_DIR, name + ".json"), payload)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def paper_vs_measured(rows: "list[tuple[str, str, str]]") -> None:
+    """Print a (quantity, paper, measured) comparison block."""
+    width = max(len(r[0]) for r in rows)
+    print("%-*s  %12s  %12s" % (width, "", "paper", "measured"))
+    for label, paper, measured in rows:
+        print("%-*s  %12s  %12s" % (width, label, paper, measured))

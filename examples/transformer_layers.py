@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Deep-learning workload study: one transformer layer's GEMMs.
+
+The paper's introduction motivates GEMM through deep learning
+("transformer architectures ... are almost entirely limited by the
+performance of large matrix products").  This example takes the six GEMMs
+of a transformer layer at several batch sizes and asks the paper's
+question: how much does work-centric decomposition buy over the
+tile-centric alternatives a library would otherwise dispatch?
+
+Small decode-time batches produce exactly the strong-scaling shapes where
+Stream-K shines; large prefill batches quantize well and everything ties.
+
+Run:  python examples/transformer_layers.py
+"""
+
+import numpy as np
+
+from repro.corpus import transformer_shapes
+from repro.ensembles import StreamKLibrary, cublas_select, oracle_select, singleton_variant, variant_time_s
+from repro.gemm import FP16_FP32
+from repro.gpu import A100
+
+
+def main() -> None:
+    library = StreamKLibrary(A100, FP16_FP32)
+    print(
+        "Transformer layer GEMMs on simulated %s (FP16->32, one %s kernel "
+        "vs tile-based libraries)\n" % (A100.name, library.blocking)
+    )
+    for tokens in (512, 4096, 16384):
+        shapes = transformer_shapes(batch_tokens=tokens, d_model=1024, d_ff=4096)
+        print("== batch of %d tokens" % tokens)
+        print(
+            "%-16s %-18s %10s %10s %10s %12s %9s"
+            % ("gemm", "m x n x k", "streamk", "cutlass", "cublas", "oracle", "best?")
+        )
+        layer_totals = {"streamk": 0.0, "cutlass": 0.0, "cublas": 0.0, "oracle": 0.0}
+        for name, problem in shapes.items():
+            t_sk = library.time_s(problem)
+            t_dp = variant_time_s(singleton_variant(problem.dtype), problem, A100)
+            t_cb = cublas_select(problem, A100).time_s
+            t_or = oracle_select(problem, A100).time_s
+            layer_totals["streamk"] += t_sk
+            layer_totals["cutlass"] += t_dp
+            layer_totals["cublas"] += t_cb
+            layer_totals["oracle"] += t_or
+            best = min(t_sk, t_dp, t_cb, t_or)
+            print(
+                "%-16s %-18s %9.1fus %9.1fus %9.1fus %11.1fus %9s"
+                % (
+                    name,
+                    "%dx%dx%d" % problem.shape,
+                    t_sk * 1e6,
+                    t_dp * 1e6,
+                    t_cb * 1e6,
+                    t_or * 1e6,
+                    "streamk" if t_sk <= best * 1.001 else "",
+                )
+            )
+        sk = layer_totals["streamk"]
+        print(
+            "   layer total: streamk %.1fus | vs cutlass %.2fx | vs cublas "
+            "%.2fx | vs oracle %.2fx\n"
+            % (
+                sk * 1e6,
+                layer_totals["cutlass"] / sk,
+                layer_totals["cublas"] / sk,
+                layer_totals["oracle"] / sk,
+            )
+        )
+
+    # The punchline the paper's conclusion draws: one kernel, no heuristics.
+    print(
+        "Stream-K dispatched ONE kernel per precision for every shape above;"
+    )
+    print(
+        "the cuBLAS-like ensemble selected among 24 variants with a trained "
+        "heuristic."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has no network and no `wheel` package, so PEP-517 editable
+installs (`pip install -e .` with build isolation, or bdist_wheel) cannot
+run.  `python setup.py develop` works with the stock setuptools; all real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""Stream-K reproduction: work-centric GEMM decomposition on a simulated GPU.
+
+Public API highlights
+---------------------
+- :mod:`repro.gemm` — problems, blockings, reference GEMMs, the MacLoop.
+- :mod:`repro.schedules` — data-parallel, fixed-split, Stream-K, hybrids.
+- :mod:`repro.gpu` — the discrete-event GPU simulator and cost models.
+- :mod:`repro.model` — the Appendix A.1 analytical grid-size model.
+- :mod:`repro.ensembles` — CUTLASS/cuBLAS-like library emulations.
+- :mod:`repro.corpus` — the 32,824-shape evaluation corpus.
+- :mod:`repro.harness` — experiment runners for every paper table/figure.
+"""
+
+from .errors import (
+    CalibrationError,
+    ConfigurationError,
+    DeadlockError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from .gemm import (
+    FP16_FP32,
+    FP32,
+    FP64,
+    Blocking,
+    DtypeConfig,
+    GemmProblem,
+    TileGrid,
+    random_operands,
+    reference_gemm,
+    validate_result,
+)
+from .schedules import (
+    DataParallel,
+    FixedSplit,
+    Schedule,
+    StreamK,
+    TwoTileStreamK,
+    data_parallel_schedule,
+    fixed_split_schedule,
+    make_decomposition,
+    stream_k_schedule,
+    two_tile_schedule,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Blocking",
+    "CalibrationError",
+    "ConfigurationError",
+    "DataParallel",
+    "DeadlockError",
+    "DtypeConfig",
+    "FP16_FP32",
+    "FP32",
+    "FP64",
+    "FixedSplit",
+    "GemmProblem",
+    "ReproError",
+    "Schedule",
+    "SimulationError",
+    "StreamK",
+    "TileGrid",
+    "TwoTileStreamK",
+    "ValidationError",
+    "__version__",
+    "data_parallel_schedule",
+    "fixed_split_schedule",
+    "make_decomposition",
+    "random_operands",
+    "reference_gemm",
+    "stream_k_schedule",
+    "two_tile_schedule",
+    "validate_result",
+]

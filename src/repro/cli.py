@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``plan``       show how the Stream-K library would launch one problem
+``simulate``   run one problem under every decomposition and compare
+``model``      print the Appendix A.1 grid-size curve for a problem
+``corpus``     evaluate a corpus slice and print the Tables-1/2 columns
+``calibrate``  print the calibrated {a, b, c, d} constants
+
+Every command accepts ``--dtype {fp64,fp16_fp32,fp32,bf16_fp32}`` and
+``--gpu {a100,hypothetical_4sm}``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .corpus.filters import compute_bound_mask
+from .corpus.generator import CorpusSpec, generate_corpus
+from .gemm.dtypes import DTYPE_CONFIGS, get_dtype_config
+from .gemm.problem import GemmProblem
+from .gemm.tiling import Blocking, TileGrid
+from .gpu.spec import GPU_PRESETS, get_gpu
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--dtype", default="fp16_fp32", choices=sorted(DTYPE_CONFIGS),
+        help="precision configuration (default fp16_fp32)",
+    )
+    p.add_argument(
+        "--gpu", default="a100", choices=sorted(GPU_PRESETS),
+        help="simulated GPU (default a100)",
+    )
+
+
+def _add_shape(p: argparse.ArgumentParser) -> None:
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.add_argument("k", type=int)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stream-K reproduction: work-centric GEMM decomposition "
+        "on a simulated GPU",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("plan", help="show the Stream-K launch plan")
+    _add_shape(p)
+    _add_common(p)
+
+    p = sub.add_parser("simulate", help="compare every decomposition")
+    _add_shape(p)
+    _add_common(p)
+    p.add_argument(
+        "--numeric", action="store_true",
+        help="also execute numerically and validate against A @ B",
+    )
+
+    p = sub.add_parser("model", help="Appendix A.1 grid-size curve")
+    _add_shape(p)
+    _add_common(p)
+
+    p = sub.add_parser("corpus", help="corpus-scale system comparison")
+    _add_common(p)
+    p.add_argument("--size", type=int, default=2000, help="corpus slice size")
+
+    p = sub.add_parser("calibrate", help="print {a, b, c, d}")
+    _add_common(p)
+
+    return parser
+
+
+def _cmd_plan(args) -> int:
+    from .ensembles.streamk_library import StreamKLibrary
+
+    dtype, gpu = get_dtype_config(args.dtype), get_gpu(args.gpu)
+    problem = GemmProblem(args.m, args.n, args.k, dtype=dtype)
+    lib = StreamKLibrary(gpu, dtype)
+    grid = TileGrid(problem, lib.blocking)
+    plan = lib.plan(problem)
+    print("problem        : %s" % problem)
+    print("blocking       : %s" % lib.blocking)
+    print("tiles          : %d (%d x %d), %d iters/tile"
+          % (grid.num_tiles, grid.tiles_m, grid.tiles_n, grid.iters_per_tile))
+    print("plan           : %s" % plan.kind)
+    print("grid size      : %d CTAs on %d SMs" % (plan.g, gpu.num_sms))
+    print("aligned iters  : %.0f%%" % (100 * plan.k_aligned_fraction))
+    print("fixup exchanges: %d" % plan.fixup_stores)
+    print("predicted time : %.1f us (%.1f TFLOP/s)"
+          % (lib.time_s(problem) * 1e6, lib.tflops(problem)))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .harness.runner import run_schedule
+    from .ensembles.streamk_library import StreamKLibrary
+    from .schedules.data_parallel import data_parallel_schedule
+    from .schedules.fixed_split import fixed_split_schedule
+    from .schedules.stream_k import stream_k_schedule
+
+    dtype, gpu = get_dtype_config(args.dtype), get_gpu(args.gpu)
+    problem = GemmProblem(args.m, args.n, args.k, dtype=dtype)
+    lib = StreamKLibrary(gpu, dtype)
+    grid = TileGrid(problem, lib.blocking)
+    schedules = [
+        data_parallel_schedule(grid),
+        fixed_split_schedule(grid, 2),
+        stream_k_schedule(grid, min(gpu.num_sms, grid.total_iters)),
+        lib.build_schedule(problem),
+    ]
+    print("%-24s %6s %9s %12s %10s" % ("schedule", "g", "util", "time (us)", "TFLOP/s"))
+    for sched in schedules:
+        run = run_schedule(sched, gpu, execute_numeric=args.numeric)
+        note = ""
+        if run.max_rel_error is not None:
+            note = "  [validated, err %.1e]" % run.max_rel_error
+        print(
+            "%-24s %6d %8.1f%% %12.1f %10.1f%s"
+            % (
+                sched.name,
+                run.g,
+                100 * run.result.trace.utilization(),
+                run.time_s * 1e6,
+                run.tflops,
+                note,
+            )
+        )
+    return 0
+
+
+def _cmd_model(args) -> int:
+    from .model.calibrate import calibrate
+    from .model.gridsize import select_grid_size
+
+    dtype, gpu = get_dtype_config(args.dtype), get_gpu(args.gpu)
+    problem = GemmProblem(args.m, args.n, args.k, dtype=dtype)
+    blocking = Blocking(*dtype.default_blocking)
+    grid = TileGrid(problem, blocking)
+    params = calibrate(gpu, blocking, dtype)
+    decision = select_grid_size(grid, params, gpu.total_cta_slots)
+    print("constants: a=%.1f b=%.1f c=%.2f d=%.1f cycles"
+          % (params.a, params.b, params.c, params.d))
+    print("g_best = %d (predicted %.0f cycles)"
+          % (decision.g, decision.predicted_cycles))
+    marks = sorted({1, 2, 4, 8, 16, 32, 64, len(decision.candidates), decision.g})
+    for g in marks:
+        if g <= len(decision.candidates):
+            star = "  <-- g_best" if g == decision.g else ""
+            print("  g=%4d  %12.0f cycles%s" % (g, decision.predictions[g - 1], star))
+    return 0
+
+
+def _cmd_corpus(args) -> int:
+    from .harness.vectorized import evaluate_corpus
+    from .metrics.report import format_relative_table
+    from .metrics.stats import relative_performance
+
+    dtype, gpu = get_dtype_config(args.dtype), get_gpu(args.gpu)
+    shapes = generate_corpus(CorpusSpec(size=args.size))
+    res = evaluate_corpus(shapes, dtype, gpu)
+    cb = compute_bound_mask(shapes, dtype)
+    cols = {
+        "vs CUTLASS %dx%dx%d" % dtype.default_blocking: relative_performance(
+            res.singleton, res.streamk
+        ),
+        "vs cuBLAS": relative_performance(res.cublas, res.streamk),
+        "vs cuBLAS (CB)": relative_performance(res.cublas[cb], res.streamk[cb]),
+        "vs oracle": relative_performance(res.oracle, res.streamk),
+    }
+    print(
+        format_relative_table(
+            cols,
+            title="Stream-K %s relative performance (%d shapes, %d compute-bound)"
+            % (dtype.name, args.size, int(np.sum(cb))),
+        )
+    )
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from .model.calibrate import calibrate
+
+    dtype, gpu = get_dtype_config(args.dtype), get_gpu(args.gpu)
+    blocking = Blocking(*dtype.default_blocking)
+    params = calibrate(gpu, blocking, dtype)
+    print("gpu=%s dtype=%s blocking=%s" % (gpu.name, dtype.name, blocking))
+    print("a = %10.2f cycles  (fixed per-CTA cost)" % params.a)
+    print("b = %10.2f cycles  (partial-sum store)" % params.b)
+    print("c = %10.2f cycles  (per MAC-loop iteration)" % params.c)
+    print("d = %10.2f cycles  (per-peer fixup)" % params.d)
+    return 0
+
+
+_COMMANDS = {
+    "plan": _cmd_plan,
+    "simulate": _cmd_simulate,
+    "model": _cmd_model,
+    "corpus": _cmd_corpus,
+    "calibrate": _cmd_calibrate,
+}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Arithmetic-intensity filters over shape corpora.
+
+The paper restricts several comparisons to compute-bound problems:
+FP64 shapes above 150 ops/byte and FP16->32 shapes above 400 ops/byte
+(Section 6, Figure 7).  These helpers compute intensity vectorized over
+the (N, 3) shape array so corpus-scale masking is one expression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gemm.dtypes import DtypeConfig
+
+__all__ = ["ops_per_byte", "compute_bound_mask", "intensity_bins"]
+
+
+def ops_per_byte(shapes: np.ndarray, dtype: DtypeConfig) -> np.ndarray:
+    """FLOPs per compulsory byte for each [m, n, k] row (alpha=1, beta=0)."""
+    shapes = np.asarray(shapes, dtype=np.float64)
+    m, n, k = shapes[:, 0], shapes[:, 1], shapes[:, 2]
+    flops = 2.0 * m * n * k
+    bytes_ = (m * k + k * n) * dtype.input_bytes + m * n * dtype.output_bytes
+    return flops / bytes_
+
+
+def compute_bound_mask(shapes: np.ndarray, dtype: DtypeConfig) -> np.ndarray:
+    """Boolean mask of shapes above the precision's compute-bound
+    threshold (paper: FP64 > 150 ops/B, FP16->32 > 400 ops/B)."""
+    return ops_per_byte(shapes, dtype) > dtype.compute_bound_ops_per_byte
+
+
+def intensity_bins(
+    shapes: np.ndarray, dtype: DtypeConfig, num_bins: int = 40
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Log-spaced intensity bin edges and per-shape bin indices.
+
+    Used by the roofline landscape benches to summarize the utilization
+    spread per intensity regime (Figures 5 and 6).
+    """
+    intensity = ops_per_byte(shapes, dtype)
+    edges = np.geomspace(intensity.min(), intensity.max() * (1 + 1e-9), num_bins + 1)
+    idx = np.clip(np.digitize(intensity, edges) - 1, 0, num_bins - 1)
+    return edges, idx

@@ -1,0 +1,80 @@
+"""The evaluation corpus: 32,824 GEMM problem shapes (paper Figure 4).
+
+"We evaluate 32,824 different problem sizes and shapes, log-sampled at
+random within a domain of m, n, and k matrix dimensions whose volume spans
+six orders of magnitude" — m, n, k in [128, 8192].
+
+Shapes are drawn log-uniformly per axis with a fixed seed, so the corpus
+is deterministic and identical across machines and runs.  Extents are
+rounded to integers; the paper does not state an alignment constraint, so
+none is imposed (ragged shapes are exactly the interesting case for
+quantization studies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..gemm.dtypes import DtypeConfig
+from ..gemm.problem import GemmProblem
+
+__all__ = ["CorpusSpec", "PAPER_CORPUS", "generate_corpus", "corpus_problems"]
+
+#: Number of shapes in the paper's corpus.
+PAPER_CORPUS_SIZE = 32_824
+#: Axis domain of the paper's corpus.
+PAPER_DOMAIN = (128, 8192)
+#: Fixed seed so every consumer sees the identical corpus.
+PAPER_SEED = 0x5EEDC0DE
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Parameters of a log-sampled shape corpus."""
+
+    size: int = PAPER_CORPUS_SIZE
+    lo: int = PAPER_DOMAIN[0]
+    hi: int = PAPER_DOMAIN[1]
+    seed: int = PAPER_SEED
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError("corpus size must be positive")
+        if not (0 < self.lo <= self.hi):
+            raise ConfigurationError(
+                "invalid domain [%d, %d]" % (self.lo, self.hi)
+            )
+
+
+PAPER_CORPUS = CorpusSpec()
+
+
+def generate_corpus(spec: CorpusSpec = PAPER_CORPUS) -> np.ndarray:
+    """Generate the (size, 3) array of [m, n, k] extents.
+
+    Log-uniform per axis over [lo, hi], rounded to the nearest integer and
+    clipped back into the domain (rounding at the edges).
+    """
+    rng = np.random.default_rng(spec.seed)
+    lo, hi = np.log(spec.lo), np.log(spec.hi)
+    raw = np.exp(rng.uniform(lo, hi, size=(spec.size, 3)))
+    return np.clip(np.rint(raw).astype(np.int64), spec.lo, spec.hi)
+
+
+def corpus_problems(
+    dtype: DtypeConfig,
+    spec: CorpusSpec = PAPER_CORPUS,
+    limit: "int | None" = None,
+) -> "list[GemmProblem]":
+    """Materialize :class:`~repro.gemm.problem.GemmProblem` objects.
+
+    ``limit`` truncates deterministically (first N shapes) for quick runs;
+    the shape *sequence* is unchanged, so subsets nest.
+    """
+    shapes = generate_corpus(spec)
+    if limit is not None:
+        shapes = shapes[:limit]
+    return [GemmProblem(int(m), int(n), int(k), dtype=dtype) for m, n, k in shapes]

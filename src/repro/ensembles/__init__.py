@@ -1,0 +1,32 @@
+"""Library emulations: CUTLASS singletons, the DP oracle, a cuBLAS-like
+heuristic ensemble, and the shipped Stream-K library."""
+
+from .cublas import SPLIT_FACTORS, CublasChoice, cublas_select, cublas_variants
+from .cutlass import ORACLE_BLOCKINGS, oracle_variants, singleton_variant
+from .heuristics import ProxyScore, heuristic_select, proxy_score
+from .kernels import KernelVariant, variant_time_s
+from .oracle import OracleChoice, oracle_select
+from .streamk_duo import DuoChoice, StreamKDuoLibrary, small_blocking_for
+from .streamk_library import StreamKLibrary, StreamKPlan
+
+__all__ = [
+    "CublasChoice",
+    "KernelVariant",
+    "ORACLE_BLOCKINGS",
+    "OracleChoice",
+    "ProxyScore",
+    "SPLIT_FACTORS",
+    "DuoChoice",
+    "StreamKDuoLibrary",
+    "StreamKLibrary",
+    "StreamKPlan",
+    "cublas_select",
+    "cublas_variants",
+    "heuristic_select",
+    "oracle_select",
+    "oracle_variants",
+    "proxy_score",
+    "singleton_variant",
+    "small_blocking_for",
+    "variant_time_s",
+]

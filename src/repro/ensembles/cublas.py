@@ -1,0 +1,60 @@
+"""cuBLAS-like ensemble: many kernels + a trained-heuristic selector.
+
+The stand-in ensemble pairs every oracle blocking factor with fixed-split
+variants at s in {2, 4, 8, 16, 32} in addition to the plain data-parallel
+form — structurally matching the paper's description of cuBLAS shipping
+"a variety of different data-parallel and fixed-split variants" selected
+among 24 algorithms (Section 2).  Selection goes through the proxy-cost
+heuristic in :mod:`repro.ensembles.heuristics`; see that module's
+docstring for why the heuristic is *deliberately* imperfect in the same
+ways real ones are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gemm.dtypes import DtypeConfig
+from ..gemm.problem import GemmProblem
+from ..gemm.tiling import Blocking
+from ..gpu.spec import GpuSpec
+from .cutlass import ORACLE_BLOCKINGS
+from .heuristics import heuristic_select
+from .kernels import KernelVariant, variant_time_s
+
+__all__ = ["SPLIT_FACTORS", "cublas_variants", "CublasChoice", "cublas_select"]
+
+SPLIT_FACTORS = (2, 4, 8, 16, 32)
+
+
+def cublas_variants(dtype: DtypeConfig) -> "list[KernelVariant]":
+    """The full ensemble: every blocking as DP plus every split factor."""
+    variants = []
+    for b in ORACLE_BLOCKINGS[dtype.name]:
+        blocking = Blocking(*b)
+        variants.append(KernelVariant(family="data_parallel", blocking=blocking))
+        for s in SPLIT_FACTORS:
+            variants.append(
+                KernelVariant(family="fixed_split", blocking=blocking, s=s)
+            )
+    return variants
+
+
+@dataclass(frozen=True)
+class CublasChoice:
+    """The heuristic's pick and its simulated execution time."""
+
+    variant: KernelVariant
+    time_s: float
+
+
+def cublas_select(problem: GemmProblem, gpu: GpuSpec) -> CublasChoice:
+    """Run the selection heuristic, then *measure* the chosen kernel.
+
+    Mirrors reality: the heuristic commits to one kernel before execution;
+    the measured time is whatever that kernel actually achieves.
+    """
+    variant = heuristic_select(cublas_variants(problem.dtype), problem, gpu)
+    return CublasChoice(
+        variant=variant, time_s=variant_time_s(variant, problem, gpu)
+    )

@@ -1,0 +1,76 @@
+"""CUTLASS-like data-parallel kernels: the singleton baselines and the
+oracle's variant sets.
+
+The paper compares Stream-K against:
+
+* the **singleton** data-parallel CUTLASS kernel of the same (ideal)
+  blocking factor — ``64x64x16`` for FP64 and ``128x128x32`` for FP16->32;
+* an **oracle** over the published data-parallel blocking-factor
+  specializations (Section 6, "Methodology"):
+
+  - FP64: {32x32x16, 32x64x16, 64x64x16, 64x128x16, 128x128x16}
+  - FP16->32: {64x64x64, 64x128x32, 128x128x32, 128x256x32}
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..gemm.dtypes import DtypeConfig
+from ..gemm.tiling import Blocking
+from .kernels import KernelVariant
+
+__all__ = [
+    "ORACLE_BLOCKINGS",
+    "singleton_variant",
+    "oracle_variants",
+]
+
+ORACLE_BLOCKINGS: "dict[str, tuple[tuple[int, int, int], ...]]" = {
+    "fp64": (
+        (32, 32, 16),
+        (32, 64, 16),
+        (64, 64, 16),
+        (64, 128, 16),
+        (128, 128, 16),
+    ),
+    "fp16_fp32": (
+        (64, 64, 64),
+        (64, 128, 32),
+        (128, 128, 32),
+        (128, 256, 32),
+    ),
+    # Extension precisions reuse the mixed-precision ensemble geometry.
+    "bf16_fp32": (
+        (64, 64, 64),
+        (64, 128, 32),
+        (128, 128, 32),
+        (128, 256, 32),
+    ),
+    "fp32": (
+        (64, 64, 32),
+        (64, 128, 16),
+        (128, 128, 16),
+        (128, 256, 16),
+    ),
+}
+
+
+def singleton_variant(dtype: DtypeConfig) -> KernelVariant:
+    """The single data-parallel kernel at the precision's ideal blocking."""
+    return KernelVariant(
+        family="data_parallel", blocking=Blocking(*dtype.default_blocking)
+    )
+
+
+def oracle_variants(dtype: DtypeConfig) -> "list[KernelVariant]":
+    """The data-parallel specializations the idealized oracle selects among."""
+    try:
+        blockings = ORACLE_BLOCKINGS[dtype.name]
+    except KeyError:
+        raise ConfigurationError(
+            "no oracle ensemble defined for dtype %r" % (dtype.name,)
+        ) from None
+    return [
+        KernelVariant(family="data_parallel", blocking=Blocking(*b))
+        for b in blockings
+    ]

@@ -1,0 +1,109 @@
+"""Kernel variants: the units libraries select among.
+
+A :class:`KernelVariant` is one compiled GEMM kernel as a library ships it:
+a decomposition family plus a blocking factor plus any runtime parameter
+(the fixed-split factor).  The ensembles in this subpackage are lists of
+variants plus a selection policy; the paper's argument is precisely about
+the size and selection complexity of such ensembles versus a single
+Stream-K kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..gemm.problem import GemmProblem
+from ..gemm.tiling import Blocking, TileGrid
+from ..gpu.analytic import data_parallel_makespan, fixed_split_makespan
+from ..gpu.costmodel import KernelCostModel
+from ..gpu.memory import AnalyticalMemoryModel, TrafficBreakdown
+from ..gpu.spec import GpuSpec
+from ..schedules.base import Schedule
+from ..schedules.data_parallel import data_parallel_schedule
+from ..schedules.fixed_split import fixed_split_schedule
+
+__all__ = ["KernelVariant", "variant_time_s"]
+
+
+@dataclass(frozen=True)
+class KernelVariant:
+    """One library kernel: family, blocking, and runtime split factor."""
+
+    family: str  # "data_parallel" or "fixed_split"
+    blocking: Blocking
+    s: int = 1
+
+    def __post_init__(self) -> None:
+        if self.family not in ("data_parallel", "fixed_split"):
+            raise ConfigurationError(
+                "variant family must be data_parallel or fixed_split, got %r"
+                % (self.family,)
+            )
+        if self.s < 1:
+            raise ConfigurationError("split factor must be >= 1")
+        if self.family == "data_parallel" and self.s != 1:
+            raise ConfigurationError("data_parallel variants have s == 1")
+
+    @property
+    def name(self) -> str:
+        base = "%s_%s" % (self.family, self.blocking)
+        return base if self.s == 1 else "%s_s%d" % (base, self.s)
+
+    def build_schedule(self, problem: GemmProblem) -> Schedule:
+        """Materialize the variant's schedule for one problem (small-scale
+        paths: figures, tests; the corpus harness uses closed forms)."""
+        grid = TileGrid(problem, self.blocking)
+        if self.family == "data_parallel":
+            return data_parallel_schedule(grid)
+        return fixed_split_schedule(grid, self.s)
+
+    def makespan_cycles(self, problem: GemmProblem, gpu: GpuSpec) -> float:
+        """Closed-form compute makespan on ``gpu`` (see
+        :mod:`repro.gpu.analytic` for exactness guarantees per family)."""
+        grid = TileGrid(problem, self.blocking)
+        cost = KernelCostModel(gpu=gpu, blocking=self.blocking, dtype=problem.dtype)
+        if self.family == "data_parallel":
+            return data_parallel_makespan(
+                grid.num_tiles, gpu.num_sms, grid.iters_per_tile, cost
+            )
+        return fixed_split_makespan(
+            grid.num_tiles, self.s, gpu.num_sms, grid.iters_per_tile, cost
+        )
+
+    def traffic(self, problem: GemmProblem, gpu: GpuSpec) -> TrafficBreakdown:
+        """Analytical DRAM traffic without materializing work items."""
+        grid = TileGrid(problem, self.blocking)
+        cost = KernelCostModel(gpu=gpu, blocking=self.blocking, dtype=problem.dtype)
+        # A lightweight schedule facade carrying just what the memory model
+        # reads: grid geometry, launch width, alignment, fixup stores.
+        sched = _TrafficFacade(grid, self)
+        return AnalyticalMemoryModel().traffic(sched, gpu, cost)
+
+
+class _TrafficFacade:
+    """Duck-typed stand-in for Schedule in the analytical memory model."""
+
+    def __init__(self, grid: TileGrid, variant: KernelVariant):
+        self.grid = grid
+        s = min(variant.s, grid.iters_per_tile)
+        self.g = grid.num_tiles * s
+        self.k_aligned_fraction = 1.0 if s == 1 else 0.0
+        self.total_fixup_stores = grid.num_tiles * (s - 1)
+
+
+def variant_time_s(
+    variant: KernelVariant, problem: GemmProblem, gpu: GpuSpec
+) -> float:
+    """Roofline-composed kernel time of a variant on one problem.
+
+    Memory time is taken against the bandwidth the variant's grid can
+    actually pull: a handful of resident CTAs cannot saturate HBM.
+    """
+    grid = TileGrid(problem, variant.blocking)
+    g = grid.num_tiles * min(variant.s, grid.iters_per_tile)
+    compute = variant.makespan_cycles(problem, gpu) / gpu.clock_hz
+    memory = variant.traffic(problem, gpu).total / float(
+        gpu.achieved_bandwidth(g)
+    )
+    return max(compute, memory) + gpu.launch_latency_s

@@ -1,0 +1,42 @@
+"""The idealized data-parallel oracle (Section 6, comparison 3).
+
+"An idealized oracle that will always select the highest performing
+data-parallel CUTLASS blocking factor to execute for a given GEMM
+instance."  The oracle *measures* every variant (here: evaluates each
+variant's simulated time) and takes the best — no heuristic error by
+construction, so its performance spread is the floor of what any
+tile-based ensemble selection can achieve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gemm.problem import GemmProblem
+from ..gpu.spec import GpuSpec
+from .cutlass import oracle_variants
+from .kernels import KernelVariant, variant_time_s
+
+__all__ = ["OracleChoice", "oracle_select"]
+
+
+@dataclass(frozen=True)
+class OracleChoice:
+    """The oracle's pick and the full set of evaluated times."""
+
+    variant: KernelVariant
+    time_s: float
+    all_times: "dict[str, float]"
+
+
+def oracle_select(problem: GemmProblem, gpu: GpuSpec) -> OracleChoice:
+    """Evaluate every oracle variant and return the fastest."""
+    times = {}
+    best = None
+    best_t = float("inf")
+    for variant in oracle_variants(problem.dtype):
+        t = variant_time_s(variant, problem, gpu)
+        times[variant.name] = t
+        if t < best_t:
+            best, best_t = variant, t
+    return OracleChoice(variant=best, time_s=best_t, all_times=times)

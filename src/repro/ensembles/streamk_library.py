@@ -1,0 +1,180 @@
+"""The shipped Stream-K library: ONE kernel per precision + a tiny model.
+
+This is the artifact the paper argues for (Section 5): a single Stream-K
+hybrid kernel per precision at the ideal blocking factor, configured at
+launch by the analytical grid-size model whose four constants were
+calibrated once per architecture.  Contrast with
+:mod:`repro.ensembles.cublas`'s ~24 kernels + trained selection heuristics.
+
+Planning regimes (mirroring :func:`repro.schedules.hybrid.two_tile_schedule`):
+
+==============================  ========================================
+tiles % p == 0                  pure data-parallel waves (``g = min(p,t)``)
+tiles < p                       basic Stream-K, ``g`` from the A.1 model
+otherwise                       two-tile Stream-K + DP hybrid, ``g = p``
+==============================  ========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gemm.dtypes import DtypeConfig
+from ..gemm.problem import GemmProblem
+from ..gemm.tiling import Blocking, TileGrid
+from ..gpu.analytic import (
+    basic_streamk_makespan,
+    persistent_dp_makespan,
+    two_tile_hybrid_makespan,
+)
+from ..gpu.costmodel import KernelCostModel
+from ..gpu.memory import AnalyticalMemoryModel, TrafficBreakdown
+from ..gpu.spec import GpuSpec
+from ..model.calibrate import calibrate
+from ..model.cost import StreamKModelParams
+from ..model.gridsize import select_grid_size
+from ..schedules.base import Schedule
+from ..schedules.hybrid import two_tile_schedule
+
+__all__ = ["StreamKPlan", "StreamKLibrary"]
+
+
+@dataclass(frozen=True)
+class StreamKPlan:
+    """Launch plan for one problem: regime, grid size, traffic profile."""
+
+    kind: str  # "data_parallel" | "basic_stream_k" | "two_tile"
+    g: int
+    num_tiles: int
+    iters_per_tile: int
+    k_aligned_fraction: float
+    fixup_stores: int
+
+
+class StreamKLibrary:
+    """One precision's Stream-K kernel plus its compiled model constants."""
+
+    def __init__(
+        self,
+        gpu: GpuSpec,
+        dtype: DtypeConfig,
+        params: "StreamKModelParams | None" = None,
+        blocking: "Blocking | None" = None,
+    ):
+        """``blocking`` defaults to the precision's shipped factor; the
+        two-kernel ensemble (:mod:`repro.ensembles.streamk_duo`) passes an
+        alternate one.  Efficiency/peak anchoring always follows the true
+        ``dtype``."""
+        self.gpu = gpu
+        self.dtype = dtype
+        self.blocking = blocking or Blocking(*dtype.default_blocking)
+        self.cost = KernelCostModel(gpu=gpu, blocking=self.blocking, dtype=dtype)
+        # "Compiled statically into the library": calibrated once here.
+        self.params = params if params is not None else calibrate(
+            gpu, self.blocking, dtype
+        )
+
+    # ------------------------------------------------------------------ #
+    # Planning                                                            #
+    # ------------------------------------------------------------------ #
+
+    def plan(self, problem: GemmProblem) -> StreamKPlan:
+        """Pure-arithmetic launch plan (no schedule materialization)."""
+        grid = TileGrid(problem, self.blocking)
+        t, ipt, p = grid.num_tiles, grid.iters_per_tile, self.gpu.num_sms
+        if t % p == 0:
+            return StreamKPlan(
+                kind="data_parallel",
+                g=min(p, t),
+                num_tiles=t,
+                iters_per_tile=ipt,
+                k_aligned_fraction=1.0,
+                fixup_stores=0,
+            )
+        if t < p:
+            g = select_grid_size(grid, self.params, self.gpu.total_cta_slots).g
+            stores, aligned = _region_fixup_profile(t * ipt, g, ipt)
+            return StreamKPlan(
+                kind="basic_stream_k",
+                g=g,
+                num_tiles=t,
+                iters_per_tile=ipt,
+                k_aligned_fraction=1.0 if aligned else 0.0,
+                fixup_stores=stores,
+            )
+        w = t // p
+        sk_tiles = t - (w - 1) * p
+        stores, _ = _region_fixup_profile(sk_tiles * ipt, p, ipt)
+        total = t * ipt
+        return StreamKPlan(
+            kind="two_tile",
+            g=p,
+            num_tiles=t,
+            iters_per_tile=ipt,
+            k_aligned_fraction=(total - sk_tiles * ipt) / total,
+            fixup_stores=stores,
+        )
+
+    def build_schedule(self, problem: GemmProblem) -> Schedule:
+        """Materialize the planned schedule (figures, examples, tests)."""
+        grid = TileGrid(problem, self.blocking)
+        plan = self.plan(problem)
+        g_small = plan.g if plan.kind == "basic_stream_k" else None
+        return two_tile_schedule(grid, self.gpu.num_sms, g_small=g_small)
+
+    # ------------------------------------------------------------------ #
+    # Timing (closed-form corpus path)                                    #
+    # ------------------------------------------------------------------ #
+
+    def makespan_cycles(self, problem: GemmProblem) -> float:
+        grid = TileGrid(problem, self.blocking)
+        t, ipt, p = grid.num_tiles, grid.iters_per_tile, self.gpu.num_sms
+        plan = self.plan(problem)
+        if plan.kind == "data_parallel":
+            return persistent_dp_makespan(t, p, ipt, self.cost)
+        if plan.kind == "basic_stream_k":
+            return basic_streamk_makespan(t, plan.g, ipt, self.cost)
+        return two_tile_hybrid_makespan(t, p, ipt, self.cost)
+
+    def traffic(self, problem: GemmProblem) -> TrafficBreakdown:
+        grid = TileGrid(problem, self.blocking)
+        plan = self.plan(problem)
+        facade = _PlanFacade(grid, plan)
+        return AnalyticalMemoryModel().traffic(facade, self.gpu, self.cost)
+
+    def time_s(self, problem: GemmProblem) -> float:
+        """Roofline-composed kernel time for one problem."""
+        plan = self.plan(problem)
+        compute = self.makespan_cycles(problem) / self.gpu.clock_hz
+        memory = self.traffic(problem).total / float(
+            self.gpu.achieved_bandwidth(plan.g)
+        )
+        return max(compute, memory) + self.gpu.launch_latency_s
+
+    def tflops(self, problem: GemmProblem) -> float:
+        return problem.flops / self.time_s(problem) / 1e12
+
+
+class _PlanFacade:
+    """Duck-typed Schedule stand-in for the analytical memory model."""
+
+    def __init__(self, grid: TileGrid, plan: StreamKPlan):
+        self.grid = grid
+        self.g = plan.g
+        self.k_aligned_fraction = plan.k_aligned_fraction
+        self.total_fixup_stores = plan.fixup_stores
+
+
+def _region_fixup_profile(
+    region_iters: int, g: int, ipt: int
+) -> "tuple[int, bool]":
+    """(#CTAs that store partials, whether all shares are tile-aligned)
+    for a balanced partition of ``region_iters`` among ``g`` CTAs."""
+    g = min(g, region_iters)
+    base, rem = divmod(region_iters, g)
+    boundaries = np.arange(1, g, dtype=np.int64)
+    begins = boundaries * base + np.minimum(boundaries, rem)
+    misaligned = int(np.count_nonzero(begins % ipt))
+    return misaligned, misaligned == 0

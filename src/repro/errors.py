@@ -1,0 +1,55 @@
+"""Exception hierarchy for the Stream-K reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+type at an API boundary.  Configuration mistakes (bad shapes, bad blocking
+factors, invalid grid sizes) raise :class:`ConfigurationError` eagerly at
+construction time rather than failing deep inside a sweep.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "DeadlockError",
+    "CalibrationError",
+    "ValidationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid problem, blocking, schedule, or GPU configuration."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event executor reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """All resident CTAs are blocked on signals that can never arrive.
+
+    On real hardware a grid whose waiters precede their producers in launch
+    order can hang the GPU; the executor detects the condition and raises
+    instead, reporting the blocked CTA ids.
+    """
+
+    def __init__(self, blocked: "list[int]", message: "str | None" = None):
+        self.blocked = list(blocked)
+        super().__init__(
+            message
+            or "deadlock: CTAs %s are spin-waiting on signals from CTAs that "
+            "cannot be scheduled" % (self.blocked,)
+        )
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """Microbenchmark calibration of the analytical model failed."""
+
+
+class ValidationError(ReproError, AssertionError):
+    """A numeric result failed verification against the reference GEMM."""

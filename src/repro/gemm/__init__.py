@@ -1,0 +1,68 @@
+"""GEMM substrate: problems, blockings, reference kernels, and the MacLoop.
+
+This subpackage is the numerical foundation the decompositions in
+:mod:`repro.schedules` are built on.  Nothing here knows about CTAs or SMs;
+it only knows how to block a GEMM and compute pieces of it exactly.
+"""
+
+from .api import GemmResult, gemm
+from .batched import BatchedGemmPlan, execute_batched, plan_batched
+from .dtypes import (
+    BF16_FP32,
+    DTYPE_CONFIGS,
+    FP16_FP32,
+    FP32,
+    FP64,
+    DtypeConfig,
+    get_dtype_config,
+)
+from .epilogue import make_output, store_tile
+from .linearize import (
+    MortonTraversal,
+    RowMajorTraversal,
+    TileTraversal,
+    get_traversal,
+    morton_decode,
+    morton_encode,
+)
+from .macloop import mac_loop, mac_loop_fragments
+from .partials import PartialStore
+from .problem import GemmProblem
+from .reference import cache_blocked_gemm, random_operands, reference_gemm
+from .tiling import Blocking, TileGrid, ceil_div
+from .validation import max_relative_error, validate_result
+
+__all__ = [
+    "BF16_FP32",
+    "BatchedGemmPlan",
+    "GemmResult",
+    "execute_batched",
+    "gemm",
+    "plan_batched",
+    "Blocking",
+    "DTYPE_CONFIGS",
+    "DtypeConfig",
+    "FP16_FP32",
+    "FP32",
+    "FP64",
+    "GemmProblem",
+    "MortonTraversal",
+    "PartialStore",
+    "RowMajorTraversal",
+    "TileGrid",
+    "TileTraversal",
+    "cache_blocked_gemm",
+    "ceil_div",
+    "get_dtype_config",
+    "get_traversal",
+    "mac_loop",
+    "mac_loop_fragments",
+    "make_output",
+    "max_relative_error",
+    "morton_decode",
+    "morton_encode",
+    "random_operands",
+    "reference_gemm",
+    "store_tile",
+    "validate_result",
+]

@@ -1,0 +1,178 @@
+"""Precision configurations for simulated GEMM kernels.
+
+A :class:`DtypeConfig` bundles everything the library needs to know about a
+floating-point precision: the numpy dtypes used for numerically-exact
+execution, the bytes moved per element, the blocking factor the paper selects
+for that precision (Section 5.1), and the A100 tensor-core peak throughput at
+the paper's locked clocks (Section 6, "Hardware environment").
+
+The two precisions evaluated in the paper:
+
+* ``FP64``      — double in / double accumulate, 64x64x16 blocking,
+  13.9 TFLOP/s peak.
+* ``FP16_FP32`` — half in / float accumulate ("FP16->32"), 128x128x32
+  blocking, 222.3 TFLOP/s peak.
+
+``FP32`` and ``BF16_FP32`` are provided as extensions so downstream users can
+model additional precisions; they are not part of the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "DtypeConfig",
+    "FP64",
+    "FP16_FP32",
+    "FP32",
+    "BF16_FP32",
+    "DTYPE_CONFIGS",
+    "get_dtype_config",
+]
+
+
+@dataclass(frozen=True)
+class DtypeConfig:
+    """Everything precision-specific about a GEMM kernel.
+
+    Attributes
+    ----------
+    name:
+        Short identifier (e.g. ``"fp64"``, ``"fp16_fp32"``).
+    input_dtype:
+        numpy dtype of the A and B operands.
+    accum_dtype:
+        numpy dtype of the accumulators and of the C output.
+    input_bytes:
+        Bytes per input element (A, B).
+    output_bytes:
+        Bytes per output element (C) and per partial-sum element.
+    default_blocking:
+        ``(BLK_M, BLK_N, BLK_K)`` — the single blocking factor the paper
+        ships for this precision (Section 5.1).
+    peak_tflops_a100:
+        Tensor-core peak at the paper's locked 1005 MHz clocks.
+    compute_bound_ops_per_byte:
+        The paper's compute-bound threshold for this precision
+        (FP64: 150 ops/B, FP16->32: 400 ops/B; Section 6).
+    """
+
+    name: str
+    input_dtype: np.dtype
+    accum_dtype: np.dtype
+    input_bytes: int
+    output_bytes: int
+    default_blocking: "tuple[int, int, int]"
+    peak_tflops_a100: float
+    compute_bound_ops_per_byte: float
+    # Relative tolerance for validating simulated kernels against a float64
+    # reference; loose for half-precision inputs.
+    validation_rtol: float = field(default=1e-10)
+    # Exponent of the pipeline-efficiency saturation curve
+    # eff = 1 - exp(-(tile_macs / tau)^q).  Higher exponents penalize
+    # small tiles more steeply; tensor-core paths with very high MAC rates
+    # (FP16/BF16: 1024 MACs/SM/cycle) need far more in-flight work to hide
+    # latency, so their q is larger than slow-math FP64's.  FP16's q = 2.8
+    # anchors half-work tiles (64x128x32, 64x64x64) at ~48% of peak,
+    # matching measured CUTLASS throughput ratios on A100-class parts.
+    efficiency_exponent: float = field(default=1.0)
+
+    def __post_init__(self) -> None:
+        if self.input_bytes <= 0 or self.output_bytes <= 0:
+            raise ConfigurationError("element sizes must be positive")
+        if len(self.default_blocking) != 3 or any(
+            b <= 0 for b in self.default_blocking
+        ):
+            raise ConfigurationError(
+                "default_blocking must be three positive extents, got %r"
+                % (self.default_blocking,)
+            )
+        if self.peak_tflops_a100 <= 0:
+            raise ConfigurationError("peak throughput must be positive")
+
+    @property
+    def macs_per_element(self) -> int:
+        """Multiply-accumulates per output element per k step (always 1)."""
+        return 1
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+FP64 = DtypeConfig(
+    name="fp64",
+    input_dtype=np.dtype(np.float64),
+    accum_dtype=np.dtype(np.float64),
+    input_bytes=8,
+    output_bytes=8,
+    default_blocking=(64, 64, 16),
+    peak_tflops_a100=13.9,
+    compute_bound_ops_per_byte=150.0,
+    validation_rtol=1e-12,
+)
+
+FP16_FP32 = DtypeConfig(
+    name="fp16_fp32",
+    input_dtype=np.dtype(np.float16),
+    accum_dtype=np.dtype(np.float32),
+    input_bytes=2,
+    output_bytes=4,
+    default_blocking=(128, 128, 32),
+    peak_tflops_a100=222.3,
+    compute_bound_ops_per_byte=400.0,
+    validation_rtol=5e-2,
+    efficiency_exponent=2.8,
+)
+
+FP32 = DtypeConfig(
+    name="fp32",
+    input_dtype=np.dtype(np.float32),
+    accum_dtype=np.dtype(np.float32),
+    input_bytes=4,
+    output_bytes=4,
+    default_blocking=(128, 128, 16),
+    peak_tflops_a100=19.5,
+    compute_bound_ops_per_byte=200.0,
+    validation_rtol=1e-5,
+    efficiency_exponent=1.5,
+)
+
+BF16_FP32 = DtypeConfig(
+    name="bf16_fp32",
+    # numpy has no native bfloat16; model storage as fp16-width elements but
+    # execute numerics in fp32 (bfloat16 mantissa effects are not the point
+    # of this reproduction — scheduling is).
+    input_dtype=np.dtype(np.float32),
+    accum_dtype=np.dtype(np.float32),
+    input_bytes=2,
+    output_bytes=4,
+    default_blocking=(128, 128, 32),
+    peak_tflops_a100=222.3,
+    compute_bound_ops_per_byte=400.0,
+    validation_rtol=1e-2,
+    efficiency_exponent=2.8,
+)
+
+DTYPE_CONFIGS: "dict[str, DtypeConfig]" = {
+    cfg.name: cfg for cfg in (FP64, FP16_FP32, FP32, BF16_FP32)
+}
+
+
+def get_dtype_config(name: str) -> DtypeConfig:
+    """Look up a precision configuration by name.
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown names,
+    listing the available ones.
+    """
+    try:
+        return DTYPE_CONFIGS[name]
+    except KeyError:
+        raise ConfigurationError(
+            "unknown dtype config %r; available: %s"
+            % (name, ", ".join(sorted(DTYPE_CONFIGS)))
+        ) from None

@@ -1,0 +1,52 @@
+"""GEMM epilogue: scale the accumulated tile and merge it into C.
+
+The paper assumes ``alpha = 1, beta = 0`` throughout; the library supports
+the full ``C = alpha * AB + beta * C`` definition so downstream users get a
+complete BLAS-like surface.  The epilogue is applied once per output tile by
+whichever CTA owns the tile's final store (``StoreTile`` in the listings).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .problem import GemmProblem
+from .tiling import TileGrid
+
+__all__ = ["store_tile", "make_output"]
+
+
+def make_output(problem: GemmProblem) -> np.ndarray:
+    """Allocate the C output buffer in the accumulator dtype."""
+    return np.zeros((problem.m, problem.n), dtype=problem.dtype.accum_dtype)
+
+
+def store_tile(
+    grid: TileGrid,
+    out: np.ndarray,
+    tile_idx: int,
+    accum: np.ndarray,
+    c_in: "np.ndarray | None" = None,
+) -> None:
+    """``StoreTile(C, tile_idx, accum)`` with the alpha/beta epilogue.
+
+    ``accum`` must have exactly the tile's clamped extents.  When
+    ``beta != 0`` the prior contents of C are read from ``c_in`` (the
+    original operand, not ``out``, so repeated stores are idempotent).
+    """
+    problem = grid.problem
+    ms, ns = grid.tile_extents(tile_idx)
+    expect = (ms.stop - ms.start, ns.stop - ns.start)
+    if accum.shape != expect:
+        raise ConfigurationError(
+            "accumulator shape %r does not match tile extents %r"
+            % (accum.shape, expect)
+        )
+    acc_t = problem.dtype.accum_dtype
+    tile = accum if problem.alpha == 1.0 else (problem.alpha * accum)
+    if problem.beta != 0.0:
+        if c_in is None:
+            raise ConfigurationError("beta != 0 requires the C input operand")
+        tile = tile + problem.beta * c_in[ms, ns].astype(acc_t)
+    out[ms, ns] = tile.astype(acc_t, copy=False)

@@ -1,0 +1,166 @@
+"""Tile-traversal orders over the output-tile grid.
+
+Stream-K maps each CTA's contiguous range of MAC-loop iterations into the
+``m -> n -> k`` linearization of the GEMM shape (Section 4).  The *tile*
+component of that linearization is row-major over the (tiles_m, tiles_n)
+grid.  The paper's future-work section (Section 7) identifies cache-aware
+traversals such as Morton order as an optimization avenue; we implement both
+so the ablation benchmark can compare their cache behaviour.
+
+A traversal is a bijection ``position <-> tile_index`` over ``[0, t)`` where
+``tile_index`` is the row-major index used by :class:`~repro.gemm.tiling.
+TileGrid`.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "TileTraversal",
+    "RowMajorTraversal",
+    "MortonTraversal",
+    "get_traversal",
+    "morton_encode",
+    "morton_decode",
+]
+
+
+def _part1by1(x: int) -> int:
+    """Spread the low 32 bits of x so bit i lands at position 2*i."""
+    x &= 0xFFFFFFFF
+    x = (x | (x << 16)) & 0x0000FFFF0000FFFF
+    x = (x | (x << 8)) & 0x00FF00FF00FF00FF
+    x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0F
+    x = (x | (x << 2)) & 0x3333333333333333
+    x = (x | (x << 1)) & 0x5555555555555555
+    return x
+
+
+def _compact1by1(x: int) -> int:
+    """Inverse of :func:`_part1by1`."""
+    x &= 0x5555555555555555
+    x = (x | (x >> 1)) & 0x3333333333333333
+    x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0F
+    x = (x | (x >> 4)) & 0x00FF00FF00FF00FF
+    x = (x | (x >> 8)) & 0x0000FFFF0000FFFF
+    x = (x | (x >> 16)) & 0x00000000FFFFFFFF
+    return x
+
+
+def morton_encode(row: int, col: int) -> int:
+    """Interleave (row, col) into a Morton (Z-order) code.
+
+    Row bits occupy odd positions, column bits even positions, so codes sort
+    tiles along a Z-shaped space-filling curve.
+    """
+    return (_part1by1(row) << 1) | _part1by1(col)
+
+
+def morton_decode(code: int) -> "tuple[int, int]":
+    """Inverse of :func:`morton_encode`."""
+    return _compact1by1(code >> 1), _compact1by1(code)
+
+
+class TileTraversal:
+    """Bijection between traversal positions and row-major tile indices."""
+
+    name = "abstract"
+
+    def __init__(self, tiles_m: int, tiles_n: int):
+        if tiles_m <= 0 or tiles_n <= 0:
+            raise ConfigurationError(
+                "traversal requires a non-empty tile grid, got %dx%d"
+                % (tiles_m, tiles_n)
+            )
+        self.tiles_m = tiles_m
+        self.tiles_n = tiles_n
+        self.num_tiles = tiles_m * tiles_n
+
+    def tile_at(self, position: int) -> int:
+        """Row-major tile index visited at ``position``."""
+        raise NotImplementedError
+
+    def position_of(self, tile_idx: int) -> int:
+        """Traversal position at which ``tile_idx`` is visited."""
+        raise NotImplementedError
+
+    def order(self) -> "list[int]":
+        """The full visit order as a list of row-major tile indices."""
+        return [self.tile_at(p) for p in range(self.num_tiles)]
+
+    def _check_position(self, position: int) -> None:
+        if not (0 <= position < self.num_tiles):
+            raise ConfigurationError(
+                "position %d outside [0, %d)" % (position, self.num_tiles)
+            )
+
+    def _check_tile(self, tile_idx: int) -> None:
+        if not (0 <= tile_idx < self.num_tiles):
+            raise ConfigurationError(
+                "tile index %d outside [0, %d)" % (tile_idx, self.num_tiles)
+            )
+
+
+class RowMajorTraversal(TileTraversal):
+    """The identity traversal: position == row-major tile index.
+
+    This is the ``m -> n`` ordering of the paper's linearization.
+    """
+
+    name = "row_major"
+
+    def tile_at(self, position: int) -> int:
+        self._check_position(position)
+        return position
+
+    def position_of(self, tile_idx: int) -> int:
+        self._check_tile(tile_idx)
+        return tile_idx
+
+
+class MortonTraversal(TileTraversal):
+    """Z-order traversal over the tile grid (Section 7 future work).
+
+    For non-square / non-power-of-two grids the Z-curve over the bounding
+    power-of-two square is filtered to in-grid tiles, preserving relative
+    Z order (the standard approach for ragged Morton layouts).
+    """
+
+    name = "morton"
+
+    def __init__(self, tiles_m: int, tiles_n: int):
+        super().__init__(tiles_m, tiles_n)
+        coded = sorted(
+            (morton_encode(r, c), r * tiles_n + c)
+            for r in range(tiles_m)
+            for c in range(tiles_n)
+        )
+        self._order = [tile for _, tile in coded]
+        self._position = {tile: pos for pos, tile in enumerate(self._order)}
+
+    def tile_at(self, position: int) -> int:
+        self._check_position(position)
+        return self._order[position]
+
+    def position_of(self, tile_idx: int) -> int:
+        self._check_tile(tile_idx)
+        return self._position[tile_idx]
+
+
+_TRAVERSALS = {
+    RowMajorTraversal.name: RowMajorTraversal,
+    MortonTraversal.name: MortonTraversal,
+}
+
+
+def get_traversal(name: str, tiles_m: int, tiles_n: int) -> TileTraversal:
+    """Construct a traversal by name (``"row_major"`` or ``"morton"``)."""
+    try:
+        cls = _TRAVERSALS[name]
+    except KeyError:
+        raise ConfigurationError(
+            "unknown traversal %r; available: %s"
+            % (name, ", ".join(sorted(_TRAVERSALS)))
+        ) from None
+    return cls(tiles_m, tiles_n)

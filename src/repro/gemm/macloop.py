@@ -1,0 +1,92 @@
+"""The CTA-wide MacLoop (paper Algorithm 3), executed numerically.
+
+``mac_loop`` computes the partial accumulation of one output tile over a
+*sub-range* of its MAC-loop iterations — exactly the primitive every
+decomposition in the paper composes:
+
+* data-parallel calls it once per tile with the full range [0, iters);
+* fixed-split calls it with contiguous uniform sub-ranges;
+* Stream-K calls it with whatever sub-range lands in a CTA's share.
+
+The returned accumulator has the *full* blocking-shaped extents of the tile
+clamped to the problem edge, in the accumulator dtype.  Summing the
+accumulators of any partition of [0, iters) reproduces the tile exactly
+(associativity of addition — the property fixed-split and Stream-K rely on),
+up to floating-point reassociation which the validation tolerances absorb.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .tiling import TileGrid
+
+__all__ = ["mac_loop", "mac_loop_fragments"]
+
+
+def mac_loop(
+    grid: TileGrid,
+    a: np.ndarray,
+    b: np.ndarray,
+    tile_idx: int,
+    iter_begin: int,
+    iter_end: int,
+) -> np.ndarray:
+    """Accumulate iterations [iter_begin, iter_end) of ``tile_idx``.
+
+    Parameters mirror the paper's ``MacLoop(tile_idx, iter_begin, iter_end)``.
+    An empty range returns a zero accumulator (a CTA whose share ends exactly
+    on a tile boundary contributes nothing to the next tile).
+    """
+    if not (0 <= iter_begin <= iter_end <= grid.iters_per_tile):
+        raise ConfigurationError(
+            "iteration range [%d, %d) invalid for %d iters/tile"
+            % (iter_begin, iter_end, grid.iters_per_tile)
+        )
+    ms, ns = grid.tile_extents(tile_idx)
+    acc_t = grid.problem.dtype.accum_dtype
+    acc = np.zeros((ms.stop - ms.start, ns.stop - ns.start), dtype=acc_t)
+    if iter_begin == iter_end:
+        return acc
+
+    # The whole contiguous k-range is one slice; computing it as a single
+    # matrix product is numerically identical to iterating BLK_K-deep
+    # fragments with fp32/fp64 accumulation, and vectorizes the hot path.
+    ks = grid.k_range_extent(iter_begin, iter_end)
+    frag_a = a[ms, ks].astype(acc_t, copy=False)
+    frag_b = b[ks, ns].astype(acc_t, copy=False)
+    acc += frag_a @ frag_b
+    return acc
+
+
+def mac_loop_fragments(
+    grid: TileGrid,
+    a: np.ndarray,
+    b: np.ndarray,
+    tile_idx: int,
+    iter_begin: int,
+    iter_end: int,
+) -> np.ndarray:
+    """Fragment-at-a-time variant of :func:`mac_loop`.
+
+    Stages one ``(BLK_M x BLK_K)`` A fragment and one ``(BLK_K x BLK_N)`` B
+    fragment per MAC-loop iteration, exactly as the paper's listing does.
+    Slower, but it exercises the per-iteration bookkeeping; the test suite
+    asserts it matches :func:`mac_loop` bit-for-bit in fp64 and within
+    reassociation tolerance otherwise.
+    """
+    if not (0 <= iter_begin <= iter_end <= grid.iters_per_tile):
+        raise ConfigurationError(
+            "iteration range [%d, %d) invalid for %d iters/tile"
+            % (iter_begin, iter_end, grid.iters_per_tile)
+        )
+    ms, ns = grid.tile_extents(tile_idx)
+    acc_t = grid.problem.dtype.accum_dtype
+    acc = np.zeros((ms.stop - ms.start, ns.stop - ns.start), dtype=acc_t)
+    for it in range(iter_begin, iter_end):
+        ks = grid.iter_k_extent(it)
+        frag_a = a[ms, ks].astype(acc_t, copy=False)
+        frag_b = b[ks, ns].astype(acc_t, copy=False)
+        acc += frag_a @ frag_b
+    return acc

@@ -1,0 +1,108 @@
+"""Partial-sum workspace and signal flags for tile-splitting schedules.
+
+Fixed-split (Algorithm 4) and Stream-K (Algorithm 5) consolidate partial
+accumulators across CTAs through temporary global storage guarded by flags:
+a contributing CTA ``StorePartials`` + ``Signal``s; the tile-owning CTA
+``Wait``s on each peer flag and ``LoadPartials``.
+
+This module implements that protocol for the *numeric* execution path.  The
+workspace is keyed by CTA index — Stream-K's storage is O(g), bound by the
+number of CTAs rather than by problem size (a headline property of the
+paper, Section 4) — and the flag discipline is enforced: loading a slot that
+was never signalled, or double-storing a slot, raises, so schedule bugs
+surface as errors rather than silent corruption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["PartialStore"]
+
+
+class PartialStore:
+    """Temporary global storage of partial accumulators, one slot per CTA.
+
+    The numeric executor is sequential, so ``wait`` here is a correctness
+    check (the flag must already be set) rather than a blocking operation;
+    the discrete-event simulator models the actual waiting time.
+    """
+
+    def __init__(self, num_slots: int):
+        if num_slots < 0:
+            raise SimulationError("negative slot count %d" % num_slots)
+        self._num_slots = num_slots
+        self._partials: "dict[int, np.ndarray]" = {}
+        self._flags = np.zeros(num_slots, dtype=bool)
+        self._stores = 0
+        self._loads = 0
+
+    # ------------------------------------------------------------------ #
+    # Protocol operations (paper naming)                                 #
+    # ------------------------------------------------------------------ #
+
+    def store_partials(self, slot: int, accum: np.ndarray) -> None:
+        """``StorePartials(partials[slot], accum)`` — stash a partial tile."""
+        self._check_slot(slot)
+        if slot in self._partials:
+            raise SimulationError(
+                "CTA slot %d stored partials twice without a load" % slot
+            )
+        # Copy: the contributing CTA's accumulator buffer is dead after the
+        # store; the copy models the write to temporary global memory.
+        self._partials[slot] = np.array(accum, copy=True)
+        self._stores += 1
+
+    def signal(self, slot: int) -> None:
+        """``Signal(flags[slot])`` — publish the stored partials."""
+        self._check_slot(slot)
+        if slot not in self._partials:
+            raise SimulationError(
+                "CTA slot %d signalled before storing partials" % slot
+            )
+        self._flags[slot] = True
+
+    def wait(self, slot: int) -> None:
+        """``Wait(flags[slot])`` — assert the peer already signalled."""
+        self._check_slot(slot)
+        if not self._flags[slot]:
+            raise SimulationError(
+                "wait on CTA slot %d whose flag was never signalled — the "
+                "schedule ordered a reader before its writer" % slot
+            )
+
+    def load_partials(self, slot: int) -> np.ndarray:
+        """``LoadPartials(partials[slot])`` — consume a peer's partial tile."""
+        self.wait(slot)
+        self._loads += 1
+        return self._partials[slot]
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_slots(self) -> int:
+        return self._num_slots
+
+    @property
+    def stores(self) -> int:
+        """Number of partial-tile stores performed (fixup write traffic)."""
+        return self._stores
+
+    @property
+    def loads(self) -> int:
+        """Number of partial-tile loads performed (fixup read traffic)."""
+        return self._loads
+
+    def outstanding(self) -> "list[int]":
+        """Slots stored but never loaded — should be empty after a run."""
+        return sorted(s for s in self._partials if self._flags[s])
+
+    def _check_slot(self, slot: int) -> None:
+        if not (0 <= slot < self._num_slots):
+            raise SimulationError(
+                "slot %d outside workspace of %d slots" % (slot, self._num_slots)
+            )

@@ -1,0 +1,116 @@
+"""GEMM problem description.
+
+A GEMM computes ``C = alpha * A @ B + beta * C`` where A is (m, k), B is
+(k, n) and C is (m, n).  The paper refers to the *shape* of a problem as the
+volumetric extents ``m x n x k`` of its computation: the problem performs
+``m * n * k`` multiply-accumulate operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .dtypes import FP16_FP32, DtypeConfig
+
+__all__ = ["GemmProblem"]
+
+
+@dataclass(frozen=True)
+class GemmProblem:
+    """An ``m x n x k`` GEMM problem at a given precision.
+
+    Parameters
+    ----------
+    m, n, k:
+        Positive matrix extents: A is (m, k), B is (k, n), C is (m, n).
+    dtype:
+        Precision configuration; defaults to the paper's mixed FP16->32.
+    alpha, beta:
+        GEMM scalars.  The paper evaluates alpha=1, beta=0 throughout; the
+        numeric executors honour arbitrary values via the epilogue.
+    """
+
+    m: int
+    n: int
+    k: int
+    dtype: DtypeConfig = field(default=FP16_FP32)
+    alpha: float = 1.0
+    beta: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name, extent in (("m", self.m), ("n", self.n), ("k", self.k)):
+            if not isinstance(extent, (int,)) or isinstance(extent, bool):
+                raise ConfigurationError(
+                    "extent %s must be an int, got %r" % (name, extent)
+                )
+            if extent <= 0:
+                raise ConfigurationError(
+                    "extent %s must be positive, got %d" % (name, extent)
+                )
+
+    # ------------------------------------------------------------------ #
+    # Work / traffic accounting                                          #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations performed (m * n * k)."""
+        return self.m * self.n * self.k
+
+    @property
+    def flops(self) -> int:
+        """Floating-point operations (2 per MAC, the standard convention)."""
+        return 2 * self.macs
+
+    @property
+    def input_bytes(self) -> int:
+        """Compulsory bytes read: one pass over A and B."""
+        return (self.m * self.k + self.k * self.n) * self.dtype.input_bytes
+
+    @property
+    def output_bytes(self) -> int:
+        """Compulsory bytes written: one pass over C.
+
+        When ``beta != 0`` C must also be read once, which doubles the
+        output-side traffic.
+        """
+        per_pass = self.m * self.n * self.dtype.output_bytes
+        return per_pass * (2 if self.beta != 0.0 else 1)
+
+    @property
+    def min_bytes(self) -> int:
+        """Lower bound on DRAM traffic: compulsory reads plus writes."""
+        return self.input_bytes + self.output_bytes
+
+    @property
+    def ops_per_byte(self) -> float:
+        """Arithmetic intensity in FLOPs per compulsory byte.
+
+        This is the x-axis of the paper's roofline plots (Figures 5 and 6)
+        and the quantity thresholded by the compute-bound filters
+        (FP64 > 150 ops/B, FP16->32 > 400 ops/B).
+        """
+        return self.flops / self.min_bytes
+
+    @property
+    def is_compute_bound(self) -> bool:
+        """Whether the paper's compute-bound threshold classifies us so."""
+        return self.ops_per_byte > self.dtype.compute_bound_ops_per_byte
+
+    # ------------------------------------------------------------------ #
+    # Convenience                                                        #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self) -> "tuple[int, int, int]":
+        return (self.m, self.n, self.k)
+
+    def with_dtype(self, dtype: DtypeConfig) -> "GemmProblem":
+        """Return the same geometry at a different precision."""
+        return GemmProblem(
+            self.m, self.n, self.k, dtype=dtype, alpha=self.alpha, beta=self.beta
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "%dx%dx%d[%s]" % (self.m, self.n, self.k, self.dtype.name)

@@ -1,0 +1,203 @@
+"""Output-tile blocking of a GEMM problem.
+
+The GEMM iteration space is blocked by a :class:`Blocking` of
+``BLK_M x BLK_N x BLK_K``.  The (m, n) output plane is covered by a grid of
+``tiles_m x tiles_n`` output tiles; the k axis of every tile is covered by
+``iters_per_tile`` MAC-loop iterations of depth ``BLK_K`` each.  A *MAC-loop
+iteration* — a CTA-wide ``BLK_M x BLK_N x BLK_K`` volume of multiply-
+accumulates — is the unit of work Stream-K quantizes across processor cores.
+
+Ragged edges (extents that are not multiples of the blocking) are handled by
+clamping: edge tiles and the last k iteration simply cover fewer elements.
+All bookkeeping here is therefore exact for arbitrary problem shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .problem import GemmProblem
+
+__all__ = ["Blocking", "TileGrid", "ceil_div"]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division for non-negative ``a`` and positive ``b``."""
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class Blocking:
+    """CTA-wide blocking factors ``(BLK_M, BLK_N, BLK_K)``."""
+
+    blk_m: int
+    blk_n: int
+    blk_k: int
+
+    def __post_init__(self) -> None:
+        for name, extent in (
+            ("BLK_M", self.blk_m),
+            ("BLK_N", self.blk_n),
+            ("BLK_K", self.blk_k),
+        ):
+            if extent <= 0:
+                raise ConfigurationError(
+                    "%s must be positive, got %d" % (name, extent)
+                )
+
+    @property
+    def tile_macs(self) -> int:
+        """MACs in one full MAC-loop iteration (BLK_M * BLK_N * BLK_K)."""
+        return self.blk_m * self.blk_n * self.blk_k
+
+    @property
+    def as_tuple(self) -> "tuple[int, int, int]":
+        return (self.blk_m, self.blk_n, self.blk_k)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "%dx%dx%d" % (self.blk_m, self.blk_n, self.blk_k)
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """The tile decomposition of one problem under one blocking.
+
+    This is pure integer bookkeeping shared by every decomposition strategy:
+    how many tiles exist, how many MAC-loop iterations each requires, and the
+    element extents covered by any given tile (exact at ragged edges).
+    """
+
+    problem: GemmProblem
+    blocking: Blocking
+
+    # ---------------------------- extents ----------------------------- #
+
+    @property
+    def tiles_m(self) -> int:
+        """Output tiles along m: ceil(m / BLK_M)."""
+        return ceil_div(self.problem.m, self.blocking.blk_m)
+
+    @property
+    def tiles_n(self) -> int:
+        """Output tiles along n: ceil(n / BLK_N)."""
+        return ceil_div(self.problem.n, self.blocking.blk_n)
+
+    @property
+    def num_tiles(self) -> int:
+        """Total output tiles t = tiles_m * tiles_n."""
+        return self.tiles_m * self.tiles_n
+
+    @property
+    def iters_per_tile(self) -> int:
+        """MAC-loop iterations per tile: ceil(k / BLK_K)."""
+        return ceil_div(self.problem.k, self.blocking.blk_k)
+
+    @property
+    def total_iters(self) -> int:
+        """Aggregate MAC-loop iterations: t * iters_per_tile.
+
+        This is the quantity Stream-K partitions evenly across its grid
+        (Algorithm 5, line 3).
+        """
+        return self.num_tiles * self.iters_per_tile
+
+    # ------------------------- tile coordinates ----------------------- #
+
+    def tile_coords(self, tile_idx: int) -> "tuple[int, int]":
+        """Map a linear tile index to (tile_row, tile_col).
+
+        Tiles are linearized row-major over the (tiles_m, tiles_n) grid,
+        matching the m -> n ordering of the paper's linearization.
+        """
+        self._check_tile(tile_idx)
+        return divmod(tile_idx, self.tiles_n)
+
+    def tile_index(self, tile_row: int, tile_col: int) -> int:
+        """Inverse of :meth:`tile_coords`."""
+        if not (0 <= tile_row < self.tiles_m and 0 <= tile_col < self.tiles_n):
+            raise ConfigurationError(
+                "tile coordinate (%d, %d) outside %dx%d grid"
+                % (tile_row, tile_col, self.tiles_m, self.tiles_n)
+            )
+        return tile_row * self.tiles_n + tile_col
+
+    def tile_extents(self, tile_idx: int) -> "tuple[slice, slice]":
+        """Element slices (rows of C, cols of C) covered by a tile.
+
+        Edge tiles are clamped to the problem extents.
+        """
+        row, col = self.tile_coords(tile_idx)
+        m0 = row * self.blocking.blk_m
+        n0 = col * self.blocking.blk_n
+        m1 = min(m0 + self.blocking.blk_m, self.problem.m)
+        n1 = min(n0 + self.blocking.blk_n, self.problem.n)
+        return slice(m0, m1), slice(n0, n1)
+
+    def iter_k_extent(self, it: int) -> slice:
+        """Element slice of the k axis covered by MAC-loop iteration ``it``."""
+        if not (0 <= it < self.iters_per_tile):
+            raise ConfigurationError(
+                "iteration %d outside [0, %d)" % (it, self.iters_per_tile)
+            )
+        k0 = it * self.blocking.blk_k
+        k1 = min(k0 + self.blocking.blk_k, self.problem.k)
+        return slice(k0, k1)
+
+    def k_range_extent(self, iter_begin: int, iter_end: int) -> slice:
+        """Element slice of the k axis covered by iterations [begin, end)."""
+        if not (0 <= iter_begin <= iter_end <= self.iters_per_tile):
+            raise ConfigurationError(
+                "iteration range [%d, %d) outside [0, %d]"
+                % (iter_begin, iter_end, self.iters_per_tile)
+            )
+        k0 = iter_begin * self.blocking.blk_k
+        k1 = min(iter_end * self.blocking.blk_k, self.problem.k)
+        return slice(k0, k1)
+
+    # ---------------------------- accounting -------------------------- #
+
+    def tile_mac_count(self, tile_idx: int) -> int:
+        """Exact MACs performed for one tile (ragged edges clamped)."""
+        ms, ns = self.tile_extents(tile_idx)
+        return (ms.stop - ms.start) * (ns.stop - ns.start) * self.problem.k
+
+    def fragment_bytes_a(self) -> int:
+        """Bytes of one A fragment (BLK_M x BLK_K) staged per iteration."""
+        return (
+            self.blocking.blk_m
+            * self.blocking.blk_k
+            * self.problem.dtype.input_bytes
+        )
+
+    def fragment_bytes_b(self) -> int:
+        """Bytes of one B fragment (BLK_K x BLK_N) staged per iteration."""
+        return (
+            self.blocking.blk_k
+            * self.blocking.blk_n
+            * self.problem.dtype.input_bytes
+        )
+
+    def tile_output_bytes(self) -> int:
+        """Bytes written when storing one full output tile."""
+        return (
+            self.blocking.blk_m
+            * self.blocking.blk_n
+            * self.problem.dtype.output_bytes
+        )
+
+    # ---------------------------- helpers ----------------------------- #
+
+    def _check_tile(self, tile_idx: int) -> None:
+        if not (0 <= tile_idx < self.num_tiles):
+            raise ConfigurationError(
+                "tile index %d outside [0, %d)" % (tile_idx, self.num_tiles)
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "TileGrid(%s, blk=%s, t=%d, iters/tile=%d)" % (
+            self.problem,
+            self.blocking,
+            self.num_tiles,
+            self.iters_per_tile,
+        )

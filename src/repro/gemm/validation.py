@@ -1,0 +1,54 @@
+"""Numeric validation of simulated kernels against the reference GEMM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from .problem import GemmProblem
+from .reference import reference_gemm
+
+__all__ = ["validate_result", "max_relative_error"]
+
+
+def max_relative_error(result: np.ndarray, expected: np.ndarray) -> float:
+    """Largest elementwise |result - expected| / max(|expected|, 1).
+
+    The denominator floor of 1 keeps near-zero expected entries from
+    dominating; operands drawn from [-1, 1) make accumulated magnitudes
+    O(sqrt(k)) so this is a stable error measure across problem sizes.
+    """
+    err = np.abs(result.astype(np.float64) - expected)
+    scale = np.maximum(np.abs(expected), 1.0)
+    return float((err / scale).max()) if err.size else 0.0
+
+
+def validate_result(
+    problem: GemmProblem,
+    result: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: "np.ndarray | None" = None,
+    rtol: "float | None" = None,
+) -> float:
+    """Check ``result`` against the float64 reference; return the error.
+
+    The tolerance scales with sqrt(k) for sub-double precisions because
+    round-off grows with accumulation depth.  Raises
+    :class:`~repro.errors.ValidationError` with a diagnostic on failure.
+    """
+    expected = reference_gemm(problem, a, b, c)
+    if result.shape != expected.shape:
+        raise ValidationError(
+            "result shape %r != expected %r" % (result.shape, expected.shape)
+        )
+    err = max_relative_error(result, expected)
+    tol = rtol if rtol is not None else problem.dtype.validation_rtol
+    if problem.dtype.accum_dtype != np.dtype(np.float64):
+        tol = tol * max(1.0, float(np.sqrt(problem.k)))
+    if err > tol:
+        raise ValidationError(
+            "GEMM %s failed validation: max relative error %.3e > tol %.3e"
+            % (problem, err, tol)
+        )
+    return err

@@ -1,0 +1,73 @@
+"""GPU execution simulator: the paper's A100 testbed, substituted.
+
+The subpackage layers, bottom up:
+
+* :mod:`~repro.gpu.spec` — hardware descriptions (A100 preset, the 4-SM
+  illustration GPU);
+* :mod:`~repro.gpu.cta` / :mod:`~repro.gpu.executor` /
+  :mod:`~repro.gpu.trace` — timed CTA tasks, the discrete-event wave
+  scheduler with spin-wait flag semantics, and execution traces;
+* :mod:`~repro.gpu.costmodel` — cycle costs (the simulator-side ground
+  truth for the Appendix A.1 constants);
+* :mod:`~repro.gpu.cache` / :mod:`~repro.gpu.memory` — L2/DRAM traffic;
+* :mod:`~repro.gpu.analytic` — closed-form makespans for corpus sweeps;
+* :mod:`~repro.gpu.simulate` — end-to-end kernel timing.
+"""
+
+from .analytic import (
+    basic_streamk_makespan,
+    data_parallel_makespan,
+    fixed_split_makespan,
+    one_wave_makespan,
+    persistent_dp_makespan,
+    two_tile_hybrid_makespan,
+)
+from .cache import CacheStats, FragmentCache, SetAssociativeCache
+from .costmodel import KernelCostModel
+from .cta import CtaTask, SegmentKind, TimedSegment
+from .executor import Executor, execute_tasks
+from .memory import AnalyticalMemoryModel, CacheSimMemoryModel, TrafficBreakdown
+from .occupancy import (
+    DEFAULT_SMEM_PER_SM,
+    estimate_occupancy,
+    max_streamk_grid,
+    smem_bytes_per_cta,
+)
+from .simulate import KernelResult, simulate_kernel
+from .spec import A100, GPU_PRESETS, HYPOTHETICAL_4SM, GpuSpec, get_gpu
+from .trace import CtaRecord, ExecutionTrace, SegmentRecord
+
+__all__ = [
+    "A100",
+    "AnalyticalMemoryModel",
+    "CacheSimMemoryModel",
+    "CacheStats",
+    "CtaRecord",
+    "CtaTask",
+    "DEFAULT_SMEM_PER_SM",
+    "ExecutionTrace",
+    "Executor",
+    "FragmentCache",
+    "GPU_PRESETS",
+    "GpuSpec",
+    "HYPOTHETICAL_4SM",
+    "KernelCostModel",
+    "KernelResult",
+    "SegmentKind",
+    "SegmentRecord",
+    "SetAssociativeCache",
+    "TimedSegment",
+    "TrafficBreakdown",
+    "basic_streamk_makespan",
+    "data_parallel_makespan",
+    "estimate_occupancy",
+    "execute_tasks",
+    "fixed_split_makespan",
+    "get_gpu",
+    "max_streamk_grid",
+    "one_wave_makespan",
+    "persistent_dp_makespan",
+    "simulate_kernel",
+    "smem_bytes_per_cta",
+    "two_tile_hybrid_makespan",
+]

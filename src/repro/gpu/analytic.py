@@ -1,0 +1,273 @@
+"""Closed-form makespans for the schedule families.
+
+The discrete-event executor is the ground truth, but sweeping 32,824
+problems through it is not how you build a corpus harness (the guides'
+first rule: vectorize the hot path).  This module provides:
+
+* **exact** closed forms where the schedule structure admits them —
+  data-parallel waves (equal-cost CTAs under in-order earliest-slot
+  dispatch) and any *single-wave* schedule (``g <= slots``, e.g. Stream-K
+  and the hybrids), where all CTAs start at zero and every signal time is
+  independent of every wait;
+* **approximate** closed forms for multi-wave fixed-split grids, documented
+  and bounded by tests against the executor.
+
+All functions work on plain scalar arithmetic so
+:mod:`repro.harness.vectorized` can re-express them over numpy arrays
+unchanged.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..gemm.tiling import ceil_div
+from ..schedules.base import Schedule
+from .costmodel import KernelCostModel
+
+__all__ = [
+    "data_parallel_makespan",
+    "persistent_dp_makespan",
+    "fixed_split_makespan",
+    "one_wave_makespan",
+    "two_tile_hybrid_makespan",
+    "basic_streamk_makespan",
+]
+
+
+def data_parallel_makespan(
+    t: int, p: int, ipt: int, cost: KernelCostModel
+) -> float:
+    """Exact makespan of Algorithm 2: ``ceil(t/p)`` waves of equal CTAs.
+
+    Every CTA costs ``prologue + c*ipt + store``; with equal costs,
+    earliest-slot in-order dispatch degenerates to full waves, which is the
+    quantization staircase of Figure 1.
+    """
+    waves = ceil_div(t, p)
+    cta = cost.prologue_cycles + cost.cycles_per_iter * ipt + cost.store_tile_cycles
+    return waves * cta
+
+
+def persistent_dp_makespan(
+    t: int, p: int, ipt: int, cost: KernelCostModel
+) -> float:
+    """Exact makespan of the persistent data-parallel form.
+
+    ``min(p, t)`` CTAs each loop over ``ceil(t/g)`` tiles at most; the
+    prologue is paid once per CTA rather than once per wave.
+    """
+    g = min(p, t)
+    tiles_max = ceil_div(t, g)
+    per_tile = cost.cycles_per_iter * ipt + cost.store_tile_cycles
+    return cost.prologue_cycles + tiles_max * per_tile
+
+
+def fixed_split_makespan(
+    t: int, s: int, p: int, ipt: int, cost: KernelCostModel
+) -> float:
+    """Approximate makespan of Algorithm 4 with splitting factor ``s``.
+
+    Aggregate-work list-scheduling model.  Each tile occupies its ``s``
+    CTAs' slots for ``s - 1`` contributor durations ``D_c = prologue +
+    c*share + store_partials`` plus one owner duration ``D_o``: when
+    ``s <= p`` a tile's owner launches in the same wave as its peers and
+    spin-waits until their signals (so its slot is busy ``D_c`` before the
+    serial fixups even start); when ``s > p`` the peers finished waves ago
+    and only the owner's own work remains.  List scheduling of near-equal
+    tasks gives ``makespan ~= (total - D_last)/p + D_last``.  Wave-boundary
+    effects make this an approximation (bounded against the executor in
+    the test suite); exact at ``s = 1``.
+    """
+    s = min(s, ipt)
+    share = ceil_div(ipt, s)
+    c = cost.cycles_per_iter
+    if s == 1:
+        return data_parallel_makespan(t, p, ipt, cost)
+    d_c = cost.prologue_cycles + c * share + cost.store_partials_cycles
+    fixup_tail = (s - 1) * cost.fixup_cycles_per_peer + cost.store_tile_cycles
+    if s <= p:
+        d_o = d_c + fixup_tail
+    else:
+        d_o = cost.prologue_cycles + c * share + fixup_tail
+    if t * s <= p:
+        # Single wave: the owner's spin-wait path is the exact makespan.
+        return d_o
+    total = t * ((s - 1) * d_c + d_o)
+    # List-scheduling estimate: per-slot share of the aggregate plus half
+    # the Graham tail slack for the long-pole owners.
+    return max(d_o, total / p + 0.5 * (p - 1) / p * d_o)
+
+
+def one_wave_makespan(schedule: Schedule, cost: KernelCostModel, slots: int) -> float:
+    """Exact makespan of any schedule whose grid fits in one wave.
+
+    With ``g <= slots`` every CTA starts at cycle zero.  In every schedule
+    this library builds, a CTA's one contributor segment is preceded only by
+    wait-free owner segments (full data-parallel tiles), so its signal time
+    never depends on any wait: signals resolve in one pass and finishes in a
+    second — no event queue required.  This is the validation reference for
+    the Stream-K/hybrid closed forms below and is itself validated against
+    the executor.
+    """
+    if schedule.g > slots:
+        raise ConfigurationError(
+            "one_wave_makespan needs g=%d <= slots=%d" % (schedule.g, slots)
+        )
+    c = cost.cycles_per_iter
+    pro = cost.prologue_cycles
+    sp = cost.store_partials_cycles
+    fx = cost.fixup_cycles_per_peer
+    st = cost.store_tile_cycles
+
+    signal: "dict[int, float]" = {}
+    for w in schedule.work_items:
+        contrib = next(
+            (i for i, s in enumerate(w.segments) if not s.is_owner), None
+        )
+        if contrib is None:
+            continue
+        now = pro
+        for seg in w.segments[:contrib]:
+            if seg.peers:
+                # A waiting segment ahead of a contributor would make the
+                # signal wait-dependent; no schedule we build does this.
+                raise ConfigurationError(
+                    "CTA %d has a fixup-owning segment before its "
+                    "contributor segment; signal time would depend on waits"
+                    % w.cta
+                )
+            now += c * seg.num_iters + st
+        signal[w.cta] = now + c * w.segments[contrib].num_iters + sp
+
+    makespan = 0.0
+    for w in schedule.work_items:
+        now = pro
+        for seg in w.segments:
+            now += c * seg.num_iters
+            if seg.is_owner:
+                for peer in seg.peers:
+                    now = max(now, signal[peer]) + fx
+                now += st
+            else:
+                now += sp
+        makespan = max(makespan, now)
+    return makespan
+
+
+def basic_streamk_makespan(
+    t: int, g: int, ipt: int, cost: KernelCostModel
+) -> float:
+    """Exact one-wave makespan of basic Stream-K, by arithmetic walk.
+
+    Replays the balanced-partition geometry of
+    :func:`~repro.schedules.stream_k.partition_region` without building any
+    schedule objects: per CTA, the timeline is (prologue, head contribution
+    + partial store, a run of owned tiles, and for each tile finished by
+    later CTAs a spin-wait on each peer's signal followed by a serial
+    fixup).  All CTAs start at cycle zero, which is exact whenever
+    ``g <= slots`` — the regime Stream-K requires anyway (co-residency).
+    O(g + t); agreement with the event executor is asserted in the tests.
+    """
+    total = t * ipt
+    g = min(g, total)
+    base, rem = divmod(total, g)
+    c = cost.cycles_per_iter
+    pro = cost.prologue_cycles
+    sp = cost.store_partials_cycles
+    fx = cost.fixup_cycles_per_peer
+    st = cost.store_tile_cycles
+
+    def begin(x: int) -> int:
+        return x * base + min(x, rem)
+
+    # Signal time of every CTA that enters its range mid-tile: prologue,
+    # the head compute (clamped to its share), then the partial store.
+    sigs: "dict[int, float]" = {}
+    for x in range(1, g):
+        b = begin(x)
+        head = (-b) % ipt
+        if head:
+            share = base + (1 if x < rem else 0)
+            sigs[x] = pro + c * min(head, share) + sp
+
+    makespan = 0.0
+    for x in range(g):
+        b = begin(x)
+        e = b + base + (1 if x < rem else 0)
+        now = pro
+        pos = b
+        head = (-b) % ipt
+        if head:
+            hh = min(head, e - b)
+            now += c * hh + sp
+            pos += hh
+        while pos < e:
+            tile_end = pos + ipt
+            seg_end = min(e, tile_end)
+            now += c * (seg_end - pos)
+            if seg_end < tile_end:
+                # This CTA owns the tile but later CTAs finish it: serial
+                # reduction over every peer whose range starts inside it.
+                y = x + 1
+                while y < g and begin(y) < tile_end:
+                    now = max(now, sigs[y]) + fx
+                    y += 1
+            now += st
+            pos = seg_end
+        makespan = max(makespan, now)
+    return makespan
+
+
+def two_tile_hybrid_makespan(
+    t: int, p: int, ipt: int, cost: KernelCostModel
+) -> float:
+    """Estimate of the two-tile-Stream-K + data-parallel hybrid makespan.
+
+    Mirrors :func:`~repro.schedules.hybrid.two_tile_schedule`'s regimes:
+    perfect quantization -> persistent DP (exact); fewer tiles than SMs ->
+    basic Stream-K at ``g = p`` (Appendix-shaped estimate); otherwise an
+    *exact* per-CTA walk of the Stream-K residual region — every CTA holds
+    between one and two tiles' worth, so its timeline is head contribution,
+    fully-owned tiles, at most one single-peer fixup, then ``w - 1``
+    data-parallel tiles — maximized over the one-wave grid.  Agreement with
+    the event executor is asserted in the test suite.
+    """
+    if t % p == 0:
+        return persistent_dp_makespan(t, p, ipt, cost)
+    w = t // p
+    if w == 0:
+        return basic_streamk_makespan(t, p, ipt, cost)
+    sk_tiles = t - (w - 1) * p
+    region = sk_tiles * ipt
+    base, rem = divmod(region, p)
+    c = cost.cycles_per_iter
+    pro = cost.prologue_cycles
+    sp = cost.store_partials_cycles
+    fx = cost.fixup_cycles_per_peer
+    st = cost.store_tile_cycles
+    dp_tail = (w - 1) * (c * ipt + st)
+
+    def begin(x: int) -> int:
+        return x * base + min(x, rem)
+
+    def head(x: int) -> int:
+        return (-begin(x)) % ipt
+
+    makespan = 0.0
+    for x in range(p):
+        b = begin(x)
+        e = begin(x + 1) if x + 1 < p else region
+        h = head(x)
+        last_part = e % ipt
+        n_owned = ceil_div(e, ipt) - ceil_div(b, ipt)
+        fully_owned = n_owned - (1 if last_part else 0)
+        now = pro
+        if h:
+            now += c * h + sp
+        now += fully_owned * (c * ipt + st)
+        if last_part:
+            now += c * (last_part if n_owned else 0)
+            peer_signal = pro + c * head(x + 1) + sp
+            now = max(now, peer_signal) + fx + st
+        makespan = max(makespan, now + dp_tail)
+    return makespan

@@ -1,0 +1,137 @@
+"""Cache simulators for DRAM-traffic measurement.
+
+Two granularities:
+
+* :class:`SetAssociativeCache` — a classic line-granular set-associative
+  LRU cache, the general substrate.
+* :class:`FragmentCache` — a fully-associative LRU over variable-sized
+  *fragments* (the ``BLK_M x BLK_K`` / ``BLK_K x BLK_N`` staging blocks GEMM
+  kernels actually stream), which is the granularity the L2 reuse argument
+  of Section 5.2 is about.  Backed by an ordered dict; capacity is enforced
+  in bytes.
+
+Both report hit/miss byte counts; the memory models convert misses into
+DRAM traffic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["SetAssociativeCache", "FragmentCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Aggregate access statistics."""
+
+    accesses: int = 0
+    hits: int = 0
+    hit_bytes: int = 0
+    miss_bytes: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.hit_bytes + self.miss_bytes
+
+
+class SetAssociativeCache:
+    """Line-granular set-associative LRU cache over a flat address space."""
+
+    def __init__(self, capacity_bytes: int, line_bytes: int, ways: int = 16):
+        if capacity_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise ConfigurationError("cache geometry must be positive")
+        lines = capacity_bytes // line_bytes
+        if lines < ways:
+            raise ConfigurationError(
+                "capacity %d holds %d lines < %d ways"
+                % (capacity_bytes, lines, ways)
+            )
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = max(1, lines // ways)
+        self._sets: "list[OrderedDict[int, None]]" = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    def access(self, addr: int, size: int) -> int:
+        """Touch [addr, addr + size); return bytes missed (DRAM-fetched)."""
+        if size <= 0:
+            return 0
+        first = addr // self.line_bytes
+        last = (addr + size - 1) // self.line_bytes
+        missed = 0
+        for line in range(first, last + 1):
+            s = self._sets[line % self.num_sets]
+            self.stats.accesses += 1
+            if line in s:
+                s.move_to_end(line)
+                self.stats.hits += 1
+                self.stats.hit_bytes += self.line_bytes
+            else:
+                if len(s) >= self.ways:
+                    s.popitem(last=False)
+                s[line] = None
+                missed += self.line_bytes
+                self.stats.miss_bytes += self.line_bytes
+        return missed
+
+    def flush(self) -> None:
+        for s in self._sets:
+            s.clear()
+
+
+class FragmentCache:
+    """Fully-associative LRU over variable-sized keyed blocks."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ConfigurationError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._blocks: "OrderedDict[object, int]" = OrderedDict()
+        self._occupied = 0
+        self.stats = CacheStats()
+
+    def access(self, key: object, size: int) -> int:
+        """Touch one fragment; return bytes missed.
+
+        A fragment larger than the whole cache always misses and is not
+        retained (it would evict everything for no reuse).
+        """
+        if size <= 0:
+            return 0
+        self.stats.accesses += 1
+        if key in self._blocks:
+            self._blocks.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.hit_bytes += size
+            return 0
+        self.stats.miss_bytes += size
+        if size > self.capacity_bytes:
+            return size
+        while self._occupied + size > self.capacity_bytes:
+            _, evicted = self._blocks.popitem(last=False)
+            self._occupied -= evicted
+        self._blocks[key] = size
+        self._occupied += size
+        return size
+
+    @property
+    def occupied_bytes(self) -> int:
+        return self._occupied
+
+    def flush(self) -> None:
+        self._blocks.clear()
+        self._occupied = 0

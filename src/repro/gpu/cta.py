@@ -1,0 +1,106 @@
+"""Timed CTA tasks: the executor's unit of scheduling.
+
+A :class:`CtaTask` is the *timing* counterpart of a
+:class:`~repro.schedules.workitem.CtaWorkItem`: an ordered list of
+:class:`TimedSegment`\\ s with cycle costs attached by a kernel cost model.
+Segment kinds mirror the operations in the paper's listings:
+
+====================  ====================================================
+``COMPUTE``           a run of MAC-loop iterations
+``STORE_PARTIALS``    write a partial accumulator to temporary storage
+``SIGNAL``            publish a flag (instantaneous; timestamp recorded)
+``WAIT``              spin until another CTA's flag is published
+``FIXUP``             read + accumulate one peer's partials
+``STORE_TILE``        epilogue: write the output tile to C
+``PROLOGUE``          fixed per-CTA startup (launch, first cold loads)
+====================  ====================================================
+
+``WAIT`` segments cost no intrinsic cycles; their duration is whatever the
+executor observes.  ``SIGNAL`` publishes the CTA's own slot.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+__all__ = ["SegmentKind", "TimedSegment", "CtaTask"]
+
+
+class SegmentKind(enum.Enum):
+    PROLOGUE = "prologue"
+    COMPUTE = "compute"
+    STORE_PARTIALS = "store_partials"
+    SIGNAL = "signal"
+    WAIT = "wait"
+    FIXUP = "fixup"
+    STORE_TILE = "store_tile"
+
+
+@dataclass(frozen=True)
+class TimedSegment:
+    """One timed step of a CTA.
+
+    ``cycles`` is the intrinsic duration; ``slot`` identifies the partial-
+    sum slot for ``SIGNAL`` (own) and ``WAIT``/``FIXUP`` (peer) segments.
+    """
+
+    kind: SegmentKind
+    cycles: float = 0.0
+    slot: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ConfigurationError(
+                "segment cycles must be non-negative, got %r" % (self.cycles,)
+            )
+        if self.kind in (SegmentKind.WAIT, SegmentKind.FIXUP) and self.slot is None:
+            raise ConfigurationError("%s segments need a peer slot" % self.kind)
+        if self.kind is SegmentKind.WAIT and self.cycles != 0.0:
+            raise ConfigurationError(
+                "WAIT has no intrinsic cost; its duration is observed"
+            )
+
+
+@dataclass(frozen=True)
+class CtaTask:
+    """An ordered, costed list of segments for one CTA."""
+
+    cta: int
+    segments: "tuple[TimedSegment, ...]" = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.cta < 0:
+            raise ConfigurationError("negative CTA index %d" % self.cta)
+        signals = [s for s in self.segments if s.kind is SegmentKind.SIGNAL]
+        if len(signals) > 1:
+            raise ConfigurationError(
+                "CTA %d signals %d times; the one-partial-slot-per-CTA "
+                "protocol allows at most one" % (self.cta, len(signals))
+            )
+        for s in signals:
+            if s.slot is not None and s.slot != self.cta:
+                raise ConfigurationError(
+                    "CTA %d may only signal its own slot, not %d"
+                    % (self.cta, s.slot)
+                )
+
+    @property
+    def intrinsic_cycles(self) -> float:
+        """Cycles excluding wait time — the CTA's own workload."""
+        return sum(s.cycles for s in self.segments)
+
+    @property
+    def wait_slots(self) -> "tuple[int, ...]":
+        return tuple(
+            s.slot for s in self.segments if s.kind is SegmentKind.WAIT
+        )
+
+    @property
+    def signals_slot(self) -> "int | None":
+        for s in self.segments:
+            if s.kind is SegmentKind.SIGNAL:
+                return self.cta if s.slot is None else s.slot
+        return None

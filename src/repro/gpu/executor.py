@@ -1,0 +1,146 @@
+"""Discrete-event execution of CTA tasks on a simulated GPU.
+
+The executor models the GPU block scheduler the paper's analysis assumes:
+
+* ``num_sm_slots = num_sms * occupancy`` CTA slots;
+* CTAs dispatch strictly in launch order, each onto the earliest-freeing
+  slot (this produces the "wave" structure of data-parallel execution);
+* a CTA runs its segments back to back; a ``WAIT`` on a peer flag spin-waits
+  *holding its slot* until the peer's ``SIGNAL`` timestamp (Algorithm 4/5
+  semantics);
+* the slot frees when the CTA finishes.
+
+The simulation is exact for this model: all signal timestamps among
+dispatched CTAs are fully resolved before the next dispatch decision, so no
+approximation or iteration-to-fixpoint is involved.  If every resident CTA
+is blocked on flags owned by CTAs that cannot launch, the executor raises
+:class:`~repro.errors.DeadlockError` — the same hang a real GPU would
+experience with a waiter-before-producer launch order and full residency.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, DeadlockError, SimulationError
+from .cta import CtaTask, SegmentKind
+from .trace import CtaRecord, ExecutionTrace, SegmentRecord
+
+__all__ = ["execute_tasks", "Executor"]
+
+
+@dataclass
+class _CtaState:
+    task: CtaTask
+    sm_slot: int = -1
+    time: float = 0.0
+    start: float = 0.0
+    cursor: int = 0
+    records: "list[SegmentRecord]" = field(default_factory=list)
+    finished: bool = False
+
+    @property
+    def blocked_on(self) -> "int | None":
+        segs = self.task.segments
+        if self.cursor < len(segs) and segs[self.cursor].kind is SegmentKind.WAIT:
+            return segs[self.cursor].slot
+        return None
+
+
+class Executor:
+    """Runs a list of :class:`~repro.gpu.cta.CtaTask` to completion."""
+
+    def __init__(self, num_sm_slots: int):
+        if num_sm_slots <= 0:
+            raise ConfigurationError(
+                "need at least one SM slot, got %d" % num_sm_slots
+            )
+        self.num_sm_slots = num_sm_slots
+
+    def run(self, tasks: "list[CtaTask]") -> ExecutionTrace:
+        """Execute ``tasks`` in launch order; return the full trace."""
+        ids = [t.cta for t in tasks]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("duplicate CTA ids in task list")
+
+        states = [_CtaState(task=t) for t in tasks]
+        by_slot_signal: "dict[int, float]" = {}  # partial slot -> signal time
+        waiters: "dict[int, list[_CtaState]]" = {}
+        pending = deque(states)
+        # (free_time, slot_index); one entry per currently-free slot.
+        free_slots: "list[tuple[float, int]]" = [
+            (0.0, s) for s in range(self.num_sm_slots)
+        ]
+        heapq.heapify(free_slots)
+        trace = ExecutionTrace(num_sm_slots=self.num_sm_slots)
+
+        def advance(ready: "list[_CtaState]") -> None:
+            """Drain a stack of runnable CTAs, cascading through signals."""
+            while ready:
+                st = ready.pop()
+                segs = st.task.segments
+                while st.cursor < len(segs):
+                    seg = segs[st.cursor]
+                    if seg.kind is SegmentKind.WAIT:
+                        sig = by_slot_signal.get(seg.slot)
+                        if sig is None:
+                            # Spin-wait, holding the SM slot.
+                            waiters.setdefault(seg.slot, []).append(st)
+                            break
+                        end = max(st.time, sig)
+                        st.records.append(
+                            SegmentRecord(seg.kind, st.time, end, seg.slot)
+                        )
+                        st.time = end
+                    else:
+                        end = st.time + seg.cycles
+                        st.records.append(
+                            SegmentRecord(seg.kind, st.time, end, seg.slot)
+                        )
+                        st.time = end
+                        if seg.kind is SegmentKind.SIGNAL:
+                            slot = st.task.cta if seg.slot is None else seg.slot
+                            if slot in by_slot_signal:
+                                raise SimulationError(
+                                    "slot %d signalled twice" % slot
+                                )
+                            by_slot_signal[slot] = end
+                            for w in waiters.pop(slot, []):
+                                ready.append(w)
+                    st.cursor += 1
+                else:
+                    st.finished = True
+                    trace.ctas.append(
+                        CtaRecord(
+                            cta=st.task.cta,
+                            sm_slot=st.sm_slot,
+                            start=st.start,
+                            finish=st.time,
+                            segments=tuple(st.records),
+                        )
+                    )
+                    heapq.heappush(free_slots, (st.time, st.sm_slot))
+
+        while pending:
+            if not free_slots:
+                blocked = [s.task.cta for s in states if s.blocked_on is not None]
+                raise DeadlockError(blocked)
+            t, slot = heapq.heappop(free_slots)
+            st = pending.popleft()
+            st.sm_slot = slot
+            st.start = st.time = t
+            advance([st])
+
+        unfinished = [s for s in states if not s.finished]
+        if unfinished:
+            raise DeadlockError([s.task.cta for s in unfinished])
+
+        trace.ctas.sort(key=lambda c: c.cta)
+        return trace
+
+
+def execute_tasks(tasks: "list[CtaTask]", num_sm_slots: int) -> ExecutionTrace:
+    """Convenience wrapper: ``Executor(num_sm_slots).run(tasks)``."""
+    return Executor(num_sm_slots).run(tasks)

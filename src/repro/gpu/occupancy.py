@@ -1,0 +1,67 @@
+"""Shared-memory occupancy estimation.
+
+How many CTAs of a given blocking can be co-resident on one SM is bounded by
+the shared-memory footprint of the software-pipelined fragment buffers.  The
+paper's kernels use maximal tiles, so occupancy is one CTA per SM in its
+evaluation; this module exists so smaller-tile ensemble variants (and
+user-supplied blockings) get a defensible residency estimate, and so the
+Stream-K residency requirement (``g`` CTAs must all be co-resident for the
+flag protocol to make progress) can be checked up front.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..gemm.dtypes import DtypeConfig
+from ..gemm.tiling import Blocking
+from .spec import GpuSpec
+
+__all__ = ["smem_bytes_per_cta", "estimate_occupancy", "max_streamk_grid"]
+
+# A100 shared-memory capacity per SM (164 KB usable).
+DEFAULT_SMEM_PER_SM = 164 * 1024
+
+# Hardware cap on resident CTAs per SM regardless of resources.
+MAX_CTAS_PER_SM = 32
+
+# Pipeline stages of fragment double/triple buffering.
+_STAGES = 2
+
+
+def smem_bytes_per_cta(blocking: Blocking, dtype: DtypeConfig) -> int:
+    """Shared-memory footprint of one CTA's staged fragments."""
+    frag_a = blocking.blk_m * blocking.blk_k * dtype.input_bytes
+    frag_b = blocking.blk_k * blocking.blk_n * dtype.input_bytes
+    return _STAGES * (frag_a + frag_b)
+
+
+def estimate_occupancy(
+    blocking: Blocking,
+    dtype: DtypeConfig,
+    smem_per_sm: int = DEFAULT_SMEM_PER_SM,
+) -> int:
+    """CTAs of this blocking resident per SM (at least 1 must fit)."""
+    need = smem_bytes_per_cta(blocking, dtype)
+    if need > smem_per_sm:
+        raise ConfigurationError(
+            "blocking %s needs %d B of shared memory > %d B per SM"
+            % (blocking, need, smem_per_sm)
+        )
+    return max(1, min(MAX_CTAS_PER_SM, smem_per_sm // need))
+
+
+def max_streamk_grid(
+    gpu: GpuSpec,
+    blocking: Blocking,
+    dtype: DtypeConfig,
+    smem_per_sm: int = DEFAULT_SMEM_PER_SM,
+) -> int:
+    """Largest Stream-K grid whose CTAs can all be co-resident.
+
+    Stream-K owners spin-wait on flags from *later-launched* CTAs, so the
+    whole grid must fit on the processor at once; this is the hard upper
+    bound the grid-size model must respect.
+    """
+    return gpu.num_sms * min(
+        gpu.occupancy, estimate_occupancy(blocking, dtype, smem_per_sm)
+    )

@@ -1,0 +1,186 @@
+"""GPU hardware descriptions for the execution simulator.
+
+A :class:`GpuSpec` captures the handful of architectural quantities the
+paper's analysis depends on: SM count, (locked) clock, per-SM MAC throughput
+per precision, DRAM bandwidth, L2 capacity, and kernel-launch latency.
+
+The ``A100`` preset reproduces the paper's measurement configuration
+(Section 6): 108 SMs locked at 1005 MHz, giving tensor-core peaks of
+13.9 FP64 TFLOP/s and 222.3 FP16->32 TFLOP/s.  Working backwards, those
+peaks correspond to exactly 64 and 1024 MACs/SM/cycle — the DMMA and HMMA
+tensor-core rates — which is how the preset encodes them.
+
+``HYPOTHETICAL_4SM`` is the four-SM processor used by the paper's
+illustrative Figures 1–3 and 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..gemm.dtypes import DtypeConfig
+
+__all__ = ["GpuSpec", "A100", "HYPOTHETICAL_4SM", "GPU_PRESETS", "get_gpu"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Architectural parameters of a simulated GPU.
+
+    Attributes
+    ----------
+    name:
+        Preset identifier.
+    num_sms:
+        Streaming-multiprocessor core count (the paper's ``p``).
+    clock_hz:
+        SM clock.  The paper locks the A100 at 1005 MHz for stability.
+    macs_per_sm_per_cycle:
+        Map of dtype-config name to multiply-accumulates one SM retires per
+        cycle at 100% utilization.
+    dram_bandwidth:
+        Device-memory bandwidth in bytes/s.
+    l2_bytes:
+        Last-level cache capacity.
+    l2_line_bytes:
+        Cache-line granularity for the detailed cache simulator.
+    occupancy:
+        CTAs co-resident per SM.  The paper's kernels use maximal tiles, so
+        one CTA per SM is the realistic default.
+    launch_latency_s:
+        Fixed host-side kernel launch latency added to every kernel.
+    sm_max_bandwidth:
+        DRAM bandwidth one SM can sustain on its own, in bytes/s — bounded
+        by per-SM outstanding-transaction limits, not by the device total.
+        A kernel with only a few resident CTAs cannot saturate HBM; this is
+        what makes single-tile data-parallel schedules slow on real
+        hardware and is essential to the strong-scaling comparisons.
+    """
+
+    name: str
+    num_sms: int
+    clock_hz: float
+    macs_per_sm_per_cycle: "dict[str, float]"
+    dram_bandwidth: float
+    l2_bytes: int
+    l2_line_bytes: int = 128
+    occupancy: int = 1
+    launch_latency_s: float = 2.0e-6
+    sm_max_bandwidth: float = 30.0e9
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise ConfigurationError("num_sms must be positive")
+        if self.clock_hz <= 0 or self.dram_bandwidth <= 0:
+            raise ConfigurationError("clock and bandwidth must be positive")
+        if self.l2_bytes < 0 or self.l2_line_bytes <= 0:
+            raise ConfigurationError("invalid cache geometry")
+        if self.occupancy <= 0:
+            raise ConfigurationError("occupancy must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Derived rates                                                       #
+    # ------------------------------------------------------------------ #
+
+    def mac_rate(self, dtype: DtypeConfig) -> float:
+        """MACs/SM/cycle for a precision; raises for unknown precisions."""
+        try:
+            return self.macs_per_sm_per_cycle[dtype.name]
+        except KeyError:
+            raise ConfigurationError(
+                "GPU %s has no MAC rate for dtype %r (knows: %s)"
+                % (self.name, dtype.name, ", ".join(self.macs_per_sm_per_cycle))
+            ) from None
+
+    def peak_tflops(self, dtype: DtypeConfig) -> float:
+        """Device peak in TFLOP/s (2 FLOPs per MAC)."""
+        return (
+            2.0 * self.mac_rate(dtype) * self.num_sms * self.clock_hz / 1e12
+        )
+
+    @property
+    def bytes_per_cycle_per_sm(self) -> float:
+        """Fair DRAM bandwidth share of one SM, in bytes per SM cycle."""
+        return self.dram_bandwidth / (self.num_sms * self.clock_hz)
+
+    @property
+    def total_cta_slots(self) -> int:
+        """Concurrently resident CTAs (num_sms * occupancy)."""
+        return self.num_sms * self.occupancy
+
+    def achieved_bandwidth(self, active_ctas) -> "float":
+        """DRAM bandwidth achievable with ``active_ctas`` resident CTAs.
+
+        ``min(device bandwidth, active * per-SM limit)``; accepts scalars
+        or numpy arrays.  Never below one SM's worth.
+        """
+        active = np.maximum(np.minimum(active_ctas, self.total_cta_slots), 1)
+        return np.minimum(self.dram_bandwidth, active * self.sm_max_bandwidth)
+
+    def with_sms(self, num_sms: int) -> "GpuSpec":
+        """A copy with a different SM count (scaling studies)."""
+        return GpuSpec(
+            name="%s_%dsm" % (self.name, num_sms),
+            num_sms=num_sms,
+            clock_hz=self.clock_hz,
+            macs_per_sm_per_cycle=dict(self.macs_per_sm_per_cycle),
+            dram_bandwidth=self.dram_bandwidth * num_sms / self.num_sms,
+            l2_bytes=self.l2_bytes,
+            l2_line_bytes=self.l2_line_bytes,
+            occupancy=self.occupancy,
+            launch_latency_s=self.launch_latency_s,
+        )
+
+
+# Tensor-core MAC rates per SM per cycle.  At 108 SMs x 1005 MHz these give
+# the paper's measured peaks: 64 * 2 * 108 * 1.005e9 = 13.9 TFLOP/s (FP64)
+# and 1024 * 2 * 108 * 1.005e9 = 222.3 TFLOP/s (FP16->32).
+_A100_RATES = {
+    "fp64": 64.0,
+    "fp16_fp32": 1024.0,
+    "bf16_fp32": 1024.0,
+    "fp32": 90.0,  # ~19.5 TF fp32 via TF32-style paths; extension only
+}
+
+A100 = GpuSpec(
+    name="a100",
+    num_sms=108,
+    clock_hz=1.005e9,
+    macs_per_sm_per_cycle=dict(_A100_RATES),
+    dram_bandwidth=1.555e12,  # A100-40GB HBM2e
+    l2_bytes=40 * 1024 * 1024,
+    l2_line_bytes=128,
+    occupancy=1,
+    launch_latency_s=2.0e-6,
+)
+
+HYPOTHETICAL_4SM = GpuSpec(
+    name="hypothetical_4sm",
+    num_sms=4,
+    clock_hz=1.0e9,
+    macs_per_sm_per_cycle=dict(_A100_RATES),
+    # Scale bandwidth and L2 with width so the 4-SM device has the same
+    # balance point as the A100 (the figures reason about utilization, not
+    # absolute bandwidth).
+    dram_bandwidth=1.555e12 * 4 / 108,
+    l2_bytes=4 * 1024 * 1024,
+    l2_line_bytes=128,
+    occupancy=1,
+    launch_latency_s=2.0e-6,
+)
+
+GPU_PRESETS = {g.name: g for g in (A100, HYPOTHETICAL_4SM)}
+
+
+def get_gpu(name: str) -> GpuSpec:
+    """Look up a GPU preset by name."""
+    try:
+        return GPU_PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            "unknown GPU %r; available: %s"
+            % (name, ", ".join(sorted(GPU_PRESETS)))
+        ) from None

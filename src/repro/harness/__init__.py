@@ -1,0 +1,50 @@
+"""Evaluation harness: single-problem runs, vectorized corpus sweeps, and
+one entry point per paper table/figure."""
+
+from .experiments import (
+    FIG8_SCENARIOS,
+    corpus_timings,
+    fig1_data_parallel_quantization,
+    fig2_tile_splitting,
+    fig3_hybrid_schedules,
+    fig4_corpus_statistics,
+    fig7_speedup_vs_cublas,
+    fig8_analytical_model,
+    fig9_strong_scaling,
+    relative_performance_table,
+    roofline_landscapes,
+)
+from .io import timings_to_rows, write_csv, write_json
+from .runner import MeasuredRun, run_decomposition, run_schedule
+from .vectorized import (
+    SystemTimings,
+    dp_times,
+    evaluate_corpus,
+    fixed_split_times,
+    streamk_times,
+)
+
+__all__ = [
+    "FIG8_SCENARIOS",
+    "MeasuredRun",
+    "SystemTimings",
+    "corpus_timings",
+    "dp_times",
+    "evaluate_corpus",
+    "fig1_data_parallel_quantization",
+    "fig2_tile_splitting",
+    "fig3_hybrid_schedules",
+    "fig4_corpus_statistics",
+    "fig7_speedup_vs_cublas",
+    "fig8_analytical_model",
+    "fig9_strong_scaling",
+    "fixed_split_times",
+    "relative_performance_table",
+    "roofline_landscapes",
+    "run_decomposition",
+    "run_schedule",
+    "streamk_times",
+    "timings_to_rows",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,79 @@
+"""Artifact export: CSV/JSON files for benchmark outputs.
+
+Benchmark runs drop their regenerated tables and figure data under
+``artifacts/`` so results can be diffed across runs and inspected without
+re-running the sweeps.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..metrics.stats import RelativePerformance
+
+__all__ = ["write_csv", "write_json", "timings_to_rows"]
+
+
+def _jsonable(obj):
+    if isinstance(obj, RelativePerformance):
+        return {
+            "average": obj.average,
+            "stddev": obj.stddev,
+            "min": obj.minimum,
+            "max": obj.maximum,
+            "count": obj.count,
+        }
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    return obj
+
+
+def write_json(path: str, payload) -> str:
+    """Write a JSON artifact (numpy-aware); returns the path."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(_jsonable(payload), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def write_csv(path: str, headers: "list[str]", rows: "list[list]") -> str:
+    """Write a CSV artifact; returns the path."""
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                "row of %d cells does not match %d headers"
+                % (len(row), len(headers))
+            )
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def timings_to_rows(shapes: np.ndarray, **system_times: np.ndarray) -> "tuple[list[str], list[list]]":
+    """Tabulate per-problem times: (headers, rows) for write_csv."""
+    headers = ["m", "n", "k"] + list(system_times)
+    cols = [np.asarray(v, dtype=np.float64) for v in system_times.values()]
+    rows = []
+    for i in range(shapes.shape[0]):
+        rows.append(
+            [int(shapes[i, 0]), int(shapes[i, 1]), int(shapes[i, 2])]
+            + [float(c[i]) for c in cols]
+        )
+    return headers, rows

@@ -1,0 +1,452 @@
+"""Vectorized corpus evaluation: every system over 32,824 shapes in seconds.
+
+Per the hpc-parallel guides, the hot path is numpy array arithmetic, not
+Python loops: each system's kernel time is expressed as closed-form
+element-wise math over the (N,) shape arrays.  The closed forms are the
+ones in :mod:`repro.gpu.analytic` — exact for data-parallel and the
+Stream-K hybrid (validated against the discrete-event executor), and a
+bounded approximation for multi-wave fixed-split.
+
+The only per-problem Python loop left is the small-problem Stream-K regime
+(``tiles < SMs``), where the grid size comes from the analytical model and
+the exact one-wave walk is O(g + t) with t < 108 — a few thousand corpus
+problems at microseconds each.
+
+Systems evaluated (the paper's four comparison columns):
+
+* ``streamk``   — the shipped one-kernel Stream-K library;
+* ``singleton`` — the data-parallel CUTLASS kernel of the same blocking;
+* ``cublas``    — the heuristic-selected DP/fixed-split ensemble;
+* ``oracle``    — best data-parallel blocking per problem, by measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ensembles.cublas import cublas_variants
+from ..ensembles.cutlass import ORACLE_BLOCKINGS
+from ..errors import ConfigurationError
+from ..gemm.dtypes import DtypeConfig
+from ..gemm.tiling import Blocking
+from ..gpu.analytic import basic_streamk_makespan
+from ..gpu.costmodel import KernelCostModel
+from ..gpu.spec import GpuSpec
+from ..model.calibrate import calibrate
+from ..model.cost import StreamKModelParams
+
+__all__ = ["SystemTimings", "evaluate_corpus", "streamk_times", "dp_times", "fixed_split_times"]
+
+_L2_RESIDENCY = 0.8
+_PIPELINE_STAGES = 2
+
+_PARAMS_CACHE: "dict[tuple, StreamKModelParams]" = {}
+
+
+def _cached_params(
+    gpu: GpuSpec, blocking: Blocking, dtype: DtypeConfig
+) -> StreamKModelParams:
+    key = (gpu.name, blocking.as_tuple, dtype.name)
+    if key not in _PARAMS_CACHE:
+        _PARAMS_CACHE[key] = calibrate(gpu, blocking, dtype)
+    return _PARAMS_CACHE[key]
+
+
+def _ceil_div(a: np.ndarray, b) -> np.ndarray:
+    return -(-a // b)
+
+
+def _split_shapes(shapes: np.ndarray) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    shapes = np.asarray(shapes, dtype=np.int64)
+    if shapes.ndim != 2 or shapes.shape[1] != 3:
+        raise ConfigurationError("shapes must be an (N, 3) array of m, n, k")
+    return shapes[:, 0], shapes[:, 1], shapes[:, 2]
+
+
+# --------------------------------------------------------------------- #
+# Vectorized analytical memory model (mirrors gpu.memory)               #
+# --------------------------------------------------------------------- #
+
+
+def _traffic_bytes(
+    m: np.ndarray,
+    n: np.ndarray,
+    k: np.ndarray,
+    tiles_m: np.ndarray,
+    tiles_n: np.ndarray,
+    g: np.ndarray,
+    aligned_fraction: np.ndarray,
+    fixup_stores: np.ndarray,
+    blocking: Blocking,
+    dtype: DtypeConfig,
+    gpu: GpuSpec,
+) -> np.ndarray:
+    """Element-wise port of AnalyticalMemoryModel.traffic (alpha=1, beta=0)."""
+    in_b = dtype.input_bytes
+    out_b = dtype.output_bytes
+    a_pass = tiles_m.astype(np.float64) * blocking.blk_m * k * in_b
+    b_pass = tiles_n.astype(np.float64) * blocking.blk_n * k * in_b
+
+    usable_l2 = gpu.l2_bytes * _L2_RESIDENCY
+    w = np.clip(g, 1, gpu.total_cta_slots)
+    w_n = np.minimum(w, tiles_n)
+    w_m = np.minimum(tiles_m, _ceil_div(w, tiles_n))
+    working_set = (
+        _PIPELINE_STAGES
+        * (w_m * blocking.blk_m + w_n * blocking.blk_n)
+        * blocking.blk_k
+        * in_b
+    )
+    amp_a_aligned = np.where(working_set > usable_l2, tiles_n, tiles_n / w_n)
+    amp_b_aligned = np.where(working_set > usable_l2, tiles_m, tiles_m / w_m)
+    # Skewed schedules keep most L2 reuse; cap their extra traffic at 2x
+    # the aligned wave (see repro.gpu.memory._SKEW_AMPLIFICATION).
+    amp_a_skewed = np.minimum(tiles_n, 2.0 * amp_a_aligned)
+    amp_b_skewed = np.minimum(tiles_m, 2.0 * amp_b_aligned)
+    f = aligned_fraction
+    amp_a = f * amp_a_aligned + (1.0 - f) * amp_a_skewed
+    amp_b = f * amp_b_aligned + (1.0 - f) * amp_b_skewed
+    resident = (a_pass + b_pass) <= usable_l2
+    amp_a = np.where(resident, 1.0, amp_a)
+    amp_b = np.where(resident, 1.0, amp_b)
+
+    out = m.astype(np.float64) * n * out_b
+    tile_accum = blocking.blk_m * blocking.blk_n * out_b
+    partials = fixup_stores.astype(np.float64) * tile_accum * 2.0
+    return a_pass * amp_a + b_pass * amp_b + out + partials
+
+
+def _roofline_time(
+    makespan_cycles: np.ndarray,
+    dram_bytes: np.ndarray,
+    g: np.ndarray,
+    gpu: GpuSpec,
+) -> np.ndarray:
+    """max(compute, memory) + launch, with memory bandwidth capped by the
+    number of CTAs actually resident (sparse grids cannot saturate HBM)."""
+    bandwidth = gpu.achieved_bandwidth(g)
+    return (
+        np.maximum(makespan_cycles / gpu.clock_hz, dram_bytes / bandwidth)
+        + gpu.launch_latency_s
+    )
+
+
+# --------------------------------------------------------------------- #
+# Variant families                                                      #
+# --------------------------------------------------------------------- #
+
+
+def dp_times(
+    shapes: np.ndarray, blocking: Blocking, dtype: DtypeConfig, gpu: GpuSpec
+) -> np.ndarray:
+    """Data-parallel kernel times (exact makespans)."""
+    m, n, k = _split_shapes(shapes)
+    cost = KernelCostModel(gpu=gpu, blocking=blocking, dtype=dtype)
+    tiles_m = _ceil_div(m, blocking.blk_m)
+    tiles_n = _ceil_div(n, blocking.blk_n)
+    t = tiles_m * tiles_n
+    ipt = _ceil_div(k, blocking.blk_k)
+    cta = cost.prologue_cycles + cost.cycles_per_iter * ipt + cost.store_tile_cycles
+    makespan = _ceil_div(t, gpu.num_sms) * cta
+    traffic = _traffic_bytes(
+        m, n, k, tiles_m, tiles_n, t,
+        np.ones_like(t, dtype=np.float64), np.zeros_like(t),
+        blocking, dtype, gpu,
+    )
+    return _roofline_time(makespan, traffic, t, gpu)
+
+
+def fixed_split_times(
+    shapes: np.ndarray,
+    blocking: Blocking,
+    s: int,
+    dtype: DtypeConfig,
+    gpu: GpuSpec,
+) -> np.ndarray:
+    """Fixed-split kernel times (bounded approximation; see gpu.analytic)."""
+    if s < 2:
+        return dp_times(shapes, blocking, dtype, gpu)
+    m, n, k = _split_shapes(shapes)
+    cost = KernelCostModel(gpu=gpu, blocking=blocking, dtype=dtype)
+    p = gpu.num_sms
+    tiles_m = _ceil_div(m, blocking.blk_m)
+    tiles_n = _ceil_div(n, blocking.blk_n)
+    t = tiles_m * tiles_n
+    ipt = _ceil_div(k, blocking.blk_k)
+    s_eff = np.minimum(s, ipt)
+    share = _ceil_div(ipt, s_eff)
+    c = cost.cycles_per_iter
+    d_c = cost.prologue_cycles + c * share + cost.store_partials_cycles
+    fixup_tail = (s_eff - 1) * cost.fixup_cycles_per_peer + cost.store_tile_cycles
+    d_o = np.where(
+        s_eff <= p, d_c + fixup_tail, cost.prologue_cycles + c * share + fixup_tail
+    )
+    total = t * ((s_eff - 1) * d_c + d_o)
+    multiwave = np.maximum(d_o, total / p + 0.5 * (p - 1) / p * d_o)
+    dp_cta = cost.prologue_cycles + c * ipt + cost.store_tile_cycles
+    makespan = np.where(
+        s_eff == 1,
+        _ceil_div(t, p) * dp_cta,
+        np.where(t * s_eff <= p, d_o, multiwave),
+    )
+    stores = t * (s_eff - 1)
+    traffic = _traffic_bytes(
+        m, n, k, tiles_m, tiles_n, t * s_eff,
+        (s_eff == 1).astype(np.float64), stores,
+        blocking, dtype, gpu,
+    )
+    return _roofline_time(makespan, traffic, t * s_eff, gpu)
+
+
+# --------------------------------------------------------------------- #
+# Stream-K                                                              #
+# --------------------------------------------------------------------- #
+
+
+def _two_tile_walk(
+    t: np.ndarray, ipt: np.ndarray, p: int, cost: KernelCostModel
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Vectorized exact two-tile-hybrid makespan for the ``w >= 1,
+    t % p != 0`` regime.  Returns (makespan, aligned_fraction, stores).
+
+    Broadcasts the per-CTA timeline of
+    :func:`repro.gpu.analytic.two_tile_hybrid_makespan` over an (N, p)
+    grid: head contribution, fully-owned tiles, the at-most-one-peer
+    fixup, then the ``w - 1`` data-parallel tiles.
+    """
+    c = cost.cycles_per_iter
+    pro = cost.prologue_cycles
+    sp = cost.store_partials_cycles
+    fx = cost.fixup_cycles_per_peer
+    st = cost.store_tile_cycles
+
+    t = t[:, None].astype(np.int64)
+    ipt_c = ipt[:, None].astype(np.int64)
+    w = t // p
+    sk_tiles = t - (w - 1) * p
+    region = sk_tiles * ipt_c
+    base, rem = np.divmod(region, p)
+    x = np.arange(p + 1, dtype=np.int64)[None, :]
+    begins = x * base + np.minimum(x, rem)  # (N, p+1) range boundaries
+    b = begins[:, :-1]
+    e = begins[:, 1:]
+    head = (-b) % ipt_c
+    head_next = (-e) % ipt_c  # == head of CTA x+1 (or 0 at the region end)
+    last_part = e % ipt_c
+    n_owned = _ceil_div(e, ipt_c) - _ceil_div(b, ipt_c)
+    fully = n_owned - (last_part > 0)
+
+    now = pro + np.where(head > 0, c * head + sp, 0.0)
+    now = now + fully * (c * ipt_c + st)
+    own_end = now + np.where(last_part > 0, c * last_part, 0.0)
+    peer_signal = pro + c * head_next + sp
+    now = np.where(
+        last_part > 0, np.maximum(own_end, peer_signal) + fx + st, own_end
+    )
+    finish = now + (w - 1) * (c * ipt_c + st)
+    makespan = finish.max(axis=1)
+
+    total = (t * ipt_c).astype(np.float64)
+    aligned_fraction = ((t - sk_tiles) * ipt_c) / total
+    stores = np.count_nonzero(b[:, 1:] % ipt_c, axis=1)
+    return makespan, aligned_fraction.ravel(), stores
+
+
+def streamk_times(
+    shapes: np.ndarray,
+    dtype: DtypeConfig,
+    gpu: GpuSpec,
+    params: "StreamKModelParams | None" = None,
+) -> np.ndarray:
+    """Shipped Stream-K library times across a shape corpus."""
+    m, n, k = _split_shapes(shapes)
+    blocking = Blocking(*dtype.default_blocking)
+    cost = KernelCostModel(gpu=gpu, blocking=blocking, dtype=dtype)
+    if params is None:
+        params = _cached_params(gpu, blocking, dtype)
+    p = gpu.num_sms
+
+    tiles_m = _ceil_div(m, blocking.blk_m)
+    tiles_n = _ceil_div(n, blocking.blk_n)
+    t = tiles_m * tiles_n
+    ipt = _ceil_div(k, blocking.blk_k)
+    total = t * ipt
+
+    makespan = np.zeros(len(t), dtype=np.float64)
+    f = np.zeros(len(t), dtype=np.float64)
+    g_arr = np.zeros(len(t), dtype=np.int64)
+    stores = np.zeros(len(t), dtype=np.int64)
+
+    # Regime A: perfect quantization -> persistent data-parallel.
+    mask_a = t % p == 0
+    if mask_a.any():
+        g_a = np.minimum(p, t[mask_a])
+        makespan[mask_a] = cost.prologue_cycles + _ceil_div(t[mask_a], g_a) * (
+            cost.cycles_per_iter * ipt[mask_a] + cost.store_tile_cycles
+        )
+        f[mask_a] = 1.0
+        g_arr[mask_a] = g_a
+
+    # Regime C: two-tile hybrid (exact vectorized walk).
+    mask_c = (~mask_a) & (t >= p)
+    if mask_c.any():
+        span, frac, n_stores = _two_tile_walk(t[mask_c], ipt[mask_c], p, cost)
+        makespan[mask_c] = span
+        f[mask_c] = frac
+        g_arr[mask_c] = p
+        stores[mask_c] = n_stores
+
+    # Regime B: fewer tiles than SMs -> model-selected grid, exact walk.
+    mask_b = (~mask_a) & (t < p)
+    if mask_b.any():
+        idx = np.flatnonzero(mask_b)
+        max_grid = gpu.total_cta_slots
+        for i in idx:
+            ti, ipti, tot = int(t[i]), int(ipt[i]), int(total[i])
+            g = _select_g(tot, ipti, max_grid, params)
+            makespan[i] = basic_streamk_makespan(ti, g, ipti, cost)
+            g_eff = min(g, tot)
+            base, rem = divmod(tot, g_eff)
+            bounds = np.arange(1, g_eff, dtype=np.int64)
+            begins = bounds * base + np.minimum(bounds, rem)
+            mis = int(np.count_nonzero(begins % ipti))
+            stores[i] = mis
+            f[i] = 1.0 if mis == 0 else 0.0
+            g_arr[i] = g_eff
+
+    traffic = _traffic_bytes(
+        m, n, k, tiles_m, tiles_n, g_arr, f, stores, blocking, dtype, gpu
+    )
+    return _roofline_time(makespan, traffic, g_arr, gpu)
+
+
+def _select_g(
+    total_iters: int, ipt: int, max_grid: int, params: StreamKModelParams
+) -> int:
+    """Grid-size selection (vectorized Appendix A.1 argmin) for one problem."""
+    hi = min(max_grid, total_iters)
+    g = np.arange(1, hi + 1, dtype=np.int64)
+    ipc = -(-total_iters // g)
+    peers = -(-ipt // ipc)
+    time = params.a + params.b * (peers > 1) + params.c * ipc + params.d * (peers - 1)
+    return int(g[np.argmin(time)])
+
+
+# --------------------------------------------------------------------- #
+# Full-corpus evaluation                                                 #
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class SystemTimings:
+    """Per-problem kernel times (seconds) for every compared system."""
+
+    shapes: np.ndarray
+    dtype_name: str
+    gpu_name: str
+    streamk: np.ndarray
+    singleton: np.ndarray
+    cublas: np.ndarray
+    oracle: np.ndarray
+    #: Index into the cuBLAS variant list chosen per problem.
+    cublas_choice: np.ndarray = field(default=None)
+    #: Names of the cuBLAS ensemble variants, aligned with cublas_choice.
+    cublas_variant_names: "list[str]" = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return self.shapes.shape[0]
+
+
+def evaluate_corpus(
+    shapes: np.ndarray, dtype: DtypeConfig, gpu: GpuSpec
+) -> SystemTimings:
+    """Evaluate all four systems over a shape corpus.
+
+    cuBLAS evaluation mirrors reality: the proxy heuristic *selects* a
+    variant per problem, then the selected kernel's simulated time is what
+    gets reported — selection mistakes show up as measured slowness.
+    """
+    shapes = np.asarray(shapes, dtype=np.int64)
+    m, n, k = _split_shapes(shapes)
+    p = gpu.num_sms
+
+    streamk = streamk_times(shapes, dtype, gpu)
+    singleton = dp_times(shapes, Blocking(*dtype.default_blocking), dtype, gpu)
+
+    # Oracle: best *measured* data-parallel blocking.
+    dp_matrix = np.stack(
+        [
+            dp_times(shapes, Blocking(*b), dtype, gpu)
+            for b in ORACLE_BLOCKINGS[dtype.name]
+        ],
+        axis=1,
+    )
+    oracle = dp_matrix.min(axis=1)
+
+    # cuBLAS-like: proxy-score selection over the full DP+split ensemble.
+    variants = cublas_variants(dtype)
+    times_matrix = np.empty((len(shapes), len(variants)), dtype=np.float64)
+    scores = np.empty_like(times_matrix)
+    for j, v in enumerate(variants):
+        if v.family == "data_parallel":
+            col = dp_matrix[:, _oracle_index(dtype, v.blocking)]
+        else:
+            col = fixed_split_times(shapes, v.blocking, v.s, dtype, gpu)
+        times_matrix[:, j] = col
+        scores[:, j] = _proxy_scores(m, n, k, v.blocking, v.s, p, dtype)
+    choice = scores.argmin(axis=1)
+    cublas = times_matrix[np.arange(len(shapes)), choice]
+
+    return SystemTimings(
+        shapes=shapes,
+        dtype_name=dtype.name,
+        gpu_name=gpu.name,
+        streamk=streamk,
+        singleton=singleton,
+        cublas=cublas,
+        oracle=oracle,
+        cublas_choice=choice,
+        cublas_variant_names=[v.name for v in variants],
+    )
+
+
+def _oracle_index(dtype: DtypeConfig, blocking: Blocking) -> int:
+    blockings = ORACLE_BLOCKINGS[dtype.name]
+    return blockings.index(blocking.as_tuple)
+
+
+def _proxy_scores(
+    m: np.ndarray,
+    n: np.ndarray,
+    k: np.ndarray,
+    blocking: Blocking,
+    s: int,
+    p: int,
+    dtype: DtypeConfig,
+) -> np.ndarray:
+    """Vectorized twin of :func:`repro.ensembles.heuristics.proxy_score`."""
+    from ..ensembles.heuristics import _CTA_MAC_EQUIV, _FIXUP_MAC_EQUIV
+
+    tiles = _ceil_div(m, blocking.blk_m) * _ceil_div(n, blocking.blk_n)
+    ipt = _ceil_div(k, blocking.blk_k)
+    s_eff = np.minimum(s, ipt)
+    waves = _ceil_div(tiles * s_eff, p)
+    share = _ceil_div(ipt, s_eff)
+    default_macs = (
+        dtype.default_blocking[0]
+        * dtype.default_blocking[1]
+        * dtype.default_blocking[2]
+    )
+    eff = min(1.0, (blocking.tile_macs / default_macs) ** 0.5)
+    compute = waves.astype(np.float64) * share * blocking.tile_macs / eff
+    fixup = (
+        tiles.astype(np.float64)
+        * (s_eff - 1)
+        * blocking.blk_m
+        * blocking.blk_n
+        * _FIXUP_MAC_EQUIV
+    )
+    overhead = tiles.astype(np.float64) * s_eff * _CTA_MAC_EQUIV
+    return compute + fixup + overhead

@@ -1,0 +1,30 @@
+"""Evaluation metrics: relative performance, rooflines, quantization
+efficiency, and text-table rendering."""
+
+from .efficiency import iteration_makespan, quantization_efficiency, wave_count
+from .report import format_relative_table, format_roofline_rows, format_table
+from .roofline import (
+    RooflinePoint,
+    band_width,
+    machine_ceiling,
+    roofline_points,
+    roofline_summary,
+)
+from .stats import RelativePerformance, relative_performance, slowdown_fraction
+
+__all__ = [
+    "RelativePerformance",
+    "RooflinePoint",
+    "band_width",
+    "format_relative_table",
+    "format_roofline_rows",
+    "format_table",
+    "iteration_makespan",
+    "machine_ceiling",
+    "quantization_efficiency",
+    "relative_performance",
+    "roofline_points",
+    "roofline_summary",
+    "slowdown_fraction",
+    "wave_count",
+]

@@ -1,0 +1,58 @@
+"""Plain-text rendering of evaluation artifacts (tables, band summaries).
+
+The benchmark harness prints the same rows the paper's tables report;
+these helpers keep that formatting in one place and make the bench output
+diffable run to run.
+"""
+
+from __future__ import annotations
+
+from .stats import RelativePerformance
+
+__all__ = ["format_table", "format_relative_table", "format_roofline_rows"]
+
+
+def format_table(
+    headers: "list[str]", rows: "list[list[str]]", title: "str | None" = None
+) -> str:
+    """Fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_relative_table(
+    columns: "dict[str, RelativePerformance]", title: str
+) -> str:
+    """Render a Tables-1/2-shaped relative-performance table."""
+    headers = [""] + list(columns.keys())
+    rows = [
+        ["Average"] + ["%.2fx" % c.average for c in columns.values()],
+        ["StdDev"] + ["%.2f" % c.stddev for c in columns.values()],
+        ["Min"] + ["%.2fx" % c.minimum for c in columns.values()],
+        ["Max"] + ["%.2fx" % c.maximum for c in columns.values()],
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def format_roofline_rows(rows: "list[dict]", title: str) -> str:
+    """Render a per-intensity-bin utilization envelope."""
+    if not rows:
+        return title + "\n(empty)"
+    pct_keys = [k for k in rows[0] if k.startswith("p")]
+    headers = ["ops/B", "n"] + pct_keys
+    body = [
+        ["%.0f-%.0f" % (r["intensity_lo"], r["intensity_hi"]), str(r["count"])]
+        + ["%.1f%%" % r[k] for k in pct_keys]
+        for r in rows
+    ]
+    return format_table(headers, body, title=title)

@@ -1,0 +1,116 @@
+"""Roofline landscape summaries (the paper's Figures 5 and 6).
+
+A roofline landscape plots percent-of-peak utilization against arithmetic
+intensity for every corpus problem.  The paper's headline observation is
+the *width* of each system's band: data-parallel singletons and cuBLAS
+heuristics produce wide dynamic ranges; Stream-K's band is narrow and
+hugs the ceilings.  :func:`roofline_summary` reduces a landscape to
+per-intensity-bin percentile envelopes so the band shape is comparable in
+text output, and :func:`band_width` gives a single spread number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..gemm.dtypes import DtypeConfig
+from ..gpu.spec import GpuSpec
+
+__all__ = [
+    "RooflinePoint",
+    "roofline_points",
+    "roofline_summary",
+    "band_width",
+    "machine_ceiling",
+]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One problem's (intensity, % of peak) coordinate."""
+
+    ops_per_byte: float
+    percent_of_peak: float
+
+
+def machine_ceiling(
+    intensity: np.ndarray, gpu: GpuSpec, dtype: DtypeConfig
+) -> np.ndarray:
+    """The roofline ceiling in percent of peak at given intensities:
+    ``min(100, 100 * intensity * BW / peak_flops)``."""
+    intensity = np.asarray(intensity, dtype=np.float64)
+    peak_flops = gpu.peak_tflops(dtype) * 1e12
+    bw_bound = 100.0 * intensity * gpu.dram_bandwidth / peak_flops
+    return np.minimum(100.0, bw_bound)
+
+
+def roofline_points(
+    shapes: np.ndarray,
+    times_s: np.ndarray,
+    gpu: GpuSpec,
+    dtype: DtypeConfig,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """(intensity, percent_of_peak) arrays for a system's corpus times."""
+    from ..corpus.filters import ops_per_byte  # local: avoid cycle
+
+    shapes = np.asarray(shapes)
+    times = np.asarray(times_s, dtype=np.float64)
+    if shapes.shape[0] != times.shape[0]:
+        raise ConfigurationError("shapes and times disagree in length")
+    intensity = ops_per_byte(shapes, dtype)
+    flops = 2.0 * shapes[:, 0].astype(np.float64) * shapes[:, 1] * shapes[:, 2]
+    tflops = flops / times / 1e12
+    pct = 100.0 * tflops / gpu.peak_tflops(dtype)
+    return intensity, pct
+
+
+def roofline_summary(
+    intensity: np.ndarray,
+    percent_of_peak: np.ndarray,
+    num_bins: int = 12,
+    percentiles: "tuple[float, ...]" = (5.0, 50.0, 95.0),
+) -> "list[dict]":
+    """Per-intensity-bin percentile envelope of the utilization band."""
+    intensity = np.asarray(intensity, dtype=np.float64)
+    pct = np.asarray(percent_of_peak, dtype=np.float64)
+    edges = np.geomspace(intensity.min(), intensity.max() * (1 + 1e-9), num_bins + 1)
+    rows = []
+    for i in range(num_bins):
+        mask = (intensity >= edges[i]) & (intensity < edges[i + 1])
+        if not mask.any():
+            continue
+        vals = pct[mask]
+        row = {
+            "intensity_lo": float(edges[i]),
+            "intensity_hi": float(edges[i + 1]),
+            "count": int(mask.sum()),
+        }
+        for p in percentiles:
+            row["p%g" % p] = float(np.percentile(vals, p))
+        rows.append(row)
+    return rows
+
+
+def band_width(
+    intensity: np.ndarray,
+    percent_of_peak: np.ndarray,
+    num_bins: int = 12,
+    lo: float = 5.0,
+    hi: float = 95.0,
+) -> float:
+    """Mean (p95 - p5) utilization spread across intensity bins.
+
+    The single number that captures "how wide is this system's performance
+    band"; the paper's narrative predicts
+    streamk < oracle < cublas-like < singleton-DP on FP16->32.
+    """
+    rows = roofline_summary(
+        intensity, percent_of_peak, num_bins, percentiles=(lo, hi)
+    )
+    if not rows:
+        raise ConfigurationError("no populated intensity bins")
+    spreads = [r["p%g" % hi] - r["p%g" % lo] for r in rows]
+    return float(np.mean(spreads))

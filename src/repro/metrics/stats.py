@@ -1,0 +1,75 @@
+"""Relative-performance statistics (the paper's Tables 1 and 2).
+
+Each table column summarizes the distribution of per-problem speedups of
+Stream-K over a comparison system: Average, StdDev, Min, Max — with
+speedup defined as ``time_other / time_streamk`` (equivalently, throughput
+ratio), so values above 1 favor Stream-K.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["RelativePerformance", "relative_performance", "slowdown_fraction"]
+
+
+@dataclass(frozen=True)
+class RelativePerformance:
+    """Avg/StdDev/Min/Max of a speedup distribution, plus its size."""
+
+    average: float
+    stddev: float
+    minimum: float
+    maximum: float
+    count: int
+
+    def row(self) -> "tuple[float, float, float, float]":
+        return (self.average, self.stddev, self.minimum, self.maximum)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "avg=%.2fx std=%.2f min=%.2fx max=%.2fx (n=%d)" % (
+            self.average,
+            self.stddev,
+            self.minimum,
+            self.maximum,
+            self.count,
+        )
+
+
+def relative_performance(
+    time_baseline: np.ndarray, time_streamk: np.ndarray
+) -> RelativePerformance:
+    """Summarize ``baseline / streamk`` speedups over a problem set."""
+    tb = np.asarray(time_baseline, dtype=np.float64)
+    ts = np.asarray(time_streamk, dtype=np.float64)
+    if tb.shape != ts.shape:
+        raise ConfigurationError(
+            "time arrays differ in shape: %r vs %r" % (tb.shape, ts.shape)
+        )
+    if tb.size == 0:
+        raise ConfigurationError("empty speedup distribution")
+    if np.any(tb <= 0) or np.any(ts <= 0):
+        raise ConfigurationError("times must be positive")
+    speedup = tb / ts
+    return RelativePerformance(
+        average=float(speedup.mean()),
+        stddev=float(speedup.std()),
+        minimum=float(speedup.min()),
+        maximum=float(speedup.max()),
+        count=int(speedup.size),
+    )
+
+
+def slowdown_fraction(
+    time_baseline: np.ndarray, time_streamk: np.ndarray, tol: float = 0.0
+) -> float:
+    """Fraction of problems where Stream-K is slower than the baseline by
+    more than ``tol`` (paper: "virtually no instances of slowdown for
+    compute-bound problems")."""
+    tb = np.asarray(time_baseline, dtype=np.float64)
+    ts = np.asarray(time_streamk, dtype=np.float64)
+    return float(np.mean(ts > tb * (1.0 + tol)))

@@ -1,0 +1,18 @@
+"""Appendix A.1: analytical Stream-K runtime model and grid-size selection."""
+
+from .calibrate import DEFAULT_DEPTHS, DEFAULT_SPLITS, calibrate
+from .cost import StreamKModelParams, fixup_peers, iters_per_cta, predicted_time
+from .gridsize import GridSizeDecision, select_grid_size, sweep_grid_sizes
+
+__all__ = [
+    "DEFAULT_DEPTHS",
+    "DEFAULT_SPLITS",
+    "GridSizeDecision",
+    "StreamKModelParams",
+    "calibrate",
+    "fixup_peers",
+    "iters_per_cta",
+    "predicted_time",
+    "select_grid_size",
+    "sweep_grid_sizes",
+]

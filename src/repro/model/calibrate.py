@@ -1,0 +1,136 @@
+"""Microbenchmark calibration of the analytical model constants.
+
+The paper determines {a, b, c, d} "empirically via microbenchmarks" once
+per architecture.  We do the same against our architecture — the simulator:
+
+* **data-parallel single-tile kernels** at several accumulation depths give
+  rows ``time = a + c * I`` (no partials, no fixup);
+* **single-tile fixed-split kernels** at several splitting factors give
+  rows ``time = a + b + c * ceil(I/s) + d * (s - 1)`` (the owner's
+  spin-wait path: its peers' signal, then the serial reduction).
+
+Stacking both families yields an overdetermined linear system in
+``(a, b, c, d)`` solved by least squares.  Because the simulator's cost
+model is itself built from these four components, the fit recovers them to
+machine precision — asserted by :class:`~repro.errors.CalibrationError` on
+any residual, which would indicate the executor and the model structure
+have diverged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CalibrationError
+from ..gemm.dtypes import DtypeConfig
+from ..gemm.problem import GemmProblem
+from ..gemm.tiling import Blocking, TileGrid
+from ..gpu.costmodel import KernelCostModel
+from ..gpu.executor import Executor
+from ..gpu.spec import GpuSpec
+from ..schedules.data_parallel import data_parallel_schedule
+from ..schedules.fixed_split import fixed_split_schedule
+from .cost import StreamKModelParams
+
+__all__ = ["calibrate", "DEFAULT_DEPTHS", "DEFAULT_SPLITS"]
+
+DEFAULT_DEPTHS = (4, 8, 16, 32, 64)
+DEFAULT_SPLITS = (2, 4, 8)
+
+# Accumulation depth used for the fixed-split microbenchmarks.
+_SPLIT_DEPTH = 32
+
+# Relative residual beyond which the fit is considered broken.
+_MAX_REL_RESIDUAL = 1e-6
+
+
+def _single_tile_problem(
+    blocking: Blocking, dtype: DtypeConfig, depth_iters: int
+) -> TileGrid:
+    problem = GemmProblem(
+        blocking.blk_m,
+        blocking.blk_n,
+        blocking.blk_k * depth_iters,
+        dtype=dtype,
+    )
+    return TileGrid(problem, blocking)
+
+
+def calibrate(
+    gpu: GpuSpec,
+    blocking: Blocking,
+    dtype: DtypeConfig,
+    depths: "tuple[int, ...]" = DEFAULT_DEPTHS,
+    splits: "tuple[int, ...]" = DEFAULT_SPLITS,
+) -> StreamKModelParams:
+    """Fit {a, b, c, d} for one kernel configuration.
+
+    Runs each microbenchmark through the discrete-event executor and solves
+    the resulting linear system.  Raises
+    :class:`~repro.errors.CalibrationError` if the system is rank-deficient
+    or the fit does not reproduce the measurements.
+    """
+    if len(depths) < 2:
+        raise CalibrationError("need at least two depths to separate a from c")
+    if not splits or min(splits) < 2:
+        raise CalibrationError("need splitting factors >= 2 to observe b and d")
+
+    cost = KernelCostModel(gpu=gpu, blocking=blocking, dtype=dtype)
+    rows = []
+    times = []
+
+    # Family 1: data-parallel single tile, varying depth.
+    for depth in depths:
+        grid = _single_tile_problem(blocking, dtype, depth)
+        sched = data_parallel_schedule(grid)
+        span = Executor(gpu.total_cta_slots).run(cost.build_tasks(sched)).makespan
+        rows.append([1.0, 0.0, float(depth), 0.0])
+        times.append(span)
+
+    # Family 2: single tile split s ways (all CTAs co-resident so the
+    # owner's spin-wait path is the makespan).  Splits beyond co-residency
+    # would multi-wave and corrupt the fit, so they are dropped; at least
+    # two must survive to separate b from d.
+    usable = tuple(s for s in splits if s <= gpu.total_cta_slots)
+    if len(usable) < 2:
+        raise CalibrationError(
+            "splits %r leave fewer than two within the co-residency bound "
+            "%d; b and d are not identifiable" % (splits, gpu.total_cta_slots)
+        )
+    for s in usable:
+        grid = _single_tile_problem(blocking, dtype, _SPLIT_DEPTH)
+        sched = fixed_split_schedule(grid, s)
+        span = Executor(gpu.total_cta_slots).run(cost.build_tasks(sched)).makespan
+        share = -(-_SPLIT_DEPTH // s)
+        rows.append([1.0, 1.0, float(share), float(s - 1)])
+        times.append(span)
+
+    design = np.asarray(rows, dtype=np.float64)
+    y = np.asarray(times, dtype=np.float64)
+    if np.linalg.matrix_rank(design) < 4:
+        raise CalibrationError(
+            "microbenchmark design matrix is rank-deficient; widen the "
+            "depth/split sets"
+        )
+    coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+    a, b, c, d = (float(v) for v in coef)
+
+    residual = np.abs(design @ coef - y)
+    rel = float(residual.max() / max(y.max(), 1.0))
+    if rel > _MAX_REL_RESIDUAL:
+        raise CalibrationError(
+            "calibration residual %.3e exceeds %.1e — the executor no "
+            "longer matches the a+b+c+d cost structure" % (rel, _MAX_REL_RESIDUAL)
+        )
+    if c <= 0:
+        raise CalibrationError("fit produced non-positive per-iteration cost")
+
+    return StreamKModelParams(
+        a=a,
+        b=b,
+        c=c,
+        d=d,
+        blocking=blocking.as_tuple,
+        dtype_name=dtype.name,
+        gpu_name=gpu.name,
+    )

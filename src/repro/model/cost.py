@@ -1,0 +1,100 @@
+"""The paper's analytical Stream-K runtime model (Appendix A.1).
+
+The runtime of a Stream-K schedule is modeled as the runtime of one of its
+tile-outputting CTAs::
+
+    time_cta(g) = a + b * [FixupPeers(g) > 1]
+                    + c * ItersPerCta(g)
+                    + d * (FixupPeers(g) - 1)
+
+with::
+
+    ItersPerCta(g) = ceil(ceil(m/BLK_M) * ceil(n/BLK_N) * ceil(k/BLK_K) / g)
+    FixupPeers(g)  = ceil(ceil(k/BLK_K) / ItersPerCta(g))
+
+The four workload constants are empirical, one set per (blocking factor,
+data type, architecture): ``a`` the fixed per-CTA cost (launch, compulsory
+misses, output store), ``b`` the conditional partial-store cost, ``c`` the
+per-MAC-iteration cost, ``d`` the per-collaborator fixup cost.
+:mod:`repro.model.calibrate` recovers them from simulator microbenchmarks,
+exactly as the paper recovers them from hardware microbenchmarks.
+
+Everything here is vectorized over ``g`` so grid-size selection sweeps all
+candidates in one shot (Figure 8 plots these curves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..gemm.tiling import TileGrid
+
+__all__ = ["StreamKModelParams", "iters_per_cta", "fixup_peers", "predicted_time"]
+
+
+@dataclass(frozen=True)
+class StreamKModelParams:
+    """The empirical workload constants {a, b, c, d}, in cycles.
+
+    Valid for exactly one (blocking, dtype, GPU) combination; the library
+    compiles one set per shipped kernel (Section 5.1: "parameters ... need
+    only be done once per target architecture").
+    """
+
+    a: float
+    b: float
+    c: float
+    d: float
+    blocking: "tuple[int, int, int]"
+    dtype_name: str
+    gpu_name: str
+
+    def __post_init__(self) -> None:
+        if self.c <= 0:
+            raise ConfigurationError(
+                "per-iteration cost c must be positive, got %r" % (self.c,)
+            )
+        if min(self.a, self.b, self.d) < 0:
+            raise ConfigurationError("model constants must be non-negative")
+
+
+def iters_per_cta(total_iters: int, g: "int | np.ndarray") -> "np.ndarray":
+    """``ItersPerCta(g)``: ceil of the aggregate iterations over the grid."""
+    g = np.asarray(g, dtype=np.int64)
+    if np.any(g <= 0):
+        raise ConfigurationError("grid sizes must be positive")
+    return -(-total_iters // g)
+
+
+def fixup_peers(iters_per_tile: int, ipc: "np.ndarray") -> "np.ndarray":
+    """``FixupPeers(g)``: CTAs cooperating on one output tile."""
+    return -(-iters_per_tile // np.asarray(ipc, dtype=np.int64))
+
+
+def predicted_time(
+    grid: TileGrid, g: "int | np.ndarray", params: StreamKModelParams
+) -> "np.ndarray":
+    """Modeled Stream-K runtime (cycles) at grid size(s) ``g``.
+
+    Accepts a scalar or an array of candidate grid sizes and returns the
+    matching array of predicted CTA runtimes — the curves of Figure 8.
+    """
+    if tuple(params.blocking) != grid.blocking.as_tuple:
+        raise ConfigurationError(
+            "model params are for blocking %r, grid uses %r"
+            % (params.blocking, grid.blocking.as_tuple)
+        )
+    total = grid.total_iters
+    ipt = grid.iters_per_tile
+    ipc = iters_per_cta(total, g)
+    peers = fixup_peers(ipt, ipc)
+    time = (
+        params.a
+        + params.b * (peers > 1)
+        + params.c * ipc
+        + params.d * (peers - 1)
+    )
+    return time

@@ -1,0 +1,67 @@
+"""Grid-size selection for Stream-K kernels (Section 5.1 + Appendix A.1).
+
+Before launching, the library picks the grid size ``g`` that the analytical
+model predicts to be fastest for the problem at hand.  Depending on shape,
+the optimum may be maximal parallelism (``g = p``, Figure 8a), no splitting
+at all (``g = t``, Figure 8b), or anywhere in between (Figure 8c) — the
+strong-scaling proposition of how much extra parallelism pays before fixup
+overheads turn it negative.
+
+Candidates are every ``g`` in ``[1, min(p * occupancy, total_iters)]``; the
+sweep is a single vectorized model evaluation.  Ties resolve to the
+*smallest* grid (fewer splitting seams for the same predicted time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..gemm.tiling import TileGrid
+from .cost import StreamKModelParams, predicted_time
+
+__all__ = ["GridSizeDecision", "select_grid_size", "sweep_grid_sizes"]
+
+
+@dataclass(frozen=True)
+class GridSizeDecision:
+    """Outcome of a grid-size selection."""
+
+    g: int
+    predicted_cycles: float
+    candidates: np.ndarray
+    predictions: np.ndarray
+
+
+def sweep_grid_sizes(
+    grid: TileGrid, params: StreamKModelParams, max_grid: int
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Model predictions over every candidate grid size.
+
+    Returns ``(candidates, predicted_cycles)`` — the Figure 8 curve.
+    """
+    if max_grid <= 0:
+        raise ConfigurationError("max_grid must be positive, got %d" % max_grid)
+    hi = min(max_grid, grid.total_iters)
+    candidates = np.arange(1, hi + 1, dtype=np.int64)
+    return candidates, predicted_time(grid, candidates, params)
+
+
+def select_grid_size(
+    grid: TileGrid, params: StreamKModelParams, max_grid: int
+) -> GridSizeDecision:
+    """Pick the predicted-fastest grid size for one problem.
+
+    ``max_grid`` is the co-residency bound (``p * occupancy``, see
+    :func:`repro.gpu.occupancy.max_streamk_grid`).
+    """
+    candidates, times = sweep_grid_sizes(grid, params, max_grid)
+    best = int(np.argmin(times))  # argmin takes the first (smallest g) tie
+    return GridSizeDecision(
+        g=int(candidates[best]),
+        predicted_cycles=float(times[best]),
+        candidates=candidates,
+        predictions=times,
+    )

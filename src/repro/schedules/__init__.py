@@ -1,0 +1,44 @@
+"""Work decompositions: the paper's contribution and its baselines.
+
+Every decomposition builds a :class:`~repro.schedules.base.Schedule` — a
+validated assignment of MAC-loop iteration ranges to CTAs — from a
+:class:`~repro.gemm.tiling.TileGrid`.  Schedules execute numerically
+(exactly) and are simulated for time by :mod:`repro.gpu`.
+"""
+
+from .base import Decomposition, Schedule
+from .data_parallel import DataParallel, data_parallel_schedule
+from .fixed_split import FixedSplit, fixed_split_schedule, split_ranges
+from .hybrid import (
+    DpOneTileStreamK,
+    TwoTileStreamK,
+    dp_one_tile_schedule,
+    persistent_data_parallel_schedule,
+    two_tile_schedule,
+)
+from .registry import DECOMPOSITION_NAMES, make_decomposition
+from .stream_k import StreamK, partition_region, stream_k_schedule
+from .workitem import CtaWorkItem, SegmentRole, TileSegment
+
+__all__ = [
+    "CtaWorkItem",
+    "DECOMPOSITION_NAMES",
+    "DataParallel",
+    "Decomposition",
+    "DpOneTileStreamK",
+    "FixedSplit",
+    "Schedule",
+    "SegmentRole",
+    "StreamK",
+    "TileSegment",
+    "TwoTileStreamK",
+    "data_parallel_schedule",
+    "dp_one_tile_schedule",
+    "fixed_split_schedule",
+    "make_decomposition",
+    "partition_region",
+    "persistent_data_parallel_schedule",
+    "split_ranges",
+    "stream_k_schedule",
+    "two_tile_schedule",
+]

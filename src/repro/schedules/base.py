@@ -1,0 +1,260 @@
+"""Schedule: a fully-specified work decomposition of one GEMM problem.
+
+A :class:`Schedule` binds a :class:`~repro.gemm.tiling.TileGrid` to a list of
+:class:`~repro.schedules.workitem.CtaWorkItem`\\ s.  It can
+
+* prove itself well-formed (:meth:`Schedule.validate` — exact coverage of
+  the iteration space, unique owners, consistent peer lists),
+* execute itself numerically (:meth:`Schedule.execute` — producing the GEMM
+  result exactly, partial stores and fixups included), and
+* report the structural quantities the paper reasons about (iterations per
+  CTA, fixup peer counts, skew alignment).
+
+Timing lives elsewhere (:mod:`repro.gpu`); the schedule is pure structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..gemm.epilogue import make_output, store_tile
+from ..gemm.macloop import mac_loop
+from ..gemm.partials import PartialStore
+from ..gemm.tiling import TileGrid
+from .workitem import CtaWorkItem, SegmentRole, TileSegment
+
+__all__ = ["Schedule", "Decomposition"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A concrete decomposition of one problem into CTA work items."""
+
+    name: str
+    grid: TileGrid
+    work_items: "tuple[CtaWorkItem, ...]"
+    #: Fraction of MAC-loop iterations executed in k-aligned waves (CTAs in
+    #: the same wave touching the same k-offsets at the same time).  1.0 for
+    #: pure data-parallel, 0.0 for fully skewed basic Stream-K; the hybrids
+    #: sit in between.  Drives the cross-CTA fragment-reuse memory model
+    #: (Section 5.2's cache-skew discussion).
+    k_aligned_fraction: float = 1.0
+    #: Free-form details recorded by the decomposition (splitting factor,
+    #: wave counts, clamped grid sizes, ...), surfaced in reports.
+    metadata: "dict" = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Structure                                                           #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def g(self) -> int:
+        """Launch grid size (number of CTAs)."""
+        return len(self.work_items)
+
+    @property
+    def max_iters_per_cta(self) -> int:
+        return max((w.total_iters for w in self.work_items), default=0)
+
+    @property
+    def min_iters_per_cta(self) -> int:
+        return min((w.total_iters for w in self.work_items), default=0)
+
+    @property
+    def total_fixup_stores(self) -> int:
+        """Partial tiles written to temporary global storage."""
+        return sum(1 for w in self.work_items if w.stores_partials)
+
+    @property
+    def max_peers_per_tile(self) -> int:
+        """Largest serial-reduction fan-in any owner performs."""
+        return max(
+            (s.num_peers for w in self.work_items for s in w.segments),
+            default=0,
+        )
+
+    def iters_per_cta(self) -> np.ndarray:
+        """Vector of MAC-loop iterations per CTA (the balance the paper
+        equalizes "within one")."""
+        return np.array([w.total_iters for w in self.work_items], dtype=np.int64)
+
+    def tile_owner(self, tile_idx: int) -> int:
+        """CTA that stores ``tile_idx``'s output."""
+        for w in self.work_items:
+            for s in w.segments:
+                if s.tile_idx == tile_idx and s.is_owner:
+                    return w.cta
+        raise ConfigurationError("tile %d has no owner" % tile_idx)
+
+    def contributors(self, tile_idx: int) -> "list[int]":
+        """CTAs that store partials for ``tile_idx``, in CTA order."""
+        return [
+            w.cta
+            for w in self.work_items
+            for s in w.segments
+            if s.tile_idx == tile_idx and not s.is_owner
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Validation                                                          #
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Prove the schedule covers the iteration space exactly once.
+
+        Checks, for every tile: the union of its segments is a disjoint
+        exact cover of ``[0, iters_per_tile)``; exactly one owner exists and
+        it covers the k=0 iteration; the owner's peer list equals the
+        contributor set.  Raises :class:`ConfigurationError` on any breach.
+        """
+        ipt = self.grid.iters_per_tile
+        per_tile: "dict[int, list[tuple[int, int, TileSegment, int]]]" = {}
+        for w in self.work_items:
+            for s in w.segments:
+                if s.tile_idx >= self.grid.num_tiles:
+                    raise ConfigurationError(
+                        "segment references tile %d beyond grid of %d"
+                        % (s.tile_idx, self.grid.num_tiles)
+                    )
+                if s.iter_end > ipt:
+                    raise ConfigurationError(
+                        "segment of tile %d ends at iteration %d > %d"
+                        % (s.tile_idx, s.iter_end, ipt)
+                    )
+                per_tile.setdefault(s.tile_idx, []).append(
+                    (s.iter_begin, s.iter_end, s, w.cta)
+                )
+
+        if len(per_tile) != self.grid.num_tiles:
+            missing = sorted(set(range(self.grid.num_tiles)) - set(per_tile))
+            raise ConfigurationError(
+                "tiles with no coverage: %s%s"
+                % (missing[:8], "..." if len(missing) > 8 else "")
+            )
+
+        for tile_idx, segs in per_tile.items():
+            segs.sort()
+            cursor = 0
+            owners = []
+            contributor_ctas = []
+            for begin, end, seg, cta in segs:
+                if begin != cursor:
+                    raise ConfigurationError(
+                        "tile %d: gap/overlap at iteration %d (segment "
+                        "starts at %d)" % (tile_idx, cursor, begin)
+                    )
+                cursor = end
+                if seg.is_owner:
+                    owners.append((seg, cta))
+                else:
+                    contributor_ctas.append(cta)
+            if cursor != ipt:
+                raise ConfigurationError(
+                    "tile %d: coverage stops at iteration %d of %d"
+                    % (tile_idx, cursor, ipt)
+                )
+            if len(owners) != 1:
+                raise ConfigurationError(
+                    "tile %d: %d owners (need exactly 1)"
+                    % (tile_idx, len(owners))
+                )
+            owner_seg, _owner_cta = owners[0]
+            if sorted(owner_seg.peers) != sorted(contributor_ctas):
+                raise ConfigurationError(
+                    "tile %d: owner peers %r != contributors %r"
+                    % (tile_idx, sorted(owner_seg.peers), sorted(contributor_ctas))
+                )
+
+        total = sum(w.total_iters for w in self.work_items)
+        if total != self.grid.total_iters:
+            raise ConfigurationError(
+                "schedule executes %d MAC-loop iterations, problem has %d"
+                % (total, self.grid.total_iters)
+            )
+
+    # ------------------------------------------------------------------ #
+    # Numeric execution                                                   #
+    # ------------------------------------------------------------------ #
+
+    def execute(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        c: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Run the decomposition numerically and return C.
+
+        The sequential executor performs every contributor segment first
+        (compute, ``StorePartials``, ``Signal``), then every owner segment
+        (compute, ``Wait``/``LoadPartials`` per peer in reduction order,
+        ``StoreTile`` with epilogue).  This is a valid linearization of any
+        deadlock-free schedule, and :class:`~repro.gemm.partials.
+        PartialStore` enforces the flag discipline so ordering bugs raise.
+        """
+        grid = self.grid
+        out = make_output(grid.problem)
+        store = PartialStore(self.g)
+
+        # Phase 1: contributors.
+        for w in self.work_items:
+            for s in w.segments:
+                if s.is_owner:
+                    continue
+                accum = mac_loop(grid, a, b, s.tile_idx, s.iter_begin, s.iter_end)
+                store.store_partials(w.cta, accum)
+                store.signal(w.cta)
+
+        # Phase 2: owners (serial reduction over peers, then StoreTile).
+        for w in self.work_items:
+            for s in w.segments:
+                if not s.is_owner:
+                    continue
+                accum = mac_loop(grid, a, b, s.tile_idx, s.iter_begin, s.iter_end)
+                for peer in s.peers:
+                    accum = accum + store.load_partials(peer)
+                store_tile(grid, out, s.tile_idx, accum, c_in=c)
+
+        leftover = store.outstanding()
+        if any(slot not in self._consumed_slots() for slot in leftover):
+            raise ConfigurationError(
+                "partials stored but never consumed by any owner: %r" % leftover
+            )
+        return out
+
+    def _consumed_slots(self) -> "set[int]":
+        return {
+            peer
+            for w in self.work_items
+            for s in w.segments
+            if s.is_owner
+            for peer in s.peers
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "%s(g=%d, tiles=%d, iters=%d)" % (
+            self.name,
+            self.g,
+            self.grid.num_tiles,
+            self.grid.total_iters,
+        )
+
+
+class Decomposition:
+    """Factory interface: problem + blocking -> :class:`Schedule`.
+
+    Concrete decompositions (:mod:`repro.schedules.data_parallel`,
+    ``fixed_split``, ``stream_k``, ``hybrid``) subclass this; the registry
+    exposes them by name for harness sweeps.
+    """
+
+    name = "abstract"
+
+    def build(self, grid: TileGrid) -> Schedule:
+        raise NotImplementedError
+
+    def __call__(self, grid: TileGrid) -> Schedule:
+        schedule = self.build(grid)
+        return schedule

@@ -1,0 +1,60 @@
+"""Data-parallel decomposition (paper Algorithm 2).
+
+One CTA per output tile; every CTA runs the full MAC loop ``[0,
+iters_per_tile)`` for its tile and stores it.  No partials, no fixup.  This
+is the classic formulation whose quantization inefficiency (Figure 1)
+motivates the paper: when the number of tiles is not a multiple of the SM
+count, the last wave runs partially empty.
+"""
+
+from __future__ import annotations
+
+from ..gemm.linearize import TileTraversal
+from ..gemm.tiling import TileGrid
+from .base import Decomposition, Schedule
+from .workitem import CtaWorkItem, SegmentRole, TileSegment
+
+__all__ = ["DataParallel", "data_parallel_schedule"]
+
+
+def data_parallel_schedule(
+    grid: TileGrid, traversal: "TileTraversal | None" = None
+) -> Schedule:
+    """Build the one-CTA-per-tile schedule.
+
+    ``traversal`` reorders which tile each CTA (launch position) produces;
+    the default is the row-major ``m -> n`` rasterization.
+    """
+    items = []
+    for position in range(grid.num_tiles):
+        tile = traversal.tile_at(position) if traversal else position
+        seg = TileSegment(
+            tile_idx=tile,
+            iter_begin=0,
+            iter_end=grid.iters_per_tile,
+            role=SegmentRole.OWNER,
+        )
+        items.append(CtaWorkItem(cta=position, segments=(seg,)))
+    return Schedule(
+        name="data_parallel",
+        grid=grid,
+        work_items=tuple(items),
+        # Every wave of CTAs starts its tiles together at k=0 and steps the
+        # k axis in lockstep: fully aligned fragment reuse.
+        k_aligned_fraction=1.0,
+        metadata={
+            "traversal": traversal.name if traversal else "row_major",
+        },
+    )
+
+
+class DataParallel(Decomposition):
+    """Factory for :func:`data_parallel_schedule`."""
+
+    name = "data_parallel"
+
+    def __init__(self, traversal: "TileTraversal | None" = None):
+        self.traversal = traversal
+
+    def build(self, grid: TileGrid) -> Schedule:
+        return data_parallel_schedule(grid, self.traversal)

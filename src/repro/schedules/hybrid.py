@@ -1,0 +1,250 @@
+"""Hybrid Stream-K schedules (paper Section 5.2).
+
+Basic Stream-K's load balancing induces *tile-processing skew*: when the
+tile count is not a multiple of the grid size, CTAs start their MAC loops at
+different k offsets, which defeats cross-CTA fragment reuse in the L2 cache.
+The hybrids confine Stream-K's iteration balancing to a small tile-aligned
+region so the remaining tiles run as full, temporally aligned data-parallel
+waves:
+
+* :func:`dp_one_tile_schedule` — "data-parallel + one-tile Stream-K"
+  (Figure 3b): ``w = floor(t/p)`` full DP waves first, then the residual
+  ``r = t - w*p`` tiles are Stream-K-balanced across the grid, each CTA
+  receiving *less than one* tile's worth of iterations.  Simple, but with
+  three or more CTAs per residual tile the owner must wait for peers that
+  all finish at about the same time — poor latency hiding.
+
+* :func:`two_tile_schedule` — "two-tile Stream-K + data-parallel"
+  (Figure 3c), the schedule the paper ships: perform one *fewer* full DP
+  wave and Stream-K-balance ``t - (w-1)*p`` tiles (between p and 2p), so
+  each CTA receives between one and two tiles' worth of iterations, every
+  owner has at most one peer, and the Stream-K region's temporal skew hides
+  the partial-sum exchange latency.  Falls back to pure (persistent)
+  data-parallel when tiles quantize perfectly, and to basic Stream-K when
+  there are fewer tiles than SMs (where the Appendix A.1 model chooses g).
+
+Both are *persistent-CTA* schedules: the same g CTAs loop over their
+Stream-K share and their data-parallel tiles inside one kernel launch —
+"the versatility of the generic Stream-K looping structure to implement
+different scheduling policies within the same kernel instance."
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..gemm.linearize import TileTraversal
+from ..gemm.tiling import TileGrid
+from .base import Decomposition, Schedule
+from .stream_k import partition_region, stream_k_schedule
+from .workitem import CtaWorkItem, SegmentRole, TileSegment
+
+__all__ = [
+    "TwoTileStreamK",
+    "DpOneTileStreamK",
+    "two_tile_schedule",
+    "dp_one_tile_schedule",
+    "persistent_data_parallel_schedule",
+]
+
+
+def _tile_at(traversal: "TileTraversal | None", pos: int) -> int:
+    return traversal.tile_at(pos) if traversal else pos
+
+
+def _full_tile_segment(grid: TileGrid, tile_idx: int) -> TileSegment:
+    return TileSegment(
+        tile_idx=tile_idx,
+        iter_begin=0,
+        iter_end=grid.iters_per_tile,
+        role=SegmentRole.OWNER,
+    )
+
+
+def persistent_data_parallel_schedule(
+    grid: TileGrid,
+    p: int,
+    traversal: "TileTraversal | None" = None,
+    name: str = "persistent_data_parallel",
+) -> Schedule:
+    """Data-parallel work on a persistent grid of ``min(p, t)`` CTAs.
+
+    CTA x owns tiles at traversal positions x, x+p, x+2p, ... — the wave
+    structure a hardware block scheduler would produce, made explicit.
+    Timing-equivalent to Algorithm 2 on p SMs; used by the hybrids' perfect-
+    quantization fallback.
+    """
+    if p <= 0:
+        raise ConfigurationError("p must be positive, got %d" % p)
+    g = min(p, grid.num_tiles)
+    items = []
+    for x in range(g):
+        segs = tuple(
+            _full_tile_segment(grid, _tile_at(traversal, pos))
+            for pos in range(x, grid.num_tiles, g)
+        )
+        items.append(CtaWorkItem(cta=x, segments=segs))
+    return Schedule(
+        name=name,
+        grid=grid,
+        work_items=tuple(items),
+        k_aligned_fraction=1.0,
+        metadata={"p": p, "kind": "data_parallel"},
+    )
+
+
+def two_tile_schedule(
+    grid: TileGrid,
+    p: int,
+    g_small: "int | None" = None,
+    traversal: "TileTraversal | None" = None,
+) -> Schedule:
+    """The evaluated "two-tile Stream-K + data-parallel" hybrid.
+
+    Parameters
+    ----------
+    p:
+        SM count (the hybrid's grid size in its main regime).
+    g_small:
+        Grid size to use in the fewer-tiles-than-SMs regime (``w == 0``),
+        typically chosen by the Appendix A.1 model; defaults to filling the
+        processor (clamped to the iteration count).
+    """
+    if p <= 0:
+        raise ConfigurationError("p must be positive, got %d" % p)
+    t = grid.num_tiles
+    ipt = grid.iters_per_tile
+    w = t // p
+
+    if t % p == 0:
+        # Perfect quantization: pure data-parallel waves.
+        sched = persistent_data_parallel_schedule(
+            grid, p, traversal, name="two_tile_stream_k"
+        )
+        sched.metadata.update({"kind": "data_parallel", "w": w, "sk_tiles": 0})
+        return sched
+
+    if w == 0:
+        # Fewer tiles than SMs: the whole problem is the residual wave;
+        # run basic Stream-K at the model-chosen grid size.
+        g = g_small if g_small is not None else p
+        sched = stream_k_schedule(grid, g, traversal)
+        return Schedule(
+            name="two_tile_stream_k",
+            grid=sched.grid,
+            work_items=sched.work_items,
+            k_aligned_fraction=sched.k_aligned_fraction,
+            metadata={
+                "kind": "basic_stream_k",
+                "w": 0,
+                "sk_tiles": t,
+                "g": sched.metadata["g"],
+            },
+        )
+
+    # Main regime: Stream-K over the first t - (w-1)*p tiles (p < sk_tiles
+    # < 2p), then w-1 full data-parallel waves, on p persistent CTAs.
+    sk_tiles = t - (w - 1) * p
+    per_cta = partition_region(grid, p, 0, sk_tiles, traversal)
+    items = []
+    for x in range(p):
+        segs = list(per_cta[x])
+        for pos in range(sk_tiles + x, t, p):
+            segs.append(_full_tile_segment(grid, _tile_at(traversal, pos)))
+        items.append(CtaWorkItem(cta=x, segments=tuple(segs)))
+
+    sk_iters = sk_tiles * ipt
+    dp_iters = (t - sk_tiles) * ipt
+    return Schedule(
+        name="two_tile_stream_k",
+        grid=grid,
+        work_items=tuple(items),
+        k_aligned_fraction=dp_iters / (sk_iters + dp_iters),
+        metadata={"kind": "two_tile", "w": w, "sk_tiles": sk_tiles, "g": p},
+    )
+
+
+def dp_one_tile_schedule(
+    grid: TileGrid,
+    p: int,
+    traversal: "TileTraversal | None" = None,
+) -> Schedule:
+    """The simpler "data-parallel + one-tile Stream-K" hybrid (Figure 3b).
+
+    ``w = floor(t/p)`` full DP waves run first; the residual ``r = t - w*p``
+    tiles are Stream-K-balanced over ``min(p, r*ipt)`` CTAs, each receiving
+    less than one tile's worth of iterations.  Kept primarily as the
+    ablation baseline for the two-tile variant's latency-hiding claim.
+    """
+    if p <= 0:
+        raise ConfigurationError("p must be positive, got %d" % p)
+    t = grid.num_tiles
+    ipt = grid.iters_per_tile
+    w = t // p
+    r = t - w * p
+
+    if r == 0:
+        sched = persistent_data_parallel_schedule(
+            grid, p, traversal, name="dp_one_tile_stream_k"
+        )
+        sched.metadata.update({"kind": "data_parallel", "w": w, "sk_tiles": 0})
+        return sched
+
+    g = min(p, r * ipt)
+    sk_first = w * p  # traversal position of the first residual tile
+    per_cta = partition_region(grid, g, sk_first, r, traversal)
+    # Region-local peer ids are already global: the SK region's CTA x is
+    # global CTA x (the same persistent CTA that ran DP tiles first).
+    items = []
+    for x in range(max(g, min(p, t))):
+        segs: "list[TileSegment]" = []
+        for pos in range(x, sk_first, p):
+            segs.append(_full_tile_segment(grid, _tile_at(traversal, pos)))
+        if x < g:
+            segs.extend(per_cta[x])
+        items.append(CtaWorkItem(cta=x, segments=tuple(segs)))
+
+    dp_iters = sk_first * ipt
+    sk_iters = r * ipt
+    return Schedule(
+        name="dp_one_tile_stream_k",
+        grid=grid,
+        work_items=tuple(items),
+        k_aligned_fraction=dp_iters / (dp_iters + sk_iters),
+        metadata={"kind": "dp_one_tile", "w": w, "sk_tiles": r, "g": g},
+    )
+
+
+class TwoTileStreamK(Decomposition):
+    """Factory for :func:`two_tile_schedule`."""
+
+    name = "two_tile_stream_k"
+
+    def __init__(
+        self,
+        p: int,
+        g_small: "int | None" = None,
+        traversal: "TileTraversal | None" = None,
+    ):
+        if p <= 0:
+            raise ConfigurationError("p must be positive, got %d" % p)
+        self.p = p
+        self.g_small = g_small
+        self.traversal = traversal
+
+    def build(self, grid: TileGrid) -> Schedule:
+        return two_tile_schedule(grid, self.p, self.g_small, self.traversal)
+
+
+class DpOneTileStreamK(Decomposition):
+    """Factory for :func:`dp_one_tile_schedule`."""
+
+    name = "dp_one_tile_stream_k"
+
+    def __init__(self, p: int, traversal: "TileTraversal | None" = None):
+        if p <= 0:
+            raise ConfigurationError("p must be positive, got %d" % p)
+        self.p = p
+        self.traversal = traversal
+
+    def build(self, grid: TileGrid) -> Schedule:
+        return dp_one_tile_schedule(grid, self.p, self.traversal)

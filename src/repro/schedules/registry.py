@@ -1,0 +1,44 @@
+"""Name-based registry of decomposition factories for harness sweeps."""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .base import Decomposition
+from .data_parallel import DataParallel
+from .fixed_split import FixedSplit
+from .hybrid import DpOneTileStreamK, TwoTileStreamK
+from .stream_k import StreamK
+
+__all__ = ["make_decomposition", "DECOMPOSITION_NAMES"]
+
+DECOMPOSITION_NAMES = (
+    "data_parallel",
+    "fixed_split",
+    "stream_k",
+    "two_tile_stream_k",
+    "dp_one_tile_stream_k",
+)
+
+
+def make_decomposition(name: str, **kwargs) -> Decomposition:
+    """Instantiate a decomposition by name.
+
+    Keyword arguments are the factory's constructor parameters
+    (``s`` for fixed_split, ``g`` for stream_k, ``p``/``g_small`` for the
+    hybrids, optional ``traversal`` everywhere applicable).
+    """
+    factories = {
+        "data_parallel": DataParallel,
+        "fixed_split": FixedSplit,
+        "stream_k": StreamK,
+        "two_tile_stream_k": TwoTileStreamK,
+        "dp_one_tile_stream_k": DpOneTileStreamK,
+    }
+    try:
+        cls = factories[name]
+    except KeyError:
+        raise ConfigurationError(
+            "unknown decomposition %r; available: %s"
+            % (name, ", ".join(DECOMPOSITION_NAMES))
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,128 @@
+"""Work items: what each CTA does under a given decomposition.
+
+Every decomposition in the paper — data-parallel, fixed-split, Stream-K and
+the hybrids — reduces to the same vocabulary: each CTA executes an ordered
+list of :class:`TileSegment`\\ s, where a segment is a contiguous range of
+MAC-loop iterations ``[iter_begin, iter_end)`` of one output tile plus the
+consolidation role the CTA plays for that tile:
+
+* ``OWNER`` — the CTA performed the tile's first (k = 0) MAC-loop iteration.
+  It accumulates partials from each CTA in ``peers`` (in order: the serial
+  reduction of Algorithm 5) and performs the final ``StoreTile``.
+* ``CONTRIBUTOR`` — the CTA covered a later slice of the tile.  It stores its
+  accumulator to temporary global storage and signals its flag.
+
+This single representation drives both the numeric executor (exact results)
+and the discrete-event simulator (timing), so the thing we time is provably
+the thing that computes the right answer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+__all__ = ["SegmentRole", "TileSegment", "CtaWorkItem"]
+
+
+class SegmentRole(enum.Enum):
+    """Consolidation role a CTA plays for one tile."""
+
+    OWNER = "owner"
+    CONTRIBUTOR = "contributor"
+
+
+@dataclass(frozen=True)
+class TileSegment:
+    """A contiguous range of one tile's MAC-loop iterations on one CTA.
+
+    ``iter_begin``/``iter_end`` are *local* to the tile (``0 <= begin <
+    end <= iters_per_tile``).  ``peers`` is only meaningful for ``OWNER``
+    segments and lists the CTA indices whose partials must be accumulated,
+    in reduction order.
+    """
+
+    tile_idx: int
+    iter_begin: int
+    iter_end: int
+    role: SegmentRole
+    peers: "tuple[int, ...]" = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.tile_idx < 0:
+            raise ConfigurationError("negative tile index %d" % self.tile_idx)
+        if not (0 <= self.iter_begin < self.iter_end):
+            raise ConfigurationError(
+                "segment iteration range [%d, %d) must be non-empty and "
+                "non-negative" % (self.iter_begin, self.iter_end)
+            )
+        if self.role is SegmentRole.CONTRIBUTOR and self.peers:
+            raise ConfigurationError("contributor segments carry no peers")
+        if self.role is SegmentRole.OWNER and self.iter_begin != 0:
+            raise ConfigurationError(
+                "owner segments must start at the tile's k=0 iteration "
+                "(got iter_begin=%d)" % self.iter_begin
+            )
+
+    @property
+    def num_iters(self) -> int:
+        """MAC-loop iterations in this segment."""
+        return self.iter_end - self.iter_begin
+
+    @property
+    def is_owner(self) -> bool:
+        return self.role is SegmentRole.OWNER
+
+    @property
+    def num_peers(self) -> int:
+        return len(self.peers)
+
+
+@dataclass(frozen=True)
+class CtaWorkItem:
+    """All the work assigned to one CTA, in execution order.
+
+    ``cta`` doubles as the CTA's launch position and its partial-sum slot
+    index.  A CTA may have zero segments (a grid sized past the available
+    iterations); it still occupies a launch slot.
+    """
+
+    cta: int
+    segments: "tuple[TileSegment, ...]"
+
+    def __post_init__(self) -> None:
+        if self.cta < 0:
+            raise ConfigurationError("negative CTA index %d" % self.cta)
+        n_contrib = sum(1 for s in self.segments if not s.is_owner)
+        if n_contrib > 1:
+            # A CTA enters at most one tile mid-stream: within a Stream-K
+            # region its range is contiguous, and the hybrids append only
+            # whole (owned) data-parallel tiles around that range.  One
+            # contributor segment also bounds the partial-sum workspace at
+            # one slot per CTA — the O(g) storage property of Section 4.
+            raise ConfigurationError(
+                "CTA %d has %d contributor segments; decompositions built "
+                "from one contiguous iteration range permit at most one"
+                % (self.cta, n_contrib)
+            )
+
+    @property
+    def total_iters(self) -> int:
+        """MAC-loop iterations executed by this CTA."""
+        return sum(s.num_iters for s in self.segments)
+
+    @property
+    def stores_partials(self) -> bool:
+        """Whether this CTA writes a partial accumulator to global storage."""
+        return any(not s.is_owner for s in self.segments)
+
+    @property
+    def owned_tiles(self) -> "tuple[int, ...]":
+        return tuple(s.tile_idx for s in self.segments if s.is_owner)
+
+    @property
+    def total_peers(self) -> int:
+        """Partial tiles this CTA must read back during fixup."""
+        return sum(s.num_peers for s in self.segments)

@@ -1,0 +1,49 @@
+"""Intensity filter tests."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import compute_bound_mask, generate_corpus, intensity_bins, ops_per_byte
+from repro.corpus.generator import CorpusSpec
+from repro.gemm import FP16_FP32, FP64, GemmProblem
+
+
+class TestOpsPerByte:
+    def test_matches_problem_property(self):
+        shapes = np.array([[512, 768, 1024], [129, 8191, 777]])
+        for dtype in (FP64, FP16_FP32):
+            vec = ops_per_byte(shapes, dtype)
+            for i, (m, n, k) in enumerate(shapes):
+                p = GemmProblem(int(m), int(n), int(k), dtype=dtype)
+                assert vec[i] == pytest.approx(p.ops_per_byte)
+
+    def test_mask_matches_problem_property(self):
+        shapes = generate_corpus(CorpusSpec(size=300))
+        for dtype in (FP64, FP16_FP32):
+            mask = compute_bound_mask(shapes, dtype)
+            for i in range(0, 300, 37):
+                p = GemmProblem(*(int(v) for v in shapes[i]), dtype=dtype)
+                assert bool(mask[i]) == p.is_compute_bound
+
+    def test_thresholds_differ_by_precision(self):
+        shapes = generate_corpus(CorpusSpec(size=500))
+        fp64_cb = compute_bound_mask(shapes, FP64).sum()
+        fp16_cb = compute_bound_mask(shapes, FP16_FP32).sum()
+        # fp64's 150 ops/B bar is easier to clear at 8 B/elem... both
+        # nonzero, neither total.
+        assert 0 < fp64_cb < 500
+        assert 0 < fp16_cb < 500
+
+
+class TestIntensityBins:
+    def test_bins_cover_all_shapes(self):
+        shapes = generate_corpus(CorpusSpec(size=400))
+        edges, idx = intensity_bins(shapes, FP16_FP32, num_bins=20)
+        assert edges.shape == (21,)
+        assert idx.min() >= 0 and idx.max() <= 19
+        assert idx.shape == (400,)
+
+    def test_edges_monotone(self):
+        shapes = generate_corpus(CorpusSpec(size=400))
+        edges, _ = intensity_bins(shapes, FP64, num_bins=10)
+        assert (np.diff(edges) > 0).all()

@@ -1,0 +1,73 @@
+"""Corpus generation tests (paper Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.corpus import (
+    PAPER_CORPUS,
+    PAPER_CORPUS_SIZE,
+    CorpusSpec,
+    corpus_problems,
+    generate_corpus,
+)
+from repro.gemm import FP64
+
+
+class TestPaperCorpus:
+    def test_exactly_32824_shapes(self):
+        shapes = generate_corpus()
+        assert shapes.shape == (32_824, 3)
+        assert PAPER_CORPUS_SIZE == 32_824
+
+    def test_domain_bounds(self):
+        shapes = generate_corpus()
+        assert shapes.min() >= 128
+        assert shapes.max() <= 8192
+
+    def test_deterministic(self):
+        assert np.array_equal(generate_corpus(), generate_corpus())
+
+    def test_log_uniform_median(self):
+        """Per-axis median of a log-uniform sample sits near the geometric
+        mean of the domain, sqrt(128 * 8192) = 1024."""
+        shapes = generate_corpus()
+        med = np.median(shapes, axis=0)
+        assert (700 < med).all() and (med < 1500).all()
+
+    def test_volume_spans_many_orders(self):
+        shapes = generate_corpus().astype(np.float64)
+        vol = shapes.prod(axis=1)
+        assert np.log10(vol.max() / vol.min()) > 4.5
+
+
+class TestCustomSpecs:
+    def test_smaller_corpus_nests(self):
+        full = generate_corpus()
+        small = generate_corpus(CorpusSpec(size=100))
+        # different sizes draw different streams; limit= on problems nests
+        probs_full = corpus_problems(FP64, limit=10)
+        probs_small = corpus_problems(FP64, limit=5)
+        assert [p.shape for p in probs_small] == [
+            p.shape for p in probs_full[:5]
+        ]
+        assert small.shape == (100, 3)
+        assert full.shape[0] == 32_824
+
+    def test_seed_changes_corpus(self):
+        a = generate_corpus(CorpusSpec(size=50, seed=1))
+        b = generate_corpus(CorpusSpec(size=50, seed=2))
+        assert not np.array_equal(a, b)
+
+    def test_problems_materialized_with_dtype(self):
+        probs = corpus_problems(FP64, limit=7)
+        assert len(probs) == 7
+        assert all(p.dtype is FP64 for p in probs)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorpusSpec(size=0)
+        with pytest.raises(ConfigurationError):
+            CorpusSpec(lo=0)
+        with pytest.raises(ConfigurationError):
+            CorpusSpec(lo=100, hi=50)

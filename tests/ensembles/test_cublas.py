@@ -1,0 +1,85 @@
+"""cuBLAS-like ensemble and heuristic tests."""
+
+import pytest
+
+from repro.gemm import FP16_FP32, FP64, GemmProblem
+from repro.gpu import A100
+from repro.ensembles import (
+    SPLIT_FACTORS,
+    cublas_select,
+    cublas_variants,
+    heuristic_select,
+    oracle_select,
+    proxy_score,
+)
+
+
+class TestEnsembleComposition:
+    def test_fp16_ensemble_size_matches_paper_scale(self):
+        """cuBLAS exposes ~24 algorithms; our stand-in: 4 blockings x
+        (1 DP + 5 splits) = 24 variants."""
+        assert len(cublas_variants(FP16_FP32)) == 24
+
+    def test_fp64_ensemble_size(self):
+        assert len(cublas_variants(FP64)) == 30  # 5 blockings x 6
+
+    def test_split_factors(self):
+        assert SPLIT_FACTORS == (2, 4, 8, 16, 32)
+
+    def test_every_blocking_has_dp_and_splits(self):
+        variants = cublas_variants(FP16_FP32)
+        blockings = {v.blocking.as_tuple for v in variants}
+        for b in blockings:
+            fams = [v for v in variants if v.blocking.as_tuple == b]
+            assert sum(1 for v in fams if v.family == "data_parallel") == 1
+            assert sum(1 for v in fams if v.family == "fixed_split") == 5
+
+
+class TestHeuristic:
+    def test_deterministic(self):
+        p = GemmProblem(333, 777, 1234, dtype=FP16_FP32)
+        v1 = heuristic_select(cublas_variants(p.dtype), p, A100)
+        v2 = heuristic_select(cublas_variants(p.dtype), p, A100)
+        assert v1 == v2
+
+    def test_big_square_problem_picks_big_tiles_unsplit(self):
+        p = GemmProblem(8192, 8192, 4096, dtype=FP16_FP32)
+        v = heuristic_select(cublas_variants(p.dtype), p, A100)
+        assert v.s == 1
+        assert v.blocking.blk_m >= 128
+
+    def test_strong_scaling_problem_picks_split(self):
+        p = GemmProblem(128, 128, 8192, dtype=FP16_FP32)
+        v = heuristic_select(cublas_variants(p.dtype), p, A100)
+        assert v.s > 1 or v.blocking.as_tuple != (128, 256, 32)
+
+    def test_proxy_score_positive(self):
+        p = GemmProblem(512, 512, 512, dtype=FP16_FP32)
+        for v in cublas_variants(p.dtype):
+            assert proxy_score(v, p, A100) > 0
+
+
+class TestSelectionQuality:
+    def test_measured_time_is_selected_variants_time(self):
+        from repro.ensembles import variant_time_s
+        p = GemmProblem(640, 640, 640, dtype=FP16_FP32)
+        choice = cublas_select(p, A100)
+        assert choice.time_s == pytest.approx(
+            variant_time_s(choice.variant, p, A100)
+        )
+
+    def test_heuristic_sometimes_beats_dp_oracle(self):
+        """Split-k variants give cuBLAS wins the DP-only oracle can't have
+        (deep-k strong scaling)."""
+        p = GemmProblem(128, 128, 8192, dtype=FP16_FP32)
+        assert cublas_select(p, A100).time_s < oracle_select(p, A100).time_s
+
+    def test_heuristic_never_catastrophic_on_large_problems(self):
+        """On bulky compute-bound problems the proxy should land within
+        2x of the oracle."""
+        for shape in [(4096, 4096, 4096), (8192, 2048, 2048)]:
+            p = GemmProblem(*shape, dtype=FP16_FP32)
+            assert (
+                cublas_select(p, A100).time_s
+                <= 2.0 * oracle_select(p, A100).time_s
+            )

@@ -1,0 +1,74 @@
+"""CUTLASS variant sets and the idealized oracle."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gemm import BF16_FP32, FP16_FP32, FP64, GemmProblem
+from repro.gpu import A100
+from repro.ensembles import (
+    ORACLE_BLOCKINGS,
+    oracle_select,
+    oracle_variants,
+    singleton_variant,
+    variant_time_s,
+)
+
+
+class TestVariantSets:
+    def test_fp64_oracle_set_matches_paper(self):
+        assert ORACLE_BLOCKINGS["fp64"] == (
+            (32, 32, 16),
+            (32, 64, 16),
+            (64, 64, 16),
+            (64, 128, 16),
+            (128, 128, 16),
+        )
+
+    def test_fp16_oracle_set_matches_paper(self):
+        assert ORACLE_BLOCKINGS["fp16_fp32"] == (
+            (64, 64, 64),
+            (64, 128, 32),
+            (128, 128, 32),
+            (128, 256, 32),
+        )
+
+    def test_singleton_uses_shipped_blocking(self):
+        assert singleton_variant(FP64).blocking.as_tuple == (64, 64, 16)
+        assert singleton_variant(FP16_FP32).blocking.as_tuple == (128, 128, 32)
+
+    def test_all_oracle_variants_data_parallel(self):
+        for v in oracle_variants(FP16_FP32):
+            assert v.family == "data_parallel" and v.s == 1
+
+    def test_extension_dtypes_have_sets(self):
+        assert oracle_variants(BF16_FP32)
+
+    def test_unknown_dtype_rejected(self):
+        import dataclasses
+        weird = dataclasses.replace(FP64, name="fp128")
+        with pytest.raises(ConfigurationError):
+            oracle_variants(weird)
+
+
+class TestOracle:
+    def test_oracle_is_min_over_variants(self):
+        p = GemmProblem(700, 900, 1100, dtype=FP16_FP32)
+        choice = oracle_select(p, A100)
+        manual = {
+            v.name: variant_time_s(v, p, A100) for v in oracle_variants(p.dtype)
+        }
+        assert choice.time_s == pytest.approx(min(manual.values()))
+        assert choice.all_times.keys() == manual.keys()
+
+    def test_oracle_never_worse_than_singleton(self):
+        for shape in [(128, 128, 4096), (2048, 2048, 2048), (300, 5000, 700)]:
+            p = GemmProblem(*shape, dtype=FP16_FP32)
+            single = variant_time_s(singleton_variant(p.dtype), p, A100)
+            assert oracle_select(p, A100).time_s <= single * (1 + 1e-12)
+
+    def test_oracle_prefers_small_tiles_on_small_problems(self):
+        """A 1-big-tile problem quantizes terribly at 128x128; the oracle
+        must pick something finer."""
+        p = GemmProblem(128, 128, 2048, dtype=FP16_FP32)
+        choice = oracle_select(p, A100)
+        assert choice.variant.blocking.as_tuple != (128, 256, 32)

@@ -1,0 +1,64 @@
+"""Kernel variant tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gemm import FP16_FP32, FP64, Blocking, GemmProblem, random_operands, reference_gemm
+from repro.gpu import A100, HYPOTHETICAL_4SM
+from repro.ensembles import KernelVariant, variant_time_s
+
+
+class TestVariant:
+    def test_names(self):
+        dp = KernelVariant("data_parallel", Blocking(64, 64, 16))
+        fs = KernelVariant("fixed_split", Blocking(64, 64, 16), s=4)
+        assert dp.name == "data_parallel_64x64x16"
+        assert fs.name == "fixed_split_64x64x16_s4"
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KernelVariant("stream_j", Blocking(64, 64, 16))
+
+    def test_dp_with_split_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KernelVariant("data_parallel", Blocking(64, 64, 16), s=2)
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KernelVariant("fixed_split", Blocking(64, 64, 16), s=0)
+
+    def test_build_schedule_is_numerically_exact(self):
+        p = GemmProblem(70, 50, 40, dtype=FP64)
+        a, b = random_operands(p, 0)
+        ref = reference_gemm(p, a, b)
+        for variant in (
+            KernelVariant("data_parallel", Blocking(16, 16, 8)),
+            KernelVariant("fixed_split", Blocking(16, 16, 8), s=3),
+        ):
+            sched = variant.build_schedule(p)
+            sched.validate()
+            assert np.allclose(sched.execute(a, b), ref)
+
+
+class TestTiming:
+    def test_time_positive_and_composed(self):
+        p = GemmProblem(512, 512, 512, dtype=FP16_FP32)
+        v = KernelVariant("data_parallel", Blocking(128, 128, 32))
+        t = variant_time_s(v, p, A100)
+        assert t > A100.launch_latency_s
+
+    def test_makespan_matches_executor_for_dp(self):
+        from repro.gpu import Executor, KernelCostModel
+        p = GemmProblem(384, 384, 128, dtype=FP16_FP32)
+        v = KernelVariant("data_parallel", Blocking(128, 128, 32))
+        cost = KernelCostModel(gpu=HYPOTHETICAL_4SM, blocking=v.blocking, dtype=p.dtype)
+        ev = Executor(4).run(cost.build_tasks(v.build_schedule(p))).makespan
+        assert v.makespan_cycles(p, HYPOTHETICAL_4SM) == pytest.approx(ev)
+
+    def test_split_clamped_in_traffic(self):
+        p = GemmProblem(256, 256, 64, dtype=FP16_FP32)  # ipt = 2
+        v = KernelVariant("fixed_split", Blocking(128, 128, 32), s=32)
+        tr = v.traffic(p, A100)
+        # s clamps to 2: one contributor per tile
+        assert tr.partials == pytest.approx(4 * 1 * 128 * 128 * 4 * 2)

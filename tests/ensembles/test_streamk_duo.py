@@ -1,0 +1,79 @@
+"""Two-kernel Stream-K ensemble tests (Section 6 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gemm import FP16_FP32, FP64, GemmProblem, random_operands, reference_gemm
+from repro.gpu import A100, HYPOTHETICAL_4SM
+from repro.ensembles import StreamKDuoLibrary, small_blocking_for
+
+
+@pytest.fixture(scope="module")
+def duo():
+    return StreamKDuoLibrary(A100, FP16_FP32)
+
+
+class TestDispatch:
+    def test_exactly_two_kernels(self, duo):
+        assert duo.num_kernels == 2
+        assert duo.big.blocking.as_tuple == (128, 128, 32)
+        assert duo.small.blocking.as_tuple == small_blocking_for(FP16_FP32).as_tuple
+
+    def test_small_blocking_is_smallest_oracle_member(self):
+        # (64,64,64) and (64,128,32) tie on MACs; the first listed wins.
+        assert small_blocking_for(FP16_FP32).as_tuple == (64, 64, 64)
+        assert small_blocking_for(FP64).as_tuple == (32, 32, 16)
+
+    def test_memory_bound_dispatches_small(self, duo):
+        p = GemmProblem(256, 256, 256, dtype=FP16_FP32)
+        assert not p.is_compute_bound
+        assert duo.choose(p) == "small"
+
+    def test_compute_bound_dispatches_big(self, duo):
+        p = GemmProblem(4096, 4096, 4096, dtype=FP16_FP32)
+        assert p.is_compute_bound
+        assert duo.choose(p) == "big"
+
+    def test_unknown_dtype_rejected(self):
+        import dataclasses
+        weird = dataclasses.replace(FP64, name="fp128")
+        with pytest.raises(ConfigurationError):
+            small_blocking_for(weird)
+
+
+class TestBehaviour:
+    def test_identical_to_single_kernel_when_compute_bound(self, duo):
+        p = GemmProblem(4096, 4096, 4096, dtype=FP16_FP32)
+        assert duo.time_s(p) == pytest.approx(duo.big.time_s(p))
+
+    def test_helps_in_memory_bound_regime(self, duo):
+        """The whole point of the second kernel: sub-threshold shapes run
+        faster than the big-tile singleton would."""
+        wins = 0
+        for shape in [(256, 256, 256), (384, 256, 512), (512, 384, 384)]:
+            p = GemmProblem(*shape, dtype=FP16_FP32)
+            assert duo.choose(p) == "small"
+            if duo.time_s(p) < duo.big.time_s(p):
+                wins += 1
+        assert wins >= 2
+
+    def test_small_kernel_efficiency_honestly_derated(self, duo):
+        """The alternate blocking must NOT inherit the big tile's 99%
+        efficiency anchor (that would be cooking the books)."""
+        assert duo.small.cost.pipeline_efficiency < 0.7
+        assert duo.big.cost.pipeline_efficiency == pytest.approx(0.99, abs=1e-6)
+
+    def test_schedules_still_numerically_exact(self):
+        duo4 = StreamKDuoLibrary(HYPOTHETICAL_4SM, FP64)
+        p = GemmProblem(100, 90, 70, dtype=FP64)
+        sched = duo4.build_schedule(p)
+        sched.validate()
+        a, b = random_operands(p, 0)
+        assert np.allclose(sched.execute(a, b), reference_gemm(p, a, b))
+
+    def test_plan_reports_chosen_kernel(self, duo):
+        choice = duo.plan(GemmProblem(256, 256, 256, dtype=FP16_FP32))
+        assert choice.kernel == "small"
+        assert choice.time_s > 0
+        assert choice.plan.g >= 1

@@ -1,0 +1,103 @@
+"""Shipped Stream-K library tests: planning, scheduling, timing coherence."""
+
+import numpy as np
+import pytest
+
+from repro.gemm import FP16_FP32, FP64, GemmProblem, random_operands, reference_gemm
+from repro.gpu import A100, HYPOTHETICAL_4SM, Executor, KernelCostModel, one_wave_makespan
+from repro.ensembles import StreamKLibrary
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return StreamKLibrary(A100, FP16_FP32)
+
+
+@pytest.fixture(scope="module")
+def lib4():
+    return StreamKLibrary(HYPOTHETICAL_4SM, FP16_FP32)
+
+
+class TestPlanRegimes:
+    def test_perfect_quantization_plans_dp(self, lib):
+        # 108 * 128 = 13824 rows, 1 tile column -> t = 108 = p
+        p = GemmProblem(13824, 128, 1024, dtype=FP16_FP32)
+        plan = lib.plan(p)
+        assert plan.kind == "data_parallel"
+        assert plan.fixup_stores == 0
+        assert plan.k_aligned_fraction == 1.0
+
+    def test_small_problem_plans_basic_stream_k(self, lib):
+        p = GemmProblem(128, 128, 16384, dtype=FP16_FP32)
+        plan = lib.plan(p)
+        assert plan.kind == "basic_stream_k"
+        assert plan.g == 8  # the Figure 8c model optimum
+
+    def test_general_problem_plans_two_tile(self, lib):
+        p = GemmProblem(3000, 3000, 1024, dtype=FP16_FP32)
+        plan = lib.plan(p)
+        assert plan.kind == "two_tile"
+        assert plan.g == 108
+
+    def test_schedule_matches_plan(self, lib):
+        p = GemmProblem(3000, 3000, 256, dtype=FP16_FP32)
+        plan = lib.plan(p)
+        sched = lib.build_schedule(p)
+        assert sched.g == plan.g
+        assert sched.k_aligned_fraction == pytest.approx(plan.k_aligned_fraction)
+        assert sched.total_fixup_stores == plan.fixup_stores
+
+
+class TestTimingCoherence:
+    """The closed-form library timing must equal the event-simulated
+    timing of the schedule it plans."""
+
+    @pytest.mark.parametrize(
+        "m,n,k",
+        [
+            (384, 384, 128),    # two-tile regime on 4 SMs (t=9)
+            (128, 384, 256),    # t=3 < p: basic stream-k
+            (512, 128, 512),    # t=4 = p: data-parallel
+            (896, 384, 128),    # Figure 3 shape
+        ],
+    )
+    def test_makespan_matches_executor(self, lib4, m, n, k):
+        p = GemmProblem(m, n, k, dtype=FP16_FP32)
+        sched = lib4.build_schedule(p)
+        tasks = lib4.cost.build_tasks(sched)
+        ev = Executor(lib4.gpu.total_cta_slots).run(tasks).makespan
+        assert lib4.makespan_cycles(p) == pytest.approx(ev, rel=1e-9)
+
+    def test_time_includes_memory_and_launch(self, lib):
+        p = GemmProblem(256, 256, 256, dtype=FP16_FP32)
+        t = lib.time_s(p)
+        assert t > lib.gpu.launch_latency_s
+        assert lib.tflops(p) == pytest.approx(p.flops / t / 1e12)
+
+
+class TestNumericsThroughLibrary:
+    def test_planned_schedule_computes_correct_gemm(self, lib4):
+        p = GemmProblem(300, 200, 96, dtype=FP16_FP32)
+        sched = lib4.build_schedule(p)
+        sched.validate()
+        a, b = random_operands(p, 0)
+        out = sched.execute(a, b)
+        ref = reference_gemm(p, a, b)
+        assert np.allclose(out, ref, rtol=1e-2, atol=1e-1)
+
+    def test_fp64_library(self):
+        lib = StreamKLibrary(HYPOTHETICAL_4SM, FP64)
+        p = GemmProblem(200, 150, 100, dtype=FP64)
+        sched = lib.build_schedule(p)
+        a, b = random_operands(p, 1)
+        assert np.allclose(sched.execute(a, b), reference_gemm(p, a, b))
+
+
+class TestSingleKernelClaim:
+    def test_one_blocking_per_precision(self, lib):
+        """The library ships exactly one blocking: the dtype default."""
+        assert lib.blocking.as_tuple == FP16_FP32.default_blocking
+
+    def test_params_compiled_once(self, lib):
+        p1 = lib.params
+        assert lib.params is p1  # no re-calibration per call

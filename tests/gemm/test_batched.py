@@ -1,0 +1,75 @@
+"""Batched GEMM tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gemm import FP16_FP32, FP64, execute_batched, plan_batched
+from repro.gpu import HYPOTHETICAL_4SM
+
+
+class TestPlanBatched:
+    def test_flattened_geometry(self):
+        plan = plan_batched(16, 128, 64, 2048, FP16_FP32)
+        assert plan.flattened.m == 16 * 128
+        assert plan.total_flops == 16 * 2 * 128 * 64 * 2048
+
+    def test_batch_fills_machine_where_item_cannot(self):
+        """A one-tile item leaves 107 SMs idle; batching balances the
+        aggregate iteration space — work-centric scheduling one level up."""
+        plan = plan_batched(64, 128, 128, 2048, FP16_FP32)
+        assert plan.g > 32  # far more parallelism than one item's 1 tile
+
+    def test_unaligned_m_rejected(self):
+        with pytest.raises(ConfigurationError, match="multiple of BLK_M"):
+            plan_batched(4, 100, 64, 512, FP16_FP32)
+
+    def test_nonpositive_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_batched(0, 128, 64, 512, FP16_FP32)
+
+
+class TestExecuteBatched:
+    def test_shared_b(self):
+        plan = plan_batched(6, 64, 48, 80, FP64, gpu=HYPOTHETICAL_4SM)
+        rng = np.random.default_rng(0)
+        a = rng.random((6, 64, 80))
+        b = rng.random((80, 48))
+        out, time_s = execute_batched(plan, a, b, gpu=HYPOTHETICAL_4SM)
+        assert time_s > 0
+        for i in range(6):
+            assert np.allclose(out[i], a[i] @ b)
+
+    def test_per_item_b(self):
+        plan = plan_batched(3, 64, 32, 40, FP64, gpu=HYPOTHETICAL_4SM)
+        rng = np.random.default_rng(1)
+        a = rng.random((3, 64, 40))
+        b = rng.random((3, 40, 32))
+        out, _ = execute_batched(plan, a, b, gpu=HYPOTHETICAL_4SM)
+        for i in range(3):
+            assert np.allclose(out[i], a[i] @ b[i])
+
+    def test_shape_policing(self):
+        plan = plan_batched(3, 64, 32, 40, FP64, gpu=HYPOTHETICAL_4SM)
+        with pytest.raises(ConfigurationError):
+            execute_batched(plan, np.zeros((2, 64, 40)), np.zeros((40, 32)))
+        with pytest.raises(ConfigurationError):
+            execute_batched(plan, np.zeros((3, 64, 40)), np.zeros((40, 31)))
+        with pytest.raises(ConfigurationError):
+            execute_batched(plan, np.zeros((3, 64, 40)), np.zeros((2, 40, 32)))
+
+    def test_batched_amortizes_vs_sequential_items(self):
+        """One stacked launch beats launching the item kernel per element
+        (launch latency + quantization amortize)."""
+        from repro.ensembles import StreamKLibrary
+        from repro.gemm import GemmProblem
+        from repro.gpu import A100
+
+        plan = plan_batched(32, 128, 128, 1024, FP16_FP32, gpu=A100)
+        rng = np.random.default_rng(2)
+        a = rng.random((32, 128, 1024)).astype(np.float16)
+        b = rng.random((1024, 128)).astype(np.float16)
+        _, batched_time = execute_batched(plan, a, b, gpu=A100)
+        lib = StreamKLibrary(A100, FP16_FP32)
+        sequential = 32 * lib.time_s(GemmProblem(128, 128, 1024, dtype=FP16_FP32))
+        assert batched_time < sequential

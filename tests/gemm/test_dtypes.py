@@ -1,0 +1,110 @@
+"""Precision configuration tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gemm.dtypes import (
+    BF16_FP32,
+    DTYPE_CONFIGS,
+    FP16_FP32,
+    FP32,
+    FP64,
+    DtypeConfig,
+    get_dtype_config,
+)
+
+
+class TestPaperConfigurations:
+    def test_fp64_blocking_matches_paper(self):
+        assert FP64.default_blocking == (64, 64, 16)
+
+    def test_fp16_blocking_matches_paper(self):
+        assert FP16_FP32.default_blocking == (128, 128, 32)
+
+    def test_fp64_peak_matches_paper(self):
+        assert FP64.peak_tflops_a100 == pytest.approx(13.9)
+
+    def test_fp16_peak_matches_paper(self):
+        assert FP16_FP32.peak_tflops_a100 == pytest.approx(222.3)
+
+    def test_compute_bound_thresholds_match_paper(self):
+        assert FP64.compute_bound_ops_per_byte == 150.0
+        assert FP16_FP32.compute_bound_ops_per_byte == 400.0
+
+    def test_fp16_mixed_precision_dtypes(self):
+        assert FP16_FP32.input_dtype == np.dtype(np.float16)
+        assert FP16_FP32.accum_dtype == np.dtype(np.float32)
+
+    def test_fp64_element_sizes(self):
+        assert FP64.input_bytes == 8
+        assert FP64.output_bytes == 8
+
+    def test_fp16_element_sizes(self):
+        assert FP16_FP32.input_bytes == 2
+        assert FP16_FP32.output_bytes == 4
+
+    def test_bf16_storage_is_two_bytes(self):
+        assert BF16_FP32.input_bytes == 2
+
+
+class TestRegistry:
+    def test_all_configs_registered(self):
+        assert set(DTYPE_CONFIGS) == {"fp64", "fp16_fp32", "fp32", "bf16_fp32"}
+
+    @pytest.mark.parametrize("name", sorted(DTYPE_CONFIGS))
+    def test_lookup_roundtrip(self, name):
+        assert get_dtype_config(name).name == name
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ConfigurationError, match="fp64"):
+            get_dtype_config("fp8")
+
+
+class TestValidation:
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DtypeConfig(
+                name="bad",
+                input_dtype=np.dtype(np.float32),
+                accum_dtype=np.dtype(np.float32),
+                input_bytes=0,
+                output_bytes=4,
+                default_blocking=(64, 64, 16),
+                peak_tflops_a100=10.0,
+                compute_bound_ops_per_byte=100.0,
+            )
+
+    def test_bad_blocking_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DtypeConfig(
+                name="bad",
+                input_dtype=np.dtype(np.float32),
+                accum_dtype=np.dtype(np.float32),
+                input_bytes=4,
+                output_bytes=4,
+                default_blocking=(64, -1, 16),
+                peak_tflops_a100=10.0,
+                compute_bound_ops_per_byte=100.0,
+            )
+
+    def test_zero_peak_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DtypeConfig(
+                name="bad",
+                input_dtype=np.dtype(np.float32),
+                accum_dtype=np.dtype(np.float32),
+                input_bytes=4,
+                output_bytes=4,
+                default_blocking=(64, 64, 16),
+                peak_tflops_a100=0.0,
+                compute_bound_ops_per_byte=100.0,
+            )
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(AttributeError):
+            FP64.input_bytes = 4
+
+    def test_efficiency_exponent_defaults(self):
+        assert FP64.efficiency_exponent == 1.0
+        assert FP16_FP32.efficiency_exponent > 1.0

@@ -1,0 +1,81 @@
+"""Epilogue tests: StoreTile with alpha/beta and shape policing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gemm import (
+    FP64,
+    Blocking,
+    GemmProblem,
+    TileGrid,
+    mac_loop,
+    make_output,
+    random_operands,
+    store_tile,
+)
+
+
+def build(alpha=1.0, beta=0.0):
+    p = GemmProblem(20, 12, 9, dtype=FP64, alpha=alpha, beta=beta)
+    return TileGrid(p, Blocking(8, 8, 4))
+
+
+class TestStoreTile:
+    def test_plain_store(self):
+        grid = build()
+        a, b = random_operands(grid.problem, 0)
+        out = make_output(grid.problem)
+        for tile in range(grid.num_tiles):
+            acc = mac_loop(grid, a, b, tile, 0, grid.iters_per_tile)
+            store_tile(grid, out, tile, acc)
+        assert np.allclose(out, a @ b)
+
+    def test_alpha_scales(self):
+        grid = build(alpha=2.0)
+        a, b = random_operands(grid.problem, 1)
+        out = make_output(grid.problem)
+        for tile in range(grid.num_tiles):
+            acc = mac_loop(grid, a, b, tile, 0, grid.iters_per_tile)
+            store_tile(grid, out, tile, acc)
+        assert np.allclose(out, 2.0 * (a @ b))
+
+    def test_beta_reads_original_c(self):
+        grid = build(beta=0.5)
+        a, b = random_operands(grid.problem, 2)
+        c_in = np.full((20, 12), 4.0)
+        out = make_output(grid.problem)
+        for tile in range(grid.num_tiles):
+            acc = mac_loop(grid, a, b, tile, 0, grid.iters_per_tile)
+            store_tile(grid, out, tile, acc, c_in=c_in)
+        assert np.allclose(out, a @ b + 0.5 * c_in)
+
+    def test_beta_store_is_idempotent(self):
+        """Repeated stores must not re-accumulate beta*C (reads c_in, not out)."""
+        grid = build(beta=1.0)
+        a, b = random_operands(grid.problem, 3)
+        c_in = np.ones((20, 12))
+        out = make_output(grid.problem)
+        acc = mac_loop(grid, a, b, 0, 0, grid.iters_per_tile)
+        store_tile(grid, out, 0, acc, c_in=c_in)
+        first = out.copy()
+        store_tile(grid, out, 0, acc, c_in=c_in)
+        assert np.array_equal(out, first)
+
+    def test_wrong_accumulator_shape_rejected(self):
+        grid = build()
+        out = make_output(grid.problem)
+        with pytest.raises(ConfigurationError, match="extents"):
+            store_tile(grid, out, 0, np.zeros((4, 4)))
+
+    def test_beta_without_c_rejected(self):
+        grid = build(beta=1.0)
+        out = make_output(grid.problem)
+        with pytest.raises(ConfigurationError, match="C input"):
+            store_tile(grid, out, 0, np.zeros((8, 8)))
+
+    def test_make_output_dtype(self):
+        grid = build()
+        out = make_output(grid.problem)
+        assert out.shape == (20, 12)
+        assert out.dtype == grid.problem.dtype.accum_dtype

@@ -1,0 +1,84 @@
+"""Tile traversal tests: row-major identity and Morton Z-order."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gemm.linearize import (
+    MortonTraversal,
+    RowMajorTraversal,
+    get_traversal,
+    morton_decode,
+    morton_encode,
+)
+
+
+class TestMortonCodes:
+    @pytest.mark.parametrize(
+        "row,col,code",
+        [(0, 0, 0), (0, 1, 1), (1, 0, 2), (1, 1, 3), (0, 2, 4), (2, 0, 8), (3, 3, 15)],
+    )
+    def test_known_codes(self, row, col, code):
+        assert morton_encode(row, col) == code
+
+    @given(row=st.integers(0, 2**20), col=st.integers(0, 2**20))
+    def test_encode_decode_roundtrip(self, row, col):
+        assert morton_decode(morton_encode(row, col)) == (row, col)
+
+    @given(
+        a=st.tuples(st.integers(0, 1000), st.integers(0, 1000)),
+        b=st.tuples(st.integers(0, 1000), st.integers(0, 1000)),
+    )
+    def test_codes_injective(self, a, b):
+        if a != b:
+            assert morton_encode(*a) != morton_encode(*b)
+
+
+class TestTraversalBijection:
+    @given(tiles_m=st.integers(1, 12), tiles_n=st.integers(1, 12))
+    def test_row_major_is_identity(self, tiles_m, tiles_n):
+        tr = RowMajorTraversal(tiles_m, tiles_n)
+        assert tr.order() == list(range(tiles_m * tiles_n))
+
+    @given(tiles_m=st.integers(1, 12), tiles_n=st.integers(1, 12))
+    def test_morton_is_permutation(self, tiles_m, tiles_n):
+        tr = MortonTraversal(tiles_m, tiles_n)
+        order = tr.order()
+        assert sorted(order) == list(range(tiles_m * tiles_n))
+
+    @given(tiles_m=st.integers(1, 12), tiles_n=st.integers(1, 12), data=st.data())
+    def test_morton_position_inverse(self, tiles_m, tiles_n, data):
+        tr = MortonTraversal(tiles_m, tiles_n)
+        pos = data.draw(st.integers(0, tr.num_tiles - 1))
+        assert tr.position_of(tr.tile_at(pos)) == pos
+
+    def test_morton_square_locality(self):
+        """On a 4x4 grid the first four Z-order tiles form the top-left 2x2."""
+        tr = MortonTraversal(4, 4)
+        first_four = {tr.tile_at(p) for p in range(4)}
+        assert first_four == {0, 1, 4, 5}
+
+
+class TestFactoryAndErrors:
+    def test_factory_names(self):
+        assert isinstance(get_traversal("row_major", 2, 2), RowMajorTraversal)
+        assert isinstance(get_traversal("morton", 2, 2), MortonTraversal)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="morton"):
+            get_traversal("hilbert", 2, 2)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RowMajorTraversal(0, 4)
+
+    def test_position_out_of_range(self):
+        tr = RowMajorTraversal(2, 2)
+        with pytest.raises(ConfigurationError):
+            tr.tile_at(4)
+
+    def test_tile_out_of_range(self):
+        tr = MortonTraversal(2, 2)
+        with pytest.raises(ConfigurationError):
+            tr.position_of(-1)

@@ -1,0 +1,106 @@
+"""MacLoop tests: the associativity property every split relies on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gemm import (
+    FP64,
+    Blocking,
+    GemmProblem,
+    TileGrid,
+    mac_loop,
+    mac_loop_fragments,
+    random_operands,
+)
+
+
+@pytest.fixture
+def grid():
+    return TileGrid(GemmProblem(40, 24, 37, dtype=FP64), Blocking(16, 8, 4))
+
+
+@pytest.fixture
+def ab(grid):
+    return random_operands(grid.problem, 11)
+
+
+class TestMacLoop:
+    def test_full_range_equals_tile_product(self, grid, ab):
+        a, b = ab
+        for tile in range(grid.num_tiles):
+            ms, ns = grid.tile_extents(tile)
+            acc = mac_loop(grid, a, b, tile, 0, grid.iters_per_tile)
+            assert np.allclose(acc, a[ms, :] @ b[:, ns])
+
+    def test_empty_range_is_zero(self, grid, ab):
+        a, b = ab
+        acc = mac_loop(grid, a, b, 0, 3, 3)
+        assert acc.shape == (16, 8)
+        assert not acc.any()
+
+    def test_partition_sums_to_full(self, grid, ab):
+        """Associativity: any split of [0, iters) reassembles the tile."""
+        a, b = ab
+        ipt = grid.iters_per_tile
+        full = mac_loop(grid, a, b, 0, 0, ipt)
+        for cut in range(ipt + 1):
+            partial = mac_loop(grid, a, b, 0, 0, cut) + mac_loop(
+                grid, a, b, 0, cut, ipt
+            )
+            assert np.allclose(partial, full)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_property_multiway_partition(self, data):
+        # Built inline (not via fixtures): hypothesis reuses the test body
+        # across examples and function-scoped fixtures would not reset.
+        grid = TileGrid(GemmProblem(40, 24, 37, dtype=FP64), Blocking(16, 8, 4))
+        a, b = random_operands(grid.problem, 11)
+        ipt = grid.iters_per_tile
+        tile = data.draw(st.integers(0, grid.num_tiles - 1))
+        n_cuts = data.draw(st.integers(0, ipt))
+        cuts = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(0, ipt), min_size=n_cuts, max_size=n_cuts
+                )
+            )
+        )
+        bounds = [0] + cuts + [ipt]
+        acc = sum(
+            mac_loop(grid, a, b, tile, lo, hi)
+            for lo, hi in zip(bounds, bounds[1:])
+        )
+        assert np.allclose(acc, mac_loop(grid, a, b, tile, 0, ipt))
+
+    def test_edge_tile_shape_clamped(self, grid, ab):
+        a, b = ab
+        last = grid.num_tiles - 1
+        acc = mac_loop(grid, a, b, last, 0, grid.iters_per_tile)
+        ms, ns = grid.tile_extents(last)
+        assert acc.shape == (ms.stop - ms.start, ns.stop - ns.start)
+
+    def test_invalid_range_rejected(self, grid, ab):
+        a, b = ab
+        with pytest.raises(ConfigurationError):
+            mac_loop(grid, a, b, 0, 2, 1)
+        with pytest.raises(ConfigurationError):
+            mac_loop(grid, a, b, 0, 0, grid.iters_per_tile + 1)
+
+
+class TestFragmentVariant:
+    def test_matches_sliced_variant_bitwise_fp64(self, grid, ab):
+        a, b = ab
+        for tile in (0, grid.num_tiles - 1):
+            for lo, hi in [(0, grid.iters_per_tile), (2, 5), (6, 7)]:
+                sliced = mac_loop(grid, a, b, tile, lo, hi)
+                frag = mac_loop_fragments(grid, a, b, tile, lo, hi)
+                assert np.allclose(sliced, frag, rtol=1e-13)
+
+    def test_invalid_range_rejected(self, grid, ab):
+        a, b = ab
+        with pytest.raises(ConfigurationError):
+            mac_loop_fragments(grid, a, b, 0, -1, 2)

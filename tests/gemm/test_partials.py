@@ -1,0 +1,76 @@
+"""Partial-sum workspace protocol tests: flag discipline must be enforced."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gemm import PartialStore
+
+
+@pytest.fixture
+def store():
+    return PartialStore(4)
+
+
+class TestProtocol:
+    def test_store_signal_load_roundtrip(self, store):
+        acc = np.arange(6.0).reshape(2, 3)
+        store.store_partials(1, acc)
+        store.signal(1)
+        out = store.load_partials(1)
+        assert np.array_equal(out, acc)
+
+    def test_store_copies_buffer(self, store):
+        acc = np.ones((2, 2))
+        store.store_partials(0, acc)
+        acc[:] = 99.0
+        store.signal(0)
+        assert store.load_partials(0).max() == 1.0
+
+    def test_double_store_rejected(self, store):
+        store.store_partials(2, np.zeros((1, 1)))
+        with pytest.raises(SimulationError, match="twice"):
+            store.store_partials(2, np.zeros((1, 1)))
+
+    def test_signal_before_store_rejected(self, store):
+        with pytest.raises(SimulationError, match="before storing"):
+            store.signal(0)
+
+    def test_wait_unsignalled_rejected(self, store):
+        store.store_partials(3, np.zeros((1, 1)))
+        with pytest.raises(SimulationError, match="never signalled"):
+            store.wait(3)
+
+    def test_load_unsignalled_rejected(self, store):
+        store.store_partials(3, np.zeros((1, 1)))
+        with pytest.raises(SimulationError):
+            store.load_partials(3)
+
+    def test_slot_bounds(self, store):
+        with pytest.raises(SimulationError):
+            store.store_partials(4, np.zeros((1, 1)))
+        with pytest.raises(SimulationError):
+            store.wait(-1)
+
+
+class TestIntrospection:
+    def test_traffic_counters(self, store):
+        for slot in (0, 2):
+            store.store_partials(slot, np.zeros((2, 2)))
+            store.signal(slot)
+        store.load_partials(0)
+        assert store.stores == 2
+        assert store.loads == 1
+
+    def test_outstanding_lists_signalled_slots(self, store):
+        store.store_partials(1, np.zeros((1, 1)))
+        store.signal(1)
+        store.store_partials(2, np.zeros((1, 1)))  # stored, never signalled
+        assert store.outstanding() == [1]
+
+    def test_num_slots(self, store):
+        assert store.num_slots == 4
+
+    def test_negative_slot_count_rejected(self):
+        with pytest.raises(SimulationError):
+            PartialStore(-1)

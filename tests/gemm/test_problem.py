@@ -1,0 +1,84 @@
+"""GemmProblem accounting and validation tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gemm import FP16_FP32, FP64, GemmProblem
+
+
+class TestAccounting:
+    def test_macs_and_flops(self):
+        p = GemmProblem(3, 5, 7, dtype=FP64)
+        assert p.macs == 105
+        assert p.flops == 210
+
+    def test_input_bytes_fp64(self):
+        p = GemmProblem(4, 6, 8, dtype=FP64)
+        assert p.input_bytes == (4 * 8 + 8 * 6) * 8
+
+    def test_output_bytes_beta_zero(self):
+        p = GemmProblem(4, 6, 8, dtype=FP16_FP32)
+        assert p.output_bytes == 4 * 6 * 4
+
+    def test_output_bytes_beta_nonzero_doubles(self):
+        p = GemmProblem(4, 6, 8, dtype=FP16_FP32, beta=0.5)
+        assert p.output_bytes == 2 * 4 * 6 * 4
+
+    def test_ops_per_byte_known_value(self):
+        # 512-cube fp16: flops = 2*512^3; bytes = 2*512^2*2*2 + 512^2*4.
+        p = GemmProblem(512, 512, 512, dtype=FP16_FP32)
+        flops = 2 * 512**3
+        bytes_ = 2 * (512 * 512 * 2) + 512 * 512 * 4
+        assert p.ops_per_byte == pytest.approx(flops / bytes_)
+
+    def test_compute_bound_classification_boundary(self):
+        small = GemmProblem(128, 128, 128, dtype=FP16_FP32)
+        large = GemmProblem(4096, 4096, 4096, dtype=FP16_FP32)
+        assert not small.is_compute_bound
+        assert large.is_compute_bound
+
+    @given(
+        m=st.integers(1, 512),
+        n=st.integers(1, 512),
+        k=st.integers(1, 512),
+    )
+    def test_intensity_positive_and_bounded(self, m, n, k):
+        p = GemmProblem(m, n, k, dtype=FP64)
+        # 2mnk flops over at least max-operand bytes: intensity is finite
+        # and below the unreachable all-reuse bound min(m, n, k) * 2 / 8 +.
+        assert 0 < p.ops_per_byte < 2 * min(m, n, k)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -1])
+    @pytest.mark.parametrize("axis", ["m", "n", "k"])
+    def test_nonpositive_extent_rejected(self, axis, bad):
+        kwargs = {"m": 4, "n": 4, "k": 4}
+        kwargs[axis] = bad
+        with pytest.raises(ConfigurationError, match=axis):
+            GemmProblem(**kwargs)
+
+    def test_non_integer_extent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GemmProblem(4.5, 4, 4)
+
+    def test_bool_extent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GemmProblem(True, 4, 4)
+
+
+class TestConvenience:
+    def test_shape_tuple(self):
+        assert GemmProblem(2, 3, 4).shape == (2, 3, 4)
+
+    def test_with_dtype_preserves_geometry_and_scalars(self):
+        p = GemmProblem(2, 3, 4, dtype=FP16_FP32, alpha=2.0, beta=1.0)
+        q = p.with_dtype(FP64)
+        assert q.shape == p.shape
+        assert q.dtype is FP64
+        assert q.alpha == 2.0 and q.beta == 1.0
+
+    def test_default_dtype_is_fp16_fp32(self):
+        assert GemmProblem(2, 3, 4).dtype is FP16_FP32

@@ -1,0 +1,133 @@
+"""Reference GEMM tests: Algorithm 1 against the numpy oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gemm import (
+    FP16_FP32,
+    FP64,
+    Blocking,
+    GemmProblem,
+    cache_blocked_gemm,
+    random_operands,
+    reference_gemm,
+)
+
+
+class TestReferenceGemm:
+    def test_matches_numpy(self):
+        p = GemmProblem(13, 17, 19, dtype=FP64)
+        a, b = random_operands(p, 0)
+        assert np.allclose(reference_gemm(p, a, b), a @ b)
+
+    def test_alpha_beta(self):
+        p = GemmProblem(5, 6, 7, dtype=FP64, alpha=2.5, beta=-0.5)
+        a, b = random_operands(p, 0)
+        c = np.ones((5, 6))
+        expect = 2.5 * (a @ b) - 0.5 * c
+        assert np.allclose(reference_gemm(p, a, b, c), expect)
+
+    def test_upcasts_half_inputs(self):
+        p = GemmProblem(8, 8, 8, dtype=FP16_FP32)
+        a, b = random_operands(p, 0)
+        out = reference_gemm(p, a, b)
+        assert out.dtype == np.float64
+
+    def test_beta_without_c_rejected(self):
+        p = GemmProblem(4, 4, 4, dtype=FP64, beta=1.0)
+        a, b = random_operands(p, 0)
+        with pytest.raises(ConfigurationError):
+            reference_gemm(p, a, b)
+
+    @pytest.mark.parametrize(
+        "shape_a,shape_b",
+        [((5, 4), (4, 6)), ((4, 5), (5, 7))],
+    )
+    def test_wrong_operand_shapes_rejected(self, shape_a, shape_b):
+        p = GemmProblem(4, 6, 5, dtype=FP64)
+        a = np.zeros(shape_a)
+        b = np.zeros(shape_b)
+        if shape_a != (4, 5) or shape_b != (5, 6):
+            with pytest.raises(ConfigurationError):
+                reference_gemm(p, a, b)
+
+
+class TestCacheBlockedGemm:
+    """Paper Algorithm 1 must agree with the oracle on ragged shapes."""
+
+    @pytest.mark.parametrize(
+        "m,n,k,blk",
+        [
+            (16, 16, 16, (8, 8, 8)),  # exact multiples
+            (17, 19, 23, (8, 8, 8)),  # ragged everywhere
+            (5, 5, 5, (16, 16, 16)),  # blocking larger than problem
+            (64, 1, 100, (16, 16, 8)),  # degenerate n
+            (1, 64, 3, (16, 16, 8)),  # degenerate m
+        ],
+    )
+    def test_matches_reference_fp64(self, m, n, k, blk):
+        p = GemmProblem(m, n, k, dtype=FP64)
+        a, b = random_operands(p, 2)
+        out = cache_blocked_gemm(p, a, b, Blocking(*blk))
+        assert np.allclose(out, reference_gemm(p, a, b), rtol=1e-12)
+
+    def test_matches_reference_fp16(self):
+        p = GemmProblem(33, 29, 40, dtype=FP16_FP32)
+        a, b = random_operands(p, 3)
+        out = cache_blocked_gemm(p, a, b, Blocking(16, 16, 8))
+        ref = reference_gemm(p, a, b)
+        assert np.allclose(out, ref, rtol=1e-2, atol=1e-2)
+
+    def test_alpha_scaling(self):
+        p = GemmProblem(8, 8, 8, dtype=FP64, alpha=3.0)
+        a, b = random_operands(p, 4)
+        out = cache_blocked_gemm(p, a, b, Blocking(4, 4, 4))
+        assert np.allclose(out, 3.0 * (a.astype(np.float64) @ b))
+
+    def test_beta_accumulation(self):
+        p = GemmProblem(8, 8, 8, dtype=FP64, beta=2.0)
+        a, b = random_operands(p, 5)
+        c = np.full((8, 8), 1.5)
+        out = cache_blocked_gemm(p, a, b, Blocking(4, 4, 4), c=c)
+        assert np.allclose(out, a @ b + 2.0 * c)
+
+    def test_default_blocking_from_dtype(self):
+        p = GemmProblem(70, 70, 20, dtype=FP64)
+        a, b = random_operands(p, 6)
+        out = cache_blocked_gemm(p, a, b)  # uses 64x64x16
+        assert np.allclose(out, reference_gemm(p, a, b))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(1, 60),
+        n=st.integers(1, 60),
+        k=st.integers(1, 60),
+        bm=st.integers(1, 20),
+        bn=st.integers(1, 20),
+        bk=st.integers(1, 20),
+    )
+    def test_property_any_blocking_is_exact(self, m, n, k, bm, bn, bk):
+        p = GemmProblem(m, n, k, dtype=FP64)
+        a, b = random_operands(p, 7)
+        out = cache_blocked_gemm(p, a, b, Blocking(bm, bn, bk))
+        assert np.allclose(out, reference_gemm(p, a, b), rtol=1e-12, atol=1e-12)
+
+
+class TestRandomOperands:
+    def test_deterministic(self, small_problem):
+        a1, b1 = random_operands(small_problem, 42)
+        a2, b2 = random_operands(small_problem, 42)
+        assert np.array_equal(a1, a2) and np.array_equal(b1, b2)
+
+    def test_seed_changes_data(self, small_problem):
+        a1, _ = random_operands(small_problem, 1)
+        a2, _ = random_operands(small_problem, 2)
+        assert not np.array_equal(a1, a2)
+
+    def test_dtype_and_range(self, fp16_problem):
+        a, b = random_operands(fp16_problem, 0)
+        assert a.dtype == np.float16 and b.dtype == np.float16
+        assert float(np.abs(a).max()) <= 1.0

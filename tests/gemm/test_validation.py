@@ -1,0 +1,76 @@
+"""Result-validation tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gemm import (
+    FP16_FP32,
+    FP64,
+    GemmProblem,
+    max_relative_error,
+    random_operands,
+    reference_gemm,
+    validate_result,
+)
+
+
+class TestMaxRelativeError:
+    def test_zero_for_identical(self):
+        x = np.arange(12.0).reshape(3, 4)
+        assert max_relative_error(x, x) == 0.0
+
+    def test_scales_by_magnitude(self):
+        expected = np.full((2, 2), 100.0)
+        result = expected + 1.0
+        assert max_relative_error(result, expected) == pytest.approx(0.01)
+
+    def test_floor_near_zero(self):
+        expected = np.zeros((2, 2))
+        result = np.full((2, 2), 0.5)
+        assert max_relative_error(result, expected) == pytest.approx(0.5)
+
+    def test_empty_arrays(self):
+        assert max_relative_error(np.zeros((0, 3)), np.zeros((0, 3))) == 0.0
+
+
+class TestValidateResult:
+    def test_accepts_correct_fp64(self):
+        p = GemmProblem(10, 11, 12, dtype=FP64)
+        a, b = random_operands(p, 0)
+        err = validate_result(p, a @ b, a, b)
+        assert err < 1e-12
+
+    def test_accepts_correct_fp16_with_tolerance(self):
+        p = GemmProblem(32, 32, 200, dtype=FP16_FP32)
+        a, b = random_operands(p, 0)
+        out = (a.astype(np.float32) @ b.astype(np.float32)).astype(np.float32)
+        validate_result(p, out, a, b)
+
+    def test_rejects_wrong_result(self):
+        p = GemmProblem(8, 8, 8, dtype=FP64)
+        a, b = random_operands(p, 0)
+        wrong = a @ b + 1.0
+        with pytest.raises(ValidationError, match="max relative error"):
+            validate_result(p, wrong, a, b)
+
+    def test_rejects_wrong_shape(self):
+        p = GemmProblem(8, 8, 8, dtype=FP64)
+        a, b = random_operands(p, 0)
+        with pytest.raises(ValidationError, match="shape"):
+            validate_result(p, np.zeros((4, 4)), a, b)
+
+    def test_beta_path(self):
+        p = GemmProblem(6, 6, 6, dtype=FP64, beta=2.0)
+        a, b = random_operands(p, 0)
+        c = np.ones((6, 6))
+        out = reference_gemm(p, a, b, c)
+        validate_result(p, out, a, b, c)
+
+    def test_custom_tolerance(self):
+        p = GemmProblem(8, 8, 8, dtype=FP64)
+        a, b = random_operands(p, 0)
+        slightly_off = (a @ b) * (1 + 1e-6)
+        validate_result(p, slightly_off, a, b, rtol=1e-3)
+        with pytest.raises(ValidationError):
+            validate_result(p, slightly_off, a, b, rtol=1e-9)

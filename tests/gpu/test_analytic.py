@@ -1,0 +1,191 @@
+"""Closed-form makespan tests against the discrete-event executor.
+
+The corpus harness runs on these closed forms, so their agreement with the
+executor is the load-bearing guarantee of the whole evaluation: exact for
+data-parallel, persistent-DP, Stream-K, and the two-tile hybrid; bounded
+(documented approximation) for multi-wave fixed-split.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gemm import FP16_FP32, FP64, Blocking, GemmProblem, TileGrid
+from repro.gpu import (
+    A100,
+    HYPOTHETICAL_4SM,
+    Executor,
+    KernelCostModel,
+    basic_streamk_makespan,
+    data_parallel_makespan,
+    fixed_split_makespan,
+    one_wave_makespan,
+    persistent_dp_makespan,
+    two_tile_hybrid_makespan,
+)
+from repro.schedules import (
+    data_parallel_schedule,
+    dp_one_tile_schedule,
+    fixed_split_schedule,
+    persistent_data_parallel_schedule,
+    stream_k_schedule,
+    two_tile_schedule,
+)
+
+
+def grid_of(tiles_m, tiles_n, ipt, dtype=FP64):
+    p = GemmProblem(tiles_m * 16, tiles_n * 16, ipt * 8, dtype=dtype)
+    return TileGrid(p, Blocking(16, 16, 8))
+
+
+def executor_makespan(schedule, gpu, cost):
+    return Executor(gpu.total_cta_slots).run(cost.build_tasks(schedule)).makespan
+
+
+@pytest.fixture
+def gpu():
+    return HYPOTHETICAL_4SM
+
+
+@pytest.fixture
+def cost(gpu):
+    return KernelCostModel(gpu=gpu, blocking=Blocking(16, 16, 8), dtype=FP64)
+
+
+class TestDataParallelExact:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        tiles_m=st.integers(1, 10),
+        tiles_n=st.integers(1, 10),
+        ipt=st.integers(1, 20),
+    )
+    def test_matches_executor_exactly(self, tiles_m, tiles_n, ipt):
+        gpu = HYPOTHETICAL_4SM
+        grid = grid_of(tiles_m, tiles_n, ipt)
+        cost = KernelCostModel(gpu=gpu, blocking=grid.blocking, dtype=FP64)
+        ev = executor_makespan(data_parallel_schedule(grid), gpu, cost)
+        cf = data_parallel_makespan(grid.num_tiles, gpu.num_sms, ipt, cost)
+        assert cf == pytest.approx(ev, rel=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        tiles_m=st.integers(1, 8),
+        tiles_n=st.integers(1, 8),
+        ipt=st.integers(1, 15),
+    )
+    def test_persistent_dp_matches_executor(self, tiles_m, tiles_n, ipt):
+        gpu = HYPOTHETICAL_4SM
+        grid = grid_of(tiles_m, tiles_n, ipt)
+        cost = KernelCostModel(gpu=gpu, blocking=grid.blocking, dtype=FP64)
+        sched = persistent_data_parallel_schedule(grid, gpu.num_sms)
+        ev = executor_makespan(sched, gpu, cost)
+        cf = persistent_dp_makespan(grid.num_tiles, gpu.num_sms, ipt, cost)
+        assert cf == pytest.approx(ev, rel=1e-12)
+
+
+class TestStreamKExact:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        tiles_m=st.integers(1, 8),
+        tiles_n=st.integers(1, 8),
+        ipt=st.integers(1, 24),
+        g=st.integers(1, 4),
+    )
+    def test_basic_streamk_matches_executor(self, tiles_m, tiles_n, ipt, g):
+        gpu = HYPOTHETICAL_4SM
+        grid = grid_of(tiles_m, tiles_n, ipt)
+        cost = KernelCostModel(gpu=gpu, blocking=grid.blocking, dtype=FP64)
+        ev = executor_makespan(stream_k_schedule(grid, g), gpu, cost)
+        cf = basic_streamk_makespan(grid.num_tiles, g, ipt, cost)
+        assert cf == pytest.approx(ev, rel=1e-9)
+
+    def test_large_grid_on_a100(self):
+        gpu = A100
+        grid = TileGrid(
+            GemmProblem(512, 2048, 256, dtype=FP16_FP32), Blocking(128, 128, 32)
+        )
+        cost = KernelCostModel(gpu=gpu, blocking=grid.blocking, dtype=FP16_FP32)
+        for g in (7, 64, 107, 108):
+            ev = executor_makespan(stream_k_schedule(grid, g), gpu, cost)
+            cf = basic_streamk_makespan(grid.num_tiles, g, grid.iters_per_tile, cost)
+            assert cf == pytest.approx(ev, rel=1e-9), "g=%d" % g
+
+
+class TestTwoTileExact:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        tiles_m=st.integers(1, 10),
+        tiles_n=st.integers(1, 10),
+        ipt=st.integers(1, 24),
+    )
+    def test_matches_executor(self, tiles_m, tiles_n, ipt):
+        gpu = HYPOTHETICAL_4SM
+        grid = grid_of(tiles_m, tiles_n, ipt)
+        cost = KernelCostModel(gpu=gpu, blocking=grid.blocking, dtype=FP64)
+        ev = executor_makespan(two_tile_schedule(grid, gpu.num_sms), gpu, cost)
+        cf = two_tile_hybrid_makespan(grid.num_tiles, gpu.num_sms, ipt, cost)
+        assert cf == pytest.approx(ev, rel=1e-9)
+
+
+class TestOneWaveExact:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        tiles_m=st.integers(1, 6),
+        tiles_n=st.integers(1, 6),
+        ipt=st.integers(1, 16),
+        g=st.integers(1, 4),
+    )
+    def test_stream_k_one_wave(self, tiles_m, tiles_n, ipt, g):
+        gpu = HYPOTHETICAL_4SM
+        grid = grid_of(tiles_m, tiles_n, ipt)
+        cost = KernelCostModel(gpu=gpu, blocking=grid.blocking, dtype=FP64)
+        sched = stream_k_schedule(grid, g)
+        ev = executor_makespan(sched, gpu, cost)
+        cf = one_wave_makespan(sched, cost, gpu.total_cta_slots)
+        assert cf == pytest.approx(ev, rel=1e-12)
+
+    def test_dp_one_tile_one_wave(self, gpu, cost):
+        grid = grid_of(7, 3, 5)
+        sched = dp_one_tile_schedule(grid, gpu.num_sms)
+        ev = executor_makespan(sched, gpu, cost)
+        cf = one_wave_makespan(sched, cost, gpu.total_cta_slots)
+        assert cf == pytest.approx(ev, rel=1e-12)
+
+    def test_rejects_multiwave_grid(self, gpu, cost):
+        grid = grid_of(5, 5, 4)
+        sched = data_parallel_schedule(grid)  # 25 CTAs > 4 slots
+        with pytest.raises(ConfigurationError):
+            one_wave_makespan(sched, cost, gpu.total_cta_slots)
+
+
+class TestFixedSplitBounded:
+    """The one documented approximation: must stay within 25% of the
+    executor across a broad random sample."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        tiles_m=st.integers(1, 8),
+        tiles_n=st.integers(1, 8),
+        ipt=st.integers(1, 32),
+        s=st.sampled_from([2, 4, 8]),
+    )
+    def test_within_tolerance(self, tiles_m, tiles_n, ipt, s):
+        gpu = HYPOTHETICAL_4SM
+        grid = grid_of(tiles_m, tiles_n, ipt)
+        cost = KernelCostModel(gpu=gpu, blocking=grid.blocking, dtype=FP64)
+        ev = executor_makespan(fixed_split_schedule(grid, s), gpu, cost)
+        cf = fixed_split_makespan(grid.num_tiles, s, gpu.num_sms, ipt, cost)
+        assert abs(cf / ev - 1.0) < 0.30
+
+    def test_s1_is_exact_dp(self, gpu, cost):
+        grid = grid_of(5, 4, 7)
+        ev = executor_makespan(fixed_split_schedule(grid, 1), gpu, cost)
+        cf = fixed_split_makespan(grid.num_tiles, 1, gpu.num_sms, 7, cost)
+        assert cf == pytest.approx(ev, rel=1e-12)
+
+    def test_single_wave_is_exact(self, gpu, cost):
+        grid = grid_of(1, 2, 16)  # 2 tiles x s=2 = 4 CTAs = one wave
+        ev = executor_makespan(fixed_split_schedule(grid, 2), gpu, cost)
+        cf = fixed_split_makespan(2, 2, gpu.num_sms, 16, cost)
+        assert cf == pytest.approx(ev, rel=1e-12)

@@ -1,0 +1,99 @@
+"""Cache simulator tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import FragmentCache, SetAssociativeCache
+
+
+class TestFragmentCache:
+    def test_miss_then_hit(self):
+        c = FragmentCache(1024)
+        assert c.access("a", 100) == 100
+        assert c.access("a", 100) == 0
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        c = FragmentCache(300)
+        c.access("a", 100)
+        c.access("b", 100)
+        c.access("c", 100)
+        c.access("a", 100)  # refresh a; b is now LRU
+        assert c.access("d", 100) == 100  # evicts b
+        assert c.access("a", 100) == 0
+        assert c.access("b", 100) == 100  # b was evicted
+
+    def test_oversized_block_not_retained(self):
+        c = FragmentCache(100)
+        assert c.access("big", 500) == 500
+        assert c.occupied_bytes == 0
+        assert c.access("big", 500) == 500  # still a miss
+
+    def test_capacity_accounting(self):
+        c = FragmentCache(250)
+        c.access("a", 100)
+        c.access("b", 100)
+        assert c.occupied_bytes == 200
+        c.access("c", 100)  # evicts a
+        assert c.occupied_bytes == 200
+
+    def test_flush(self):
+        c = FragmentCache(1024)
+        c.access("a", 10)
+        c.flush()
+        assert c.access("a", 10) == 10
+
+    def test_zero_size_access_free(self):
+        c = FragmentCache(16)
+        assert c.access("x", 0) == 0
+        assert c.stats.accesses == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            FragmentCache(0)
+
+
+class TestSetAssociativeCache:
+    def test_line_granularity(self):
+        c = SetAssociativeCache(capacity_bytes=1 << 16, line_bytes=64, ways=4)
+        missed = c.access(addr=0, size=100)  # touches lines 0 and 1
+        assert missed == 128
+        assert c.access(addr=0, size=100) == 0
+
+    def test_way_conflict_eviction(self):
+        # 2 ways, 1 set: third distinct line evicts the LRU one.
+        c = SetAssociativeCache(capacity_bytes=128, line_bytes=64, ways=2)
+        assert c.num_sets == 1
+        c.access(0, 1)
+        c.access(64, 1)
+        c.access(128, 1)  # evicts line 0
+        assert c.access(0, 1) == 64
+
+    def test_set_mapping_spreads_conflicts(self):
+        c = SetAssociativeCache(capacity_bytes=4 * 64, line_bytes=64, ways=2)
+        assert c.num_sets == 2
+        # even lines -> set 0, odd lines -> set 1; no cross-set eviction
+        c.access(0, 1)
+        c.access(64, 1)
+        c.access(128, 1)
+        assert c.access(64, 1) == 0
+
+    def test_stats_totals(self):
+        c = SetAssociativeCache(capacity_bytes=1 << 12, line_bytes=64, ways=4)
+        c.access(0, 256)
+        c.access(0, 256)
+        assert c.stats.accesses == 8
+        assert c.stats.hit_rate == pytest.approx(0.5)
+        assert c.stats.total_bytes == 512
+
+    def test_flush(self):
+        c = SetAssociativeCache(capacity_bytes=1 << 12, line_bytes=64, ways=4)
+        c.access(0, 64)
+        c.flush()
+        assert c.access(0, 64) == 64
+
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(0, 64)
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(64, 64, ways=4)  # 1 line < 4 ways

@@ -1,0 +1,122 @@
+"""Kernel cost model tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gemm import FP16_FP32, FP64, Blocking, GemmProblem, TileGrid
+from repro.gpu import A100, HYPOTHETICAL_4SM, KernelCostModel, SegmentKind
+from repro.schedules import data_parallel_schedule, fixed_split_schedule, stream_k_schedule
+
+
+def model(blocking, dtype, gpu=A100):
+    return KernelCostModel(gpu=gpu, blocking=blocking, dtype=dtype)
+
+
+class TestEfficiencyCurve:
+    def test_shipped_blockings_hit_99_percent(self):
+        assert model(Blocking(64, 64, 16), FP64).pipeline_efficiency == pytest.approx(0.99, abs=1e-6)
+        assert model(Blocking(128, 128, 32), FP16_FP32).pipeline_efficiency == pytest.approx(0.99, abs=1e-6)
+
+    def test_smaller_tiles_less_efficient(self):
+        big = model(Blocking(128, 128, 32), FP16_FP32).pipeline_efficiency
+        small = model(Blocking(64, 64, 64), FP16_FP32).pipeline_efficiency
+        tiny = model(Blocking(32, 32, 32), FP16_FP32).pipeline_efficiency
+        assert tiny < small < big
+
+    def test_fp16_half_tiles_near_half_rate(self):
+        """q=2.8 anchors half-work tiles at ~48% of peak."""
+        eff = model(Blocking(64, 128, 32), FP16_FP32).pipeline_efficiency
+        assert 0.40 < eff < 0.60
+
+    def test_fp64_curve_is_gentler(self):
+        fp64_half = model(Blocking(32, 64, 16), FP64).pipeline_efficiency
+        fp16_half = model(Blocking(64, 128, 32), FP16_FP32).pipeline_efficiency
+        assert fp64_half > fp16_half
+
+    def test_bigger_than_default_saturates(self):
+        eff = model(Blocking(128, 256, 32), FP16_FP32).pipeline_efficiency
+        assert eff > 0.99
+
+
+class TestComponentCosts:
+    def test_cycles_per_iter_formula(self):
+        m = model(Blocking(128, 128, 32), FP16_FP32)
+        expect = 128 * 128 * 32 / (1024.0 * m.pipeline_efficiency)
+        assert m.cycles_per_iter == pytest.approx(expect)
+
+    def test_abcd_positive_and_consistent(self):
+        m = model(Blocking(64, 64, 16), FP64)
+        a, b, c, d = m.abcd()
+        assert a > 0 and b > 0 and c > 0 and d > 0
+        assert a == pytest.approx(m.prologue_cycles + m.store_tile_cycles)
+
+    def test_fixup_in_paper_band(self):
+        """Figure 8c implies d in (4c, 16c) for the fp16 blocking."""
+        m = model(Blocking(128, 128, 32), FP16_FP32)
+        assert 4 * m.cycles_per_iter < m.fixup_cycles_per_peer < 16 * m.cycles_per_iter
+
+    def test_tile_accum_bytes(self):
+        m = model(Blocking(128, 128, 32), FP16_FP32)
+        assert m.tile_accum_bytes == 128 * 128 * 4  # fp32 accumulators
+
+    def test_unknown_dtype_rate_fails_fast(self):
+        from repro.gemm.dtypes import DtypeConfig
+        import numpy as np
+        exotic = DtypeConfig(
+            name="fp8", input_dtype=np.dtype(np.float16),
+            accum_dtype=np.dtype(np.float32), input_bytes=1, output_bytes=4,
+            default_blocking=(128, 128, 64), peak_tflops_a100=400.0,
+            compute_bound_ops_per_byte=800.0,
+        )
+        with pytest.raises(ConfigurationError):
+            model(Blocking(128, 128, 64), exotic)
+
+
+class TestBuildTasks:
+    @pytest.fixture
+    def grid(self):
+        return TileGrid(GemmProblem(64, 48, 40, dtype=FP64), Blocking(16, 16, 8))
+
+    def test_data_parallel_tasks(self, grid):
+        m = model(grid.blocking, FP64, HYPOTHETICAL_4SM)
+        tasks = m.build_tasks(data_parallel_schedule(grid))
+        assert len(tasks) == grid.num_tiles
+        for t in tasks:
+            kinds = [s.kind for s in t.segments]
+            assert kinds == [
+                SegmentKind.PROLOGUE,
+                SegmentKind.COMPUTE,
+                SegmentKind.STORE_TILE,
+            ]
+
+    def test_fixed_split_owner_has_wait_fixup_pairs(self, grid):
+        m = model(grid.blocking, FP64, HYPOTHETICAL_4SM)
+        tasks = m.build_tasks(fixed_split_schedule(grid, 3))
+        owners = [t for t in tasks if any(s.kind is SegmentKind.FIXUP for s in t.segments)]
+        assert len(owners) == grid.num_tiles
+        for t in owners:
+            waits = [s for s in t.segments if s.kind is SegmentKind.WAIT]
+            fixes = [s for s in t.segments if s.kind is SegmentKind.FIXUP]
+            assert len(waits) == len(fixes) == 2
+
+    def test_contributor_signals_own_slot(self, grid):
+        m = model(grid.blocking, FP64, HYPOTHETICAL_4SM)
+        tasks = m.build_tasks(stream_k_schedule(grid, 3))
+        for t in tasks:
+            sig = t.signals_slot
+            if sig is not None:
+                assert sig == t.cta
+
+    def test_blocking_mismatch_rejected(self, grid):
+        m = model(Blocking(32, 32, 8), FP64, HYPOTHETICAL_4SM)
+        with pytest.raises(ConfigurationError, match="blocked"):
+            m.build_tasks(data_parallel_schedule(grid))
+
+    def test_compute_cycles_proportional_to_iters(self, grid):
+        m = model(grid.blocking, FP64, HYPOTHETICAL_4SM)
+        tasks = m.build_tasks(stream_k_schedule(grid, 5))
+        for task, item in zip(tasks, stream_k_schedule(grid, 5).work_items):
+            compute = sum(
+                s.cycles for s in task.segments if s.kind is SegmentKind.COMPUTE
+            )
+            assert compute == pytest.approx(m.cycles_per_iter * item.total_iters)

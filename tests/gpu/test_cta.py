@@ -1,0 +1,69 @@
+"""Timed CTA task validation tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import CtaTask, SegmentKind, TimedSegment
+
+
+class TestTimedSegment:
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimedSegment(SegmentKind.COMPUTE, -1.0)
+
+    def test_wait_requires_slot(self):
+        with pytest.raises(ConfigurationError):
+            TimedSegment(SegmentKind.WAIT, 0.0)
+
+    def test_fixup_requires_slot(self):
+        with pytest.raises(ConfigurationError):
+            TimedSegment(SegmentKind.FIXUP, 5.0)
+
+    def test_wait_has_no_intrinsic_cost(self):
+        with pytest.raises(ConfigurationError):
+            TimedSegment(SegmentKind.WAIT, 10.0, 1)
+
+
+class TestCtaTask:
+    def test_intrinsic_cycles_sum(self):
+        task = CtaTask(
+            cta=0,
+            segments=(
+                TimedSegment(SegmentKind.PROLOGUE, 10.0),
+                TimedSegment(SegmentKind.COMPUTE, 30.0),
+                TimedSegment(SegmentKind.WAIT, 0.0, 1),
+                TimedSegment(SegmentKind.FIXUP, 5.0, 1),
+            ),
+        )
+        assert task.intrinsic_cycles == pytest.approx(45.0)
+        assert task.wait_slots == (1,)
+
+    def test_double_signal_rejected(self):
+        with pytest.raises(ConfigurationError, match="at most one"):
+            CtaTask(
+                cta=0,
+                segments=(
+                    TimedSegment(SegmentKind.SIGNAL, 0.0, 0),
+                    TimedSegment(SegmentKind.SIGNAL, 0.0, 0),
+                ),
+            )
+
+    def test_signal_foreign_slot_rejected(self):
+        with pytest.raises(ConfigurationError, match="own slot"):
+            CtaTask(
+                cta=0,
+                segments=(TimedSegment(SegmentKind.SIGNAL, 0.0, 3),),
+            )
+
+    def test_signals_slot_default_is_own(self):
+        task = CtaTask(
+            cta=5, segments=(TimedSegment(SegmentKind.SIGNAL, 0.0),)
+        )
+        assert task.signals_slot == 5
+
+    def test_no_signal_returns_none(self):
+        assert CtaTask(cta=0, segments=()).signals_slot is None
+
+    def test_negative_cta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CtaTask(cta=-1, segments=())

@@ -1,0 +1,132 @@
+"""DRAM-traffic model tests: analytical model and cache-sim replay."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gemm import FP16_FP32, FP64, Blocking, GemmProblem, TileGrid
+from repro.gpu import (
+    A100,
+    HYPOTHETICAL_4SM,
+    AnalyticalMemoryModel,
+    CacheSimMemoryModel,
+    Executor,
+    KernelCostModel,
+)
+from repro.schedules import data_parallel_schedule, fixed_split_schedule, stream_k_schedule
+
+
+def setup(m, n, k, blk=(16, 16, 8), dtype=FP64, gpu=HYPOTHETICAL_4SM):
+    grid = TileGrid(GemmProblem(m, n, k, dtype=dtype), Blocking(*blk))
+    cost = KernelCostModel(gpu=gpu, blocking=grid.blocking, dtype=dtype)
+    return grid, cost, gpu
+
+
+class TestAnalyticalModel:
+    def test_compulsory_floor(self):
+        """Traffic never drops below one pass of inputs plus the output."""
+        grid, cost, gpu = setup(64, 64, 64)
+        tr = AnalyticalMemoryModel().traffic(data_parallel_schedule(grid), gpu, cost)
+        p = grid.problem
+        assert tr.input_a >= p.m * p.k * p.dtype.input_bytes
+        assert tr.input_b >= p.k * p.n * p.dtype.input_bytes
+        assert tr.output == p.m * p.n * p.dtype.output_bytes
+
+    def test_resident_problem_single_pass(self):
+        """A problem whose operands fit in L2 reads each input once."""
+        grid, cost, gpu = setup(64, 64, 64)
+        tr = AnalyticalMemoryModel().traffic(data_parallel_schedule(grid), gpu, cost)
+        p = grid.problem
+        assert tr.input_a == pytest.approx(
+            grid.tiles_m * 16 * p.k * p.dtype.input_bytes
+        )
+
+    def test_dp_has_no_partial_traffic(self):
+        grid, cost, gpu = setup(64, 64, 64)
+        tr = AnalyticalMemoryModel().traffic(data_parallel_schedule(grid), gpu, cost)
+        assert tr.partials == 0.0
+
+    def test_fixed_split_partials_scale_with_s(self):
+        grid, cost, gpu = setup(64, 64, 64)
+        model = AnalyticalMemoryModel()
+        t2 = model.traffic(fixed_split_schedule(grid, 2), gpu, cost).partials
+        t4 = model.traffic(fixed_split_schedule(grid, 4), gpu, cost).partials
+        assert t4 == pytest.approx(3 * t2)
+        # write + read per contributor
+        assert t2 == pytest.approx(grid.num_tiles * cost.tile_accum_bytes * 2)
+
+    def test_skew_costs_more_than_aligned_but_bounded(self):
+        """Large problem: skewed Stream-K pays more DRAM traffic than the
+        aligned DP wave, but no more than the 2x cap."""
+        grid, cost, gpu = setup(8192, 8192, 4096, blk=(128, 128, 32), dtype=FP16_FP32, gpu=A100)
+        model = AnalyticalMemoryModel()
+        dp = model.traffic(data_parallel_schedule(grid), gpu, cost)
+        sk = model.traffic(stream_k_schedule(grid, gpu.num_sms), gpu, cost)
+        aligned_inputs = dp.input_a + dp.input_b
+        skewed_inputs = sk.input_a + sk.input_b
+        assert skewed_inputs > aligned_inputs
+        assert skewed_inputs <= 2.0 * aligned_inputs + 1e-6
+
+    def test_beta_doubles_output_traffic(self):
+        grid, cost, gpu = setup(64, 64, 64)
+        p2 = dataclasses.replace(grid.problem, beta=1.0)
+        grid2 = TileGrid(p2, grid.blocking)
+        tr = AnalyticalMemoryModel().traffic(data_parallel_schedule(grid2), gpu, cost)
+        base = AnalyticalMemoryModel().traffic(data_parallel_schedule(grid), gpu, cost)
+        assert tr.output == pytest.approx(2 * base.output)
+
+    def test_breakdown_total(self):
+        grid, cost, gpu = setup(64, 64, 64)
+        tr = AnalyticalMemoryModel().traffic(fixed_split_schedule(grid, 2), gpu, cost)
+        assert tr.total == pytest.approx(
+            tr.input_a + tr.input_b + tr.output + tr.partials
+        )
+
+
+class TestCacheSimModel:
+    def _traffic(self, schedule, grid, cost, gpu):
+        trace = Executor(gpu.total_cta_slots).run(cost.build_tasks(schedule))
+        return CacheSimMemoryModel().traffic(schedule, gpu, cost, trace)
+
+    def test_small_problem_compulsory_only(self):
+        """Everything fits in L2: each fragment misses exactly once."""
+        grid, cost, gpu = setup(64, 48, 40)
+        tr = self._traffic(data_parallel_schedule(grid), grid, cost, gpu)
+        expect_a = grid.num_tiles // grid.tiles_n  # distinct tile rows...
+        # each (row, k-iter) A fragment missed once:
+        a_frags = grid.tiles_m * grid.iters_per_tile
+        assert tr.input_a == pytest.approx(a_frags * grid.fragment_bytes_a())
+
+    def test_skewed_schedule_misses_more_when_cache_tiny(self):
+        """With a tiny L2, a skewed Stream-K grid (tiles not divisible by
+        g, so every CTA runs at a different k offset) re-fetches fragments
+        the aligned persistent-DP schedule would have reused — the Section
+        5.2 cache argument, observed in the replayed fragment stream."""
+        from repro.schedules import persistent_data_parallel_schedule
+
+        gpu_tiny = dataclasses.replace(HYPOTHETICAL_4SM, l2_bytes=8 * 1024)
+        grid, cost, _ = setup(112, 96, 512, gpu=gpu_tiny)  # 42 tiles, g=4
+        aligned = self._traffic(
+            persistent_data_parallel_schedule(grid, 4), grid, cost, gpu_tiny
+        )
+        skewed = self._traffic(stream_k_schedule(grid, 4), grid, cost, gpu_tiny)
+        assert skewed.input_a + skewed.input_b > aligned.input_a + aligned.input_b
+
+    def test_wrong_trace_rejected(self):
+        grid, cost, gpu = setup(64, 48, 40)
+        sched_a = data_parallel_schedule(grid)
+        sched_b = stream_k_schedule(grid, 3)
+        trace_b = Executor(gpu.total_cta_slots).run(cost.build_tasks(sched_b))
+        with pytest.raises(ConfigurationError, match="does not belong"):
+            CacheSimMemoryModel().traffic(sched_a, gpu, cost, trace_b)
+
+    def test_agrees_with_analytical_on_resident_problem(self):
+        """When the whole problem is cache-resident both models should see
+        compulsory-only input traffic (within fragment padding)."""
+        grid, cost, gpu = setup(64, 48, 40)
+        sched = data_parallel_schedule(grid)
+        sim = self._traffic(sched, grid, cost, gpu)
+        ana = AnalyticalMemoryModel().traffic(sched, gpu, cost)
+        assert sim.input_a == pytest.approx(ana.input_a, rel=0.25)
+        assert sim.input_b == pytest.approx(ana.input_b, rel=0.25)

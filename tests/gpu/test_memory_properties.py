@@ -1,0 +1,86 @@
+"""Property-based tests of the DRAM-traffic models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gemm import FP16_FP32, FP64, Blocking, GemmProblem, TileGrid
+from repro.gpu import A100, AnalyticalMemoryModel, KernelCostModel
+from repro.schedules import (
+    data_parallel_schedule,
+    fixed_split_schedule,
+    stream_k_schedule,
+    two_tile_schedule,
+)
+
+
+@st.composite
+def grids(draw):
+    dtype = draw(st.sampled_from([FP64, FP16_FP32]))
+    blocking = Blocking(*dtype.default_blocking)
+    m = draw(st.integers(128, 4096))
+    n = draw(st.integers(128, 4096))
+    k = draw(st.integers(128, 4096))
+    return TileGrid(GemmProblem(m, n, k, dtype=dtype), blocking)
+
+
+class TestAnalyticalModelProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(grid=grids(), g=st.integers(1, 108))
+    def test_compulsory_floor_and_finiteness(self, grid, g):
+        """Input traffic is at least one (padded) pass and at most the
+        no-reuse upper bound; everything finite and non-negative."""
+        cost = KernelCostModel(
+            gpu=A100, blocking=grid.blocking, dtype=grid.problem.dtype
+        )
+        sched = stream_k_schedule(grid, g)
+        tr = AnalyticalMemoryModel().traffic(sched, A100, cost)
+        p = grid.problem
+        in_b = p.dtype.input_bytes
+        a_pass = grid.tiles_m * grid.blocking.blk_m * p.k * in_b
+        b_pass = grid.tiles_n * grid.blocking.blk_n * p.k * in_b
+        assert a_pass - 1e-6 <= tr.input_a <= a_pass * grid.tiles_n + 1e-6
+        assert b_pass - 1e-6 <= tr.input_b <= b_pass * grid.tiles_m + 1e-6
+        assert tr.partials >= 0 and np.isfinite(tr.total)
+
+    @settings(max_examples=40, deadline=None)
+    @given(grid=grids())
+    def test_hybrid_never_exceeds_basic_streamk_traffic(self, grid):
+        """The point of the two-tile hybrid: its aligned fraction can only
+        reduce input traffic relative to fully-skewed basic Stream-K."""
+        cost = KernelCostModel(
+            gpu=A100, blocking=grid.blocking, dtype=grid.problem.dtype
+        )
+        model = AnalyticalMemoryModel()
+        basic = model.traffic(stream_k_schedule(grid, A100.num_sms), A100, cost)
+        hybrid = model.traffic(two_tile_schedule(grid, A100.num_sms), A100, cost)
+        assert (
+            hybrid.input_a + hybrid.input_b
+            <= basic.input_a + basic.input_b + 1e-6
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(grid=grids(), s=st.integers(2, 8))
+    def test_partials_traffic_linear_in_contributors(self, grid, s):
+        cost = KernelCostModel(
+            gpu=A100, blocking=grid.blocking, dtype=grid.problem.dtype
+        )
+        sched = fixed_split_schedule(grid, s)
+        tr = AnalyticalMemoryModel().traffic(sched, A100, cost)
+        assert tr.partials == sched.total_fixup_stores * cost.tile_accum_bytes * 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(grid=grids())
+    def test_dp_is_the_traffic_floor_among_schedules(self, grid):
+        """Aligned, fixup-free data-parallel moves the least DRAM data."""
+        cost = KernelCostModel(
+            gpu=A100, blocking=grid.blocking, dtype=grid.problem.dtype
+        )
+        model = AnalyticalMemoryModel()
+        dp = model.traffic(data_parallel_schedule(grid), A100, cost).total
+        for sched in (
+            stream_k_schedule(grid, A100.num_sms),
+            fixed_split_schedule(grid, 4),
+            two_tile_schedule(grid, A100.num_sms),
+        ):
+            assert model.traffic(sched, A100, cost).total >= dp - 1e-6

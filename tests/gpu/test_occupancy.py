@@ -1,0 +1,48 @@
+"""Shared-memory occupancy tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gemm import FP16_FP32, FP64, Blocking
+from repro.gpu import (
+    A100,
+    estimate_occupancy,
+    max_streamk_grid,
+    smem_bytes_per_cta,
+)
+
+
+class TestSmemFootprint:
+    def test_fp16_shipped_blocking(self):
+        # 2 stages x (128*32 + 32*128) x 2 B = 32 KiB
+        assert smem_bytes_per_cta(Blocking(128, 128, 32), FP16_FP32) == 32768
+
+    def test_fp64_shipped_blocking(self):
+        # 2 stages x (64*16 + 16*64) x 8 B = 32 KiB
+        assert smem_bytes_per_cta(Blocking(64, 64, 16), FP64) == 32768
+
+
+class TestOccupancy:
+    def test_shipped_blockings_fit(self):
+        assert estimate_occupancy(Blocking(128, 128, 32), FP16_FP32) >= 1
+
+    def test_small_tiles_get_more_residency(self):
+        big = estimate_occupancy(Blocking(128, 128, 32), FP16_FP32)
+        small = estimate_occupancy(Blocking(32, 32, 32), FP16_FP32)
+        assert small > big
+
+    def test_oversized_blocking_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_occupancy(Blocking(1024, 1024, 64), FP16_FP32)
+
+    def test_hardware_cap(self):
+        assert estimate_occupancy(Blocking(8, 8, 8), FP64) <= 32
+
+
+class TestStreamKGridBound:
+    def test_bound_respects_gpu_occupancy(self):
+        assert max_streamk_grid(A100, Blocking(128, 128, 32), FP16_FP32) == 108
+
+    def test_bound_scales_with_sms(self):
+        half = A100.with_sms(54)
+        assert max_streamk_grid(half, Blocking(128, 128, 32), FP16_FP32) == 54

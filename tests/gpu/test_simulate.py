@@ -1,0 +1,96 @@
+"""End-to-end kernel simulation tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gemm import FP16_FP32, FP64, Blocking, GemmProblem, TileGrid
+from repro.gpu import A100, HYPOTHETICAL_4SM, simulate_kernel
+from repro.schedules import data_parallel_schedule, stream_k_schedule
+
+
+class TestKernelResult:
+    @pytest.fixture
+    def result(self):
+        grid = TileGrid(GemmProblem(384, 384, 128, dtype=FP16_FP32), Blocking(128, 128, 32))
+        return simulate_kernel(data_parallel_schedule(grid), HYPOTHETICAL_4SM)
+
+    def test_time_composition(self, result):
+        assert result.time_s == pytest.approx(
+            max(result.compute_time_s, result.memory_time_s)
+            + result.launch_latency_s
+        )
+
+    def test_tflops_consistent(self, result):
+        assert result.tflops == pytest.approx(result.flops / result.time_s / 1e12)
+
+    def test_percent_of_peak_bounded(self, result):
+        assert 0 < result.percent_of_peak <= 100.0
+
+    def test_bound_label(self, result):
+        assert result.bound in ("compute", "memory")
+
+    def test_trace_attached(self, result):
+        assert result.trace.ctas
+
+
+class TestFigure1Numbers:
+    """The canonical sanity anchor: Figure 1's utilization ceilings."""
+
+    def test_75_percent_ceiling(self):
+        grid = TileGrid(GemmProblem(384, 384, 128, dtype=FP16_FP32), Blocking(128, 128, 32))
+        res = simulate_kernel(data_parallel_schedule(grid), HYPOTHETICAL_4SM)
+        assert res.trace.utilization() == pytest.approx(0.75, abs=1e-9)
+
+    def test_90_percent_ceiling(self):
+        grid = TileGrid(GemmProblem(384, 384, 128, dtype=FP16_FP32), Blocking(128, 64, 32))
+        res = simulate_kernel(data_parallel_schedule(grid), HYPOTHETICAL_4SM)
+        assert res.trace.utilization() == pytest.approx(0.90, abs=1e-9)
+
+    def test_stream_k_near_perfect(self):
+        grid = TileGrid(GemmProblem(384, 384, 128, dtype=FP16_FP32), Blocking(128, 128, 32))
+        res = simulate_kernel(stream_k_schedule(grid, 4), HYPOTHETICAL_4SM)
+        assert res.trace.utilization() > 0.93
+
+
+class TestMemoryModels:
+    def test_both_models_run(self):
+        grid = TileGrid(GemmProblem(96, 96, 64, dtype=FP64), Blocking(16, 16, 8))
+        sched = stream_k_schedule(grid, 4)
+        ana = simulate_kernel(sched, HYPOTHETICAL_4SM, memory_model="analytical")
+        sim = simulate_kernel(sched, HYPOTHETICAL_4SM, memory_model="cache_sim")
+        assert ana.traffic.total > 0 and sim.traffic.total > 0
+
+    def test_unknown_model_rejected(self):
+        grid = TileGrid(GemmProblem(32, 32, 32, dtype=FP64), Blocking(16, 16, 8))
+        with pytest.raises(ConfigurationError):
+            simulate_kernel(data_parallel_schedule(grid), A100, memory_model="psychic")
+
+    def test_validate_flag_checks_schedule(self):
+        grid = TileGrid(GemmProblem(32, 32, 32, dtype=FP64), Blocking(16, 16, 8))
+        simulate_kernel(data_parallel_schedule(grid), A100, validate=True)
+
+
+class TestPhysicalSanity:
+    def test_big_square_gemm_near_peak(self):
+        """A large well-quantized GEMM should reach >90% of peak."""
+        grid = TileGrid(
+            GemmProblem(8192, 8192, 4096, dtype=FP16_FP32), Blocking(128, 128, 32)
+        )
+        # 64x64 = 4096 tiles on 108 SMs -> ~38 waves: tiny quantization loss
+        res = simulate_kernel(data_parallel_schedule(grid), A100)
+        assert res.percent_of_peak > 85.0
+
+    def test_tiny_problem_is_memory_or_launch_bound(self):
+        grid = TileGrid(GemmProblem(128, 128, 128, dtype=FP16_FP32), Blocking(128, 128, 32))
+        res = simulate_kernel(data_parallel_schedule(grid), A100)
+        assert res.percent_of_peak < 10.0
+
+    def test_sparse_grid_gets_less_bandwidth(self):
+        """One-CTA grids cannot saturate HBM: memory time reflects the
+        per-SM bandwidth cap."""
+        grid = TileGrid(GemmProblem(128, 128, 8192, dtype=FP16_FP32), Blocking(128, 128, 32))
+        res = simulate_kernel(data_parallel_schedule(grid), A100)
+        expected_bw = A100.sm_max_bandwidth  # g = 1
+        assert res.memory_time_s == pytest.approx(
+            res.traffic.total / expected_bw
+        )

@@ -1,0 +1,105 @@
+"""GpuSpec tests: the paper's hardware numbers must fall out exactly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gemm import FP16_FP32, FP32, FP64
+from repro.gpu import A100, GPU_PRESETS, HYPOTHETICAL_4SM, GpuSpec, get_gpu
+
+
+class TestA100MatchesPaper:
+    def test_sm_count(self):
+        assert A100.num_sms == 108
+
+    def test_locked_clock(self):
+        assert A100.clock_hz == pytest.approx(1.005e9)
+
+    def test_fp64_peak_is_13_9_tflops(self):
+        assert A100.peak_tflops(FP64) == pytest.approx(13.9, rel=1e-3)
+
+    def test_fp16_peak_is_222_3_tflops(self):
+        assert A100.peak_tflops(FP16_FP32) == pytest.approx(222.3, rel=1e-3)
+
+    def test_tensor_core_rates(self):
+        assert A100.mac_rate(FP64) == 64.0
+        assert A100.mac_rate(FP16_FP32) == 1024.0
+
+
+class TestDerivedQuantities:
+    def test_bytes_per_cycle_per_sm(self):
+        expect = A100.dram_bandwidth / (108 * 1.005e9)
+        assert A100.bytes_per_cycle_per_sm == pytest.approx(expect)
+
+    def test_total_cta_slots(self):
+        assert A100.total_cta_slots == 108 * A100.occupancy
+
+    def test_achieved_bandwidth_scales_then_saturates(self):
+        one = A100.achieved_bandwidth(1)
+        assert one == pytest.approx(A100.sm_max_bandwidth)
+        assert A100.achieved_bandwidth(2) == pytest.approx(2 * one)
+        assert A100.achieved_bandwidth(10_000) == A100.dram_bandwidth
+
+    def test_achieved_bandwidth_floor_at_one_cta(self):
+        assert A100.achieved_bandwidth(0) == pytest.approx(A100.sm_max_bandwidth)
+
+    def test_achieved_bandwidth_vectorized(self):
+        g = np.array([1, 4, 500])
+        bw = A100.achieved_bandwidth(g)
+        assert bw.shape == (3,)
+        assert bw[-1] == A100.dram_bandwidth
+
+    def test_with_sms_scales_bandwidth(self):
+        half = A100.with_sms(54)
+        assert half.num_sms == 54
+        assert half.dram_bandwidth == pytest.approx(A100.dram_bandwidth / 2)
+        assert half.peak_tflops(FP64) == pytest.approx(13.9 / 2, rel=1e-3)
+
+
+class TestPresetsAndErrors:
+    def test_presets_registered(self):
+        assert set(GPU_PRESETS) == {"a100", "hypothetical_4sm"}
+        assert get_gpu("a100") is A100
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError):
+            get_gpu("h100")
+
+    def test_4sm_gpu_has_4_sms(self):
+        assert HYPOTHETICAL_4SM.num_sms == 4
+
+    def test_unknown_dtype_rate_raises(self):
+        gpu = GpuSpec(
+            name="tiny",
+            num_sms=1,
+            clock_hz=1e9,
+            macs_per_sm_per_cycle={"fp64": 4.0},
+            dram_bandwidth=1e11,
+            l2_bytes=1 << 20,
+        )
+        with pytest.raises(ConfigurationError, match="fp16_fp32"):
+            gpu.mac_rate(FP16_FP32)
+        assert gpu.mac_rate(FP64) == 4.0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_sms", 0),
+            ("clock_hz", -1.0),
+            ("dram_bandwidth", 0.0),
+            ("l2_line_bytes", 0),
+            ("occupancy", 0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        kwargs = dict(
+            name="bad",
+            num_sms=4,
+            clock_hz=1e9,
+            macs_per_sm_per_cycle={"fp64": 4.0},
+            dram_bandwidth=1e11,
+            l2_bytes=1 << 20,
+        )
+        kwargs[field] = value
+        with pytest.raises(ConfigurationError):
+            GpuSpec(**kwargs)

@@ -1,0 +1,75 @@
+"""Trace rendering and occupancy-aware execution tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.gemm import FP16_FP32, FP64, Blocking, GemmProblem, TileGrid
+from repro.gpu import (
+    HYPOTHETICAL_4SM,
+    Executor,
+    ExecutionTrace,
+    KernelCostModel,
+    max_streamk_grid,
+)
+from repro.schedules import data_parallel_schedule, fixed_split_schedule, stream_k_schedule
+
+
+def trace_of(sched, gpu):
+    cost = KernelCostModel(
+        gpu=gpu, blocking=sched.grid.blocking, dtype=sched.grid.problem.dtype
+    )
+    return Executor(gpu.total_cta_slots).run(cost.build_tasks(sched))
+
+
+class TestRenderAscii:
+    @pytest.fixture
+    def grid(self):
+        return TileGrid(GemmProblem(384, 384, 128, dtype=FP16_FP32), Blocking(128, 128, 32))
+
+    def test_one_row_per_slot(self, grid):
+        art = trace_of(data_parallel_schedule(grid), HYPOTHETICAL_4SM).render_ascii()
+        lines = art.splitlines()
+        assert len(lines) == 4
+        assert all(line.startswith("SM") for line in lines)
+
+    def test_quantization_visible_as_idle(self, grid):
+        """9 tiles on 4 SMs: three rows end busy, one row's last third is
+        idle — Figure 1a in ASCII."""
+        art = trace_of(data_parallel_schedule(grid), HYPOTHETICAL_4SM).render_ascii(width=60)
+        idle_tails = sum(1 for line in art.splitlines() if line.rstrip("|").endswith("."))
+        assert idle_tails == 3  # three slots idle in the last wave
+
+    def test_waits_marked(self, grid):
+        sched = fixed_split_schedule(grid, 2)
+        art = trace_of(sched, HYPOTHETICAL_4SM).render_ascii(width=120)
+        assert "~" in art
+
+    def test_empty_trace(self):
+        art = ExecutionTrace(num_sm_slots=2).render_ascii(width=10)
+        assert art.splitlines() == ["SM0   |..........|", "SM1   |..........|"]
+
+
+class TestOccupancyGreaterThanOne:
+    def test_double_occupancy_doubles_slots_and_halves_waves(self):
+        gpu1 = HYPOTHETICAL_4SM
+        gpu2 = dataclasses.replace(HYPOTHETICAL_4SM, occupancy=2)
+        grid = TileGrid(GemmProblem(256, 128, 160, dtype=FP64), Blocking(16, 16, 8))
+        sched = data_parallel_schedule(grid)  # 128 tiles
+        t1 = trace_of(sched, gpu1)
+        t2 = trace_of(sched, gpu2)
+        assert gpu2.total_cta_slots == 8
+        assert t2.makespan == pytest.approx(t1.makespan / 2)
+
+    def test_streamk_grid_bound_scales_with_occupancy(self):
+        gpu2 = dataclasses.replace(HYPOTHETICAL_4SM, occupancy=2)
+        assert max_streamk_grid(gpu2, Blocking(64, 64, 16), FP64) == 8
+
+    def test_streamk_uses_extra_residency(self):
+        """A Stream-K grid sized to occupancy-2 residency executes without
+        deadlock and in a single wave."""
+        gpu2 = dataclasses.replace(HYPOTHETICAL_4SM, occupancy=2)
+        grid = TileGrid(GemmProblem(64, 64, 512, dtype=FP64), Blocking(16, 16, 8))
+        sched = stream_k_schedule(grid, 8)
+        trace = trace_of(sched, gpu2)
+        assert all(rec.start == 0.0 for rec in trace.ctas)

@@ -1,0 +1,52 @@
+"""Artifact IO tests."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import timings_to_rows, write_csv, write_json
+from repro.metrics import relative_performance
+
+
+class TestWriteJson:
+    def test_numpy_and_stats_serialized(self, tmp_path):
+        rp = relative_performance(np.array([2.0]), np.array([1.0]))
+        payload = {"stats": rp, "curve": np.arange(3), "n": np.int64(5)}
+        path = write_json(str(tmp_path / "out.json"), payload)
+        data = json.load(open(path))
+        assert data["stats"]["average"] == 2.0
+        assert data["curve"] == [0, 1, 2]
+        assert data["n"] == 5
+
+    def test_nested_structures(self, tmp_path):
+        path = write_json(
+            str(tmp_path / "deep.json"), {"a": [{"b": np.float64(1.5)}]}
+        )
+        assert json.load(open(path)) == {"a": [{"b": 1.5}]}
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(
+            str(tmp_path / "t.csv"), ["x", "y"], [[1, 2.5], [3, 4.5]]
+        )
+        rows = list(csv.reader(open(path)))
+        assert rows[0] == ["x", "y"]
+        assert rows[1] == ["1", "2.5"]
+
+    def test_row_width_checked(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv(str(tmp_path / "t.csv"), ["x", "y"], [[1]])
+
+
+class TestTimingsToRows:
+    def test_tabulation(self):
+        shapes = np.array([[128, 256, 512], [64, 64, 64]])
+        headers, rows = timings_to_rows(
+            shapes, streamk=np.array([1e-5, 2e-5]), cublas=np.array([2e-5, 3e-5])
+        )
+        assert headers == ["m", "n", "k", "streamk", "cublas"]
+        assert rows[0] == [128, 256, 512, 1e-5, 2e-5]

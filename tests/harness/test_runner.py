@@ -1,0 +1,61 @@
+"""Single-problem runner tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gemm import FP64, Blocking, GemmProblem, TileGrid
+from repro.gpu import HYPOTHETICAL_4SM
+from repro.harness import run_decomposition, run_schedule
+from repro.schedules import DataParallel, StreamK, data_parallel_schedule
+
+
+@pytest.fixture
+def grid():
+    return TileGrid(GemmProblem(96, 64, 48, dtype=FP64), Blocking(16, 16, 8))
+
+
+class TestRunSchedule:
+    def test_validated_numeric_run(self, grid):
+        run = run_schedule(data_parallel_schedule(grid), HYPOTHETICAL_4SM)
+        assert run.max_rel_error is not None and run.max_rel_error < 1e-12
+        assert run.time_s > 0
+        assert 0 < run.quantization_efficiency <= 1.0
+
+    def test_timing_only_skips_numerics(self, grid):
+        run = run_schedule(
+            data_parallel_schedule(grid), HYPOTHETICAL_4SM, execute_numeric=False
+        )
+        assert run.max_rel_error is None
+
+    def test_summary_readable(self, grid):
+        run = run_schedule(data_parallel_schedule(grid), HYPOTHETICAL_4SM)
+        text = run.summary()
+        assert "TFLOP/s" in text and "validated" in text
+
+    def test_invalid_schedule_rejected(self, grid):
+        from repro.schedules import CtaWorkItem, Schedule, SegmentRole, TileSegment
+        bad = Schedule(
+            name="bad",
+            grid=grid,
+            work_items=(
+                CtaWorkItem(0, (TileSegment(0, 0, 1, SegmentRole.OWNER),)),
+            ),
+        )
+        with pytest.raises(ConfigurationError):
+            run_schedule(bad, HYPOTHETICAL_4SM)
+
+
+class TestRunDecomposition:
+    def test_default_blocking_from_dtype(self):
+        p = GemmProblem(128, 128, 64, dtype=FP64)
+        run = run_decomposition(DataParallel(), p, HYPOTHETICAL_4SM)
+        assert run.schedule_name == "data_parallel"
+        assert run.g == 4  # ceil(128/64)^2 tiles
+
+    def test_custom_blocking(self, grid):
+        p = grid.problem
+        run = run_decomposition(
+            StreamK(g=4), p, HYPOTHETICAL_4SM, blocking=grid.blocking
+        )
+        assert run.g == 4
+        assert run.max_rel_error < 1e-12

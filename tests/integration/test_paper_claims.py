@@ -1,0 +1,142 @@
+"""Integration tests of the paper's headline claims on a reduced corpus.
+
+These are the "does the reproduction reproduce" tests: each asserts a
+directional claim from the paper's evaluation over a 2,000-shape subset of
+the corpus (the full 32,824 sweep runs in the benchmark harness and is
+recorded in EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusSpec, compute_bound_mask, generate_corpus
+from repro.gemm import FP16_FP32, FP64
+from repro.gpu import A100
+from repro.harness import evaluate_corpus
+from repro.metrics import (
+    band_width,
+    relative_performance,
+    roofline_points,
+    slowdown_fraction,
+)
+
+SPEC = CorpusSpec(size=2000)
+
+
+@pytest.fixture(scope="module")
+def shapes():
+    return generate_corpus(SPEC)
+
+
+@pytest.fixture(scope="module")
+def fp64(shapes):
+    return evaluate_corpus(shapes, FP64, A100)
+
+
+@pytest.fixture(scope="module")
+def fp16(shapes):
+    return evaluate_corpus(shapes, FP16_FP32, A100)
+
+
+class TestTable1FP64:
+    """Paper: avg 1.23x / 1.06x / 1.03x / 1.05x; CB min 0.99x."""
+
+    def test_beats_singleton_on_average(self, fp64):
+        rp = relative_performance(fp64.singleton, fp64.streamk)
+        assert rp.average > 1.1
+
+    def test_large_strong_scaling_tail_vs_singleton(self, fp64):
+        rp = relative_performance(fp64.singleton, fp64.streamk)
+        assert rp.maximum > 3.0
+
+    def test_beats_cublas_on_average(self, fp64):
+        rp = relative_performance(fp64.cublas, fp64.streamk)
+        assert rp.average > 1.0
+
+    def test_matches_or_beats_oracle_on_average(self, fp64):
+        rp = relative_performance(fp64.oracle, fp64.streamk)
+        assert rp.average > 1.0
+
+    def test_compute_bound_virtually_no_slowdowns(self, fp64, shapes):
+        cb = compute_bound_mask(shapes, FP64)
+        rp = relative_performance(fp64.cublas[cb], fp64.streamk[cb])
+        assert rp.minimum > 0.95
+        assert slowdown_fraction(fp64.cublas[cb], fp64.streamk[cb], tol=0.02) < 0.02
+
+    def test_never_catastrophic_vs_singleton(self, fp64):
+        rp = relative_performance(fp64.singleton, fp64.streamk)
+        assert rp.minimum > 0.7  # paper: 0.77
+
+
+class TestTable2FP16:
+    """Paper: avg 1.63x / 1.13x / 1.15x / 1.12x.  Our simulator weights the
+    memory-bound small-shape regime more heavily (see EXPERIMENTS.md), so
+    the all-problems columns are asserted directionally and the
+    compute-bound column quantitatively."""
+
+    def test_beats_singleton_on_average(self, fp16):
+        rp = relative_performance(fp16.singleton, fp16.streamk)
+        assert rp.average > 1.05
+
+    def test_compute_bound_beats_cublas(self, fp16, shapes):
+        cb = compute_bound_mask(shapes, FP16_FP32)
+        rp = relative_performance(fp16.cublas[cb], fp16.streamk[cb])
+        assert rp.average > 1.05  # paper: 1.15
+        assert rp.minimum > 0.85  # paper: 0.98
+
+    def test_compute_bound_beats_oracle(self, fp16, shapes):
+        cb = compute_bound_mask(shapes, FP16_FP32)
+        rp = relative_performance(fp16.oracle[cb], fp16.streamk[cb])
+        assert rp.average > 1.0  # paper: 1.12 overall
+
+    def test_losses_confined_to_memory_bound_regime(self, fp16, shapes):
+        """Sub-threshold shapes are where Stream-K may lose (paper Sec 6:
+        'noisy relative performance in the regimes below these
+        thresholds')."""
+        cb = compute_bound_mask(shapes, FP16_FP32)
+        deep_losses = fp16.streamk > 1.25 * fp16.oracle
+        assert not (deep_losses & cb).any()
+
+
+class TestRooflineBands:
+    """Figures 5/6: Stream-K's utilization band is the narrowest."""
+
+    def test_fp16_band_ordering(self, fp16, shapes):
+        widths = {}
+        for name, times in (
+            ("singleton", fp16.singleton),
+            ("cublas", fp16.cublas),
+            ("oracle", fp16.oracle),
+            ("streamk", fp16.streamk),
+        ):
+            i, p = roofline_points(shapes, times, A100, FP16_FP32)
+            widths[name] = band_width(i, p)
+        assert widths["streamk"] < widths["singleton"]
+        assert widths["streamk"] < widths["cublas"]
+
+    def test_fp64_streamk_narrower_than_singleton(self, fp64, shapes):
+        i_s, p_s = roofline_points(shapes, fp64.singleton, A100, FP64)
+        i_k, p_k = roofline_points(shapes, fp64.streamk, A100, FP64)
+        assert band_width(i_k, p_k) < band_width(i_s, p_s)
+
+    def test_oracle_tighter_than_cublas_like(self, fp16, shapes):
+        """The selection-heuristic penalty: same blockings, wider band."""
+        i_c, p_c = roofline_points(shapes, fp16.cublas, A100, FP16_FP32)
+        i_o, p_o = roofline_points(shapes, fp16.oracle, A100, FP16_FP32)
+        assert band_width(i_o, p_o) <= band_width(i_c, p_c) * 1.05
+
+
+class TestStrongScaling:
+    """The peak-speedup regime: small m x n, large k."""
+
+    def test_fp64_strong_scaling_speedups(self):
+        shapes = np.array([[128, 128, 8192], [128, 256, 8192], [192, 128, 4096]])
+        res = evaluate_corpus(shapes, FP64, A100)
+        speedup = res.singleton / res.streamk
+        assert (speedup > 2.0).all()
+
+    def test_fp16_strong_scaling_speedups(self):
+        shapes = np.array([[128, 128, 8192], [256, 128, 8192]])
+        res = evaluate_corpus(shapes, FP16_FP32, A100)
+        speedup = res.singleton / res.streamk
+        assert (speedup > 1.5).all()

@@ -1,0 +1,60 @@
+"""Quantization-efficiency metric tests — the Figure 1/2 arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gemm import FP16_FP32, Blocking, GemmProblem, TileGrid
+from repro.metrics import iteration_makespan, quantization_efficiency, wave_count
+from repro.schedules import (
+    data_parallel_schedule,
+    fixed_split_schedule,
+    stream_k_schedule,
+    two_tile_schedule,
+)
+
+
+@pytest.fixture
+def fig1_grid():
+    return TileGrid(GemmProblem(384, 384, 128, dtype=FP16_FP32), Blocking(128, 128, 32))
+
+
+class TestPaperNumbers:
+    def test_fig1a_75_percent(self, fig1_grid):
+        sched = data_parallel_schedule(fig1_grid)
+        assert quantization_efficiency(sched, 4) == pytest.approx(0.75)
+
+    def test_fig1b_90_percent(self):
+        grid = TileGrid(GemmProblem(384, 384, 128, dtype=FP16_FP32), Blocking(128, 64, 32))
+        sched = data_parallel_schedule(grid)
+        assert quantization_efficiency(sched, 4) == pytest.approx(0.90)
+
+    def test_fig2a_fixed_split_90_percent(self, fig1_grid):
+        sched = fixed_split_schedule(fig1_grid, 2)
+        assert quantization_efficiency(sched, 4) == pytest.approx(0.90)
+
+    def test_fig2b_stream_k_100_percent(self, fig1_grid):
+        sched = stream_k_schedule(fig1_grid, 4)
+        assert quantization_efficiency(sched, 4) == pytest.approx(1.0)
+
+    def test_hybrid_near_perfect_on_fig3_shape(self):
+        grid = TileGrid(GemmProblem(896, 384, 128, dtype=FP16_FP32), Blocking(128, 128, 32))
+        sched = two_tile_schedule(grid, 4)
+        assert quantization_efficiency(sched, 4) > 0.99
+
+
+class TestMechanics:
+    def test_wave_count(self):
+        assert wave_count(9, 4) == 3
+        assert wave_count(8, 4) == 2
+        assert wave_count(0, 4) == 0
+        with pytest.raises(ConfigurationError):
+            wave_count(4, 0)
+
+    def test_iteration_makespan_list_schedules(self, fig1_grid):
+        sched = data_parallel_schedule(fig1_grid)
+        # 9 tiles x 4 iters, 4 slots -> 3 waves of 4 iterations
+        assert iteration_makespan(sched, 4) == 12
+
+    def test_empty_schedule_perfect(self, fig1_grid):
+        sched = stream_k_schedule(fig1_grid, 1)
+        assert quantization_efficiency(sched, 1) == pytest.approx(1.0)

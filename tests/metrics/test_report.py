@@ -1,0 +1,41 @@
+"""Text rendering tests."""
+
+import numpy as np
+
+from repro.metrics import (
+    format_relative_table,
+    format_roofline_rows,
+    format_table,
+    relative_performance,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+
+class TestRelativeTable:
+    def test_paper_shaped_rows(self):
+        rp = relative_performance(np.array([2.0, 3.0]), np.array([1.0, 1.0]))
+        out = format_relative_table({"vs cuBLAS": rp}, title="Table 2")
+        assert "Average" in out and "StdDev" in out
+        assert "Min" in out and "Max" in out
+        assert "2.50x" in out  # average
+        assert "3.00x" in out  # max
+
+
+class TestRooflineRows:
+    def test_renders_bins(self):
+        rows = [
+            {"intensity_lo": 1.0, "intensity_hi": 10.0, "count": 5, "p5": 10.0, "p95": 90.0},
+        ]
+        out = format_roofline_rows(rows, "fig")
+        assert "1-10" in out and "90.0%" in out
+
+    def test_empty(self):
+        assert "(empty)" in format_roofline_rows([], "fig")

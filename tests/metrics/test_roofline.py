@@ -1,0 +1,71 @@
+"""Roofline summary tests."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusSpec, generate_corpus
+from repro.errors import ConfigurationError
+from repro.gemm import FP16_FP32
+from repro.gpu import A100
+from repro.metrics import band_width, machine_ceiling, roofline_points, roofline_summary
+
+
+class TestMachineCeiling:
+    def test_bandwidth_regime_linear(self):
+        pct = machine_ceiling(np.array([1.0, 2.0]), A100, FP16_FP32)
+        assert pct[1] == pytest.approx(2 * pct[0])
+
+    def test_compute_regime_capped_at_100(self):
+        pct = machine_ceiling(np.array([1e6]), A100, FP16_FP32)
+        assert pct[0] == 100.0
+
+    def test_crossover_at_machine_balance(self):
+        balance = A100.peak_tflops(FP16_FP32) * 1e12 / A100.dram_bandwidth
+        below = machine_ceiling(np.array([balance * 0.9]), A100, FP16_FP32)
+        assert below[0] == pytest.approx(90.0)
+
+
+class TestRooflinePoints:
+    def test_points_shapes_and_ranges(self):
+        shapes = generate_corpus(CorpusSpec(size=50))
+        times = np.full(50, 1e-4)
+        intensity, pct = roofline_points(shapes, times, A100, FP16_FP32)
+        assert intensity.shape == pct.shape == (50,)
+        assert (pct > 0).all()
+
+    def test_faster_times_higher_utilization(self):
+        shapes = generate_corpus(CorpusSpec(size=10))
+        _, slow = roofline_points(shapes, np.full(10, 1e-3), A100, FP16_FP32)
+        _, fast = roofline_points(shapes, np.full(10, 1e-4), A100, FP16_FP32)
+        assert np.allclose(fast, 10 * slow)
+
+    def test_length_mismatch_rejected(self):
+        shapes = generate_corpus(CorpusSpec(size=10))
+        with pytest.raises(ConfigurationError):
+            roofline_points(shapes, np.ones(9), A100, FP16_FP32)
+
+
+class TestSummaryAndBandWidth:
+    def _landscape(self, spread):
+        rng = np.random.default_rng(0)
+        intensity = np.geomspace(1, 1000, 500)
+        pct = 50 + spread * rng.standard_normal(500)
+        return intensity, np.clip(pct, 1, 100)
+
+    def test_summary_rows_structure(self):
+        intensity, pct = self._landscape(5)
+        rows = roofline_summary(intensity, pct, num_bins=8)
+        assert rows
+        for r in rows:
+            assert r["p5"] <= r["p50"] <= r["p95"]
+            assert r["count"] > 0
+
+    def test_wider_landscape_has_wider_band(self):
+        i1, p1 = self._landscape(2)
+        i2, p2 = self._landscape(15)
+        assert band_width(i2, p2) > band_width(i1, p1)
+
+    def test_degenerate_band_is_zero(self):
+        intensity = np.geomspace(1, 100, 50)
+        pct = np.full(50, 42.0)
+        assert band_width(intensity, pct) == pytest.approx(0.0)

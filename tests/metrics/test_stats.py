@@ -1,0 +1,47 @@
+"""Relative-performance statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import relative_performance, slowdown_fraction
+
+
+class TestRelativePerformance:
+    def test_known_distribution(self):
+        baseline = np.array([2.0, 1.0, 4.0])
+        ours = np.array([1.0, 1.0, 1.0])
+        rp = relative_performance(baseline, ours)
+        assert rp.average == pytest.approx(7 / 3)
+        assert rp.minimum == 1.0
+        assert rp.maximum == 4.0
+        assert rp.count == 3
+        assert rp.stddev == pytest.approx(np.std([2.0, 1.0, 4.0]))
+
+    def test_row_order_matches_paper_tables(self):
+        rp = relative_performance(np.array([2.0]), np.array([1.0]))
+        assert rp.row() == (2.0, 0.0, 2.0, 2.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_performance(np.ones(3), np.ones(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_performance(np.array([]), np.array([]))
+
+    def test_nonpositive_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_performance(np.array([1.0, 0.0]), np.ones(2))
+
+
+class TestSlowdownFraction:
+    def test_counts_slowdowns(self):
+        baseline = np.array([1.0, 1.0, 1.0, 1.0])
+        ours = np.array([0.5, 1.0, 2.0, 1.5])
+        assert slowdown_fraction(baseline, ours) == pytest.approx(0.5)
+
+    def test_tolerance_forgives_noise(self):
+        baseline = np.ones(4)
+        ours = np.array([1.005, 1.005, 1.005, 2.0])
+        assert slowdown_fraction(baseline, ours, tol=0.01) == pytest.approx(0.25)

@@ -1,0 +1,61 @@
+"""Calibration tests: the fit must recover the simulator's ground truth."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.gemm import FP16_FP32, FP64, Blocking
+from repro.gpu import A100, HYPOTHETICAL_4SM, KernelCostModel
+from repro.model import calibrate
+
+
+class TestRecovery:
+    @pytest.mark.parametrize(
+        "gpu,blocking,dtype",
+        [
+            (A100, Blocking(128, 128, 32), FP16_FP32),
+            (A100, Blocking(64, 64, 16), FP64),
+            (HYPOTHETICAL_4SM, Blocking(128, 128, 32), FP16_FP32),
+            (A100, Blocking(64, 128, 32), FP16_FP32),  # ensemble member
+        ],
+    )
+    def test_recovers_cost_model_constants(self, gpu, blocking, dtype):
+        params = calibrate(gpu, blocking, dtype)
+        truth = KernelCostModel(gpu=gpu, blocking=blocking, dtype=dtype).abcd()
+        assert params.a == pytest.approx(truth[0], rel=1e-9)
+        assert params.b == pytest.approx(truth[1], rel=1e-9)
+        assert params.c == pytest.approx(truth[2], rel=1e-9)
+        assert params.d == pytest.approx(truth[3], rel=1e-9)
+
+    def test_params_tagged_with_configuration(self):
+        params = calibrate(A100, Blocking(128, 128, 32), FP16_FP32)
+        assert params.blocking == (128, 128, 32)
+        assert params.dtype_name == "fp16_fp32"
+        assert params.gpu_name == "a100"
+
+
+class TestFailureModes:
+    def test_single_depth_rejected(self):
+        with pytest.raises(CalibrationError, match="two depths"):
+            calibrate(A100, Blocking(128, 128, 32), FP16_FP32, depths=(8,))
+
+    def test_no_splits_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate(A100, Blocking(128, 128, 32), FP16_FP32, splits=())
+
+    def test_split_of_one_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate(A100, Blocking(128, 128, 32), FP16_FP32, splits=(1, 2))
+
+    def test_splits_beyond_residency_rejected(self):
+        with pytest.raises(CalibrationError, match="co-residency"):
+            calibrate(
+                HYPOTHETICAL_4SM, Blocking(128, 128, 32), FP16_FP32,
+                splits=(8, 16),
+            )
+
+    def test_default_splits_usable_on_small_gpu(self):
+        params = calibrate(HYPOTHETICAL_4SM, Blocking(128, 128, 32), FP16_FP32)
+        truth = KernelCostModel(
+            gpu=HYPOTHETICAL_4SM, blocking=Blocking(128, 128, 32), dtype=FP16_FP32
+        ).abcd()
+        assert params.d == pytest.approx(truth[3], rel=1e-9)

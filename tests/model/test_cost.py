@@ -1,0 +1,75 @@
+"""Analytical model formula tests (Appendix A.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gemm import FP16_FP32, Blocking, GemmProblem, TileGrid
+from repro.model import StreamKModelParams, fixup_peers, iters_per_cta, predicted_time
+
+
+def params(a=100.0, b=50.0, c=10.0, d=40.0, blocking=(128, 128, 32)):
+    return StreamKModelParams(
+        a=a, b=b, c=c, d=d, blocking=blocking, dtype_name="fp16_fp32", gpu_name="a100"
+    )
+
+
+class TestFormulas:
+    def test_iters_per_cta_is_ceil(self):
+        assert iters_per_cta(100, 7) == 15
+        assert iters_per_cta(100, np.array([1, 4, 100, 200])).tolist() == [
+            100, 25, 1, 1,
+        ]
+
+    def test_fixup_peers_is_ceil(self):
+        assert fixup_peers(32, np.array([32, 19, 8, 1])).tolist() == [1, 2, 4, 32]
+
+    def test_paper_example_fig8a(self):
+        """256x3584x8192: 56 tiles, 256 iters/tile; at g=108 the paper
+        reports 132/133 iterations per CTA."""
+        grid = TileGrid(GemmProblem(256, 3584, 8192, dtype=FP16_FP32), Blocking(128, 128, 32))
+        assert grid.num_tiles == 56
+        assert grid.iters_per_tile == 256
+        assert iters_per_cta(grid.total_iters, 108) == 133
+
+    def test_nonpositive_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            iters_per_cta(100, 0)
+
+
+class TestPredictedTime:
+    def test_no_split_has_no_fixup_terms(self):
+        grid = TileGrid(GemmProblem(1024, 1024, 1024, dtype=FP16_FP32), Blocking(128, 128, 32))
+        p = params()
+        # g = t: one tile per CTA -> peers == 1 -> time = a + c*ipt
+        t = predicted_time(grid, grid.num_tiles, p)
+        assert float(t) == pytest.approx(p.a + p.c * grid.iters_per_tile)
+
+    def test_split_adds_b_and_d(self):
+        grid = TileGrid(GemmProblem(128, 128, 1024, dtype=FP16_FP32), Blocking(128, 128, 32))
+        p = params()
+        # 1 tile, 32 iters; g=2 -> 16 iters/cta, 2 peers.
+        t = predicted_time(grid, 2, p)
+        assert float(t) == pytest.approx(p.a + p.b + p.c * 16 + p.d)
+
+    def test_vectorized_over_grid_sizes(self):
+        grid = TileGrid(GemmProblem(256, 256, 2048, dtype=FP16_FP32), Blocking(128, 128, 32))
+        g = np.arange(1, 109)
+        t = predicted_time(grid, g, params())
+        assert t.shape == (108,)
+        assert (t > 0).all()
+
+    def test_blocking_mismatch_rejected(self):
+        grid = TileGrid(GemmProblem(256, 256, 2048, dtype=FP16_FP32), Blocking(64, 64, 64))
+        with pytest.raises(ConfigurationError):
+            predicted_time(grid, 8, params())
+
+
+class TestParamValidation:
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ConfigurationError):
+            params(a=-1.0)
+
+    def test_nonpositive_c_rejected(self):
+        with pytest.raises(ConfigurationError):
+            params(c=0.0)

@@ -1,0 +1,71 @@
+"""Grid-size selection tests — must hit the paper's Figure 8 optima."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gemm import FP16_FP32, Blocking, GemmProblem, TileGrid
+from repro.gpu import A100
+from repro.model import calibrate, select_grid_size, sweep_grid_sizes
+
+
+@pytest.fixture(scope="module")
+def params():
+    return calibrate(A100, Blocking(128, 128, 32), FP16_FP32)
+
+
+class TestFigure8:
+    @pytest.mark.parametrize(
+        "m,n,k,expected_g",
+        [
+            (256, 3584, 8192, 108),  # Fig 8a: maximal parallelism
+            (1024, 1024, 1024, 64),  # Fig 8b: no splitting (g = t)
+            (128, 128, 16384, 8),    # Fig 8c: partial strong scaling
+        ],
+    )
+    def test_paper_optima(self, params, m, n, k, expected_g):
+        grid = TileGrid(GemmProblem(m, n, k, dtype=FP16_FP32), Blocking(128, 128, 32))
+        decision = select_grid_size(grid, params, A100.num_sms)
+        assert decision.g == expected_g
+
+    def test_fig8b_dip_at_tile_count(self, params):
+        """The Figure 8b curve has its global minimum exactly at g = 64."""
+        grid = TileGrid(GemmProblem(1024, 1024, 1024, dtype=FP16_FP32), Blocking(128, 128, 32))
+        candidates, times = sweep_grid_sizes(grid, params, A100.num_sms)
+        assert candidates[np.argmin(times)] == 64
+        # and g=108 is strictly worse than g=64
+        assert times[107] > times[63]
+
+    def test_fig8c_serial_reduction_penalty(self, params):
+        """Past the optimum, adding CTAs makes the modeled time worse
+        (the per-peer serial reduction grows)."""
+        grid = TileGrid(GemmProblem(128, 128, 16384, dtype=FP16_FP32), Blocking(128, 128, 32))
+        candidates, times = sweep_grid_sizes(grid, params, A100.num_sms)
+        t = {int(g): float(v) for g, v in zip(candidates, times)}
+        assert t[8] < t[32] < t[64] < t[108]
+
+
+class TestMechanics:
+    def test_candidates_clamped_to_total_iters(self, params):
+        grid = TileGrid(GemmProblem(128, 128, 64, dtype=FP16_FP32), Blocking(128, 128, 32))
+        decision = select_grid_size(grid, params, A100.num_sms)
+        assert decision.candidates.max() == grid.total_iters  # 2 iterations
+
+    def test_tie_resolves_to_smallest_g(self, params):
+        grid = TileGrid(GemmProblem(128, 128, 64, dtype=FP16_FP32), Blocking(128, 128, 32))
+        decision = select_grid_size(grid, params, A100.num_sms)
+        ties = decision.candidates[
+            decision.predictions == decision.predicted_cycles
+        ]
+        assert decision.g == int(ties.min())
+
+    def test_prediction_matches_curve(self, params):
+        grid = TileGrid(GemmProblem(512, 512, 4096, dtype=FP16_FP32), Blocking(128, 128, 32))
+        decision = select_grid_size(grid, params, A100.num_sms)
+        idx = int(np.flatnonzero(decision.candidates == decision.g)[0])
+        assert decision.predictions[idx] == decision.predicted_cycles
+
+    def test_invalid_max_grid_rejected(self, params):
+        grid = TileGrid(GemmProblem(512, 512, 4096, dtype=FP16_FP32), Blocking(128, 128, 32))
+        with pytest.raises(ConfigurationError):
+            sweep_grid_sizes(grid, params, 0)

@@ -1,0 +1,128 @@
+"""Schedule validation tests: the coverage prover must catch bad schedules."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gemm import FP64, Blocking, GemmProblem, TileGrid
+from repro.schedules import CtaWorkItem, Schedule, SegmentRole, TileSegment
+
+
+@pytest.fixture
+def tiny_grid():
+    # 2 tiles, 3 iterations per tile.
+    return TileGrid(GemmProblem(16, 32, 24, dtype=FP64), Blocking(16, 16, 8))
+
+
+def owner(tile, begin, end, peers=()):
+    return TileSegment(tile, begin, end, SegmentRole.OWNER, tuple(peers))
+
+
+def contrib(tile, begin, end):
+    return TileSegment(tile, begin, end, SegmentRole.CONTRIBUTOR)
+
+
+def schedule(grid, items):
+    return Schedule(name="test", grid=grid, work_items=tuple(items))
+
+
+class TestValidate:
+    def test_good_split_schedule_passes(self, tiny_grid):
+        items = [
+            CtaWorkItem(0, (owner(0, 0, 2, peers=(1,)),)),
+            CtaWorkItem(1, (contrib(0, 2, 3), owner(1, 0, 3))),
+        ]
+        schedule(tiny_grid, items).validate()
+
+    def test_gap_detected(self, tiny_grid):
+        items = [
+            CtaWorkItem(0, (owner(0, 0, 1, peers=(1,)),)),
+            CtaWorkItem(1, (contrib(0, 2, 3), owner(1, 0, 3))),
+        ]
+        with pytest.raises(ConfigurationError, match="gap"):
+            schedule(tiny_grid, items).validate()
+
+    def test_overlap_detected(self, tiny_grid):
+        items = [
+            CtaWorkItem(0, (owner(0, 0, 3, peers=(1,)),)),
+            CtaWorkItem(1, (contrib(0, 2, 3), owner(1, 0, 3))),
+        ]
+        with pytest.raises(ConfigurationError):
+            schedule(tiny_grid, items).validate()
+
+    def test_missing_tile_detected(self, tiny_grid):
+        items = [CtaWorkItem(0, (owner(0, 0, 3),))]
+        with pytest.raises(ConfigurationError, match="no coverage"):
+            schedule(tiny_grid, items).validate()
+
+    def test_incomplete_tile_detected(self, tiny_grid):
+        items = [
+            CtaWorkItem(0, (owner(0, 0, 2),)),
+            CtaWorkItem(1, (owner(1, 0, 3),)),
+        ]
+        with pytest.raises(ConfigurationError, match="stops at"):
+            schedule(tiny_grid, items).validate()
+
+    def test_two_owners_detected(self, tiny_grid):
+        # tile 1 covered twice by owners via overlapping full ranges.
+        items = [
+            CtaWorkItem(0, (owner(0, 0, 3),)),
+            CtaWorkItem(1, (owner(1, 0, 3),)),
+            CtaWorkItem(2, (owner(1, 0, 3),)),
+        ]
+        with pytest.raises(ConfigurationError):
+            schedule(tiny_grid, items).validate()
+
+    def test_wrong_peer_list_detected(self, tiny_grid):
+        items = [
+            CtaWorkItem(0, (owner(0, 0, 2, peers=()),)),  # missing peer 1
+            CtaWorkItem(1, (contrib(0, 2, 3), owner(1, 0, 3))),
+        ]
+        with pytest.raises(ConfigurationError, match="peers"):
+            schedule(tiny_grid, items).validate()
+
+    def test_tile_index_out_of_grid_detected(self, tiny_grid):
+        items = [
+            CtaWorkItem(0, (owner(0, 0, 3),)),
+            CtaWorkItem(1, (owner(1, 0, 3),)),
+            CtaWorkItem(2, (owner(5, 0, 3),)),
+        ]
+        with pytest.raises(ConfigurationError, match="beyond grid"):
+            schedule(tiny_grid, items).validate()
+
+    def test_segment_past_k_detected(self, tiny_grid):
+        items = [
+            CtaWorkItem(0, (owner(0, 0, 4),)),
+            CtaWorkItem(1, (owner(1, 0, 3),)),
+        ]
+        with pytest.raises(ConfigurationError, match="ends at iteration"):
+            schedule(tiny_grid, items).validate()
+
+
+class TestStructureQueries:
+    def test_owner_and_contributors(self, tiny_grid):
+        items = [
+            CtaWorkItem(0, (owner(0, 0, 2, peers=(1,)),)),
+            CtaWorkItem(1, (contrib(0, 2, 3), owner(1, 0, 3))),
+        ]
+        sched = schedule(tiny_grid, items)
+        assert sched.tile_owner(0) == 0
+        assert sched.tile_owner(1) == 1
+        assert sched.contributors(0) == [1]
+        assert sched.contributors(1) == []
+
+    def test_missing_owner_raises(self, tiny_grid):
+        sched = schedule(tiny_grid, [CtaWorkItem(0, (owner(0, 0, 3),))])
+        with pytest.raises(ConfigurationError, match="no owner"):
+            sched.tile_owner(1)
+
+    def test_aggregates(self, tiny_grid):
+        items = [
+            CtaWorkItem(0, (owner(0, 0, 2, peers=(1,)),)),
+            CtaWorkItem(1, (contrib(0, 2, 3), owner(1, 0, 3))),
+        ]
+        sched = schedule(tiny_grid, items)
+        assert sched.g == 2
+        assert sched.max_iters_per_cta == 4
+        assert sched.min_iters_per_cta == 2
+        assert sched.total_fixup_stores == 1
+        assert sched.max_peers_per_tile == 1

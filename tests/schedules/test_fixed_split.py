@@ -1,0 +1,108 @@
+"""Fixed-split decomposition tests (paper Algorithm 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gemm import FP64, Blocking, GemmProblem, TileGrid, random_operands, reference_gemm
+from repro.schedules import FixedSplit, fixed_split_schedule, split_ranges
+
+from tests.conftest import assert_schedule_correct
+
+
+class TestSplitRanges:
+    def test_even_division(self):
+        assert split_ranges(12, 3) == [(0, 4), (4, 8), (8, 12)]
+
+    def test_within_one_balance(self):
+        ranges = split_ranges(10, 4)
+        sizes = [e - b for b, e in ranges]
+        assert sizes == [3, 3, 2, 2]
+
+    @given(total=st.integers(1, 1000), data=st.data())
+    def test_property_exact_balanced_cover(self, total, data):
+        parts = data.draw(st.integers(1, total))
+        ranges = split_ranges(total, parts)
+        assert ranges[0][0] == 0 and ranges[-1][1] == total
+        for (b1, e1), (b2, _) in zip(ranges, ranges[1:]):
+            assert e1 == b2 and e1 > b1
+        sizes = [e - b for b, e in ranges]
+        assert max(sizes) - min(sizes) <= 1  # "even share, within one"
+
+    def test_too_many_parts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_ranges(3, 4)
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_ranges(3, 0)
+
+
+class TestStructure:
+    def test_grid_size_is_tiles_times_s(self, small_grid):
+        sched = fixed_split_schedule(small_grid, 3)
+        assert sched.g == small_grid.num_tiles * 3
+
+    def test_owner_launches_after_contributors(self, small_grid):
+        """Waiter-last order: the owner of each tile has the largest CTA id
+        of its group, so a spin-wait executor cannot deadlock."""
+        sched = fixed_split_schedule(small_grid, 3)
+        for tile in range(small_grid.num_tiles):
+            owner = sched.tile_owner(tile)
+            assert all(c < owner for c in sched.contributors(tile))
+
+    def test_owner_holds_k0_slice(self, small_grid):
+        sched = fixed_split_schedule(small_grid, 2)
+        for w in sched.work_items:
+            for seg in w.segments:
+                if seg.is_owner:
+                    assert seg.iter_begin == 0
+
+    def test_s1_equals_data_parallel(self, small_grid):
+        sched = fixed_split_schedule(small_grid, 1)
+        assert sched.g == small_grid.num_tiles
+        assert sched.total_fixup_stores == 0
+        assert sched.k_aligned_fraction == 1.0
+
+    def test_s_clamped_to_iters_per_tile(self, small_grid):
+        requested = small_grid.iters_per_tile + 5
+        sched = fixed_split_schedule(small_grid, requested)
+        assert sched.metadata["s"] == small_grid.iters_per_tile
+        assert sched.metadata["s_requested"] == requested
+        sched.validate()
+
+    def test_fixup_stores_count(self, small_grid):
+        sched = fixed_split_schedule(small_grid, 4)
+        assert sched.total_fixup_stores == small_grid.num_tiles * 3
+
+    def test_invalid_s_rejected(self, small_grid):
+        with pytest.raises(ConfigurationError):
+            fixed_split_schedule(small_grid, 0)
+        with pytest.raises(ConfigurationError):
+            FixedSplit(-2)
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("s", [1, 2, 3, 5, 7])
+    def test_exact_for_any_split(self, small_grid, small_operands, s):
+        a, b = small_operands
+        ref = reference_gemm(small_grid.problem, a, b)
+        out = fixed_split_schedule(small_grid, s).execute(a, b)
+        assert np.allclose(out, ref, rtol=1e-12, atol=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        m=st.integers(1, 50),
+        n=st.integers(1, 50),
+        k=st.integers(1, 60),
+        s=st.integers(1, 8),
+    )
+    def test_property_random_shapes(self, m, n, k, s):
+        p = GemmProblem(m, n, k, dtype=FP64)
+        grid = TileGrid(p, Blocking(16, 16, 8))
+        a, b = random_operands(p, 3)
+        ref = reference_gemm(p, a, b)
+        sched = fixed_split_schedule(grid, s)
+        assert_schedule_correct(sched, a, b, ref)

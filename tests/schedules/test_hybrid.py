@@ -1,0 +1,185 @@
+"""Hybrid schedule tests (paper Section 5.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gemm import FP64, Blocking, GemmProblem, TileGrid, random_operands, reference_gemm
+from repro.schedules import (
+    DpOneTileStreamK,
+    TwoTileStreamK,
+    dp_one_tile_schedule,
+    persistent_data_parallel_schedule,
+    two_tile_schedule,
+)
+
+from tests.conftest import assert_schedule_correct
+
+
+def grid_with_tiles(tiles_m, tiles_n, ipt=5):
+    p = GemmProblem(tiles_m * 16, tiles_n * 16, ipt * 8, dtype=FP64)
+    return TileGrid(p, Blocking(16, 16, 8))
+
+
+class TestPersistentDataParallel:
+    def test_wave_assignment(self):
+        grid = grid_with_tiles(3, 3)  # 9 tiles
+        sched = persistent_data_parallel_schedule(grid, 4)
+        assert sched.g == 4
+        counts = [len(w.segments) for w in sched.work_items]
+        assert sorted(counts) == [2, 2, 2, 3]  # 9 tiles over 4 CTAs
+
+    def test_fewer_tiles_than_p(self):
+        grid = grid_with_tiles(1, 2)
+        sched = persistent_data_parallel_schedule(grid, 8)
+        assert sched.g == 2
+
+    def test_numeric(self, small_grid, small_operands):
+        a, b = small_operands
+        ref = reference_gemm(small_grid.problem, a, b)
+        assert_schedule_correct(
+            persistent_data_parallel_schedule(small_grid, 4), a, b, ref
+        )
+
+
+class TestTwoTileRegimes:
+    def test_perfect_quantization_falls_back_to_dp(self):
+        grid = grid_with_tiles(2, 4)  # 8 tiles, p=4 -> t % p == 0
+        sched = two_tile_schedule(grid, 4)
+        assert sched.metadata["kind"] == "data_parallel"
+        assert sched.total_fixup_stores == 0
+        assert sched.k_aligned_fraction == 1.0
+
+    def test_fewer_tiles_than_p_uses_basic_stream_k(self):
+        grid = grid_with_tiles(1, 3)  # 3 tiles < p=4
+        sched = two_tile_schedule(grid, 4, g_small=4)
+        assert sched.metadata["kind"] == "basic_stream_k"
+        assert sched.g == 4
+
+    def test_main_regime_two_tile_region(self):
+        grid = grid_with_tiles(3, 7)  # 21 tiles, p=4: w=5, sk_tiles=5
+        sched = two_tile_schedule(grid, 4)
+        assert sched.metadata["kind"] == "two_tile"
+        assert sched.metadata["sk_tiles"] == 21 - 4 * 4
+        assert sched.g == 4
+
+    def test_each_cta_between_one_and_two_tiles_in_sk_region(self):
+        grid = grid_with_tiles(3, 7, ipt=8)
+        sched = two_tile_schedule(grid, 4)
+        ipt = grid.iters_per_tile
+        w = grid.num_tiles // 4
+        for item in sched.work_items:
+            dp_iters = (w - 1) * ipt
+            sk_iters = item.total_iters - dp_iters
+            assert ipt < sk_iters < 2 * ipt
+
+    def test_owner_has_at_most_one_peer(self):
+        """The two-tile property: every fixup is a single-peer exchange."""
+        grid = grid_with_tiles(5, 5, ipt=7)
+        sched = two_tile_schedule(grid, 4)
+        assert sched.max_peers_per_tile <= 1
+
+    def test_dp_tiles_evenly_distributed(self):
+        grid = grid_with_tiles(3, 7)
+        sched = two_tile_schedule(grid, 4)
+        w = grid.num_tiles // 4
+        for item in sched.work_items:
+            dp_segments = [
+                s
+                for s in item.segments
+                if s.is_owner and not s.peers and s.iter_begin == 0
+                and s.num_iters == grid.iters_per_tile
+            ]
+            # each CTA gets exactly w-1 full data-parallel tiles (its
+            # fully-owned sk tiles also match this shape, hence >=)
+            assert len(dp_segments) >= w - 1
+
+    def test_invalid_p_rejected(self, small_grid):
+        with pytest.raises(ConfigurationError):
+            two_tile_schedule(small_grid, 0)
+        with pytest.raises(ConfigurationError):
+            TwoTileStreamK(-1)
+
+
+class TestDpOneTileRegimes:
+    def test_residual_tiles_streamk(self):
+        grid = grid_with_tiles(3, 7)  # 21 tiles, p=4 -> w=5, r=1
+        sched = dp_one_tile_schedule(grid, 4)
+        assert sched.metadata["kind"] == "dp_one_tile"
+        assert sched.metadata["sk_tiles"] == 1
+        # every SK share is less than one tile's worth
+        ipt = grid.iters_per_tile
+        w = grid.num_tiles // 4
+        for item in sched.work_items:
+            sk_iters = item.total_iters - w * ipt
+            assert -ipt < sk_iters < ipt
+
+    def test_perfect_quantization_falls_back_to_dp(self):
+        grid = grid_with_tiles(2, 4)
+        sched = dp_one_tile_schedule(grid, 4)
+        assert sched.metadata["kind"] == "data_parallel"
+
+    def test_contributor_segment_comes_after_dp_tiles(self):
+        grid = grid_with_tiles(3, 7)
+        sched = dp_one_tile_schedule(grid, 4)
+        for item in sched.work_items:
+            roles = [s.is_owner for s in item.segments]
+            if False in roles:
+                assert roles.index(False) > 0  # not the first segment
+
+    def test_invalid_p_rejected(self, small_grid):
+        with pytest.raises(ConfigurationError):
+            DpOneTileStreamK(0)
+
+
+class TestAlignmentFractions:
+    def test_two_tile_fraction_matches_region_split(self):
+        grid = grid_with_tiles(3, 7)
+        sched = two_tile_schedule(grid, 4)
+        sk_tiles = sched.metadata["sk_tiles"]
+        expect = (grid.num_tiles - sk_tiles) / grid.num_tiles
+        assert sched.k_aligned_fraction == pytest.approx(expect)
+
+    def test_dp_one_tile_more_aligned_than_two_tile(self):
+        grid = grid_with_tiles(3, 7)
+        one = dp_one_tile_schedule(grid, 4)
+        two = two_tile_schedule(grid, 4)
+        assert one.k_aligned_fraction >= two.k_aligned_fraction
+
+
+class TestNumerics:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        tiles_m=st.integers(1, 8),
+        tiles_n=st.integers(1, 8),
+        ipt=st.integers(1, 12),
+        p=st.integers(1, 10),
+    )
+    def test_two_tile_property(self, tiles_m, tiles_n, ipt, p):
+        grid = grid_with_tiles(tiles_m, tiles_n, ipt)
+        a, b = random_operands(grid.problem, 8)
+        ref = reference_gemm(grid.problem, a, b)
+        assert_schedule_correct(two_tile_schedule(grid, p), a, b, ref)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        tiles_m=st.integers(1, 8),
+        tiles_n=st.integers(1, 8),
+        ipt=st.integers(1, 12),
+        p=st.integers(1, 10),
+    )
+    def test_dp_one_tile_property(self, tiles_m, tiles_n, ipt, p):
+        grid = grid_with_tiles(tiles_m, tiles_n, ipt)
+        a, b = random_operands(grid.problem, 9)
+        ref = reference_gemm(grid.problem, a, b)
+        assert_schedule_correct(dp_one_tile_schedule(grid, p), a, b, ref)
+
+    def test_ragged_problem_both_hybrids(self):
+        p = GemmProblem(101, 67, 43, dtype=FP64)
+        grid = TileGrid(p, Blocking(16, 16, 8))
+        a, b = random_operands(p, 10)
+        ref = reference_gemm(p, a, b)
+        assert_schedule_correct(two_tile_schedule(grid, 4), a, b, ref)
+        assert_schedule_correct(dp_one_tile_schedule(grid, 4), a, b, ref)

@@ -1,0 +1,29 @@
+"""Decomposition registry tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schedules import DECOMPOSITION_NAMES, make_decomposition
+
+
+class TestRegistry:
+    def test_all_names_constructible(self, small_grid):
+        kwargs = {
+            "data_parallel": {},
+            "fixed_split": {"s": 2},
+            "stream_k": {"g": 4},
+            "two_tile_stream_k": {"p": 4},
+            "dp_one_tile_stream_k": {"p": 4},
+        }
+        for name in DECOMPOSITION_NAMES:
+            decomp = make_decomposition(name, **kwargs[name])
+            sched = decomp.build(small_grid)
+            sched.validate()
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown decomposition"):
+            make_decomposition("pencil_split")
+
+    def test_kwargs_forwarded(self, small_grid):
+        decomp = make_decomposition("fixed_split", s=3)
+        assert decomp.build(small_grid).metadata["s"] == 3

@@ -1,0 +1,72 @@
+"""Work-item invariant tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schedules import CtaWorkItem, SegmentRole, TileSegment
+
+
+def owner(tile, end, peers=()):
+    return TileSegment(tile, 0, end, SegmentRole.OWNER, tuple(peers))
+
+
+def contributor(tile, begin, end):
+    return TileSegment(tile, begin, end, SegmentRole.CONTRIBUTOR)
+
+
+class TestTileSegment:
+    def test_num_iters(self):
+        assert contributor(0, 2, 7).num_iters == 5
+
+    def test_owner_must_start_at_zero(self):
+        with pytest.raises(ConfigurationError, match="k=0"):
+            TileSegment(0, 1, 4, SegmentRole.OWNER)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TileSegment(0, 3, 3, SegmentRole.CONTRIBUTOR)
+
+    def test_negative_tile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TileSegment(-1, 0, 4, SegmentRole.OWNER)
+
+    def test_contributor_peers_rejected(self):
+        with pytest.raises(ConfigurationError, match="no peers"):
+            TileSegment(0, 1, 4, SegmentRole.CONTRIBUTOR, peers=(2,))
+
+    def test_owner_properties(self):
+        seg = owner(3, 8, peers=(1, 2))
+        assert seg.is_owner and seg.num_peers == 2
+
+
+class TestCtaWorkItem:
+    def test_totals(self):
+        w = CtaWorkItem(
+            cta=0,
+            segments=(contributor(0, 4, 8), owner(1, 8, peers=(1,))),
+        )
+        assert w.total_iters == 12
+        assert w.stores_partials
+        assert w.owned_tiles == (1,)
+        assert w.total_peers == 1
+
+    def test_empty_cta_allowed(self):
+        w = CtaWorkItem(cta=5, segments=())
+        assert w.total_iters == 0
+        assert not w.stores_partials
+
+    def test_two_contributors_rejected(self):
+        with pytest.raises(ConfigurationError, match="at most one"):
+            CtaWorkItem(
+                cta=0,
+                segments=(contributor(0, 4, 8), contributor(1, 2, 8)),
+            )
+
+    def test_contributor_after_dp_tiles_allowed(self):
+        """dp-one-tile hybrid puts the contributor segment last."""
+        w = CtaWorkItem(cta=0, segments=(owner(0, 8), contributor(1, 4, 8)))
+        assert w.stores_partials
+
+    def test_negative_cta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CtaWorkItem(cta=-1, segments=())

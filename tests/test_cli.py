@@ -1,0 +1,75 @@
+"""CLI tests: every subcommand, argument validation, output contents."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if isinstance(a, type(parser._actions[-1]))
+        )
+        args = parser.parse_args(["plan", "128", "128", "128"])
+        assert args.command == "plan"
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_dtype_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "1", "1", "1", "--dtype", "fp8"])
+
+    def test_bad_gpu_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "1", "1", "1", "--gpu", "h100"])
+
+
+class TestCommands:
+    def test_plan(self, capsys):
+        assert main(["plan", "1280", "1536", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "two_tile" in out
+        assert "108 CTAs" in out
+
+    def test_plan_small_problem_uses_model(self, capsys):
+        assert main(["plan", "128", "128", "16384"]) == 0
+        out = capsys.readouterr().out
+        assert "basic_stream_k" in out
+        assert "grid size      : 8" in out  # the Figure 8c optimum
+
+    def test_simulate_with_numerics(self, capsys):
+        rc = main(
+            ["simulate", "384", "384", "128", "--gpu", "hypothetical_4sm", "--numeric"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "data_parallel" in out and "two_tile_stream_k" in out
+        assert "validated" in out
+        assert "75.0%" in out  # the Figure 1a ceiling
+
+    def test_model_curve(self, capsys):
+        assert main(["model", "128", "128", "16384"]) == 0
+        out = capsys.readouterr().out
+        assert "g_best = 8" in out
+        assert "<-- g_best" in out
+
+    def test_corpus_table(self, capsys):
+        assert main(["corpus", "--size", "200", "--dtype", "fp64"]) == 0
+        out = capsys.readouterr().out
+        assert "Average" in out and "vs cuBLAS" in out
+        assert "200 shapes" in out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "--dtype", "fp64"]) == 0
+        out = capsys.readouterr().out
+        assert "per MAC-loop iteration" in out
+
+    def test_fp64_plan_on_small_gpu(self, capsys):
+        rc = main(
+            ["plan", "200", "200", "200", "--dtype", "fp64", "--gpu", "hypothetical_4sm"]
+        )
+        assert rc == 0
+        assert "fp64" in capsys.readouterr().out

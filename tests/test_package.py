@@ -1,0 +1,71 @@
+"""Package-level surface tests: exports, error hierarchy, versioning."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    CalibrationError,
+    ConfigurationError,
+    DeadlockError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.corpus
+        import repro.ensembles
+        import repro.gemm
+        import repro.gpu
+        import repro.harness
+        import repro.metrics
+        import repro.model
+        import repro.schedules
+
+        for mod in (
+            repro.corpus,
+            repro.ensembles,
+            repro.gemm,
+            repro.gpu,
+            repro.harness,
+            repro.metrics,
+            repro.model,
+            repro.schedules,
+        ):
+            for name in mod.__all__:
+                assert getattr(mod, name) is not None, (mod.__name__, name)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ConfigurationError, SimulationError, CalibrationError, ValidationError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        """Callers catching ValueError at API boundaries still work."""
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_deadlock_is_simulation_error_with_blocked_list(self):
+        err = DeadlockError([3, 7])
+        assert isinstance(err, SimulationError)
+        assert err.blocked == [3, 7]
+        assert "3" in str(err)
+
+    def test_one_catch_at_the_boundary(self):
+        """The documented pattern: one except ReproError catches all."""
+        from repro.gemm import GemmProblem
+
+        with pytest.raises(ReproError):
+            GemmProblem(-1, 2, 3)
