@@ -7,6 +7,7 @@ Commands
 ``model``      print the Appendix A.1 grid-size curve for a problem
 ``corpus``     evaluate a corpus slice and print the Tables-1/2 columns
 ``calibrate``  print the calibrated {a, b, c, d} constants
+``cache``      show or wipe the on-disk calibration / evaluation caches
 
 Every command accepts ``--dtype {fp64,fp16_fp32,fp32,bf16_fp32}`` and
 ``--gpu {a100,hypothetical_4sm}``.
@@ -73,9 +74,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("corpus", help="corpus-scale system comparison")
     _add_common(p)
     p.add_argument("--size", type=int, default=2000, help="corpus slice size")
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (0 = all cores, default 1)",
+    )
 
     p = sub.add_parser("calibrate", help="print {a, b, c, d}")
     _add_common(p)
+
+    p = sub.add_parser("cache", help="inspect or wipe the on-disk caches")
+    p.add_argument(
+        "--wipe", action="store_true",
+        help="delete cached calibration constants and corpus evaluations",
+    )
 
     return parser
 
@@ -161,13 +172,13 @@ def _cmd_model(args) -> int:
 
 
 def _cmd_corpus(args) -> int:
-    from .harness.vectorized import evaluate_corpus
+    from .harness.parallel import evaluate_corpus_sharded
     from .metrics.report import format_relative_table
     from .metrics.stats import relative_performance
 
     dtype, gpu = get_dtype_config(args.dtype), get_gpu(args.gpu)
     shapes = generate_corpus(CorpusSpec(size=args.size))
-    res = evaluate_corpus(shapes, dtype, gpu)
+    res = evaluate_corpus_sharded(shapes, dtype, gpu, jobs=args.jobs)
     cb = compute_bound_mask(shapes, dtype)
     cols = {
         "vs CUTLASS %dx%dx%d" % dtype.default_blocking: relative_performance(
@@ -201,12 +212,36 @@ def _cmd_calibrate(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    import os
+
+    from .harness.parallel import wipe_eval_cache
+    from .model.paramcache import default_cache_dir, wipe_calibration_cache
+
+    root = default_cache_dir()
+    eval_root = os.environ.get("REPRO_EVAL_CACHE_DIR") or root
+    print("cache root : %s" % root)
+    for sub, base in (("calibration", root), ("eval", eval_root)):
+        d = os.path.join(base, sub)
+        try:
+            files = [os.path.join(d, f) for f in sorted(os.listdir(d))]
+        except OSError:
+            files = []
+        size = sum(os.path.getsize(f) for f in files if os.path.isfile(f))
+        print("  %-11s %d file(s), %d bytes  (%s)" % (sub, len(files), size, d))
+    if args.wipe:
+        n = wipe_calibration_cache() + wipe_eval_cache(eval_root)
+        print("wiped %d cached file(s)" % n)
+    return 0
+
+
 _COMMANDS = {
     "plan": _cmd_plan,
     "simulate": _cmd_simulate,
     "model": _cmd_model,
     "corpus": _cmd_corpus,
     "calibrate": _cmd_calibrate,
+    "cache": _cmd_cache,
 }
 
 

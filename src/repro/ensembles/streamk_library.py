@@ -32,8 +32,8 @@ from ..gpu.analytic import (
 from ..gpu.costmodel import KernelCostModel
 from ..gpu.memory import AnalyticalMemoryModel, TrafficBreakdown
 from ..gpu.spec import GpuSpec
-from ..model.calibrate import calibrate
 from ..model.cost import StreamKModelParams
+from ..model.paramcache import calibrate_cached
 from ..model.gridsize import select_grid_size
 from ..schedules.base import Schedule
 from ..schedules.hybrid import two_tile_schedule
@@ -71,8 +71,10 @@ class StreamKLibrary:
         self.dtype = dtype
         self.blocking = blocking or Blocking(*dtype.default_blocking)
         self.cost = KernelCostModel(gpu=gpu, blocking=self.blocking, dtype=dtype)
-        # "Compiled statically into the library": calibrated once here.
-        self.params = params if params is not None else calibrate(
+        # "Compiled statically into the library": calibrated once per
+        # architecture and persisted, so cold processes skip the simulator
+        # microbenchmarks (see repro.model.paramcache).
+        self.params = params if params is not None else calibrate_cached(
             gpu, self.blocking, dtype
         )
 

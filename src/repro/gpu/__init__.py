@@ -16,6 +16,7 @@ The subpackage layers, bottom up:
 
 from .analytic import (
     basic_streamk_makespan,
+    basic_streamk_makespan_batch,
     data_parallel_makespan,
     fixed_split_makespan,
     one_wave_makespan,
@@ -59,6 +60,7 @@ __all__ = [
     "TimedSegment",
     "TrafficBreakdown",
     "basic_streamk_makespan",
+    "basic_streamk_makespan_batch",
     "data_parallel_makespan",
     "estimate_occupancy",
     "execute_tasks",

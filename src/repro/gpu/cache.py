@@ -19,6 +19,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import ConfigurationError
 
 __all__ = ["SetAssociativeCache", "FragmentCache", "CacheStats"]
@@ -47,7 +49,19 @@ class CacheStats:
 
 
 class SetAssociativeCache:
-    """Line-granular set-associative LRU cache over a flat address space."""
+    """Line-granular set-associative LRU cache over a flat address space.
+
+    The tag store is a pair of dense ``(num_sets, ways)`` arrays — line tags
+    (−1 = invalid) and monotonically increasing recency stamps — so a whole
+    run of consecutive lines is resolved with vectorized numpy set lookups
+    instead of per-line dict operations.  Within one :meth:`access` the
+    touched lines are consecutive, so any window of ≤ ``num_sets`` lines maps
+    to pairwise-distinct sets and can be processed as a single batch without
+    read-after-write hazards; the per-line sequential LRU semantics of the
+    classic OrderedDict implementation are preserved exactly (unique stamps
+    in line order reproduce its recency ordering, and invalid ways carry
+    stamp −1 so they are always victimized first).
+    """
 
     def __init__(self, capacity_bytes: int, line_bytes: int, ways: int = 16):
         if capacity_bytes <= 0 or line_bytes <= 0 or ways <= 0:
@@ -61,9 +75,9 @@ class SetAssociativeCache:
         self.line_bytes = line_bytes
         self.ways = ways
         self.num_sets = max(1, lines // ways)
-        self._sets: "list[OrderedDict[int, None]]" = [
-            OrderedDict() for _ in range(self.num_sets)
-        ]
+        self._tags = np.full((self.num_sets, ways), -1, dtype=np.int64)
+        self._stamps = np.full((self.num_sets, ways), -1, dtype=np.int64)
+        self._clock = 0
         self.stats = CacheStats()
 
     def access(self, addr: int, size: int) -> int:
@@ -72,25 +86,44 @@ class SetAssociativeCache:
             return 0
         first = addr // self.line_bytes
         last = (addr + size - 1) // self.line_bytes
-        missed = 0
-        for line in range(first, last + 1):
-            s = self._sets[line % self.num_sets]
-            self.stats.accesses += 1
-            if line in s:
-                s.move_to_end(line)
-                self.stats.hits += 1
-                self.stats.hit_bytes += self.line_bytes
-            else:
-                if len(s) >= self.ways:
-                    s.popitem(last=False)
-                s[line] = None
-                missed += self.line_bytes
-                self.stats.miss_bytes += self.line_bytes
-        return missed
+        n = last - first + 1
+        missed_lines = 0
+        # Consecutive lines hit consecutive sets (mod num_sets), so any
+        # window of <= num_sets lines touches pairwise-distinct sets and is
+        # safe to resolve as one vectorized batch.
+        for lo in range(first, last + 1, self.num_sets):
+            batch = min(self.num_sets, last + 1 - lo)
+            missed_lines += self._access_batch(lo, batch)
+        self.stats.accesses += n
+        hits = n - missed_lines
+        self.stats.hits += hits
+        self.stats.hit_bytes += hits * self.line_bytes
+        self.stats.miss_bytes += missed_lines * self.line_bytes
+        return missed_lines * self.line_bytes
+
+    def _access_batch(self, first_line: int, n: int) -> int:
+        """Touch ``n`` consecutive lines mapping to distinct sets; return the
+        number of missed lines."""
+        lines = np.arange(first_line, first_line + n, dtype=np.int64)
+        sets = lines % self.num_sets
+        tag_rows = self._tags[sets]  # (n, ways) gather
+        way_hit = tag_rows == lines[:, None]
+        hit = way_hit.any(axis=1)
+        stamps = np.arange(self._clock, self._clock + n, dtype=np.int64)
+        self._clock += n
+        # Invalid ways carry stamp -1, so argmin picks (in order): the first
+        # free way if any, else the least recently used one -- exactly the
+        # OrderedDict fill-then-evict policy.
+        victim = np.argmin(self._stamps[sets], axis=1)
+        way = np.where(hit, np.argmax(way_hit, axis=1), victim)
+        self._tags[sets, way] = lines
+        self._stamps[sets, way] = stamps
+        return int(n - np.count_nonzero(hit))
 
     def flush(self) -> None:
-        for s in self._sets:
-            s.clear()
+        self._tags.fill(-1)
+        self._stamps.fill(-1)
+        self._clock = 0
 
 
 class FragmentCache:

@@ -15,6 +15,14 @@ from .experiments import (
     roofline_landscapes,
 )
 from .io import timings_to_rows, write_csv, write_json
+from .parallel import (
+    EVAL_ENGINE_VERSION,
+    corpus_fingerprint,
+    evaluate_corpus_cached,
+    evaluate_corpus_sharded,
+    merge_timings,
+    wipe_eval_cache,
+)
 from .runner import MeasuredRun, run_decomposition, run_schedule
 from .vectorized import (
     SystemTimings,
@@ -25,12 +33,18 @@ from .vectorized import (
 )
 
 __all__ = [
+    "EVAL_ENGINE_VERSION",
     "FIG8_SCENARIOS",
     "MeasuredRun",
     "SystemTimings",
+    "corpus_fingerprint",
     "corpus_timings",
     "dp_times",
     "evaluate_corpus",
+    "evaluate_corpus_cached",
+    "evaluate_corpus_sharded",
+    "merge_timings",
+    "wipe_eval_cache",
     "fig1_data_parallel_quantization",
     "fig2_tile_splitting",
     "fig3_hybrid_schedules",

@@ -8,6 +8,7 @@ EXPERIMENTS.md records paper-vs-measured for each.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,8 +27,9 @@ from ..schedules.data_parallel import data_parallel_schedule
 from ..schedules.fixed_split import fixed_split_schedule
 from ..schedules.hybrid import dp_one_tile_schedule, two_tile_schedule
 from ..schedules.stream_k import stream_k_schedule
+from .parallel import evaluate_corpus_cached
 from .runner import run_schedule
-from .vectorized import SystemTimings, evaluate_corpus
+from .vectorized import SystemTimings, evaluate_corpus  # noqa: F401 (re-export)
 
 __all__ = [
     "fig1_data_parallel_quantization",
@@ -48,21 +50,23 @@ __all__ = [
 _ILLUSTRATION_BLOCKING = Blocking(128, 128, 4)
 _ILLUSTRATION_BLOCKING_HALF = Blocking(128, 64, 4)
 
-_TIMINGS_CACHE: "dict[tuple, SystemTimings]" = {}
-
-
 def corpus_timings(
     dtype: DtypeConfig,
     gpu: GpuSpec = A100,
     spec: CorpusSpec = PAPER_CORPUS,
 ) -> "tuple[np.ndarray, SystemTimings]":
-    """(shapes, per-system times) for a corpus — cached per (dtype, gpu,
-    corpus) because several figures slice the same evaluation."""
-    key = (dtype.name, gpu.name, spec)
-    if key not in _TIMINGS_CACHE:
-        shapes = generate_corpus(spec)
-        _TIMINGS_CACHE[key] = evaluate_corpus(shapes, dtype, gpu)
-    res = _TIMINGS_CACHE[key]
+    """(shapes, per-system times) for a corpus.
+
+    Served through the content-keyed evaluation memo
+    (:func:`repro.harness.parallel.evaluate_corpus_cached`), so Table 1,
+    Figure 6, and Figure 7 share a single FP64 corpus evaluation — and any
+    other identical corpus query is free.  Set ``REPRO_JOBS`` to shard the
+    first (cold) evaluation across worker processes, and
+    ``REPRO_EVAL_CACHE_DIR`` to persist evaluations across processes.
+    """
+    shapes = generate_corpus(spec)
+    jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    res = evaluate_corpus_cached(shapes, dtype, gpu, jobs=jobs)
     return res.shapes, res
 
 

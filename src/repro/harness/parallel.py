@@ -1,0 +1,291 @@
+"""Sharded + memoized corpus evaluation.
+
+:func:`repro.harness.vectorized.evaluate_corpus` is embarrassingly
+parallel over problems — every output element depends only on its own
+(m, n, k) row — so a corpus can be split into contiguous shards, each
+evaluated in a worker process, and the per-system arrays concatenated
+back in order.  Sharding is **exact**: the merged
+:class:`~repro.harness.vectorized.SystemTimings` is bitwise identical to
+the single-process result for any shard size (asserted in the tests).
+
+On top of sharding sits a **content-keyed memo**: evaluations are keyed
+by SHA-256 of the shape array bytes plus the dtype name, the GPU
+fingerprint (:func:`repro.model.paramcache.gpu_fingerprint`), and the
+engine version — so Table 1, Figure 6, and Figure 7 share one FP64 corpus
+evaluation instead of recomputing three, and *any* identical corpus
+re-query is free.  The memo is in-process by default; point
+``REPRO_EVAL_CACHE_DIR`` (or the ``cache_dir`` argument) at a directory
+to persist evaluations across processes as ``.npz`` artifacts
+(write-temp + atomic rename, safe under concurrent writers).
+
+Workers re-derive calibration constants through the persistent
+calibration cache (:mod:`repro.model.paramcache`), so a cold pool does
+not re-run simulator microbenchmarks per worker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import tempfile
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..gemm.dtypes import DtypeConfig, get_dtype_config
+from ..gemm.tiling import Blocking
+from ..gpu.spec import GpuSpec
+from ..model.paramcache import calibrate_cached, gpu_fingerprint
+from .vectorized import SystemTimings, evaluate_corpus
+
+__all__ = [
+    "EVAL_ENGINE_VERSION",
+    "corpus_fingerprint",
+    "evaluate_corpus_cached",
+    "evaluate_corpus_sharded",
+    "merge_timings",
+    "clear_eval_memo",
+    "wipe_eval_cache",
+]
+
+#: Bump whenever the numerical output of ``evaluate_corpus`` changes, so
+#: persisted evaluation artifacts from older engines are never reused.
+EVAL_ENGINE_VERSION = 1
+
+_ENV_EVAL_CACHE_DIR = "REPRO_EVAL_CACHE_DIR"
+
+#: Minimum rows per shard: below this, process fan-out costs more than the
+#: vectorized evaluation itself.
+_MIN_SHARD_ROWS = 256
+
+_MEMO: "dict[str, SystemTimings]" = {}
+
+
+# --------------------------------------------------------------------- #
+# Sharding                                                               #
+# --------------------------------------------------------------------- #
+
+
+def merge_timings(parts: "list[SystemTimings]") -> SystemTimings:
+    """Concatenate shard results back into one :class:`SystemTimings`."""
+    if not parts:
+        raise ConfigurationError("cannot merge zero shards")
+    first = parts[0]
+    for p in parts[1:]:
+        if p.dtype_name != first.dtype_name or p.gpu_name != first.gpu_name:
+            raise ConfigurationError("shards disagree on dtype/GPU")
+        if p.cublas_variant_names != first.cublas_variant_names:
+            raise ConfigurationError("shards disagree on cuBLAS variants")
+    if len(parts) == 1:
+        return first
+    choice = None
+    if all(p.cublas_choice is not None for p in parts):
+        choice = np.concatenate([p.cublas_choice for p in parts])
+    return SystemTimings(
+        shapes=np.concatenate([p.shapes for p in parts]),
+        dtype_name=first.dtype_name,
+        gpu_name=first.gpu_name,
+        streamk=np.concatenate([p.streamk for p in parts]),
+        singleton=np.concatenate([p.singleton for p in parts]),
+        cublas=np.concatenate([p.cublas for p in parts]),
+        oracle=np.concatenate([p.oracle for p in parts]),
+        cublas_choice=choice,
+        cublas_variant_names=list(first.cublas_variant_names),
+    )
+
+
+def _eval_shard(args: "tuple[np.ndarray, str, GpuSpec]") -> SystemTimings:
+    """Worker entry point: evaluate one contiguous shard."""
+    shapes, dtype_name, gpu = args
+    return evaluate_corpus(shapes, get_dtype_config(dtype_name), gpu)
+
+
+def _resolve_jobs(jobs: "int | None") -> int:
+    if jobs is None or jobs == 1:
+        return 1
+    if jobs <= 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def evaluate_corpus_sharded(
+    shapes: np.ndarray,
+    dtype: DtypeConfig,
+    gpu: GpuSpec,
+    jobs: "int | None" = None,
+    shard_rows: "int | None" = None,
+) -> SystemTimings:
+    """Evaluate a corpus across ``jobs`` worker processes.
+
+    ``jobs=None``/``1`` runs in-process (no pool); ``jobs<=0`` means "one
+    per CPU".  ``shard_rows`` overrides the shard size (default: roughly
+    four shards per worker for load balance, never below
+    ``_MIN_SHARD_ROWS``).  Results are independent of both knobs.
+    """
+    shapes = np.asarray(shapes, dtype=np.int64)
+    jobs = _resolve_jobs(jobs)
+    n = shapes.shape[0]
+    if jobs == 1 or n <= _MIN_SHARD_ROWS:
+        return evaluate_corpus(shapes, dtype, gpu)
+
+    if shard_rows is None:
+        shard_rows = max(_MIN_SHARD_ROWS, -(-n // (4 * jobs)))
+    bounds = list(range(0, n, shard_rows)) + [n]
+    shards = [
+        (shapes[lo:hi], dtype.name, gpu)
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    ]
+    # Warm the persistent calibration cache before forking so workers hit
+    # the memo (fork) or the on-disk store (spawn) instead of racing on
+    # the simulator microbenchmarks.
+    calibrate_cached(gpu, Blocking(*dtype.default_blocking), dtype)
+
+    ctx = multiprocessing.get_context()
+    with ctx.Pool(processes=min(jobs, len(shards))) as pool:
+        parts = pool.map(_eval_shard, shards)
+    return merge_timings(parts)
+
+
+# --------------------------------------------------------------------- #
+# Content-keyed memoization                                              #
+# --------------------------------------------------------------------- #
+
+
+def corpus_fingerprint(
+    shapes: np.ndarray, dtype: DtypeConfig, gpu: GpuSpec
+) -> str:
+    """Content key for one evaluation: corpus bytes + dtype + GPU + engine."""
+    shapes = np.ascontiguousarray(np.asarray(shapes, dtype=np.int64))
+    h = hashlib.sha256()
+    h.update(b"repro-eval-v%d" % EVAL_ENGINE_VERSION)
+    h.update(dtype.name.encode("utf-8"))
+    h.update(gpu_fingerprint(gpu).encode("utf-8"))
+    h.update(np.int64(shapes.shape[0]).tobytes())
+    h.update(shapes.tobytes())
+    return h.hexdigest()
+
+
+def _eval_cache_dir(cache_dir: "str | None") -> "str | None":
+    return cache_dir or os.environ.get(_ENV_EVAL_CACHE_DIR) or None
+
+
+def _eval_entry_path(root: str, key: str) -> str:
+    return os.path.join(
+        root, "eval", "eval_v%d_%s.npz" % (EVAL_ENGINE_VERSION, key[:24])
+    )
+
+
+def _load_eval(path: str, key: str) -> "SystemTimings | None":
+    try:
+        with np.load(path, allow_pickle=False) as doc:
+            if str(doc["key"]) != key:
+                return None
+            shapes = doc["shapes"]
+            choice = doc["cublas_choice"]
+            if choice.shape[0] != shapes.shape[0]:
+                choice = None  # evaluation was stored without selections
+            return SystemTimings(
+                shapes=shapes,
+                dtype_name=str(doc["dtype_name"]),
+                gpu_name=str(doc["gpu_name"]),
+                streamk=doc["streamk"],
+                singleton=doc["singleton"],
+                cublas=doc["cublas"],
+                oracle=doc["oracle"],
+                cublas_choice=choice,
+                cublas_variant_names=[str(v) for v in doc["variant_names"]],
+            )
+    except (OSError, ValueError, KeyError):
+        return None
+
+
+def _store_eval(path: str, key: str, res: SystemTimings) -> None:
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".eval_", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(
+                    fh,
+                    key=np.str_(key),
+                    shapes=res.shapes,
+                    dtype_name=np.str_(res.dtype_name),
+                    gpu_name=np.str_(res.gpu_name),
+                    streamk=res.streamk,
+                    singleton=res.singleton,
+                    cublas=res.cublas,
+                    oracle=res.oracle,
+                    cublas_choice=res.cublas_choice
+                    if res.cublas_choice is not None
+                    else np.empty(0, dtype=np.int64),
+                    variant_names=np.asarray(res.cublas_variant_names),
+                )
+            os.replace(tmp, path)  # atomic publish
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        pass  # unwritable cache dir: stay in-memory only
+
+
+def evaluate_corpus_cached(
+    shapes: np.ndarray,
+    dtype: DtypeConfig,
+    gpu: GpuSpec,
+    jobs: "int | None" = None,
+    cache_dir: "str | None" = None,
+) -> SystemTimings:
+    """Content-memoized :func:`evaluate_corpus` (optionally sharded).
+
+    Identical corpora (same shape bytes, dtype, GPU, engine version) are
+    evaluated once per process; with a persistent cache directory, once
+    per machine.
+    """
+    shapes = np.asarray(shapes, dtype=np.int64)
+    key = corpus_fingerprint(shapes, dtype, gpu)
+    res = _MEMO.get(key)
+    if res is not None:
+        return res
+    root = _eval_cache_dir(cache_dir)
+    if root is not None:
+        res = _load_eval(_eval_entry_path(root, key), key)
+        if res is not None:
+            _MEMO[key] = res
+            return res
+    res = evaluate_corpus_sharded(shapes, dtype, gpu, jobs=jobs)
+    _MEMO[key] = res
+    if root is not None:
+        _store_eval(_eval_entry_path(root, key), key, res)
+    return res
+
+
+def clear_eval_memo() -> None:
+    """Drop the in-process evaluation memo."""
+    _MEMO.clear()
+
+
+def wipe_eval_cache(cache_dir: "str | None" = None) -> int:
+    """Delete persisted evaluation artifacts; returns the number removed."""
+    root = _eval_cache_dir(cache_dir)
+    if root is None:
+        return 0
+    removed = 0
+    try:
+        entries = os.listdir(os.path.join(root, "eval"))
+    except OSError:
+        return 0
+    for name in entries:
+        if name.startswith("eval_") and name.endswith(".npz"):
+            try:
+                os.unlink(os.path.join(root, "eval", name))
+                removed += 1
+            except OSError:
+                pass
+    return removed

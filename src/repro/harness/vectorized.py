@@ -7,10 +7,13 @@ ones in :mod:`repro.gpu.analytic` — exact for data-parallel and the
 Stream-K hybrid (validated against the discrete-event executor), and a
 bounded approximation for multi-wave fixed-split.
 
-The only per-problem Python loop left is the small-problem Stream-K regime
-(``tiles < SMs``), where the grid size comes from the analytical model and
-the exact one-wave walk is O(g + t) with t < 108 — a few thousand corpus
-problems at microseconds each.
+There are no per-problem Python loops left: the small-problem Stream-K
+regime (``tiles < SMs``) runs through the batched Appendix A.1 argmin
+(:func:`repro.model.gridsize.select_grid_sizes_batch`) and the batched
+exact walk (:func:`repro.gpu.analytic.basic_streamk_makespan_batch`), both
+cross-validated element-for-element against their scalar twins.  Every
+(N, G) transient is processed in fixed-size row chunks, so peak memory is
+bounded regardless of corpus size.
 
 Systems evaluated (the paper's four comparison columns):
 
@@ -31,27 +34,30 @@ from ..ensembles.cutlass import ORACLE_BLOCKINGS
 from ..errors import ConfigurationError
 from ..gemm.dtypes import DtypeConfig
 from ..gemm.tiling import Blocking
-from ..gpu.analytic import basic_streamk_makespan
+from ..gpu.analytic import basic_streamk_makespan_batch
 from ..gpu.costmodel import KernelCostModel
 from ..gpu.spec import GpuSpec
-from ..model.calibrate import calibrate
 from ..model.cost import StreamKModelParams
+from ..model.gridsize import select_grid_sizes_batch
+from ..model.paramcache import calibrate_cached
 
 __all__ = ["SystemTimings", "evaluate_corpus", "streamk_times", "dp_times", "fixed_split_times"]
 
 _L2_RESIDENCY = 0.8
 _PIPELINE_STAGES = 2
 
-_PARAMS_CACHE: "dict[tuple, StreamKModelParams]" = {}
+#: Row-chunk size bounding the transient (rows, p+1) matrices of the
+#: two-tile walk (and the Regime-B boundary profile), so corpora far larger
+#: than the paper's 32,824 shapes — or GPUs with huge ``total_cta_slots`` —
+#: never scale peak memory with N.
+_WALK_ROW_CHUNK = 8192
 
 
 def _cached_params(
     gpu: GpuSpec, blocking: Blocking, dtype: DtypeConfig
 ) -> StreamKModelParams:
-    key = (gpu.name, blocking.as_tuple, dtype.name)
-    if key not in _PARAMS_CACHE:
-        _PARAMS_CACHE[key] = calibrate(gpu, blocking, dtype)
-    return _PARAMS_CACHE[key]
+    """Calibrated constants via the persistent two-level cache."""
+    return calibrate_cached(gpu, blocking, dtype)
 
 
 def _ceil_div(a: np.ndarray, b) -> np.ndarray:
@@ -206,37 +212,68 @@ def fixed_split_times(
 
 
 def _two_tile_walk(
-    t: np.ndarray, ipt: np.ndarray, p: int, cost: KernelCostModel
+    t: np.ndarray,
+    ipt: np.ndarray,
+    p: int,
+    cost: KernelCostModel,
+    row_chunk: int = _WALK_ROW_CHUNK,
 ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
     """Vectorized exact two-tile-hybrid makespan for the ``w >= 1,
     t % p != 0`` regime.  Returns (makespan, aligned_fraction, stores).
 
     Broadcasts the per-CTA timeline of
-    :func:`repro.gpu.analytic.two_tile_hybrid_makespan` over an (N, p)
-    grid: head contribution, fully-owned tiles, the at-most-one-peer
-    fixup, then the ``w - 1`` data-parallel tiles.
+    :func:`repro.gpu.analytic.two_tile_hybrid_makespan` over a (rows, p)
+    grid, one fixed-size row chunk at a time (the transient (rows, p+1)
+    boundary matrix is the largest allocation in the corpus engine): head
+    contribution, fully-owned tiles, the at-most-one-peer fixup, then the
+    ``w - 1`` data-parallel tiles.
     """
+    n = t.shape[0]
+    makespan = np.empty(n, dtype=np.float64)
+    aligned_fraction = np.empty(n, dtype=np.float64)
+    stores = np.empty(n, dtype=np.int64)
+    for lo in range(0, n, max(1, row_chunk)):
+        sl = slice(lo, min(lo + max(1, row_chunk), n))
+        makespan[sl], aligned_fraction[sl], stores[sl] = _two_tile_walk_chunk(
+            t[sl], ipt[sl], p, cost
+        )
+    return makespan, aligned_fraction, stores
+
+
+def _two_tile_walk_chunk(
+    t: np.ndarray, ipt: np.ndarray, p: int, cost: KernelCostModel
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """One row chunk of :func:`_two_tile_walk`."""
     c = cost.cycles_per_iter
     pro = cost.prologue_cycles
     sp = cost.store_partials_cycles
     fx = cost.fixup_cycles_per_peer
     st = cost.store_tile_cycles
 
-    t = t[:, None].astype(np.int64)
-    ipt_c = ipt[:, None].astype(np.int64)
-    w = t // p
-    sk_tiles = t - (w - 1) * p
+    # Geometry is bounded by t * ipt; int32 halves memory traffic and
+    # speeds the hot div/mod ops on the (rows, p) matrices when safe.
+    geo = (
+        np.int32
+        if int(t.max()) * int(ipt.max()) < np.iinfo(np.int32).max
+        else np.int64
+    )
+    t = t[:, None].astype(geo)
+    ipt_c = ipt[:, None].astype(geo)
+    w = t // geo(p)
+    sk_tiles = t - (w - 1) * geo(p)
     region = sk_tiles * ipt_c
-    base, rem = np.divmod(region, p)
-    x = np.arange(p + 1, dtype=np.int64)[None, :]
-    begins = x * base + np.minimum(x, rem)  # (N, p+1) range boundaries
-    b = begins[:, :-1]
-    e = begins[:, 1:]
-    head = (-b) % ipt_c
-    head_next = (-e) % ipt_c  # == head of CTA x+1 (or 0 at the region end)
-    last_part = e % ipt_c
-    n_owned = _ceil_div(e, ipt_c) - _ceil_div(b, ipt_c)
-    fully = n_owned - (last_part > 0)
+    base, rem = np.divmod(region, geo(p))
+    x = np.arange(p + 1, dtype=geo)[None, :]
+    begins = x * base + np.minimum(x, rem)  # (rows, p+1) range boundaries
+    heads_all = (-begins) % ipt_c
+    b_misaligned = heads_all[:, 1:-1]  # interior boundaries off tile edges
+    head = heads_all[:, :-1]
+    head_next = heads_all[:, 1:]  # == head of CTA x+1 (or 0 at region end)
+    share = begins[:, 1:] - begins[:, :-1]
+    # In this regime every share >= ipt, so b + head is tile-aligned and
+    # the owned-tile count reduces to one integer division.
+    last_part = np.where(head_next != 0, ipt_c - head_next, 0)
+    fully = (share - head - last_part) // ipt_c
 
     now = pro + np.where(head > 0, c * head + sp, 0.0)
     now = now + fully * (c * ipt_c + st)
@@ -250,7 +287,7 @@ def _two_tile_walk(
 
     total = (t * ipt_c).astype(np.float64)
     aligned_fraction = ((t - sk_tiles) * ipt_c) / total
-    stores = np.count_nonzero(b[:, 1:] % ipt_c, axis=1)
+    stores = np.count_nonzero(b_misaligned, axis=1)
     return makespan, aligned_fraction.ravel(), stores
 
 
@@ -298,23 +335,18 @@ def streamk_times(
         g_arr[mask_c] = p
         stores[mask_c] = n_stores
 
-    # Regime B: fewer tiles than SMs -> model-selected grid, exact walk.
+    # Regime B: fewer tiles than SMs -> batched model-selected grids and the
+    # batched exact walk (pure numpy; no per-problem Python loop).
     mask_b = (~mask_a) & (t < p)
     if mask_b.any():
-        idx = np.flatnonzero(mask_b)
-        max_grid = gpu.total_cta_slots
-        for i in idx:
-            ti, ipti, tot = int(t[i]), int(ipt[i]), int(total[i])
-            g = _select_g(tot, ipti, max_grid, params)
-            makespan[i] = basic_streamk_makespan(ti, g, ipti, cost)
-            g_eff = min(g, tot)
-            base, rem = divmod(tot, g_eff)
-            bounds = np.arange(1, g_eff, dtype=np.int64)
-            begins = bounds * base + np.minimum(bounds, rem)
-            mis = int(np.count_nonzero(begins % ipti))
-            stores[i] = mis
-            f[i] = 1.0 if mis == 0 else 0.0
-            g_arr[i] = g_eff
+        t_b, ipt_b, tot_b = t[mask_b], ipt[mask_b], total[mask_b]
+        g_b = select_grid_sizes_batch(tot_b, ipt_b, params, gpu.total_cta_slots)
+        makespan[mask_b] = basic_streamk_makespan_batch(t_b, g_b, ipt_b, cost)
+        g_eff = np.minimum(g_b, tot_b)
+        mis = _misaligned_boundaries_batch(tot_b, g_eff, ipt_b)
+        stores[mask_b] = mis
+        f[mask_b] = (mis == 0).astype(np.float64)
+        g_arr[mask_b] = g_eff
 
     traffic = _traffic_bytes(
         m, n, k, tiles_m, tiles_n, g_arr, f, stores, blocking, dtype, gpu
@@ -322,16 +354,30 @@ def streamk_times(
     return _roofline_time(makespan, traffic, g_arr, gpu)
 
 
-def _select_g(
-    total_iters: int, ipt: int, max_grid: int, params: StreamKModelParams
-) -> int:
-    """Grid-size selection (vectorized Appendix A.1 argmin) for one problem."""
-    hi = min(max_grid, total_iters)
-    g = np.arange(1, hi + 1, dtype=np.int64)
-    ipc = -(-total_iters // g)
-    peers = -(-ipt // ipc)
-    time = params.a + params.b * (peers > 1) + params.c * ipc + params.d * (peers - 1)
-    return int(g[np.argmin(time)])
+def _misaligned_boundaries_batch(
+    total: np.ndarray,
+    g_eff: np.ndarray,
+    ipt: np.ndarray,
+    row_chunk: int = _WALK_ROW_CHUNK,
+) -> np.ndarray:
+    """Per problem, how many of the ``g_eff - 1`` interior partition
+    boundaries fall off a tile edge (each costs one partial-sum exchange).
+    Batched twin of the per-problem profile in
+    :func:`repro.ensembles.streamk_library._region_fixup_profile`."""
+    n = total.shape[0]
+    out = np.empty(n, dtype=np.int64)
+    for lo in range(0, n, max(1, row_chunk)):
+        sl = slice(lo, min(lo + max(1, row_chunk), n))
+        tot_c = total[sl]
+        g_c = g_eff[sl]
+        base = (tot_c // g_c)[:, None]
+        rem = (tot_c % g_c)[:, None]
+        gmax = int(g_c.max())
+        bounds = np.arange(1, gmax, dtype=np.int64)[None, :]
+        begins = bounds * base + np.minimum(bounds, rem)
+        mis = (begins % ipt[sl][:, None] != 0) & (bounds < g_c[:, None])
+        out[sl] = np.count_nonzero(mis, axis=1)
+    return out
 
 
 # --------------------------------------------------------------------- #
@@ -350,13 +396,20 @@ class SystemTimings:
     singleton: np.ndarray
     cublas: np.ndarray
     oracle: np.ndarray
-    #: Index into the cuBLAS variant list chosen per problem.
-    cublas_choice: np.ndarray = field(default=None)
+    #: Index into the cuBLAS variant list chosen per problem, or ``None``
+    #: when the evaluation did not record selections (e.g. partial loads).
+    cublas_choice: "np.ndarray | None" = None
     #: Names of the cuBLAS ensemble variants, aligned with cublas_choice.
     cublas_variant_names: "list[str]" = field(default_factory=list)
 
     def __len__(self) -> int:
-        return self.shapes.shape[0]
+        return int(self.shapes.shape[0])
+
+    def chosen_variant_names(self) -> "list[str] | None":
+        """Per-problem cuBLAS variant names, or ``None`` if unrecorded."""
+        if self.cublas_choice is None or not self.cublas_variant_names:
+            return None
+        return [self.cublas_variant_names[int(i)] for i in self.cublas_choice]
 
 
 def evaluate_corpus(

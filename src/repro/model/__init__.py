@@ -2,17 +2,35 @@
 
 from .calibrate import DEFAULT_DEPTHS, DEFAULT_SPLITS, calibrate
 from .cost import StreamKModelParams, fixup_peers, iters_per_cta, predicted_time
-from .gridsize import GridSizeDecision, select_grid_size, sweep_grid_sizes
+from .gridsize import (
+    GridSizeDecision,
+    select_grid_size,
+    select_grid_sizes_batch,
+    sweep_grid_sizes,
+)
+from .paramcache import (
+    CALIBRATION_CACHE_VERSION,
+    calibrate_cached,
+    default_cache_dir,
+    gpu_fingerprint,
+    wipe_calibration_cache,
+)
 
 __all__ = [
+    "CALIBRATION_CACHE_VERSION",
     "DEFAULT_DEPTHS",
     "DEFAULT_SPLITS",
     "GridSizeDecision",
     "StreamKModelParams",
     "calibrate",
+    "calibrate_cached",
+    "default_cache_dir",
     "fixup_peers",
+    "gpu_fingerprint",
     "iters_per_cta",
     "predicted_time",
     "select_grid_size",
+    "select_grid_sizes_batch",
     "sweep_grid_sizes",
+    "wipe_calibration_cache",
 ]

@@ -22,7 +22,18 @@ from ..errors import ConfigurationError
 from ..gemm.tiling import TileGrid
 from .cost import StreamKModelParams, predicted_time
 
-__all__ = ["GridSizeDecision", "select_grid_size", "sweep_grid_sizes"]
+__all__ = [
+    "GridSizeDecision",
+    "select_grid_size",
+    "select_grid_sizes_batch",
+    "sweep_grid_sizes",
+]
+
+#: Transient-element budget for the batched argmin: each chunk materializes
+#: a handful of (rows x G) float64/int64 arrays, so the chunk row count is
+#: chosen to keep roughly this many elements live at once (~64 MB across
+#: the ~4 temporaries at 8 bytes each).
+_BATCH_ELEMENT_BUDGET = 2_000_000
 
 
 @dataclass(frozen=True)
@@ -47,6 +58,75 @@ def sweep_grid_sizes(
     hi = min(max_grid, grid.total_iters)
     candidates = np.arange(1, hi + 1, dtype=np.int64)
     return candidates, predicted_time(grid, candidates, params)
+
+
+def select_grid_sizes_batch(
+    total_iters: np.ndarray,
+    iters_per_tile: np.ndarray,
+    params: StreamKModelParams,
+    max_grid: int,
+    row_chunk: "int | None" = None,
+) -> np.ndarray:
+    """Batched grid-size selection: one Appendix A.1 argmin per problem.
+
+    The scalar path (:func:`select_grid_size`) sweeps candidates ``g in
+    [1, min(max_grid, total_iters)]`` for one problem; this evaluates the
+    same model over an ``(N, G)`` candidate matrix and argmins each row in
+    one shot — the vectorized twin used by the corpus engine's Regime-B
+    fast path.  Element-for-element equal to the per-problem sweep
+    (same formula, same smallest-``g`` tie rule).
+
+    Parameters
+    ----------
+    total_iters, iters_per_tile:
+        ``(N,)`` integer arrays (``t * ipt`` and ``ipt`` per problem).
+    max_grid:
+        Co-residency bound, identical for every problem.
+    row_chunk:
+        Rows evaluated per chunk.  Defaults to a size that bounds the
+        transient ``(rows, G)`` temporaries to a few tens of MB, so the
+        sweep never scales its peak memory with the corpus size.
+    """
+    if max_grid <= 0:
+        raise ConfigurationError("max_grid must be positive, got %d" % max_grid)
+    total = np.asarray(total_iters, dtype=np.int64)
+    ipt = np.asarray(iters_per_tile, dtype=np.int64)
+    if total.ndim != 1 or total.shape != ipt.shape:
+        raise ConfigurationError(
+            "total_iters and iters_per_tile must be equal-length 1-D arrays"
+        )
+    if total.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if np.any(total <= 0) or np.any(ipt <= 0):
+        raise ConfigurationError("iteration counts must be positive")
+
+    out = np.empty(total.shape[0], dtype=np.int64)
+    g_cap = int(min(max_grid, int(total.max())))
+    if row_chunk is None:
+        row_chunk = max(1, _BATCH_ELEMENT_BUDGET // g_cap)
+    for lo in range(0, total.shape[0], row_chunk):
+        sl = slice(lo, min(lo + row_chunk, total.shape[0]))
+        out[sl] = _select_chunk(total[sl], ipt[sl], params, max_grid)
+    return out
+
+
+def _select_chunk(
+    total: np.ndarray, ipt: np.ndarray, params: StreamKModelParams, max_grid: int
+) -> np.ndarray:
+    """One chunk of the batched sweep; see :func:`select_grid_sizes_batch`."""
+    hi = np.minimum(max_grid, total)  # per-problem candidate ceiling
+    g = np.arange(1, int(hi.max()) + 1, dtype=np.int64)[None, :]
+    ipc = -(-total[:, None] // g)
+    peers = -(-ipt[:, None] // ipc)
+    time = (
+        params.a
+        + params.b * (peers > 1)
+        + params.c * ipc
+        + params.d * (peers - 1)
+    )
+    time = np.where(g <= hi[:, None], time, np.inf)
+    # argmin takes the first (smallest g) tie, matching select_grid_size.
+    return 1 + np.argmin(time, axis=1)
 
 
 def select_grid_size(

@@ -1,0 +1,124 @@
+"""Batched Stream-K makespan vs the scalar closed form and the executor.
+
+``basic_streamk_makespan_batch`` is the corpus engine's Regime-B fast path;
+it must agree with the scalar fixup-chain walk (which in turn is pinned to
+the discrete-event executor in test_analytic.py) to tight tolerance on the
+same fixture families.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gemm import FP16_FP32, FP64, Blocking, GemmProblem, TileGrid
+from repro.gpu import (
+    A100,
+    HYPOTHETICAL_4SM,
+    Executor,
+    KernelCostModel,
+    basic_streamk_makespan,
+    basic_streamk_makespan_batch,
+)
+from repro.schedules import stream_k_schedule
+
+
+def grid_of(tiles_m, tiles_n, ipt, dtype=FP64):
+    p = GemmProblem(tiles_m * 16, tiles_n * 16, ipt * 8, dtype=dtype)
+    return TileGrid(p, Blocking(16, 16, 8))
+
+
+def executor_makespan(schedule, gpu, cost):
+    return Executor(gpu.total_cta_slots).run(cost.build_tasks(schedule)).makespan
+
+
+@pytest.fixture(scope="module")
+def cost_4sm():
+    return KernelCostModel(
+        gpu=HYPOTHETICAL_4SM, blocking=Blocking(16, 16, 8), dtype=FP64
+    )
+
+
+@pytest.fixture(scope="module")
+def cost_a100():
+    return KernelCostModel(
+        gpu=A100, blocking=Blocking(128, 128, 32), dtype=FP16_FP32
+    )
+
+
+class TestBatchEqualsScalar:
+    def test_random_batch(self, cost_4sm):
+        rng = np.random.default_rng(0x5EED)
+        t = rng.integers(1, 64, size=500)
+        ipt = rng.integers(1, 48, size=500)
+        g = rng.integers(1, 8, size=500)
+        batch = basic_streamk_makespan_batch(t, g, ipt, cost_4sm)
+        for i in range(t.shape[0]):
+            scalar = basic_streamk_makespan(
+                int(t[i]), int(g[i]), int(ipt[i]), cost_4sm
+            )
+            assert batch[i] == pytest.approx(scalar, rel=1e-12), (
+                "t=%d g=%d ipt=%d" % (t[i], g[i], ipt[i])
+            )
+
+    def test_a100_grid_sizes(self, cost_a100):
+        """The g values the paper actually launches (Fig. 8 regimes)."""
+        grid = TileGrid(
+            GemmProblem(512, 2048, 256, dtype=FP16_FP32), Blocking(128, 128, 32)
+        )
+        gs = np.array([1, 7, 64, 107, 108], dtype=np.int64)
+        t = np.full_like(gs, grid.num_tiles)
+        ipt = np.full_like(gs, grid.iters_per_tile)
+        batch = basic_streamk_makespan_batch(t, gs, ipt, cost_a100)
+        for i, g in enumerate(gs):
+            scalar = basic_streamk_makespan(
+                grid.num_tiles, int(g), grid.iters_per_tile, cost_a100
+            )
+            assert batch[i] == pytest.approx(scalar, rel=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        tiles_m=st.integers(1, 8),
+        tiles_n=st.integers(1, 8),
+        ipt=st.integers(1, 24),
+        g=st.integers(1, 4),
+    )
+    def test_matches_executor(self, cost_4sm, tiles_m, tiles_n, ipt, g):
+        """Direct pin against the discrete-event executor, same fixture
+        family as TestStreamKExact in test_analytic.py."""
+        gpu = HYPOTHETICAL_4SM
+        grid = grid_of(tiles_m, tiles_n, ipt)
+        ev = executor_makespan(stream_k_schedule(grid, g), gpu, cost_4sm)
+        batch = basic_streamk_makespan_batch(
+            np.array([grid.num_tiles]), np.array([g]), np.array([ipt]), cost_4sm
+        )
+        assert batch[0] == pytest.approx(ev, rel=1e-9)
+
+    def test_chunking_invariant(self, cost_4sm):
+        rng = np.random.default_rng(11)
+        t = rng.integers(1, 64, size=131)
+        ipt = rng.integers(1, 48, size=131)
+        g = rng.integers(1, 8, size=131)
+        ref = basic_streamk_makespan_batch(t, g, ipt, cost_4sm)
+        for chunk in (1, 13, 130, 131, 4096):
+            got = basic_streamk_makespan_batch(t, g, ipt, cost_4sm, row_chunk=chunk)
+            np.testing.assert_array_equal(got, ref)
+
+
+class TestValidation:
+    def test_empty(self, cost_4sm):
+        e = np.empty(0, dtype=np.int64)
+        assert basic_streamk_makespan_batch(e, e, e, cost_4sm).shape == (0,)
+
+    def test_rejects_nonpositive(self, cost_4sm):
+        with pytest.raises(ConfigurationError):
+            basic_streamk_makespan_batch(
+                np.array([0]), np.array([1]), np.array([1]), cost_4sm
+            )
+
+    def test_rejects_mismatched_lengths(self, cost_4sm):
+        with pytest.raises(ConfigurationError):
+            basic_streamk_makespan_batch(
+                np.array([1, 2]), np.array([1]), np.array([1]), cost_4sm
+            )

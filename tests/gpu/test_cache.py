@@ -1,9 +1,45 @@
 """Cache simulator tests."""
 
+from collections import OrderedDict
+
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.gpu import FragmentCache, SetAssociativeCache
+
+
+class _ReferenceSetAssociativeCache:
+    """The original per-line OrderedDict LRU loop, kept as an oracle for the
+    vectorized :class:`SetAssociativeCache`."""
+
+    def __init__(self, capacity_bytes, line_bytes, ways=16):
+        lines = capacity_bytes // line_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = max(1, lines // ways)
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        self.accesses = 0
+        self.hits = 0
+
+    def access(self, addr, size):
+        if size <= 0:
+            return 0
+        first = addr // self.line_bytes
+        last = (addr + size - 1) // self.line_bytes
+        missed = 0
+        for line in range(first, last + 1):
+            s = self._sets[line % self.num_sets]
+            self.accesses += 1
+            if line in s:
+                s.move_to_end(line)
+                self.hits += 1
+            else:
+                if len(s) >= self.ways:
+                    s.popitem(last=False)
+                s[line] = None
+                missed += self.line_bytes
+        return missed
 
 
 class TestFragmentCache:
@@ -97,3 +133,41 @@ class TestSetAssociativeCache:
             SetAssociativeCache(0, 64)
         with pytest.raises(ConfigurationError):
             SetAssociativeCache(64, 64, ways=4)  # 1 line < 4 ways
+
+    @pytest.mark.parametrize(
+        "capacity,line,ways",
+        [
+            (128, 64, 2),  # 1 set: every access conflicts
+            (4 * 64, 64, 2),  # 2 sets
+            (1 << 12, 64, 4),  # 16 sets
+            (1 << 14, 128, 16),  # 8 sets, wide
+        ],
+    )
+    def test_matches_reference_loop(self, capacity, line, ways):
+        """Vectorized implementation reproduces the per-line OrderedDict
+        oracle on randomized access streams (including multi-line strides,
+        re-touches, and spans longer than num_sets lines)."""
+        rng = np.random.default_rng(0xCAC4E + capacity + ways)
+        new = SetAssociativeCache(capacity, line, ways)
+        ref = _ReferenceSetAssociativeCache(capacity, line, ways)
+        for _ in range(400):
+            addr = int(rng.integers(0, 64 * line))
+            size = int(rng.integers(1, 8 * line * new.num_sets))
+            assert new.access(addr, size) == ref.access(addr, size)
+        assert new.stats.accesses == ref.accesses
+        assert new.stats.hits == ref.hits
+
+    def test_matches_reference_after_flush(self):
+        new = SetAssociativeCache(1 << 12, 64, 4)
+        ref = _ReferenceSetAssociativeCache(1 << 12, 64, 4)
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            addr = int(rng.integers(0, 4096))
+            size = int(rng.integers(1, 512))
+            assert new.access(addr, size) == ref.access(addr, size)
+        new.flush()
+        ref._sets = [OrderedDict() for _ in range(ref.num_sets)]
+        for _ in range(50):
+            addr = int(rng.integers(0, 4096))
+            size = int(rng.integers(1, 512))
+            assert new.access(addr, size) == ref.access(addr, size)

@@ -1,0 +1,51 @@
+"""Tier-1 smoke for the corpus-evaluation benchmark path.
+
+Runs the exact code path of ``benchmarks/bench_corpus_eval.py`` on a
+2,000-shape subsample, so the engine benchmark can never silently rot
+between full benchmark runs (imports, regime coverage, and the timing
+harness itself all stay exercised in the default test suite).
+"""
+
+import os
+import sys
+
+import numpy as np
+
+from repro.corpus.generator import CorpusSpec, generate_corpus
+
+# benchmarks/ is a sibling package of tests/, not installed; reach it
+# relative to this file so the suite works from any cwd.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
+from benchmarks.bench_corpus_eval import run_corpus_eval  # noqa: E402
+
+SMOKE_SHAPES = 2_000
+
+
+def test_corpus_eval_smoke():
+    shapes = generate_corpus(CorpusSpec(size=SMOKE_SHAPES))
+    timings = run_corpus_eval(shapes)
+    assert set(timings) == {"fp64_cold_s", "fp64_warm_s", "fp16_fp32_s"}
+    assert all(v > 0 for v in timings.values())
+    # Warm throughput floor: the vectorized engine should clear this by a
+    # wide margin even on loaded CI machines (full corpus runs ~50k/s).
+    assert SMOKE_SHAPES / timings["fp64_warm_s"] > 2_000
+
+
+def test_smoke_corpus_covers_all_regimes():
+    """The 2,000-shape slice must exercise every planning regime, or the
+    smoke run would not actually cover the vectorized fast paths."""
+    from repro.gemm import FP64, Blocking
+    from repro.gpu import A100
+
+    shapes = generate_corpus(CorpusSpec(size=SMOKE_SHAPES))
+    blk = Blocking(*FP64.default_blocking)
+    tiles_m = -(-shapes[:, 0] // blk.blk_m)
+    tiles_n = -(-shapes[:, 1] // blk.blk_n)
+    t = tiles_m * tiles_n
+    p = A100.num_sms
+    assert np.any(t % p == 0)  # Regime A: data-parallel waves
+    assert np.any((t % p != 0) & (t < p))  # Regime B: basic Stream-K
+    assert np.any((t % p != 0) & (t >= p))  # Regime C: two-tile hybrid

@@ -1,0 +1,136 @@
+"""Sharded + memoized corpus evaluation: exactness and cache behavior."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.generator import CorpusSpec, generate_corpus
+from repro.errors import ConfigurationError
+from repro.gemm import FP16_FP32, FP64
+from repro.gpu import A100, HYPOTHETICAL_4SM
+from repro.harness.parallel import (
+    clear_eval_memo,
+    corpus_fingerprint,
+    evaluate_corpus_cached,
+    evaluate_corpus_sharded,
+    merge_timings,
+    wipe_eval_cache,
+)
+from repro.harness.vectorized import evaluate_corpus
+
+
+@pytest.fixture(scope="module")
+def shapes():
+    return generate_corpus(CorpusSpec(size=700))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_eval_memo()
+    yield
+    clear_eval_memo()
+
+
+def assert_timings_equal(a, b):
+    assert a.dtype_name == b.dtype_name and a.gpu_name == b.gpu_name
+    np.testing.assert_array_equal(a.shapes, b.shapes)
+    np.testing.assert_array_equal(a.streamk, b.streamk)
+    np.testing.assert_array_equal(a.singleton, b.singleton)
+    np.testing.assert_array_equal(a.cublas, b.cublas)
+    np.testing.assert_array_equal(a.oracle, b.oracle)
+    if a.cublas_choice is None or b.cublas_choice is None:
+        assert a.cublas_choice is None and b.cublas_choice is None
+    else:
+        np.testing.assert_array_equal(a.cublas_choice, b.cublas_choice)
+    assert a.cublas_variant_names == b.cublas_variant_names
+
+
+class TestSharding:
+    def test_sharded_bitwise_identical(self, shapes):
+        """Sharding is exact: merged result == single-process result,
+        bitwise, for several shard geometries."""
+        ref = evaluate_corpus(shapes, FP64, A100)
+        for shard_rows in (97, 350, 699):
+            got = evaluate_corpus_sharded(
+                shapes, FP64, A100, jobs=2, shard_rows=shard_rows
+            )
+            assert_timings_equal(got, ref)
+
+    def test_jobs_one_is_in_process(self, shapes):
+        got = evaluate_corpus_sharded(shapes, FP64, A100, jobs=1)
+        assert_timings_equal(got, evaluate_corpus(shapes, FP64, A100))
+
+    def test_tiny_corpus_skips_pool(self):
+        small = generate_corpus(CorpusSpec(size=64))
+        got = evaluate_corpus_sharded(small, FP64, A100, jobs=8)
+        assert_timings_equal(got, evaluate_corpus(small, FP64, A100))
+
+    def test_merge_roundtrip_manual(self, shapes):
+        ref = evaluate_corpus(shapes, FP64, A100)
+        parts = [
+            evaluate_corpus(shapes[:250], FP64, A100),
+            evaluate_corpus(shapes[250:500], FP64, A100),
+            evaluate_corpus(shapes[500:], FP64, A100),
+        ]
+        assert_timings_equal(merge_timings(parts), ref)
+
+    def test_merge_rejects_mixed_runs(self, shapes):
+        a = evaluate_corpus(shapes[:64], FP64, A100)
+        b = evaluate_corpus(shapes[:64], FP16_FP32, A100)
+        with pytest.raises(ConfigurationError):
+            merge_timings([a, b])
+        c = evaluate_corpus(shapes[:64], FP64, HYPOTHETICAL_4SM)
+        with pytest.raises(ConfigurationError):
+            merge_timings([a, c])
+        with pytest.raises(ConfigurationError):
+            merge_timings([])
+
+
+class TestFingerprint:
+    def test_sensitive_to_inputs(self, shapes):
+        base = corpus_fingerprint(shapes, FP64, A100)
+        assert corpus_fingerprint(shapes, FP16_FP32, A100) != base
+        assert corpus_fingerprint(shapes, FP64, HYPOTHETICAL_4SM) != base
+        perturbed = shapes.copy()
+        perturbed[0, 0] += 16
+        assert corpus_fingerprint(perturbed, FP64, A100) != base
+        assert corpus_fingerprint(shapes[:-1], FP64, A100) != base
+
+    def test_deterministic(self, shapes):
+        assert corpus_fingerprint(shapes, FP64, A100) == corpus_fingerprint(
+            shapes.copy(), FP64, A100
+        )
+
+
+class TestMemoAndDisk:
+    def test_memo_hit_returns_same_object(self, shapes):
+        r1 = evaluate_corpus_cached(shapes, FP64, A100)
+        r2 = evaluate_corpus_cached(shapes, FP64, A100)
+        assert r1 is r2  # second call is the in-process memo
+
+    def test_disk_roundtrip_bitwise(self, shapes, tmp_path):
+        r1 = evaluate_corpus_cached(shapes, FP64, A100, cache_dir=str(tmp_path))
+        assert any((tmp_path / "eval").iterdir())
+        clear_eval_memo()  # cold-process simulation
+        r2 = evaluate_corpus_cached(shapes, FP64, A100, cache_dir=str(tmp_path))
+        assert r1 is not r2
+        assert_timings_equal(r1, r2)
+
+    def test_env_var_cache_dir(self, shapes, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_EVAL_CACHE_DIR", str(tmp_path))
+        evaluate_corpus_cached(shapes[:64], FP64, A100)
+        assert any((tmp_path / "eval").iterdir())
+        assert wipe_eval_cache() == 1
+        assert wipe_eval_cache() == 0
+
+    def test_distinct_corpora_distinct_entries(self, shapes, tmp_path):
+        evaluate_corpus_cached(shapes[:64], FP64, A100, cache_dir=str(tmp_path))
+        evaluate_corpus_cached(shapes[:65], FP64, A100, cache_dir=str(tmp_path))
+        assert len(list((tmp_path / "eval").iterdir())) == 2
+
+    def test_unwritable_dir_degrades(self, shapes, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("occupied")
+        res = evaluate_corpus_cached(
+            shapes[:64], FP64, A100, cache_dir=str(blocker / "nested")
+        )
+        assert_timings_equal(res, evaluate_corpus(shapes[:64], FP64, A100))

@@ -1,0 +1,121 @@
+"""Batched grid-size selection must be element-for-element equal to the
+per-problem Appendix A.1 sweep (same formula, same smallest-g tie rule)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gemm import FP16_FP32, FP64, Blocking, GemmProblem, TileGrid
+from repro.gpu import A100, HYPOTHETICAL_4SM
+from repro.model import calibrate, select_grid_size, select_grid_sizes_batch
+
+
+@pytest.fixture(scope="module")
+def params_a100():
+    return calibrate(A100, Blocking(128, 128, 32), FP16_FP32)
+
+
+@pytest.fixture(scope="module")
+def params_4sm():
+    return calibrate(HYPOTHETICAL_4SM, Blocking(16, 16, 8), FP64)
+
+
+@pytest.fixture(scope="module")
+def params_a100_small():
+    # Same blocking as the synthetic reference grids in _scalar_sweep.
+    return calibrate(A100, Blocking(16, 16, 8), FP64)
+
+
+def _scalar_sweep(total, ipt, params, max_grid):
+    """Per-problem reference: select_grid_size over synthetic TileGrids."""
+    out = np.empty(len(total), dtype=np.int64)
+    for i, (tot, k_iters) in enumerate(zip(total, ipt)):
+        t = tot // k_iters
+        # Build an (t x 1) tile grid with the requested iters/tile.
+        problem = GemmProblem(int(t) * 16, 16, int(k_iters) * 8, dtype=FP64)
+        grid = TileGrid(problem, Blocking(16, 16, 8))
+        assert grid.total_iters == tot and grid.iters_per_tile == k_iters
+        out[i] = select_grid_size(grid, params, max_grid).g
+    return out
+
+
+class TestBatchEqualsScalar:
+    def test_random_regime_b_corpus(self, params_a100_small):
+        """Random (t < p)-style problems on the A100 bound."""
+        rng = np.random.default_rng(0xA11)
+        t = rng.integers(1, 108, size=300)
+        ipt = rng.integers(1, 600, size=300)
+        total = t * ipt
+        batch = select_grid_sizes_batch(
+            total, ipt, params_a100_small, A100.total_cta_slots
+        )
+        scalar = _scalar_sweep(total, ipt, params_a100_small, A100.total_cta_slots)
+        np.testing.assert_array_equal(batch, scalar)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        t=st.integers(1, 16),
+        ipt=st.integers(1, 64),
+        max_grid=st.integers(1, 16),
+    )
+    def test_single_problem_property(self, params_4sm, t, ipt, max_grid):
+        total = np.array([t * ipt], dtype=np.int64)
+        ipt_arr = np.array([ipt], dtype=np.int64)
+        batch = select_grid_sizes_batch(total, ipt_arr, params_4sm, max_grid)
+        scalar = _scalar_sweep(total, ipt_arr, params_4sm, max_grid)
+        assert batch[0] == scalar[0]
+
+    def test_paper_fig8_optima_preserved(self, params_a100):
+        """The batch path reproduces the paper's Figure 8 selections."""
+        cases = [
+            (256, 3584, 8192, 108),
+            (1024, 1024, 1024, 64),
+            (128, 128, 16384, 8),
+        ]
+        grids = [
+            TileGrid(GemmProblem(m, n, k, dtype=FP16_FP32), Blocking(128, 128, 32))
+            for m, n, k, _ in cases
+        ]
+        total = np.array([g.total_iters for g in grids], dtype=np.int64)
+        ipt = np.array([g.iters_per_tile for g in grids], dtype=np.int64)
+        got = select_grid_sizes_batch(total, ipt, params_a100, A100.num_sms)
+        np.testing.assert_array_equal(
+            got, np.array([g for *_, g in cases], dtype=np.int64)
+        )
+
+    def test_chunking_invariant(self, params_a100):
+        """Results are identical for any row_chunk (memory knob only)."""
+        rng = np.random.default_rng(3)
+        t = rng.integers(1, 108, size=97)
+        ipt = rng.integers(1, 300, size=97)
+        total = t * ipt
+        ref = select_grid_sizes_batch(total, ipt, params_a100, 108)
+        for chunk in (1, 7, 96, 97, 4096):
+            got = select_grid_sizes_batch(total, ipt, params_a100, 108, row_chunk=chunk)
+            np.testing.assert_array_equal(got, ref)
+
+
+class TestValidation:
+    def test_empty_input(self, params_a100):
+        out = select_grid_sizes_batch(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), params_a100, 108
+        )
+        assert out.shape == (0,) and out.dtype == np.int64
+
+    def test_rejects_nonpositive(self, params_a100):
+        with pytest.raises(ConfigurationError):
+            select_grid_sizes_batch(
+                np.array([0]), np.array([1]), params_a100, 108
+            )
+        with pytest.raises(ConfigurationError):
+            select_grid_sizes_batch(
+                np.array([4]), np.array([2]), params_a100, 0
+            )
+
+    def test_rejects_shape_mismatch(self, params_a100):
+        with pytest.raises(ConfigurationError):
+            select_grid_sizes_batch(
+                np.array([4, 8]), np.array([2]), params_a100, 108
+            )

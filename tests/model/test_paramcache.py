@@ -1,0 +1,137 @@
+"""Persistent calibration cache: hits, structural invalidation, atomicity."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.gemm import FP64, Blocking
+from repro.gpu import HYPOTHETICAL_4SM
+from repro.model import calibrate
+from repro.model.paramcache import (
+    CALIBRATION_CACHE_VERSION,
+    calibrate_cached,
+    clear_memory_cache,
+    gpu_fingerprint,
+    load_cached_params,
+    store_params,
+    wipe_calibration_cache,
+)
+
+BLOCKING = Blocking(16, 16, 8)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_memory_cache()
+    yield
+    clear_memory_cache()
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, tmp_path):
+        params = calibrate(HYPOTHETICAL_4SM, BLOCKING, FP64)
+        path = store_params(params, HYPOTHETICAL_4SM, cache_dir=str(tmp_path))
+        assert path is not None and os.path.isfile(path)
+        loaded = load_cached_params(
+            HYPOTHETICAL_4SM, BLOCKING, FP64, cache_dir=str(tmp_path)
+        )
+        assert loaded is not None
+        assert (loaded.a, loaded.b, loaded.c, loaded.d) == (
+            params.a, params.b, params.c, params.d,
+        )
+
+    def test_calibrate_cached_skips_recalibration(self, tmp_path):
+        p1 = calibrate_cached(HYPOTHETICAL_4SM, BLOCKING, FP64, cache_dir=str(tmp_path))
+        # Cold process simulation: clear the memo, keep the disk store.
+        clear_memory_cache()
+        p2 = calibrate_cached(HYPOTHETICAL_4SM, BLOCKING, FP64, cache_dir=str(tmp_path))
+        assert (p1.a, p1.b, p1.c, p1.d) == (p2.a, p2.b, p2.c, p2.d)
+        # Exactly one entry on disk.
+        files = os.listdir(tmp_path / "calibration")
+        assert len(files) == 1
+
+    def test_equals_direct_calibration(self, tmp_path):
+        cached = calibrate_cached(
+            HYPOTHETICAL_4SM, BLOCKING, FP64, cache_dir=str(tmp_path)
+        )
+        direct = calibrate(HYPOTHETICAL_4SM, BLOCKING, FP64)
+        assert (cached.a, cached.b, cached.c, cached.d) == (
+            direct.a, direct.b, direct.c, direct.d,
+        )
+
+
+class TestInvalidation:
+    def test_gpu_fingerprint_covers_every_field(self):
+        fp = gpu_fingerprint(HYPOTHETICAL_4SM)
+        changed = dataclasses.replace(HYPOTHETICAL_4SM, num_sms=5)
+        assert gpu_fingerprint(changed) != fp
+        renamed = dataclasses.replace(HYPOTHETICAL_4SM, name="other")
+        assert gpu_fingerprint(renamed) != fp
+
+    def test_stale_fingerprint_misses(self, tmp_path):
+        params = calibrate(HYPOTHETICAL_4SM, BLOCKING, FP64)
+        path = store_params(params, HYPOTHETICAL_4SM, cache_dir=str(tmp_path))
+        doc = json.load(open(path))
+        doc["gpu_fingerprint"] = "0" * 64
+        json.dump(doc, open(path, "w"))
+        assert load_cached_params(
+            HYPOTHETICAL_4SM, BLOCKING, FP64, cache_dir=str(tmp_path)
+        ) is None
+
+    def test_stale_version_misses(self, tmp_path):
+        params = calibrate(HYPOTHETICAL_4SM, BLOCKING, FP64)
+        path = store_params(params, HYPOTHETICAL_4SM, cache_dir=str(tmp_path))
+        doc = json.load(open(path))
+        doc["version"] = CALIBRATION_CACHE_VERSION + 999
+        json.dump(doc, open(path, "w"))
+        assert load_cached_params(
+            HYPOTHETICAL_4SM, BLOCKING, FP64, cache_dir=str(tmp_path)
+        ) is None
+
+    def test_corrupt_file_misses(self, tmp_path):
+        params = calibrate(HYPOTHETICAL_4SM, BLOCKING, FP64)
+        path = store_params(params, HYPOTHETICAL_4SM, cache_dir=str(tmp_path))
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        assert load_cached_params(
+            HYPOTHETICAL_4SM, BLOCKING, FP64, cache_dir=str(tmp_path)
+        ) is None
+        # calibrate_cached degrades to recomputation, then overwrites.
+        p = calibrate_cached(HYPOTHETICAL_4SM, BLOCKING, FP64, cache_dir=str(tmp_path))
+        assert p is not None
+        assert load_cached_params(
+            HYPOTHETICAL_4SM, BLOCKING, FP64, cache_dir=str(tmp_path)
+        ) is not None
+
+
+class TestHousekeeping:
+    def test_wipe(self, tmp_path):
+        params = calibrate(HYPOTHETICAL_4SM, BLOCKING, FP64)
+        store_params(params, HYPOTHETICAL_4SM, cache_dir=str(tmp_path))
+        assert wipe_calibration_cache(cache_dir=str(tmp_path)) == 1
+        assert wipe_calibration_cache(cache_dir=str(tmp_path)) == 0
+
+    def test_no_disk_env_disables_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_DISK_CACHE", "1")
+        calibrate_cached(HYPOTHETICAL_4SM, BLOCKING, FP64, cache_dir=str(tmp_path))
+        assert not (tmp_path / "calibration").exists()
+
+    def test_unwritable_dir_degrades_silently(self, tmp_path):
+        target = tmp_path / "file-not-dir"
+        target.write_text("occupied")
+        # cache_dir points *into* a file: store fails, calibration still works
+        p = calibrate_cached(
+            HYPOTHETICAL_4SM, BLOCKING, FP64,
+            cache_dir=str(target / "sub"),
+        )
+        assert p is not None
+
+    def test_atomic_store_leaves_no_temp_files(self, tmp_path):
+        params = calibrate(HYPOTHETICAL_4SM, BLOCKING, FP64)
+        store_params(params, HYPOTHETICAL_4SM, cache_dir=str(tmp_path))
+        leftovers = [
+            f for f in os.listdir(tmp_path / "calibration") if f.endswith(".tmp")
+        ]
+        assert leftovers == []
