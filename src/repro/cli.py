@@ -8,9 +8,13 @@ Commands
 ``corpus``     evaluate a corpus slice and print the Tables-1/2 columns
 ``calibrate``  print the calibrated {a, b, c, d} constants
 ``cache``      show or wipe the on-disk calibration / evaluation caches
+``trace``      export one schedule's execution as Chrome/Perfetto JSON
+``profile``    profile a corpus evaluation (span report + counters)
 
 Every command accepts ``--dtype {fp64,fp16_fp32,fp32,bf16_fp32}`` and
-``--gpu {a100,hypothetical_4sm}``.
+``--gpu {a100,hypothetical_4sm}``.  Setting ``REPRO_PROFILE=1`` makes any
+command print a span-profiler report and the counters registry to stderr
+on exit (see :mod:`repro.obs` and README.md's environment-variable table).
 """
 
 from __future__ import annotations
@@ -26,6 +30,9 @@ from .gemm.dtypes import DTYPE_CONFIGS, get_dtype_config
 from .gemm.problem import GemmProblem
 from .gemm.tiling import Blocking, TileGrid
 from .gpu.spec import GPU_PRESETS, get_gpu
+from .metrics.report import format_utilization
+from .obs import profiler as _profiler
+from .schedules.registry import DECOMPOSITION_NAMES
 
 __all__ = ["main", "build_parser"]
 
@@ -88,6 +95,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="delete cached calibration constants and corpus evaluations",
     )
 
+    p = sub.add_parser(
+        "trace",
+        help="export one schedule's simulated execution as Perfetto JSON",
+    )
+    _add_shape(p)
+    _add_common(p)
+    p.add_argument(
+        "--schedule", default="stream_k", choices=DECOMPOSITION_NAMES,
+        help="decomposition to trace (default stream_k)",
+    )
+    p.add_argument(
+        "--g", type=int, default=None, metavar="G",
+        help="grid size (stream_k), splitting factor (fixed_split), or "
+        "g_small (two_tile_stream_k); default: one CTA per SM",
+    )
+    p.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="output path for the Chrome trace_event JSON "
+        "(default trace.json; open at https://ui.perfetto.dev)",
+    )
+
+    p = sub.add_parser(
+        "profile",
+        help="profile a corpus evaluation: span report + counters",
+    )
+    _add_common(p)
+    p.add_argument("--size", type=int, default=2000, help="corpus slice size")
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (0 = all cores, default 1)",
+    )
+    p.add_argument(
+        "--repeat", type=int, default=2, metavar="R",
+        help="evaluate the corpus R times so cache counters show the warm "
+        "path (default 2)",
+    )
+    p.add_argument(
+        "--flame", action="store_true",
+        help="also print a text flamegraph of the span tree",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="optionally write the profile as Chrome trace_event JSON",
+    )
+
     return parser
 
 
@@ -105,7 +157,7 @@ def _cmd_plan(args) -> int:
           % (grid.num_tiles, grid.tiles_m, grid.tiles_n, grid.iters_per_tile))
     print("plan           : %s" % plan.kind)
     print("grid size      : %d CTAs on %d SMs" % (plan.g, gpu.num_sms))
-    print("aligned iters  : %.0f%%" % (100 * plan.k_aligned_fraction))
+    print("aligned iters  : %s" % format_utilization(plan.k_aligned_fraction, decimals=0))
     print("fixup exchanges: %d" % plan.fixup_stores)
     print("predicted time : %.1f us (%.1f TFLOP/s)"
           % (lib.time_s(problem) * 1e6, lib.tflops(problem)))
@@ -136,11 +188,11 @@ def _cmd_simulate(args) -> int:
         if run.max_rel_error is not None:
             note = "  [validated, err %.1e]" % run.max_rel_error
         print(
-            "%-24s %6d %8.1f%% %12.1f %10.1f%s"
+            "%-24s %6d %9s %12.1f %10.1f%s"
             % (
                 sched.name,
                 run.g,
-                100 * run.result.trace.utilization(),
+                format_utilization(run.result.trace.utilization()),
                 run.time_s * 1e6,
                 run.tflops,
                 note,
@@ -235,6 +287,81 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .harness.runner import run_schedule
+    from .obs.export import trace_to_chrome, write_chrome_trace
+    from .schedules.registry import make_decomposition
+
+    dtype, gpu = get_dtype_config(args.dtype), get_gpu(args.gpu)
+    problem = GemmProblem(args.m, args.n, args.k, dtype=dtype)
+    blocking = Blocking(*dtype.default_blocking)
+    grid = TileGrid(problem, blocking)
+    default_g = max(1, min(gpu.num_sms, grid.total_iters))
+    kwargs: "dict[str, int]" = {}
+    if args.schedule == "fixed_split":
+        kwargs["s"] = args.g if args.g is not None else 2
+    elif args.schedule == "stream_k":
+        kwargs["g"] = args.g if args.g is not None else default_g
+    elif args.schedule in ("two_tile_stream_k", "dp_one_tile_stream_k"):
+        kwargs["p"] = gpu.num_sms
+        if args.schedule == "two_tile_stream_k" and args.g is not None:
+            kwargs["g_small"] = args.g
+    schedule = make_decomposition(args.schedule, **kwargs).build(grid)
+    run = run_schedule(schedule, gpu, execute_numeric=False)
+    trace = run.result.trace
+    doc = trace_to_chrome(
+        trace,
+        name="%s %dx%dx%d %s on %s"
+        % (schedule.name, args.m, args.n, args.k, dtype.name, gpu.name),
+        clock_hz=gpu.clock_hz,
+    )
+    write_chrome_trace(args.out, doc)
+    print("schedule    : %s (g=%d) on %s" % (schedule.name, run.g, gpu.name))
+    print("makespan    : %.0f cycles (%.2f us simulated)"
+          % (trace.makespan, run.time_s * 1e6))
+    print("utilization : %s (%d spin-wait cycles)"
+          % (format_utilization(trace.utilization()), trace.total_wait_cycles))
+    print("events      : %d across %d SM-slot tracks"
+          % (len(doc["traceEvents"]), trace.num_sm_slots))
+    print("wrote %s -- open it at https://ui.perfetto.dev "
+          "(see docs/TRACING.md)" % args.out)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .harness.parallel import evaluate_corpus_cached
+    from .obs import counters as _counters
+    from .obs.export import profile_to_chrome, render_flamegraph, write_chrome_trace
+
+    dtype, gpu = get_dtype_config(args.dtype), get_gpu(args.gpu)
+    _profiler.enable_profiling()
+    _profiler.reset_profile()
+    _counters.reset_counters()
+    shapes = generate_corpus(CorpusSpec(size=args.size))
+    with _profiler.span("profile_corpus"):
+        for _ in range(max(1, args.repeat)):
+            res = evaluate_corpus_cached(shapes, dtype, gpu, jobs=args.jobs)
+    print("profiled %d-shape %s corpus on %s (%d pass(es), jobs=%d)"
+          % (res.shapes.shape[0], dtype.name, gpu.name,
+             max(1, args.repeat), args.jobs))
+    print()
+    print(_profiler.profiler_report())
+    print()
+    print(_counters.counters_report())
+    if args.flame:
+        print()
+        print(render_flamegraph(_profiler.get_profile()))
+    if args.out:
+        doc = profile_to_chrome(
+            _profiler.get_profile(),
+            name="corpus %d %s on %s" % (args.size, dtype.name, gpu.name),
+        )
+        write_chrome_trace(args.out, doc)
+        print()
+        print("wrote %s -- open it at https://ui.perfetto.dev" % args.out)
+    return 0
+
+
 _COMMANDS = {
     "plan": _cmd_plan,
     "simulate": _cmd_simulate,
@@ -242,12 +369,25 @@ _COMMANDS = {
     "corpus": _cmd_corpus,
     "calibrate": _cmd_calibrate,
     "cache": _cmd_cache,
+    "trace": _cmd_trace,
+    "profile": _cmd_profile,
 }
 
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    # Honor REPRO_PROFILE regardless of import order: any command can be
+    # profiled by setting the environment variable (docs in README.md).
+    env_profiling = _profiler.sync_profiling_with_env()
+    rc = _COMMANDS[args.command](args)
+    if env_profiling and args.command != "profile":
+        from .obs.counters import counters_report
+
+        print("", file=sys.stderr)
+        print(_profiler.profiler_report(), file=sys.stderr)
+        print("", file=sys.stderr)
+        print(counters_report(), file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

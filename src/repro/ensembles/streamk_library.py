@@ -35,6 +35,7 @@ from ..gpu.spec import GpuSpec
 from ..model.cost import StreamKModelParams
 from ..model.paramcache import calibrate_cached
 from ..model.gridsize import select_grid_size
+from ..obs.profiler import profiled
 from ..schedules.base import Schedule
 from ..schedules.hybrid import two_tile_schedule
 
@@ -82,6 +83,7 @@ class StreamKLibrary:
     # Planning                                                            #
     # ------------------------------------------------------------------ #
 
+    @profiled("streamk_plan")
     def plan(self, problem: GemmProblem) -> StreamKPlan:
         """Pure-arithmetic launch plan (no schedule materialization)."""
         grid = TileGrid(problem, self.blocking)
@@ -119,6 +121,7 @@ class StreamKLibrary:
             fixup_stores=stores,
         )
 
+    @profiled("streamk_build_schedule")
     def build_schedule(self, problem: GemmProblem) -> Schedule:
         """Materialize the planned schedule (figures, examples, tests)."""
         grid = TileGrid(problem, self.blocking)

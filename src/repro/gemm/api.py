@@ -80,7 +80,20 @@ def gemm(
     decompositions are layout-agnostic at this level).  The precision is
     inferred from the operand dtype unless given; the GPU defaults to the
     paper's A100.  Returns the validated product plus the simulated
-    kernel measurement.
+    kernel measurement::
+
+        >>> import numpy as np
+        >>> from repro.gemm import gemm
+        >>> rng = np.random.default_rng(0)
+        >>> a = rng.standard_normal((256, 640)).astype(np.float16)
+        >>> b = rng.standard_normal((640, 384)).astype(np.float16)
+        >>> res = gemm(a, b)          # plans, executes, validates, times
+        >>> res.c.shape, res.plan_kind, res.g
+        ((256, 384), 'basic_stream_k', 6)
+
+    Raises :class:`~repro.errors.ConfigurationError` for non-matrix
+    operands, mismatched inner dimensions or dtypes, and input dtypes no
+    precision configuration accepts.
     """
     from ..ensembles.streamk_library import StreamKLibrary  # cycle guard
     from ..gpu.simulate import simulate_kernel

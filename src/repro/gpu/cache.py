@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs.counters import inc_counter
 
 __all__ = ["SetAssociativeCache", "FragmentCache", "CacheStats"]
 
@@ -46,6 +47,20 @@ class CacheStats:
     @property
     def total_bytes(self) -> int:
         return self.hit_bytes + self.miss_bytes
+
+    def publish(self, prefix: str) -> None:
+        """Add this snapshot to the global counters registry.
+
+        Counter names follow the ``<prefix>.hit|miss|hit_bytes|miss_bytes``
+        convention of :mod:`repro.obs.counters`, so
+        ``obs.hit_rate(prefix)`` yields the simulated cache hit rate.
+        Callers publish once per replay (not per access), keeping the
+        cache's inner loop free of registry traffic.
+        """
+        inc_counter(prefix + ".hit", self.hits)
+        inc_counter(prefix + ".miss", self.misses)
+        inc_counter(prefix + ".hit_bytes", self.hit_bytes)
+        inc_counter(prefix + ".miss_bytes", self.miss_bytes)
 
 
 class SetAssociativeCache:

@@ -25,6 +25,8 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import ConfigurationError, DeadlockError, SimulationError
+from ..obs.counters import inc_counter
+from ..obs.profiler import span
 from .cta import CtaTask, SegmentKind
 from .trace import CtaRecord, ExecutionTrace, SegmentRecord
 
@@ -60,11 +62,18 @@ class Executor:
         self.num_sm_slots = num_sm_slots
 
     def run(self, tasks: "list[CtaTask]") -> ExecutionTrace:
-        """Execute ``tasks`` in launch order; return the full trace."""
+        """Execute ``tasks`` in launch order; return the full trace.
+
+        Besides returning the trace, each run publishes volume counters to
+        :mod:`repro.obs.counters` (``executor.runs|ctas|segments``,
+        ``executor.spin_waits|signals``) — one batched update per run, so
+        the per-segment hot loop stays untouched.
+        """
         ids = [t.cta for t in tasks]
         if len(set(ids)) != len(ids):
             raise ConfigurationError("duplicate CTA ids in task list")
 
+        spin_parks = [0]  # CTAs that actually blocked on an unpublished flag
         states = [_CtaState(task=t) for t in tasks]
         by_slot_signal: "dict[int, float]" = {}  # partial slot -> signal time
         waiters: "dict[int, list[_CtaState]]" = {}
@@ -87,6 +96,7 @@ class Executor:
                         sig = by_slot_signal.get(seg.slot)
                         if sig is None:
                             # Spin-wait, holding the SM slot.
+                            spin_parks[0] += 1
                             waiters.setdefault(seg.slot, []).append(st)
                             break
                         end = max(st.time, sig)
@@ -123,19 +133,28 @@ class Executor:
                     )
                     heapq.heappush(free_slots, (st.time, st.sm_slot))
 
-        while pending:
-            if not free_slots:
-                blocked = [s.task.cta for s in states if s.blocked_on is not None]
-                raise DeadlockError(blocked)
-            t, slot = heapq.heappop(free_slots)
-            st = pending.popleft()
-            st.sm_slot = slot
-            st.start = st.time = t
-            advance([st])
+        with span("executor_run"):
+            while pending:
+                if not free_slots:
+                    blocked = [
+                        s.task.cta for s in states if s.blocked_on is not None
+                    ]
+                    raise DeadlockError(blocked)
+                t, slot = heapq.heappop(free_slots)
+                st = pending.popleft()
+                st.sm_slot = slot
+                st.start = st.time = t
+                advance([st])
 
-        unfinished = [s for s in states if not s.finished]
-        if unfinished:
-            raise DeadlockError([s.task.cta for s in unfinished])
+            unfinished = [s for s in states if not s.finished]
+            if unfinished:
+                raise DeadlockError([s.task.cta for s in unfinished])
+
+        inc_counter("executor.runs")
+        inc_counter("executor.ctas", len(tasks))
+        inc_counter("executor.segments", sum(len(t.segments) for t in tasks))
+        inc_counter("executor.spin_waits", spin_parks[0])
+        inc_counter("executor.signals", len(by_slot_signal))
 
         trace.ctas.sort(key=lambda c: c.cta)
         return trace

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 from ..gemm.tiling import ceil_div
+from ..obs.profiler import span
 from ..schedules.base import Schedule
 from .cache import FragmentCache
 from .costmodel import KernelCostModel
@@ -200,12 +201,15 @@ class CacheSimMemoryModel:
         cache = FragmentCache(int(gpu.l2_bytes * _L2_RESIDENCY))
         a_miss = 0.0
         b_miss = 0.0
-        for _, _, key, size in accesses:
-            missed = cache.access(key, size)
-            if key[0] == "a":
-                a_miss += missed
-            else:
-                b_miss += missed
+        with span("cache_sim_replay"):
+            for _, _, key, size in accesses:
+                missed = cache.access(key, size)
+                if key[0] == "a":
+                    a_miss += missed
+                else:
+                    b_miss += missed
+        # Surface the simulated L2 hit rate: obs.hit_rate("l2sim.fragment").
+        cache.stats.publish("l2sim.fragment")
 
         out, partials = _output_and_partial_bytes(schedule, cost)
         return TrafficBreakdown(

@@ -4,6 +4,13 @@ A :class:`ExecutionTrace` records, for every CTA: which SM slot ran it, when
 each segment started and ended, and how long it spent spin-waiting.  From
 that it derives the quantities the paper plots — makespan, per-SM busy time,
 utilization, and Gantt rows for the schedule diagrams (Figures 1–3, 9).
+
+Traces have two renderers: the ASCII Gantt charts in
+``examples/schedule_visualizer.py``, and
+:func:`repro.obs.export.trace_to_chrome`, which exports the same timeline
+as Chrome/Perfetto ``trace_event`` JSON (one track per SM slot, colored
+segment kinds, spin-waits flagged red) — ``python -m repro trace`` on the
+command line, schema contract in ``docs/TRACING.md``.
 """
 
 from __future__ import annotations

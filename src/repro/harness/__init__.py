@@ -1,5 +1,24 @@
 """Evaluation harness: single-problem runs, vectorized corpus sweeps, and
-one entry point per paper table/figure."""
+one entry point per paper table/figure.
+
+Three layers, by scale:
+
+* :mod:`~repro.harness.runner` — run ONE problem under ONE decomposition,
+  numerically validated against ``A @ B`` and priced by the simulator
+  (:func:`run_schedule` / :func:`run_decomposition`).
+* :mod:`~repro.harness.vectorized` — the corpus engine: closed-form
+  per-system times for tens of thousands of shapes with no per-problem
+  Python loop (:func:`evaluate_corpus` -> :class:`SystemTimings`).
+* :mod:`~repro.harness.parallel` — exact process-sharding plus a
+  content-keyed evaluation memo on top of the engine
+  (:func:`evaluate_corpus_sharded`, :func:`evaluate_corpus_cached`).
+
+:mod:`~repro.harness.experiments` packages these as one entry point per
+paper artifact (``fig1_...``–``fig9_...``, ``relative_performance_table``);
+:mod:`~repro.harness.io` writes the JSON/CSV artifacts the benchmarks
+commit.  The harness phases are span-instrumented through
+:mod:`repro.obs` — set ``REPRO_PROFILE=1`` to see where corpus time goes.
+"""
 
 from .experiments import (
     FIG8_SCENARIOS,

@@ -23,6 +23,7 @@ from ..metrics.roofline import band_width, roofline_points, roofline_summary
 from ..metrics.stats import RelativePerformance, relative_performance, slowdown_fraction
 from ..model.calibrate import calibrate
 from ..model.gridsize import sweep_grid_sizes
+from ..obs.profiler import span
 from ..schedules.data_parallel import data_parallel_schedule
 from ..schedules.fixed_split import fixed_split_schedule
 from ..schedules.hybrid import dp_one_tile_schedule, two_tile_schedule
@@ -64,7 +65,8 @@ def corpus_timings(
     first (cold) evaluation across worker processes, and
     ``REPRO_EVAL_CACHE_DIR`` to persist evaluations across processes.
     """
-    shapes = generate_corpus(spec)
+    with span("generate_corpus"):
+        shapes = generate_corpus(spec)
     jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
     res = evaluate_corpus_cached(shapes, dtype, gpu, jobs=jobs)
     return res.shapes, res

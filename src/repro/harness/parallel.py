@@ -37,6 +37,9 @@ from ..gemm.dtypes import DtypeConfig, get_dtype_config
 from ..gemm.tiling import Blocking
 from ..gpu.spec import GpuSpec
 from ..model.paramcache import calibrate_cached, gpu_fingerprint
+from ..obs import counters as _counters
+from ..obs import profiler as _profiler
+from ..obs.profiler import span
 from .vectorized import SystemTimings, evaluate_corpus
 
 __all__ = [
@@ -95,10 +98,24 @@ def merge_timings(parts: "list[SystemTimings]") -> SystemTimings:
     )
 
 
-def _eval_shard(args: "tuple[np.ndarray, str, GpuSpec]") -> SystemTimings:
-    """Worker entry point: evaluate one contiguous shard."""
-    shapes, dtype_name, gpu = args
-    return evaluate_corpus(shapes, get_dtype_config(dtype_name), gpu)
+def _eval_shard(
+    args: "tuple[np.ndarray, str, GpuSpec, bool]",
+) -> "tuple[SystemTimings, dict, dict]":
+    """Worker entry point: evaluate one contiguous shard.
+
+    Returns the shard timings plus the worker's observability state — a
+    profiler snapshot (empty unless profiling is on) and a counters
+    snapshot — so the parent can merge worker telemetry into one profile
+    (see :mod:`repro.obs`).
+    """
+    shapes, dtype_name, gpu, profile = args
+    if profile:
+        _profiler.enable_profiling()
+    _profiler.reset_profile()
+    _counters.reset_counters()
+    with span("shard"):
+        res = evaluate_corpus(shapes, get_dtype_config(dtype_name), gpu)
+    return res, _profiler.snapshot_profile(), _counters.snapshot_counters()
 
 
 def _resolve_jobs(jobs: "int | None") -> int:
@@ -131,9 +148,10 @@ def evaluate_corpus_sharded(
 
     if shard_rows is None:
         shard_rows = max(_MIN_SHARD_ROWS, -(-n // (4 * jobs)))
+    profiling = _profiler.profiling_enabled()
     bounds = list(range(0, n, shard_rows)) + [n]
     shards = [
-        (shapes[lo:hi], dtype.name, gpu)
+        (shapes[lo:hi], dtype.name, gpu, profiling)
         for lo, hi in zip(bounds[:-1], bounds[1:])
         if hi > lo
     ]
@@ -142,10 +160,17 @@ def evaluate_corpus_sharded(
     # the simulator microbenchmarks.
     calibrate_cached(gpu, Blocking(*dtype.default_blocking), dtype)
 
-    ctx = multiprocessing.get_context()
-    with ctx.Pool(processes=min(jobs, len(shards))) as pool:
-        parts = pool.map(_eval_shard, shards)
-    return merge_timings(parts)
+    with span("sharded_pool"):
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=min(jobs, len(shards))) as pool:
+            parts = pool.map(_eval_shard, shards)
+    # Fold worker telemetry into this process: spans from every shard land
+    # in one profile (distinguished by pid), counters add up.
+    for _, prof_snap, counter_snap in parts:
+        _profiler.merge_profile(prof_snap)
+        _counters.merge_counters(counter_snap)
+    with span("merge_shards"):
+        return merge_timings([p[0] for p in parts])
 
 
 # --------------------------------------------------------------------- #
@@ -252,13 +277,16 @@ def evaluate_corpus_cached(
     key = corpus_fingerprint(shapes, dtype, gpu)
     res = _MEMO.get(key)
     if res is not None:
+        _counters.inc_counter("evalcache.memo_hit")
         return res
     root = _eval_cache_dir(cache_dir)
     if root is not None:
         res = _load_eval(_eval_entry_path(root, key), key)
         if res is not None:
+            _counters.inc_counter("evalcache.disk_hit")
             _MEMO[key] = res
             return res
+    _counters.inc_counter("evalcache.miss")
     res = evaluate_corpus_sharded(shapes, dtype, gpu, jobs=jobs)
     _MEMO[key] = res
     if root is not None:

@@ -19,6 +19,7 @@ from ..gemm.validation import validate_result
 from ..gpu.simulate import KernelResult, simulate_kernel
 from ..gpu.spec import GpuSpec
 from ..metrics.efficiency import quantization_efficiency
+from ..metrics.report import format_utilization
 from ..schedules.base import Decomposition, Schedule
 
 __all__ = ["MeasuredRun", "run_schedule", "run_decomposition"]
@@ -50,16 +51,16 @@ class MeasuredRun:
             else "timing only"
         )
         return (
-            "%s on %s: g=%d, %.2f us, %.1f TFLOP/s (%.1f%% of peak, "
-            "quant-eff %.1f%%, %s-bound), %s"
+            "%s on %s: g=%d, %.2f us, %.1f TFLOP/s (%s of peak, "
+            "quant-eff %s, %s-bound), %s"
             % (
                 self.schedule_name,
                 self.problem,
                 self.g,
                 self.time_s * 1e6,
                 self.tflops,
-                self.result.percent_of_peak,
-                100 * self.quantization_efficiency,
+                format_utilization(self.result.percent_of_peak / 100.0),
+                format_utilization(self.quantization_efficiency),
                 self.result.bound,
                 err,
             )

@@ -40,6 +40,7 @@ from ..gpu.spec import GpuSpec
 from ..model.cost import StreamKModelParams
 from ..model.gridsize import select_grid_sizes_batch
 from ..model.paramcache import calibrate_cached
+from ..obs.profiler import span
 
 __all__ = ["SystemTimings", "evaluate_corpus", "streamk_times", "dp_times", "fixed_split_times"]
 
@@ -329,8 +330,11 @@ def streamk_times(
     # Regime C: two-tile hybrid (exact vectorized walk).
     mask_c = (~mask_a) & (t >= p)
     if mask_c.any():
-        span, frac, n_stores = _two_tile_walk(t[mask_c], ipt[mask_c], p, cost)
-        makespan[mask_c] = span
+        with span("two_tile_walk"):
+            walk_span, frac, n_stores = _two_tile_walk(
+                t[mask_c], ipt[mask_c], p, cost
+            )
+        makespan[mask_c] = walk_span
         f[mask_c] = frac
         g_arr[mask_c] = p
         stores[mask_c] = n_stores
@@ -340,8 +344,14 @@ def streamk_times(
     mask_b = (~mask_a) & (t < p)
     if mask_b.any():
         t_b, ipt_b, tot_b = t[mask_b], ipt[mask_b], total[mask_b]
-        g_b = select_grid_sizes_batch(tot_b, ipt_b, params, gpu.total_cta_slots)
-        makespan[mask_b] = basic_streamk_makespan_batch(t_b, g_b, ipt_b, cost)
+        with span("gridsize_argmin"):
+            g_b = select_grid_sizes_batch(
+                tot_b, ipt_b, params, gpu.total_cta_slots
+            )
+        with span("makespan_batch"):
+            makespan[mask_b] = basic_streamk_makespan_batch(
+                t_b, g_b, ipt_b, cost
+            )
         g_eff = np.minimum(g_b, tot_b)
         mis = _misaligned_boundaries_batch(tot_b, g_eff, ipt_b)
         stores[mask_b] = mis
@@ -425,32 +435,45 @@ def evaluate_corpus(
     m, n, k = _split_shapes(shapes)
     p = gpu.num_sms
 
-    streamk = streamk_times(shapes, dtype, gpu)
-    singleton = dp_times(shapes, Blocking(*dtype.default_blocking), dtype, gpu)
+    with span("evaluate_corpus"):
+        with span("streamk"):
+            streamk = streamk_times(shapes, dtype, gpu)
+        with span("singleton"):
+            singleton = dp_times(
+                shapes, Blocking(*dtype.default_blocking), dtype, gpu
+            )
 
-    # Oracle: best *measured* data-parallel blocking.
-    dp_matrix = np.stack(
-        [
-            dp_times(shapes, Blocking(*b), dtype, gpu)
-            for b in ORACLE_BLOCKINGS[dtype.name]
-        ],
-        axis=1,
-    )
-    oracle = dp_matrix.min(axis=1)
+        # Oracle: best *measured* data-parallel blocking.
+        with span("oracle"):
+            dp_matrix = np.stack(
+                [
+                    dp_times(shapes, Blocking(*b), dtype, gpu)
+                    for b in ORACLE_BLOCKINGS[dtype.name]
+                ],
+                axis=1,
+            )
+            oracle = dp_matrix.min(axis=1)
 
-    # cuBLAS-like: proxy-score selection over the full DP+split ensemble.
-    variants = cublas_variants(dtype)
-    times_matrix = np.empty((len(shapes), len(variants)), dtype=np.float64)
-    scores = np.empty_like(times_matrix)
-    for j, v in enumerate(variants):
-        if v.family == "data_parallel":
-            col = dp_matrix[:, _oracle_index(dtype, v.blocking)]
-        else:
-            col = fixed_split_times(shapes, v.blocking, v.s, dtype, gpu)
-        times_matrix[:, j] = col
-        scores[:, j] = _proxy_scores(m, n, k, v.blocking, v.s, p, dtype)
-    choice = scores.argmin(axis=1)
-    cublas = times_matrix[np.arange(len(shapes)), choice]
+        # cuBLAS-like: proxy-score selection over the DP+split ensemble.
+        with span("cublas_ensemble"):
+            variants = cublas_variants(dtype)
+            times_matrix = np.empty(
+                (len(shapes), len(variants)), dtype=np.float64
+            )
+            scores = np.empty_like(times_matrix)
+            for j, v in enumerate(variants):
+                if v.family == "data_parallel":
+                    col = dp_matrix[:, _oracle_index(dtype, v.blocking)]
+                else:
+                    col = fixed_split_times(
+                        shapes, v.blocking, v.s, dtype, gpu
+                    )
+                times_matrix[:, j] = col
+                scores[:, j] = _proxy_scores(
+                    m, n, k, v.blocking, v.s, p, dtype
+                )
+            choice = scores.argmin(axis=1)
+            cublas = times_matrix[np.arange(len(shapes)), choice]
 
     return SystemTimings(
         shapes=shapes,

@@ -2,7 +2,12 @@
 efficiency, and text-table rendering."""
 
 from .efficiency import iteration_makespan, quantization_efficiency, wave_count
-from .report import format_relative_table, format_roofline_rows, format_table
+from .report import (
+    format_relative_table,
+    format_roofline_rows,
+    format_table,
+    format_utilization,
+)
 from .roofline import (
     RooflinePoint,
     band_width,
@@ -19,6 +24,7 @@ __all__ = [
     "format_relative_table",
     "format_roofline_rows",
     "format_table",
+    "format_utilization",
     "iteration_makespan",
     "machine_ceiling",
     "quantization_efficiency",

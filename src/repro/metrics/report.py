@@ -9,7 +9,24 @@ from __future__ import annotations
 
 from .stats import RelativePerformance
 
-__all__ = ["format_table", "format_relative_table", "format_roofline_rows"]
+__all__ = [
+    "format_table",
+    "format_relative_table",
+    "format_roofline_rows",
+    "format_utilization",
+]
+
+
+def format_utilization(fraction: float, decimals: int = 1) -> str:
+    """Render a utilization *fraction* as a percent string.
+
+    ``0.75 -> "75.0%"``; ``decimals`` controls the precision
+    (``decimals=0`` gives ``"75%"``).  Every CLI and report that prints a
+    utilization, quantization efficiency, or percent-of-peak goes through
+    this one helper so the rendering stays consistent repo-wide (pinned by
+    ``tests/metrics/test_report.py``).
+    """
+    return "%.*f%%" % (decimals, 100.0 * fraction)
 
 
 def format_table(
@@ -52,7 +69,7 @@ def format_roofline_rows(rows: "list[dict]", title: str) -> str:
     headers = ["ops/B", "n"] + pct_keys
     body = [
         ["%.0f-%.0f" % (r["intensity_lo"], r["intensity_hi"]), str(r["count"])]
-        + ["%.1f%%" % r[k] for k in pct_keys]
+        + [format_utilization(r[k] / 100.0) for k in pct_keys]
         for r in rows
     ]
     return format_table(headers, body, title=title)

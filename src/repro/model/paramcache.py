@@ -41,6 +41,8 @@ import tempfile
 from ..gemm.dtypes import DtypeConfig
 from ..gemm.tiling import Blocking
 from ..gpu.spec import GpuSpec
+from ..obs.counters import inc_counter
+from ..obs.profiler import span
 from .calibrate import calibrate
 from .cost import StreamKModelParams
 
@@ -210,13 +212,17 @@ def calibrate_cached(
     key = (fp, blocking.as_tuple, dtype.name)
     params = _MEMORY.get(key)
     if params is not None:
+        inc_counter("paramcache.memo_hit")
         return params
     if _disk_enabled():
         params = load_cached_params(gpu, blocking, dtype, cache_dir)
         if params is not None:
+            inc_counter("paramcache.disk_hit")
             _MEMORY[key] = params
             return params
-    params = calibrate(gpu, blocking, dtype)
+    inc_counter("paramcache.miss")
+    with span("calibrate"):
+        params = calibrate(gpu, blocking, dtype)
     _MEMORY[key] = params
     if _disk_enabled():
         store_params(params, gpu, cache_dir)

@@ -1,0 +1,94 @@
+"""Cross-cutting observability: span profiler, counters, trace exporters.
+
+The paper's entire argument is read off execution timelines (per-SM
+utilization, quantization stalls, fixup waits — Figures 1-3 and 9), and
+the corpus engine's performance story is read off cache hit rates and
+phase timings.  This package makes both first-class:
+
+- :mod:`repro.obs.profiler` — a hierarchical span profiler
+  (``with span("corpus/streamk"): ...``) with thread- and process-safe
+  aggregation, a no-op fast path when disabled, and ``REPRO_PROFILE=1``
+  environment activation;
+- :mod:`repro.obs.counters` — a process-wide counters registry surfacing
+  calibration/evaluation cache hit rates, executor dispatch/spin
+  statistics, and L2-simulation hit rates;
+- :mod:`repro.obs.export` — exporters turning
+  :class:`~repro.gpu.trace.ExecutionTrace` objects and harness profiles
+  into Chrome/Perfetto ``trace_event`` JSON (open in ``ui.perfetto.dev``;
+  see ``docs/TRACING.md``) plus a compact text flamegraph renderer.
+
+Quick tour::
+
+    from repro import obs
+
+    obs.enable_profiling()
+    with obs.span("my_phase"):
+        ...                        # timed, nests, merges across workers
+    print(obs.profiler_report())
+    print(obs.counters_report())
+
+CLI surface: ``python -m repro trace <m n k> --out trace.json`` exports a
+schedule timeline; ``python -m repro profile corpus ...`` profiles a
+corpus sweep; ``REPRO_PROFILE=1 python -m repro <anything>`` prints a
+span/counter report for any existing subcommand.
+"""
+
+from .counters import (
+    counters_report,
+    get_counter,
+    hit_rate,
+    inc_counter,
+    merge_counters,
+    reset_counters,
+    snapshot_counters,
+)
+from .export import (
+    SEGMENT_COLORS,
+    profile_to_chrome,
+    render_flamegraph,
+    trace_to_chrome,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .profiler import (
+    Profile,
+    disable_profiling,
+    enable_profiling,
+    get_profile,
+    merge_profile,
+    profiler_report,
+    profiled,
+    profiling_enabled,
+    reset_profile,
+    snapshot_profile,
+    span,
+    sync_profiling_with_env,
+)
+
+__all__ = [
+    "Profile",
+    "SEGMENT_COLORS",
+    "counters_report",
+    "disable_profiling",
+    "enable_profiling",
+    "get_counter",
+    "get_profile",
+    "hit_rate",
+    "inc_counter",
+    "merge_counters",
+    "merge_profile",
+    "profile_to_chrome",
+    "profiled",
+    "profiler_report",
+    "profiling_enabled",
+    "render_flamegraph",
+    "reset_counters",
+    "reset_profile",
+    "snapshot_counters",
+    "snapshot_profile",
+    "span",
+    "sync_profiling_with_env",
+    "trace_to_chrome",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,123 @@
+"""Process-wide counters/metrics registry.
+
+A flat, always-on registry of named monotonic counters.  Increments are a
+dict update under a lock — cheap enough that instrumented subsystems
+batch-report at natural boundaries (one executor run, one cache replay,
+one calibration lookup) rather than per inner-loop event.
+
+Naming convention: dotted ``subsystem.event`` names, with ``.hit`` /
+``.miss`` pairs for anything cache-shaped so :func:`hit_rate` can derive
+rates uniformly.  Counters wired in by this PR:
+
+======================================  =================================
+``paramcache.memo_hit|disk_hit|miss``   calibration cache lookups
+``evalcache.memo_hit|disk_hit|miss``    corpus-evaluation memo lookups
+``executor.runs|ctas|segments``         discrete-event executor volume
+``executor.spin_waits|signals``         flag-protocol events
+``l2sim.fragment.hit|miss``             FragmentCache replay outcomes
+``l2sim.fragment.hit_bytes|miss_bytes`` ...and their byte volumes
+``l2sim.line.hit|miss`` (etc.)          SetAssociativeCache, when published
+======================================  =================================
+
+Like the profiler, worker processes ship :func:`snapshot_counters` back to
+the parent, which folds them in with :func:`merge_counters` — so a sharded
+corpus sweep reports one coherent set of totals.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "counters_report",
+    "get_counter",
+    "hit_rate",
+    "inc_counter",
+    "merge_counters",
+    "reset_counters",
+    "snapshot_counters",
+]
+
+_LOCK = threading.Lock()
+_COUNTERS: "dict[str, int]" = {}
+
+
+def inc_counter(name: str, n: int = 1) -> int:
+    """Add ``n`` to counter ``name`` (creating it at 0); returns the new value."""
+    with _LOCK:
+        value = _COUNTERS.get(name, 0) + int(n)
+        _COUNTERS[name] = value
+        return value
+
+
+def get_counter(name: str) -> int:
+    """Current value of ``name`` (0 if never incremented)."""
+    with _LOCK:
+        return _COUNTERS.get(name, 0)
+
+
+def snapshot_counters() -> "dict[str, int]":
+    """Copy of all counters (picklable; worker -> parent transport)."""
+    with _LOCK:
+        return dict(_COUNTERS)
+
+
+def merge_counters(snapshot: "dict[str, int]") -> None:
+    """Fold a worker snapshot into this process's registry (additive)."""
+    with _LOCK:
+        for name, value in snapshot.items():
+            _COUNTERS[name] = _COUNTERS.get(name, 0) + int(value)
+
+
+def reset_counters() -> None:
+    """Zero the registry (tests, repeated CLI invocations)."""
+    with _LOCK:
+        _COUNTERS.clear()
+
+
+def hit_rate(prefix: str) -> "float | None":
+    """Hit rate for a ``<prefix>.*hit`` / ``<prefix>.*miss`` counter family.
+
+    Any counter named ``<prefix>.X`` where ``X`` ends in ``hit`` counts as
+    a hit (so ``memo_hit`` and ``disk_hit`` both do), and likewise for
+    ``miss``; byte-volume counters (``*_bytes``) are excluded.  Returns
+    ``None`` when nothing has been counted yet.
+    """
+    hits = misses = 0
+    with _LOCK:
+        for name, value in _COUNTERS.items():
+            if not name.startswith(prefix + "."):
+                continue
+            leaf = name[len(prefix) + 1:]
+            if leaf.endswith("_bytes"):
+                continue
+            if leaf.endswith("hit"):
+                hits += value
+            elif leaf.endswith("miss"):
+                misses += value
+    total = hits + misses
+    if total == 0:
+        return None
+    return hits / total
+
+
+def counters_report() -> str:
+    """Text table of every counter, with derived hit rates appended."""
+    snap = snapshot_counters()
+    if not snap:
+        return "(no counters recorded)"
+    width = max(len(k) for k in snap)
+    lines = ["%-*s %14s" % (width, "counter", "value")]
+    lines.append("-" * (width + 15))
+    for name in sorted(snap):
+        lines.append("%-*s %14d" % (width, name, snap[name]))
+    prefixes = sorted({n.rsplit(".", 1)[0] for n in snap if "." in n})
+    rate_lines = []
+    for prefix in prefixes:
+        rate = hit_rate(prefix)
+        if rate is not None:
+            rate_lines.append("%-*s %13.1f%%" % (width, prefix + " hit rate", 100 * rate))
+    if rate_lines:
+        lines.append("-" * (width + 15))
+        lines.extend(rate_lines)
+    return "\n".join(lines)

@@ -1,0 +1,278 @@
+"""Exporters: execution traces and profiles to Chrome/Perfetto JSON.
+
+Target format is the Chrome ``trace_event`` JSON object form — the one
+both ``chrome://tracing`` and https://ui.perfetto.dev open directly:
+``{"traceEvents": [...], "displayTimeUnit": ..., "otherData": {...}}``
+with complete (``"ph": "X"``), instant (``"ph": "i"``), and metadata
+(``"ph": "M"``) events.  The full schema contract this module guarantees
+(track semantics, color mapping, clock domain) is specified in
+``docs/TRACING.md``; :func:`validate_chrome_trace` checks it and the
+round-trip test pins it.
+
+Two sources export here:
+
+- :func:`trace_to_chrome` — a simulated kernel's
+  :class:`~repro.gpu.trace.ExecutionTrace`: one Perfetto track per SM
+  slot, one colored slice per executed segment, spin-``WAIT`` slices
+  flagged in red with their blocking peer slot, ``SIGNAL`` flag
+  publications as instant events.  The clock domain is **simulated
+  cycles**, rendered 1 cycle = 1 us so Perfetto's time ruler reads
+  directly in cycles.
+- :func:`profile_to_chrome` — a harness
+  :class:`~repro.obs.profiler.Profile`: one track per (process, thread),
+  wall-clock microseconds, normalized per process so multi-worker sweeps
+  align at zero.
+
+Plus :func:`render_flamegraph`, a dependency-free text flamegraph of a
+profile for terminal use.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .profiler import Profile
+
+__all__ = [
+    "SEGMENT_COLORS",
+    "profile_to_chrome",
+    "render_flamegraph",
+    "trace_to_chrome",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: Chrome trace-viewer reserved color names per segment kind — the fixed
+#: visual vocabulary of exported schedule timelines (docs/TRACING.md):
+#: compute work green, the partial-sum fixup protocol in warning colors,
+#: spin-waits red ("terrible"), epilogue/prologue neutral.
+SEGMENT_COLORS = {
+    "prologue": "grey",
+    "compute": "good",
+    "store_partials": "bad",
+    "signal": "black",
+    "wait": "terrible",
+    "fixup": "yellow",
+    "store_tile": "olive",
+}
+
+_VALID_PHASES = {"X", "i", "I", "M", "B", "E", "C"}
+
+
+def trace_to_chrome(trace, name: str = "kernel", clock_hz: "float | None" = None) -> dict:
+    """Convert an :class:`~repro.gpu.trace.ExecutionTrace` to Chrome JSON.
+
+    Track layout: ``pid`` 0 is the simulated GPU; each SM slot is one
+    ``tid`` (named ``SM slot N``).  Every executed segment becomes a
+    complete event whose ``ts``/``dur`` are the segment's cycle interval
+    (1 cycle rendered as 1 us), colored per :data:`SEGMENT_COLORS` and
+    carrying ``args`` with the CTA id, segment kind, cycle bounds, and —
+    for ``WAIT``/``FIXUP`` — the peer partial-sum slot being waited on.
+    ``SIGNAL`` segments additionally emit an instant event marking the
+    flag publication.  ``clock_hz``, when given, is recorded in
+    ``otherData`` so cycle counts can be converted to seconds offline.
+    """
+    events: "list[dict]" = [
+        {
+            "ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+            "args": {"name": "simulated GPU (%d SM slots)" % trace.num_sm_slots},
+        }
+    ]
+    for slot in range(trace.num_sm_slots):
+        events.append(
+            {
+                "ph": "M", "name": "thread_name", "pid": 0, "tid": slot,
+                "args": {"name": "SM slot %d" % slot},
+            }
+        )
+        events.append(
+            {
+                "ph": "M", "name": "thread_sort_index", "pid": 0, "tid": slot,
+                "args": {"sort_index": slot},
+            }
+        )
+    for rec in sorted(trace.ctas, key=lambda c: (c.sm_slot, c.start)):
+        for seg in rec.segments:
+            kind = seg.kind.value
+            args = {
+                "cta": rec.cta,
+                "kind": kind,
+                "start_cycle": seg.start,
+                "end_cycle": seg.end,
+            }
+            if kind in ("wait", "fixup") and seg.slot is not None:
+                args["peer_slot"] = seg.slot
+            label = (
+                "WAIT cta%d <- slot%s" % (rec.cta, seg.slot)
+                if kind == "wait"
+                else "%s cta%d" % (kind, rec.cta)
+            )
+            events.append(
+                {
+                    "ph": "X",
+                    "name": label,
+                    "cat": kind,
+                    "pid": 0,
+                    "tid": rec.sm_slot,
+                    "ts": float(seg.start),
+                    "dur": float(seg.duration),
+                    "cname": SEGMENT_COLORS[kind],
+                    "args": args,
+                }
+            )
+            if kind == "signal":
+                events.append(
+                    {
+                        "ph": "i",
+                        "name": "flag slot%d published" % rec.cta,
+                        "cat": "signal",
+                        "pid": 0,
+                        "tid": rec.sm_slot,
+                        "ts": float(seg.end),
+                        "s": "t",  # thread-scoped instant
+                        "args": {"cta": rec.cta},
+                    }
+                )
+    other = {
+        "source": "repro.obs.export.trace_to_chrome",
+        "trace_name": name,
+        "clock_domain": "simulated cycles (1 cycle rendered as 1 us)",
+        "num_sm_slots": trace.num_sm_slots,
+        "makespan_cycles": trace.makespan,
+        "utilization": trace.utilization(),
+        "total_wait_cycles": trace.total_wait_cycles,
+        "segment_colors": dict(SEGMENT_COLORS),
+    }
+    if clock_hz is not None:
+        other["clock_hz"] = float(clock_hz)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def profile_to_chrome(profile: Profile, name: str = "repro profile") -> dict:
+    """Convert a harness :class:`Profile` to Chrome JSON.
+
+    One track per (pid, tid); span paths become slice names.  Timestamps
+    are wall-clock microseconds normalized per process (each process's
+    earliest span starts at 0), since ``perf_counter`` origins are not
+    comparable across processes.
+    """
+    events_in = profile.events
+    origins: "dict[int, float]" = {}
+    for e in events_in:
+        origins[e.pid] = min(origins.get(e.pid, e.start), e.start)
+    events: "list[dict]" = []
+    for pid in sorted(origins):
+        events.append(
+            {
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": "repro worker pid=%d" % pid},
+            }
+        )
+    for e in sorted(events_in, key=lambda e: (e.pid, e.tid, e.start)):
+        events.append(
+            {
+                "ph": "X",
+                "name": e.path,
+                "cat": "span",
+                "pid": e.pid,
+                "tid": e.tid,
+                "ts": (e.start - origins[e.pid]) * 1e6,
+                "dur": e.duration * 1e6,
+                "args": {"path": e.path, "depth": e.depth},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.obs.export.profile_to_chrome",
+            "trace_name": name,
+            "clock_domain": "wall-clock microseconds, origin per process",
+            "num_spans": len(events_in),
+        },
+    }
+
+
+def validate_chrome_trace(doc: dict) -> None:
+    """Validate a document against the Chrome ``trace_event`` object form.
+
+    Raises :class:`ValueError` on the first violation.  Checks the
+    containing object, and for each event: a known phase, integer
+    ``pid``/``tid``, and — for complete events — a string name plus
+    non-negative numeric ``ts``/``dur``.  Also verifies the whole document
+    is JSON-serializable (the property the exporters must preserve).
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError("event %d is not an object" % i)
+        ph = ev.get("ph")
+        if ph not in _VALID_PHASES:
+            raise ValueError("event %d has unknown phase %r" % (i, ph))
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                raise ValueError("event %d lacks integer %s" % (i, field))
+        if ph == "X":
+            if not isinstance(ev.get("name"), str) or not ev["name"]:
+                raise ValueError("event %d lacks a name" % i)
+            for field in ("ts", "dur"):
+                v = ev.get(field)
+                if not isinstance(v, (int, float)) or v < 0:
+                    raise ValueError(
+                        "event %d has invalid %s: %r" % (i, field, v)
+                    )
+    try:
+        json.dumps(doc, allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise ValueError("trace is not JSON-serializable: %s" % exc)
+
+
+def write_chrome_trace(path: str, doc: dict) -> str:
+    """Validate and write a trace document; returns ``path``."""
+    validate_chrome_trace(doc)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def render_flamegraph(profile: Profile, width: int = 40) -> str:
+    """Compact text flamegraph of a profile's aggregated span tree.
+
+    One line per span path, indented by depth, with a bar proportional to
+    the span's share of the root total — a terminal stand-in for the
+    Perfetto view when you just want the shape of where time went.
+    """
+    agg = profile.aggregate()
+    if not agg:
+        return "(no spans recorded)"
+    roots = [
+        p for p in agg
+        if not any(p.startswith(q + "/") for q in agg if q != p)
+    ]
+    grand = sum(agg[p]["total_s"] for p in roots) or 1.0
+    label_width = max(
+        2 * p.count("/") + len(p.rsplit("/", 1)[-1]) for p in agg
+    )
+    label_width = max(label_width, 4)
+    lines = []
+    for path in sorted(agg):
+        slot = agg[path]
+        frac = slot["total_s"] / grand
+        bar = "#" * max(1, int(round(frac * width)))
+        depth = path.count("/")
+        label = "  " * depth + path.rsplit("/", 1)[-1]
+        lines.append(
+            "%-*s |%-*s| %8.3fs %5.1f%% x%d"
+            % (label_width, label, width, bar, slot["total_s"],
+               100.0 * frac, slot["count"])
+        )
+    return "\n".join(lines)

@@ -1,4 +1,21 @@
-"""Name-based registry of decomposition factories for harness sweeps."""
+"""Name-based registry of decomposition factories.
+
+The string names in :data:`DECOMPOSITION_NAMES` are the stable public
+identifiers for the paper's decompositions — the harness sweeps, the CLI
+(``python -m repro trace --schedule ...``), and the benchmark configs all
+address schedules through :func:`make_decomposition` rather than
+importing factory classes directly::
+
+    from repro.schedules.registry import make_decomposition
+    schedule = make_decomposition("stream_k", g=108).build(grid)
+
+Constructor parameters by name: ``fixed_split`` takes ``s`` (the
+splitting factor), ``stream_k`` takes ``g`` (the grid size),
+``two_tile_stream_k`` takes ``p`` and optional ``g_small``,
+``dp_one_tile_stream_k`` takes ``p``; every factory except
+``fixed_split`` accepts an optional ``traversal``
+(:class:`~repro.gemm.linearize.TileTraversal`, e.g. Morton order).
+"""
 
 from __future__ import annotations
 

@@ -1,0 +1,87 @@
+"""EXPERIMENTS.md is a runnable runbook.
+
+Every fenced command in the document is exercised: ``python -m repro``
+commands run in-process (with ``--out`` redirected to a temp file), and
+``pytest benchmarks/...`` commands must reference benchmark modules that
+exist.  Every ``benchmarks/artifacts/*.json`` path mentioned must point
+at a committed artifact.
+"""
+
+import os
+import re
+import shlex
+
+import pytest
+
+from repro.cli import main
+from repro.obs import counters, profiler
+
+REPO = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+DOC = os.path.join(REPO, "EXPERIMENTS.md")
+
+
+def _fenced_commands():
+    with open(DOC) as fh:
+        text = fh.read()
+    commands = []
+    for block in re.findall(r"```bash\n(.*?)```", text, re.DOTALL):
+        for line in block.splitlines():
+            line = line.strip()
+            if line and not line.startswith("#"):
+                commands.append(line)
+    return commands
+
+
+COMMANDS = _fenced_commands()
+REPRO_COMMANDS = [c for c in COMMANDS if "python -m repro" in c]
+PYTEST_COMMANDS = [c for c in COMMANDS if "pytest" in c.split()]
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs_state():
+    """The ``profile`` command enables profiling globally; contain it."""
+    yield
+    profiler.disable_profiling()
+    profiler.reset_profile()
+    counters.reset_counters()
+
+
+class TestDocumentShape:
+    def test_commands_were_extracted(self):
+        assert len(REPRO_COMMANDS) >= 8
+        assert len(PYTEST_COMMANDS) >= 15
+
+    def test_every_artifact_path_exists(self):
+        with open(DOC) as fh:
+            text = fh.read()
+        paths = set(re.findall(r"benchmarks/artifacts/[A-Za-z0-9_]+\.json", text))
+        assert len(paths) >= 15
+        missing = [p for p in paths if not os.path.exists(os.path.join(REPO, p))]
+        assert not missing, "runbook references missing artifacts: %r" % missing
+
+
+class TestBenchCommands:
+    @pytest.mark.parametrize("command", PYTEST_COMMANDS)
+    def test_referenced_bench_exists(self, command):
+        tokens = [t for t in shlex.split(command) if "=" not in t]
+        assert tokens[0] == "pytest"
+        target = tokens[1]
+        path = os.path.join(REPO, target)
+        assert os.path.exists(path), (
+            "runbook command %r references missing %s" % (command, target)
+        )
+        if target.endswith(".py"):
+            assert os.path.basename(target).startswith("bench_")
+
+
+class TestReproCommands:
+    @pytest.mark.parametrize("command", REPRO_COMMANDS)
+    def test_command_runs(self, command, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        tokens = shlex.split(command)
+        assert tokens[:3] == ["python", "-m", "repro"]
+        argv = tokens[3:]
+        if "--out" in argv:  # don't overwrite committed outputs from a test
+            argv[argv.index("--out") + 1] = str(tmp_path / "out.json")
+        assert main(argv) == 0, "runbook command failed: %r" % command
+        assert capsys.readouterr().out.strip(), "command printed nothing"

@@ -1,0 +1,74 @@
+"""Doc integrity: relative links resolve, the committed trace is valid.
+
+The CI docs job runs only ``tests/docs``, so the committed example
+trace's schema validity is asserted here as well as in ``tests/obs``
+(where it is additionally compared against a fresh export).
+"""
+
+import json
+import os
+import re
+
+import pytest
+
+from repro.obs.export import validate_chrome_trace
+
+REPO = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+DOCS = ["README.md", "EXPERIMENTS.md", "DESIGN.md", os.path.join("docs", "TRACING.md")]
+
+# Repo paths the prose references in backticks (not markdown links).
+_BACKTICK_PATH = re.compile(
+    r"`((?:[A-Za-z0-9_.-]+/)*[A-Za-z0-9_.-]+\.(?:md|py|json|yml))`"
+)
+
+
+class TestRelativeLinks:
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_markdown_links_resolve(self, doc):
+        path = os.path.join(REPO, doc)
+        with open(path) as fh:
+            text = fh.read()
+        base = os.path.dirname(path)
+        broken = []
+        for target in re.findall(r"\]\(([^)\s]+)\)", text):
+            if target.startswith(("http://", "https://", "#", "mailto:")):
+                continue
+            if not os.path.exists(os.path.join(base, target.split("#")[0])):
+                broken.append(target)
+        assert not broken, "%s has broken links: %r" % (doc, broken)
+
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_backticked_file_paths_resolve(self, doc):
+        path = os.path.join(REPO, doc)
+        with open(path) as fh:
+            text = fh.read()
+        broken = []
+        for target in _BACKTICK_PATH.findall(text):
+            if "*" in target or "{" in target or "/" not in target:
+                continue  # bare filenames are often output examples
+            # Paths are written repo-root-relative in all our docs.
+            if not os.path.exists(os.path.join(REPO, target)):
+                broken.append(target)
+        assert not broken, "%s references missing files: %r" % (doc, broken)
+
+
+class TestCommittedTrace:
+    TRACE = os.path.join(REPO, "docs", "traces", "fig2_stream_k_g4.json")
+
+    def test_exists_and_validates(self):
+        with open(self.TRACE) as fh:
+            doc = json.load(fh)
+        validate_chrome_trace(doc)
+
+    def test_is_the_figure2_schedule(self):
+        with open(self.TRACE) as fh:
+            doc = json.load(fh)
+        other = doc["otherData"]
+        assert other["num_sm_slots"] == 4
+        assert "cycle" in other["clock_domain"]
+        # All seven segment kinds of the Stream-K protocol appear.
+        kinds = {
+            e["cat"] for e in doc["traceEvents"] if e.get("ph") == "X"
+        }
+        assert kinds == set(other["segment_colors"])

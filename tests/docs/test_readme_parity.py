@@ -1,0 +1,86 @@
+"""README reference tables stay in sync with the code.
+
+Two contracts:
+
+* every CLI subcommand registered in ``repro.cli`` has a row in README's
+  subcommand table (and the table names no phantom commands);
+* every ``REPRO_*`` environment variable read anywhere under ``src/`` or
+  ``benchmarks/`` has a row in README's environment table (and vice
+  versa).
+"""
+
+import argparse
+import os
+import re
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+
+@pytest.fixture(scope="module")
+def readme():
+    with open(os.path.join(REPO, "README.md")) as fh:
+        return fh.read()
+
+
+def _cli_commands():
+    parser = build_parser()
+    sub = next(
+        a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+    )
+    return sorted(sub.choices)
+
+
+def _env_vars_in_code():
+    found = set()
+    roots = [os.path.join(REPO, "src"), os.path.join(REPO, "benchmarks")]
+    for root in roots:
+        for dirpath, _, files in os.walk(root):
+            for name in files:
+                if not name.endswith(".py"):
+                    continue
+                with open(os.path.join(dirpath, name)) as fh:
+                    found.update(re.findall(r"REPRO_[A-Z_]+[A-Z]", fh.read()))
+    return sorted(found)
+
+
+class TestCliParity:
+    def test_every_subcommand_documented(self, readme):
+        commands = _cli_commands()
+        assert commands, "no CLI subcommands found"
+        for cmd in commands:
+            assert "| `%s`" % cmd in readme, (
+                "CLI subcommand %r missing from README's subcommand table" % cmd
+            )
+
+    def test_no_phantom_subcommands(self, readme):
+        documented = re.findall(r"^\| `([a-z_]+)` +\|", readme, re.MULTILINE)
+        commands = set(_cli_commands())
+        phantom = [d for d in documented if d not in commands]
+        assert not phantom, (
+            "README documents subcommands the CLI does not register: %r"
+            % phantom
+        )
+
+
+class TestEnvParity:
+    def test_every_env_var_documented(self, readme):
+        env_vars = _env_vars_in_code()
+        assert "REPRO_PROFILE" in env_vars  # sanity: the scan works
+        for var in env_vars:
+            assert "| `%s`" % var in readme, (
+                "environment variable %r read in code but missing from "
+                "README's environment table" % var
+            )
+
+    def test_no_phantom_env_vars(self, readme):
+        documented = re.findall(r"^\| `(REPRO_[A-Z_]+)`", readme, re.MULTILINE)
+        assert documented, "README environment table not found"
+        in_code = set(_env_vars_in_code())
+        phantom = [d for d in documented if d not in in_code]
+        assert not phantom, (
+            "README documents env vars nothing reads: %r" % phantom
+        )

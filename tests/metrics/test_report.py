@@ -6,6 +6,7 @@ from repro.metrics import (
     format_relative_table,
     format_roofline_rows,
     format_table,
+    format_utilization,
     relative_performance,
 )
 
@@ -39,3 +40,35 @@ class TestRooflineRows:
 
     def test_empty(self):
         assert "(empty)" in format_roofline_rows([], "fig")
+
+    def test_uses_shared_utilization_formatting(self):
+        rows = [
+            {"intensity_lo": 0.0, "intensity_hi": 1.0, "count": 1, "p5": 12.34},
+        ]
+        assert format_utilization(0.1234) in format_roofline_rows(rows, "fig")
+
+
+class TestFormatUtilization:
+    """The one percent-rendering helper every surface shares."""
+
+    def test_fraction_to_percent(self):
+        assert format_utilization(0.75) == "75.0%"
+        assert format_utilization(1.0) == "100.0%"
+        assert format_utilization(0.0) == "0.0%"
+
+    def test_decimals(self):
+        assert format_utilization(0.75, decimals=0) == "75%"
+        assert format_utilization(0.12345, decimals=2) == "12.35%"
+
+    def test_cli_simulate_uses_it(self):
+        """The simulate table's 75.0% ceiling comes from this helper."""
+        from repro.cli import main
+        import io
+        import contextlib
+
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            assert main(
+                ["simulate", "384", "384", "128", "--gpu", "hypothetical_4sm"]
+            ) == 0
+        assert format_utilization(0.75) in buf.getvalue()

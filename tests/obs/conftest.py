@@ -1,0 +1,25 @@
+"""Isolation for the global observability state.
+
+The profiler and the counters registry are process-global by design
+(that is what makes them mergeable across workers), so every test in
+this package starts from a clean slate and leaves one behind.
+"""
+
+import pytest
+
+from repro.obs import counters, profiler
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    was_enabled = profiler.profiling_enabled()
+    profiler.disable_profiling()
+    profiler.reset_profile()
+    counters.reset_counters()
+    yield
+    if was_enabled:
+        profiler.enable_profiling()
+    else:
+        profiler.disable_profiling()
+    profiler.reset_profile()
+    counters.reset_counters()

@@ -1,0 +1,202 @@
+"""Chrome/Perfetto exporters: schema round-trip, track semantics, colors.
+
+The Figure 2(b) schedule (384x384x128 Stream-K g=4 on the 4-SM GPU) is
+the canonical export subject: it exercises every segment kind including
+the partial-sum WAIT/FIXUP protocol, and it is the committed example
+trace in ``docs/traces/``.
+"""
+
+import json
+
+import pytest
+
+from repro.gemm import FP16_FP32, Blocking, GemmProblem, TileGrid
+from repro.gpu import HYPOTHETICAL_4SM
+from repro.harness import run_schedule
+from repro.obs.export import (
+    SEGMENT_COLORS,
+    profile_to_chrome,
+    render_flamegraph,
+    trace_to_chrome,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.profiler import Profile, SpanEvent
+from repro.gpu.cta import SegmentKind
+from repro.schedules.stream_k import stream_k_schedule
+
+
+@pytest.fixture(scope="module")
+def fig2_trace():
+    problem = GemmProblem(384, 384, 128, dtype=FP16_FP32)
+    grid = TileGrid(problem, Blocking(128, 128, 32))
+    sched = stream_k_schedule(grid, 4)
+    run = run_schedule(sched, HYPOTHETICAL_4SM, execute_numeric=False)
+    return run.result.trace
+
+
+class TestTraceExport:
+    def test_round_trip_through_json(self, fig2_trace):
+        doc = trace_to_chrome(fig2_trace, name="fig2")
+        validate_chrome_trace(doc)
+        reloaded = json.loads(json.dumps(doc))
+        validate_chrome_trace(reloaded)
+        assert reloaded["traceEvents"] == doc["traceEvents"]
+
+    def test_one_track_per_sm_slot(self, fig2_trace):
+        doc = trace_to_chrome(fig2_trace)
+        names = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert len(names) == fig2_trace.num_sm_slots
+        assert {e["args"]["name"] for e in names} == {
+            "SM slot %d" % s for s in range(fig2_trace.num_sm_slots)
+        }
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["tid"] for e in slices} <= set(range(fig2_trace.num_sm_slots))
+
+    def test_every_segment_kind_colored_per_vocabulary(self, fig2_trace):
+        doc = trace_to_chrome(fig2_trace)
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        kinds_seen = {e["cat"] for e in slices}
+        # The fig2 schedule exercises the full protocol.
+        assert kinds_seen == set(SEGMENT_COLORS)
+        for e in slices:
+            assert e["cname"] == SEGMENT_COLORS[e["cat"]]
+
+    def test_color_vocabulary_covers_segment_kinds(self):
+        assert set(SEGMENT_COLORS) == {k.value for k in SegmentKind}
+
+    def test_waits_flagged_with_blocking_peer(self, fig2_trace):
+        doc = trace_to_chrome(fig2_trace)
+        waits = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "wait"
+        ]
+        assert waits, "fig2 Stream-K schedule must contain WAIT segments"
+        for e in waits:
+            assert e["cname"] == "terrible"
+            assert e["name"].startswith("WAIT cta")
+            assert "peer_slot" in e["args"]
+
+    def test_signal_instants_mark_flag_publication(self, fig2_trace):
+        doc = trace_to_chrome(fig2_trace)
+        signals = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "signal"
+        ]
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == len(signals) > 0
+        ends = {(e["tid"], e["ts"] + e["dur"]) for e in signals}
+        for i in instants:
+            assert (i["tid"], i["ts"]) in ends
+
+    def test_clock_domain_is_cycles(self, fig2_trace):
+        doc = trace_to_chrome(fig2_trace, clock_hz=1.005e9)
+        other = doc["otherData"]
+        assert "cycle" in other["clock_domain"]
+        assert other["makespan_cycles"] == fig2_trace.makespan
+        assert other["clock_hz"] == pytest.approx(1.005e9)
+        last = max(
+            e["ts"] + e["dur"] for e in doc["traceEvents"] if e["ph"] == "X"
+        )
+        assert last == pytest.approx(fig2_trace.makespan)
+
+    def test_write_validates_and_is_loadable(self, fig2_trace, tmp_path):
+        path = tmp_path / "t.json"
+        assert write_chrome_trace(str(path), trace_to_chrome(fig2_trace)) == str(path)
+        validate_chrome_trace(json.loads(path.read_text()))
+
+    def test_matches_committed_example(self, fig2_trace):
+        """docs/traces/fig2_stream_k_g4.json is exactly this export."""
+        import os
+
+        here = os.path.dirname(__file__)
+        committed = os.path.join(
+            here, "..", "..", "docs", "traces", "fig2_stream_k_g4.json"
+        )
+        with open(committed) as fh:
+            doc = json.load(fh)
+        validate_chrome_trace(doc)
+        fresh = trace_to_chrome(fig2_trace)
+        assert doc["traceEvents"] == fresh["traceEvents"]
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_events(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": "nope"})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="phase"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "Z", "pid": 0, "tid": 0}]}
+            )
+
+    def test_rejects_non_integer_pid(self):
+        with pytest.raises(ValueError, match="pid"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "M", "pid": "gpu", "tid": 0}]}
+            )
+
+    def test_rejects_negative_duration(self):
+        ev = {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 0, "dur": -1}
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace({"traceEvents": [ev]})
+
+    def test_rejects_nan(self):
+        ev = {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 0.0,
+              "dur": 1.0, "args": {"v": float("nan")}}
+        with pytest.raises(ValueError, match="serializable"):
+            validate_chrome_trace({"traceEvents": [ev]})
+
+
+class TestProfileExport:
+    def _profile(self):
+        p = Profile()
+        # Two processes with incomparable perf_counter origins.
+        p.record(SpanEvent("corpus", 100.0, 100.5, pid=1, tid=10, depth=0))
+        p.record(SpanEvent("corpus/shard", 100.1, 100.3, pid=1, tid=10, depth=1))
+        p.record(SpanEvent("shard", 5000.0, 5000.2, pid=2, tid=20, depth=0))
+        return p
+
+    def test_per_process_origin_normalization(self):
+        doc = profile_to_chrome(self._profile())
+        validate_chrome_trace(doc)
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        for pid in (1, 2):
+            assert min(e["ts"] for e in slices if e["pid"] == pid) == 0.0
+        by_name = {e["name"]: e for e in slices}
+        assert by_name["corpus/shard"]["ts"] == pytest.approx(0.1e6)
+        assert by_name["corpus/shard"]["dur"] == pytest.approx(0.2e6)
+
+    def test_one_process_track_per_pid(self):
+        doc = profile_to_chrome(self._profile())
+        metas = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert {e["pid"] for e in metas} == {1, 2}
+
+
+class TestFlamegraph:
+    def test_shape(self):
+        p = Profile()
+        p.record(SpanEvent("root", 0.0, 4.0, 1, 1, 0))
+        p.record(SpanEvent("root/fast", 0.0, 1.0, 1, 1, 1))
+        p.record(SpanEvent("root/slow", 1.0, 4.0, 1, 1, 1))
+        out = render_flamegraph(p, width=20)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert "root" in lines[0]
+        bar = lambda line: line.split("|")[1].count("#")
+        assert bar(lines[0]) == 20                    # 100% of the root
+        assert bar(lines[2]) > bar(lines[1])          # slow > fast
+
+    def test_empty(self):
+        assert "no spans" in render_flamegraph(Profile())

@@ -1,0 +1,173 @@
+"""Span profiler: hierarchy, zero-overhead disabled path, merge, report."""
+
+import os
+import pickle
+import threading
+
+import pytest
+
+from repro.obs.profiler import (
+    Profile,
+    SpanEvent,
+    disable_profiling,
+    enable_profiling,
+    get_profile,
+    merge_profile,
+    profiled,
+    profiler_report,
+    profiling_enabled,
+    reset_profile,
+    snapshot_profile,
+    span,
+    sync_profiling_with_env,
+)
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_shared_noop_singleton(self):
+        disable_profiling()
+        s1 = span("a")
+        s2 = span("b")
+        assert s1 is s2  # no allocation per call
+        with s1:
+            pass
+        assert len(get_profile()) == 0
+
+    def test_profiled_decorator_disabled_records_nothing(self):
+        @profiled("work")
+        def fn(x):
+            return x + 1
+
+        assert fn(1) == 2
+        assert len(get_profile()) == 0
+
+
+class TestHierarchy:
+    def test_nested_spans_build_slash_paths(self):
+        enable_profiling()
+        with span("outer"):
+            with span("inner"):
+                pass
+            with span("inner"):
+                pass
+        events = get_profile().events
+        paths = sorted(e.path for e in events)
+        assert paths == ["outer", "outer/inner", "outer/inner"]
+        by_path = {e.path: e for e in events}
+        assert by_path["outer"].depth == 0
+        assert by_path["outer/inner"].depth == 1
+        assert all(e.pid == os.getpid() for e in events)
+
+    def test_span_times_are_ordered_and_nested(self):
+        enable_profiling()
+        with span("outer"):
+            with span("inner"):
+                pass
+        by_path = {e.path: e for e in get_profile().events}
+        outer, inner = by_path["outer"], by_path["outer/inner"]
+        assert outer.start <= inner.start <= inner.end <= outer.end
+        assert inner.duration >= 0.0
+
+    def test_profiled_decorator_uses_label(self):
+        enable_profiling()
+
+        @profiled("labelled")
+        def fn():
+            with span("child"):
+                return 3
+
+        assert fn() == 3
+        paths = {e.path for e in get_profile().events}
+        assert paths == {"labelled", "labelled/child"}
+
+    def test_exceptions_still_record_and_pop(self):
+        enable_profiling()
+        with pytest.raises(ValueError):
+            with span("boom"):
+                raise ValueError("x")
+        with span("after"):
+            pass
+        paths = sorted(e.path for e in get_profile().events)
+        assert paths == ["after", "boom"]  # "after" is NOT nested under "boom"
+
+
+class TestMerge:
+    def test_snapshot_is_picklable_and_merges(self):
+        enable_profiling()
+        with span("work"):
+            pass
+        snap = pickle.loads(pickle.dumps(snapshot_profile()))
+        reset_profile()
+        assert len(get_profile()) == 0
+        merge_profile(snap)
+        assert [e.path for e in get_profile().events] == ["work"]
+
+    def test_merge_profile_object(self):
+        other = Profile()
+        other.record(SpanEvent("w", 0.0, 1.0, pid=123, tid=1, depth=0))
+        merge_profile(other)
+        e = get_profile().events[0]
+        assert (e.path, e.pid) == ("w", 123)
+
+    def test_thread_events_keep_tids(self):
+        enable_profiling()
+        # Both threads must be alive at the same time: thread idents are
+        # reused once a thread exits, so sequential runs can share one.
+        barrier = threading.Barrier(2)
+
+        def work():
+            barrier.wait()
+            with span("t"):
+                pass
+
+        threads = [threading.Thread(target=work) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        tids = {e.tid for e in get_profile().events}
+        assert len(tids) == 2
+
+
+class TestAggregateAndReport:
+    def test_aggregate_totals_and_self_time(self):
+        p = Profile()
+        p.record(SpanEvent("a", 0.0, 10.0, 1, 1, 0))
+        p.record(SpanEvent("a/b", 1.0, 4.0, 1, 1, 1))
+        p.record(SpanEvent("a/b/c", 2.0, 3.0, 1, 1, 2))
+        agg = p.aggregate()
+        assert agg["a"]["total_s"] == pytest.approx(10.0)
+        assert agg["a"]["self_s"] == pytest.approx(7.0)  # minus direct child b
+        assert agg["a/b"]["self_s"] == pytest.approx(2.0)
+        assert agg["a/b/c"]["self_s"] == pytest.approx(1.0)
+
+    def test_self_time_never_negative_with_overlapping_children(self):
+        p = Profile()
+        p.record(SpanEvent("a", 0.0, 1.0, 1, 1, 0))
+        # Two workers' children overlap their parent in wall-clock terms.
+        p.record(SpanEvent("a/b", 0.0, 1.0, 1, 2, 1))
+        p.record(SpanEvent("a/b", 0.0, 1.0, 1, 3, 1))
+        assert p.aggregate()["a"]["self_s"] == 0.0
+
+    def test_report_lists_spans(self):
+        enable_profiling()
+        with span("corpus"):
+            with span("streamk"):
+                pass
+        rep = profiler_report()
+        assert "corpus" in rep and "streamk" in rep
+        assert "count" in rep
+
+    def test_empty_report(self):
+        assert "no spans" in profiler_report()
+
+
+class TestEnvActivation:
+    def test_sync_with_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        assert sync_profiling_with_env() is True
+        assert profiling_enabled()
+        monkeypatch.setenv("REPRO_PROFILE", "0")
+        assert sync_profiling_with_env() is False
+        monkeypatch.delenv("REPRO_PROFILE")
+        assert sync_profiling_with_env() is False

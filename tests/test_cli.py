@@ -1,8 +1,12 @@
 """CLI tests: every subcommand, argument validation, output contents."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import counters, profiler
+from repro.obs.export import validate_chrome_trace
 
 
 class TestParser:
@@ -73,3 +77,63 @@ class TestCommands:
         )
         assert rc == 0
         assert "fp64" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    @pytest.fixture(autouse=True)
+    def _clean_obs(self):
+        yield
+        profiler.disable_profiling()
+        profiler.reset_profile()
+        counters.reset_counters()
+
+    def test_trace_writes_valid_chrome_json(self, capsys, tmp_path):
+        out_path = tmp_path / "t.json"
+        rc = main(
+            ["trace", "384", "384", "128", "--gpu", "hypothetical_4sm",
+             "--schedule", "stream_k", "--g", "4", "--out", str(out_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "perfetto" in out.lower()
+        assert "makespan" in out
+        with open(out_path) as fh:
+            doc = json.load(fh)
+        validate_chrome_trace(doc)
+        assert doc["otherData"]["num_sm_slots"] == 4
+
+    @pytest.mark.parametrize(
+        "schedule", ["data_parallel", "fixed_split", "two_tile_stream_k"]
+    )
+    def test_trace_other_schedules(self, schedule, capsys, tmp_path):
+        out_path = tmp_path / "t.json"
+        rc = main(
+            ["trace", "512", "512", "256", "--gpu", "hypothetical_4sm",
+             "--schedule", schedule, "--out", str(out_path)]
+        )
+        assert rc == 0
+        assert schedule in capsys.readouterr().out
+        validate_chrome_trace(json.loads(out_path.read_text()))
+
+    def test_profile_prints_spans_and_counters(self, capsys):
+        rc = main(["profile", "--size", "120", "--repeat", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile_corpus" in out
+        assert "evaluate_corpus" in out
+        assert "evalcache" in out  # counters report includes cache traffic
+
+    def test_profile_flame_and_out(self, capsys, tmp_path):
+        out_path = tmp_path / "p.json"
+        rc = main(["profile", "--size", "80", "--flame", "--out", str(out_path)])
+        assert rc == 0
+        assert "|" in capsys.readouterr().out  # flamegraph bars
+        validate_chrome_trace(json.loads(out_path.read_text()))
+
+    def test_repro_profile_env_reports_on_stderr(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        assert main(["plan", "1280", "1536", "4096"]) == 0
+        captured = capsys.readouterr()
+        assert "two_tile" in captured.out
+        assert "self" in captured.err  # profiler report table header
+        assert "counter" in captured.err  # counters report table header
