@@ -10,6 +10,7 @@ Commands
 ``cache``      show or wipe the on-disk calibration / evaluation caches
 ``trace``      export one schedule's execution as Chrome/Perfetto JSON
 ``profile``    profile a corpus evaluation (span report + counters)
+``faults``     straggler-severity x schedule fault sweep (docs/FAULTS.md)
 
 Every command accepts ``--dtype {fp64,fp16_fp32,fp32,bf16_fp32}`` and
 ``--gpu {a100,hypothetical_4sm}``.  Setting ``REPRO_PROFILE=1`` makes any
@@ -114,6 +115,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="trace.json", metavar="PATH",
         help="output path for the Chrome trace_event JSON "
         "(default trace.json; open at https://ui.perfetto.dev)",
+    )
+
+    p = sub.add_parser(
+        "faults",
+        help="sweep fault severity x schedule; report makespan degradation",
+    )
+    _add_shape(p)
+    _add_common(p)
+    p.add_argument(
+        "--severities", default="0,0.25,0.5,1,2", metavar="S0,S1,...",
+        help="comma-separated straggler severities (default 0,0.25,0.5,1,2)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, metavar="SEED",
+        help="fault-injection seed (same seed => bit-identical sweep)",
+    )
+    p.add_argument(
+        "--schedules", default=None, metavar="NAME,...",
+        help="decompositions to sweep (default: all registered: %s)"
+        % ",".join(DECOMPOSITION_NAMES),
+    )
+    p.add_argument(
+        "--drop-signals", type=float, default=0.0, metavar="P",
+        help="additionally drop each flag publication with probability P "
+        "(dropped signals surface as a diagnosed DEADLOCK, never a hang)",
+    )
+    p.add_argument(
+        "--no-check", action="store_true",
+        help="skip the protocol invariant checker replay per cell",
     )
 
     p = sub.add_parser(
@@ -328,6 +358,63 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    import dataclasses
+
+    from .errors import ConfigurationError
+    from .faults import FaultConfig, format_sweep_table, run_fault_sweep
+    from .obs.counters import get_counter
+
+    dtype, gpu = get_dtype_config(args.dtype), get_gpu(args.gpu)
+    problem = GemmProblem(args.m, args.n, args.k, dtype=dtype)
+    try:
+        severities = tuple(
+            float(s) for s in args.severities.split(",") if s.strip() != ""
+        )
+    except ValueError:
+        raise ConfigurationError(
+            "--severities must be comma-separated numbers, got %r"
+            % args.severities
+        ) from None
+    names = (
+        tuple(s for s in args.schedules.split(",") if s)
+        if args.schedules
+        else DECOMPOSITION_NAMES
+    )
+
+    def factory(severity, seed):
+        cfg = FaultConfig.straggler_sweep_point(severity, seed)
+        if args.drop_signals > 0.0:
+            cfg = dataclasses.replace(cfg, signal_drop_prob=args.drop_signals)
+        return cfg
+
+    cells = run_fault_sweep(
+        problem,
+        gpu,
+        severities=severities,
+        schedule_names=names,
+        seed=args.seed,
+        config_factory=factory,
+        check=not args.no_check,
+    )
+    print(
+        "fault sweep: %dx%dx%d %s on %s, seed %d%s"
+        % (
+            args.m, args.n, args.k, dtype.name, gpu.name, args.seed,
+            "" if args.no_check else " (every cell invariant-checked)",
+        )
+    )
+    print(format_sweep_table(cells))
+    injected = sum(len(c.injections) and sum(c.injections.values()) for c in cells)
+    deadlocked = sum(1 for c in cells if c.deadlocked)
+    print(
+        "injected faults: %d across %d cells (%d deadlocked); "
+        "invariant checks passed: %d"
+        % (injected, len(cells), deadlocked, get_counter("faults.invariant_checks"))
+    )
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from .harness.parallel import evaluate_corpus_cached
     from .obs import counters as _counters
@@ -371,6 +458,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
+    "faults": _cmd_faults,
 }
 
 

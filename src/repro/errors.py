@@ -13,6 +13,7 @@ __all__ = [
     "ConfigurationError",
     "SimulationError",
     "DeadlockError",
+    "ProtocolViolation",
     "CalibrationError",
     "ValidationError",
 ]
@@ -36,15 +37,57 @@ class DeadlockError(SimulationError):
     On real hardware a grid whose waiters precede their producers in launch
     order can hang the GPU; the executor detects the condition and raises
     instead, reporting the blocked CTA ids.
+
+    The executor attaches a structured diagnostic:
+
+    ``wait_chain``
+        A list of ``(cta, waiting_on_slot, reason)`` triples — one per
+        blocked CTA, with ``reason`` explaining why the awaited signal
+        can never arrive ("never launched", "signal dropped by fault
+        injection", "blocked on slot N", ...).
+    ``cycle``
+        The CTA ids forming a circular wait (waiter -> producer -> ... ->
+        waiter), or ``None`` when the deadlock is a chain that terminates
+        in an unlaunchable or signal-dropped producer rather than a cycle.
     """
 
-    def __init__(self, blocked: "list[int]", message: "str | None" = None):
+    def __init__(
+        self,
+        blocked: "list[int]",
+        message: "str | None" = None,
+        wait_chain: "list[tuple[int, int, str]] | None" = None,
+        cycle: "list[int] | None" = None,
+    ):
         self.blocked = list(blocked)
-        super().__init__(
-            message
-            or "deadlock: CTAs %s are spin-waiting on signals from CTAs that "
-            "cannot be scheduled" % (self.blocked,)
-        )
+        self.wait_chain = list(wait_chain) if wait_chain is not None else []
+        self.cycle = list(cycle) if cycle is not None else None
+        if message is None:
+            message = (
+                "deadlock: CTAs %s are spin-waiting on signals from CTAs "
+                "that cannot be scheduled" % (self.blocked,)
+            )
+            if self.cycle is not None:
+                message += "; wait cycle: %s" % (
+                    " -> ".join("CTA %d" % c for c in self.cycle + self.cycle[:1])
+                )
+            if self.wait_chain:
+                message += "\n" + "\n".join(
+                    "  CTA %d waits on slot %d: %s" % step
+                    for step in self.wait_chain
+                )
+        super().__init__(message)
+
+
+class ProtocolViolation(SimulationError):
+    """The Stream-K carry protocol was breached in an executed trace.
+
+    Raised by :func:`repro.faults.checker.check_protocol_invariants` when
+    a replayed :class:`~repro.gpu.trace.ExecutionTrace` (or the schedule
+    behind it) violates an invariant of the partials/fixup protocol —
+    e.g. a tile's k-range covered twice, a fixup that reads a partial
+    before its producer published the flag, or a partial consumed by more
+    than one owner.
+    """
 
 
 class CalibrationError(ReproError, RuntimeError):

@@ -1,0 +1,342 @@
+"""Protocol invariant checker: a race detector for the Stream-K carry.
+
+:func:`check_protocol_invariants` replays an executed
+:class:`~repro.gpu.trace.ExecutionTrace` against the
+:class:`~repro.schedules.base.Schedule` that produced it and proves the
+partials/fixup protocol held — independently of both the schedule
+builders and the executor, so a bug in either is caught rather than
+trusted.  It asserts:
+
+**Structural coverage** (k-space accounting, re-derived from scratch):
+
+* every output tile's k-range ``[0, iters_per_tile)`` is covered exactly
+  once — no gaps, no double-computed iterations — across all partials
+  and the owner's slice;
+* exactly one owner per tile, holding the ``k = 0`` iteration;
+* the owner's peer list equals the tile's contributor set.
+
+**Temporal protocol** (replayed from the trace's cycle timestamps):
+
+* every CTA's executed segment-kind sequence matches what its work item
+  prescribes (prologue, compute runs, WAIT+FIXUP per peer in reduction
+  order, the epilogue store) — preemptions and jitter stretch segments
+  but never reorder or drop them;
+* segments within a CTA are contiguous and non-overlapping in time;
+* every contributor publishes its flag exactly once, on its own slot;
+* **no read-before-write race**: every FIXUP of a peer's partial starts
+  at or after that peer's SIGNAL publication timestamp;
+* every WAIT released exactly at ``max(wait_start, publication)``;
+* every stored partial is consumed by exactly one owner (nothing leaks,
+  nothing is double-accumulated).
+
+Any breach raises :class:`~repro.errors.ProtocolViolation` with the
+tile/CTA/cycle named.  The checker is fault-oblivious by design: it must
+pass on every registered schedule under every injected fault environment
+that completes (stragglers, jitter, delays, preemptions), because those
+faults reorder *time*, not the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ProtocolViolation
+from ..gpu.cta import SegmentKind
+from ..gpu.trace import ExecutionTrace
+from ..obs.counters import inc_counter
+from ..obs.profiler import span
+from ..schedules.base import Schedule
+
+__all__ = ["InvariantReport", "check_protocol_invariants"]
+
+#: Timestamp slack for float comparisons, in cycles.  The executor does
+#: exact float arithmetic, so this only absorbs representation noise.
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class InvariantReport:
+    """Summary of one successful invariant check."""
+
+    num_ctas: int
+    num_tiles: int
+    signals: int
+    fixups: int
+    waits: int
+    #: Smallest observed (fixup start - publication) gap, in cycles —
+    #: how close the run came to a read-before-write race.
+    min_fixup_slack: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            "invariants ok: %d CTAs, %d tiles, %d signals, %d fixups, "
+            "%d waits, min fixup slack %.1f cycles"
+            % (
+                self.num_ctas,
+                self.num_tiles,
+                self.signals,
+                self.fixups,
+                self.waits,
+                self.min_fixup_slack,
+            )
+        )
+
+
+def _fail(message: str) -> None:
+    inc_counter("faults.invariant_violations")
+    raise ProtocolViolation(message)
+
+
+# --------------------------------------------------------------------- #
+# Structural coverage                                                    #
+# --------------------------------------------------------------------- #
+
+
+def _check_structure(schedule: Schedule) -> int:
+    """K-space accounting: exact single coverage of every tile's k-range."""
+    ipt = schedule.grid.iters_per_tile
+    num_tiles = schedule.grid.num_tiles
+    per_tile: "dict[int, list[tuple[int, int, bool, int, tuple]]]" = {}
+    for w in schedule.work_items:
+        for s in w.segments:
+            if not 0 <= s.tile_idx < num_tiles:
+                _fail(
+                    "CTA %d references tile %d outside grid of %d"
+                    % (w.cta, s.tile_idx, num_tiles)
+                )
+            per_tile.setdefault(s.tile_idx, []).append(
+                (s.iter_begin, s.iter_end, s.is_owner, w.cta, s.peers)
+            )
+
+    uncovered = [t for t in range(num_tiles) if t not in per_tile]
+    if uncovered:
+        _fail(
+            "tiles with no k-range coverage: %s%s"
+            % (uncovered[:8], "..." if len(uncovered) > 8 else "")
+        )
+
+    for tile_idx in range(num_tiles):
+        segs = sorted(per_tile[tile_idx])
+        cursor = 0
+        owners = []
+        contributors = []
+        for begin, end, is_owner, cta, peers in segs:
+            if begin < cursor:
+                _fail(
+                    "tile %d: k-range [%d, %d) covered twice (CTA %d "
+                    "overlaps at iteration %d)"
+                    % (tile_idx, begin, min(end, cursor), cta, begin)
+                )
+            if begin > cursor:
+                _fail(
+                    "tile %d: k-range gap at iterations [%d, %d)"
+                    % (tile_idx, cursor, begin)
+                )
+            cursor = end
+            if is_owner:
+                owners.append((cta, peers))
+            else:
+                contributors.append(cta)
+        if cursor != ipt:
+            _fail(
+                "tile %d: k-range coverage stops at iteration %d of %d"
+                % (tile_idx, cursor, ipt)
+            )
+        if len(owners) != 1:
+            _fail(
+                "tile %d: %d owners of the k=0 slice (need exactly 1)"
+                % (tile_idx, len(owners))
+            )
+        _owner_cta, peers = owners[0]
+        if sorted(peers) != sorted(contributors):
+            _fail(
+                "tile %d: owner accumulates peers %r but contributors "
+                "are %r" % (tile_idx, sorted(peers), sorted(contributors))
+            )
+    return num_tiles
+
+
+# --------------------------------------------------------------------- #
+# Expected segment-kind sequences                                        #
+# --------------------------------------------------------------------- #
+
+
+def _expected_kinds(work_item) -> "list[tuple[SegmentKind, int | None]]":
+    """(kind, peer-slot) sequence the cost model prescribes for a CTA."""
+    expected: "list[tuple[SegmentKind, int | None]]" = [
+        (SegmentKind.PROLOGUE, None)
+    ]
+    for s in work_item.segments:
+        expected.append((SegmentKind.COMPUTE, None))
+        if s.is_owner:
+            for peer in s.peers:
+                expected.append((SegmentKind.WAIT, peer))
+                expected.append((SegmentKind.FIXUP, peer))
+            expected.append((SegmentKind.STORE_TILE, None))
+        else:
+            expected.append((SegmentKind.STORE_PARTIALS, None))
+            expected.append((SegmentKind.SIGNAL, None))
+    return expected
+
+
+# --------------------------------------------------------------------- #
+# The checker                                                            #
+# --------------------------------------------------------------------- #
+
+
+def check_protocol_invariants(
+    schedule: Schedule,
+    trace: ExecutionTrace,
+    check_structure: bool = True,
+) -> InvariantReport:
+    """Prove ``trace`` is a legal execution of ``schedule``'s protocol.
+
+    Raises :class:`~repro.errors.ProtocolViolation` on the first breach;
+    returns an :class:`InvariantReport` when everything holds.  Set
+    ``check_structure=False`` to skip the (trace-independent) k-space
+    accounting when replaying many traces of one already-checked
+    schedule.
+    """
+    with span("invariant_check"):
+        num_tiles = (
+            _check_structure(schedule)
+            if check_structure
+            else schedule.grid.num_tiles
+        )
+
+        by_cta = {}
+        for rec in trace.ctas:
+            if rec.cta in by_cta:
+                _fail("trace records CTA %d twice" % rec.cta)
+            by_cta[rec.cta] = rec
+        item_ctas = {w.cta for w in schedule.work_items}
+        if set(by_cta) != item_ctas:
+            missing = sorted(item_ctas - set(by_cta))
+            extra = sorted(set(by_cta) - item_ctas)
+            _fail(
+                "trace/schedule CTA mismatch: missing %s, unexpected %s"
+                % (missing[:8], extra[:8])
+            )
+
+        # Pass 1: per-CTA shape and timing; collect publications.
+        publication: "dict[int, float]" = {}
+        waits = fixups = 0
+        for w in schedule.work_items:
+            rec = by_cta[w.cta]
+            expected = _expected_kinds(w)
+            got = [(s.kind, s.slot) for s in rec.segments]
+            got_kinds = [k for k, _ in got]
+            exp_kinds = [k for k, _ in expected]
+            if got_kinds != exp_kinds:
+                _fail(
+                    "CTA %d executed segment kinds %s but its work item "
+                    "prescribes %s"
+                    % (
+                        w.cta,
+                        [k.value for k in got_kinds],
+                        [k.value for k in exp_kinds],
+                    )
+                )
+            for (kind, exp_slot), seg in zip(expected, rec.segments):
+                if kind in (SegmentKind.WAIT, SegmentKind.FIXUP):
+                    if seg.slot != exp_slot:
+                        _fail(
+                            "CTA %d %s targets slot %r, expected peer %r"
+                            % (w.cta, kind.value, seg.slot, exp_slot)
+                        )
+
+            cursor = rec.start
+            for i, seg in enumerate(rec.segments):
+                if seg.start < cursor - _EPS:
+                    _fail(
+                        "CTA %d: segment %d (%s) starts at cycle %.3f, "
+                        "before the previous segment ended at %.3f"
+                        % (w.cta, i, seg.kind.value, seg.start, cursor)
+                    )
+                if seg.end < seg.start - _EPS:
+                    _fail(
+                        "CTA %d: segment %d (%s) ends before it starts"
+                        % (w.cta, i, seg.kind.value)
+                    )
+                cursor = seg.end
+                if seg.kind is SegmentKind.SIGNAL:
+                    slot = w.cta if seg.slot is None else seg.slot
+                    if slot != w.cta:
+                        _fail(
+                            "CTA %d published slot %d; the protocol allows "
+                            "only its own" % (w.cta, slot)
+                        )
+                    if slot in publication:
+                        _fail("slot %d published twice" % slot)
+                    publication[slot] = seg.end
+
+        # Pass 2: cross-CTA ordering — the race detector proper.
+        consumed: "dict[int, int]" = {}
+        min_slack = float("inf")
+        for w in schedule.work_items:
+            rec = by_cta[w.cta]
+            for i, seg in enumerate(rec.segments):
+                if seg.kind is SegmentKind.WAIT:
+                    waits += 1
+                    pub = publication.get(seg.slot)
+                    if pub is None:
+                        _fail(
+                            "CTA %d waited on slot %d which was never "
+                            "published" % (w.cta, seg.slot)
+                        )
+                    if seg.end < pub - _EPS:
+                        _fail(
+                            "CTA %d's wait on slot %d released at cycle "
+                            "%.3f, before the flag was published at %.3f"
+                            % (w.cta, seg.slot, seg.end, pub)
+                        )
+                    if abs(seg.end - max(seg.start, pub)) > _EPS:
+                        _fail(
+                            "CTA %d's wait on slot %d released at cycle "
+                            "%.3f, not at max(wait start %.3f, publication "
+                            "%.3f)" % (w.cta, seg.slot, seg.end, seg.start, pub)
+                        )
+                elif seg.kind is SegmentKind.FIXUP:
+                    fixups += 1
+                    pub = publication.get(seg.slot)
+                    if pub is None:
+                        _fail(
+                            "race: CTA %d read slot %d's partials but slot "
+                            "%d never published" % (w.cta, seg.slot, seg.slot)
+                        )
+                    slack = seg.start - pub
+                    if slack < -_EPS:
+                        _fail(
+                            "race: CTA %d read slot %d's partials at cycle "
+                            "%.3f, %.3f cycles before publication at %.3f"
+                            % (w.cta, seg.slot, seg.start, -slack, pub)
+                        )
+                    min_slack = min(min_slack, slack)
+                    consumed[seg.slot] = consumed.get(seg.slot, 0) + 1
+
+        # Pass 3: conservation — every partial consumed exactly once.
+        for slot in publication:
+            n = consumed.get(slot, 0)
+            if n == 0:
+                _fail(
+                    "slot %d stored partials that no owner ever accumulated"
+                    % slot
+                )
+            if n > 1:
+                _fail(
+                    "slot %d's partials were accumulated %d times "
+                    "(double-counted k-range)" % (slot, n)
+                )
+        orphaned = sorted(set(consumed) - set(publication))
+        if orphaned:  # pragma: no cover - pass 2 already raced on these
+            _fail("fixups read never-published slots %s" % orphaned[:8])
+
+    inc_counter("faults.invariant_checks")
+    return InvariantReport(
+        num_ctas=len(by_cta),
+        num_tiles=num_tiles,
+        signals=len(publication),
+        fixups=fixups,
+        waits=waits,
+        min_fixup_slack=0.0 if min_slack == float("inf") else min_slack,
+    )

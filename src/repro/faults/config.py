@@ -1,0 +1,139 @@
+"""Fault-injection configuration: what to inject, how hard, and the seed.
+
+A :class:`FaultConfig` is a frozen, declarative description of a fault
+environment for one simulated kernel execution.  It carries no state —
+the deterministic sampling lives in
+:class:`~repro.faults.injector.FaultInjector` — so one config can be
+reused across schedules and repetitions, and equality of configs implies
+bit-identical injections.
+
+The fault vocabulary (each dimension independent, all seeded):
+
+=========================  =============================================
+straggler                  per-SM-slot slowdown: with probability
+                           ``straggler_prob`` a slot multiplies every
+                           segment it runs by ``1 + straggler_severity``
+clock skew                 every slot additionally drifts by a uniform
+                           factor in ``[1, 1 + clock_skew]``
+memory jitter              DRAM/L2-priced segments (partial stores,
+                           fixups, tile stores) are stretched by a
+                           uniform factor in ``[1, 1 + mem_jitter]``,
+                           keyed per (CTA, segment)
+signal delay               with probability ``signal_delay_prob`` a
+                           flag publication lands ``signal_delay_cycles``
+                           late (uniformly scaled), delaying waiters
+signal drop                with probability ``signal_drop_prob`` a flag
+                           is never published; the executor surfaces the
+                           resulting hang as a clean ``DeadlockError``
+preempt/restart            with probability ``preempt_prob`` a compute
+                           segment is preempted mid-flight: the CTA pays
+                           ``preempt_penalty_cycles`` plus re-execution
+                           of the uniformly-drawn lost fraction
+=========================  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+
+__all__ = ["FaultConfig"]
+
+
+def _check_prob(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(
+            "%s must be a probability in [0, 1], got %r" % (name, value)
+        )
+
+
+def _check_nonneg(name: str, value: float) -> None:
+    if value < 0.0:
+        raise ConfigurationError(
+            "%s must be non-negative, got %r" % (name, value)
+        )
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Seeded description of the faults to inject into one execution."""
+
+    seed: int = 0
+    straggler_prob: float = 0.0
+    straggler_severity: float = 0.0
+    clock_skew: float = 0.0
+    mem_jitter: float = 0.0
+    signal_delay_prob: float = 0.0
+    signal_delay_cycles: float = 0.0
+    signal_drop_prob: float = 0.0
+    preempt_prob: float = 0.0
+    preempt_penalty_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ConfigurationError("seed must be non-negative")
+        _check_prob("straggler_prob", self.straggler_prob)
+        _check_prob("signal_delay_prob", self.signal_delay_prob)
+        _check_prob("signal_drop_prob", self.signal_drop_prob)
+        _check_prob("preempt_prob", self.preempt_prob)
+        _check_nonneg("straggler_severity", self.straggler_severity)
+        _check_nonneg("clock_skew", self.clock_skew)
+        _check_nonneg("mem_jitter", self.mem_jitter)
+        _check_nonneg("signal_delay_cycles", self.signal_delay_cycles)
+        _check_nonneg("preempt_penalty_cycles", self.preempt_penalty_cycles)
+
+    # ------------------------------------------------------------------ #
+    # Constructors                                                        #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def none(cls, seed: int = 0) -> "FaultConfig":
+        """The zero-fault environment (bitwise inert by contract)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def straggler_sweep_point(
+        cls, severity: float, seed: int = 0
+    ) -> "FaultConfig":
+        """The canonical sweep cell used by ``python -m repro faults``.
+
+        ``severity`` scales every fault dimension together: a quarter of
+        the SMs straggle by ``1 + severity``, memory latency jitters by
+        up to ``25% * severity``, clocks skew by up to ``10% * severity``
+        and a ``10% * severity`` fraction of flag publications land 2000
+        ``severity``-scaled cycles late.  ``severity=0`` is exactly
+        :meth:`none` (the sweep's bitwise baseline).
+        """
+        _check_nonneg("severity", severity)
+        if severity == 0.0:
+            return cls.none(seed=seed)
+        return cls(
+            seed=seed,
+            straggler_prob=0.25,
+            straggler_severity=severity,
+            clock_skew=0.10 * severity,
+            mem_jitter=0.25 * severity,
+            signal_delay_prob=min(1.0, 0.10 * severity),
+            signal_delay_cycles=2000.0 * severity,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_null(self) -> bool:
+        """True when no fault dimension can fire (seed is irrelevant)."""
+        return (
+            (self.straggler_prob == 0.0 or self.straggler_severity == 0.0)
+            and self.clock_skew == 0.0
+            and self.mem_jitter == 0.0
+            and (self.signal_delay_prob == 0.0 or self.signal_delay_cycles == 0.0)
+            and self.signal_drop_prob == 0.0
+            and self.preempt_prob == 0.0
+        )
+
+    def with_seed(self, seed: int) -> "FaultConfig":
+        """Same fault environment, different random universe."""
+        return replace(self, seed=seed)

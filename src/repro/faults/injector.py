@@ -1,0 +1,255 @@
+"""Deterministic, site-keyed fault sampling.
+
+A :class:`FaultInjector` answers the executor's and cost model's
+questions — "how slow is this SM slot?", "is this CTA's flag dropped?",
+"does this compute segment get preempted?" — from a pure function of
+``(config.seed, site)``, where *site* identifies the injection point
+structurally (SM slot index, CTA id, segment index).  Two consequences:
+
+* **bit-reproducibility** — the same seed and config produce the same
+  injections regardless of how many times or in what order sites are
+  queried (no shared RNG stream to perturb);
+* **comparability** — changing one knob (say, ``signal_drop_prob``)
+  leaves every other dimension's draws untouched, so sweeps isolate the
+  dimension under study.
+
+The hash is splitmix64 over the seed and the site ids, mixed per fault
+dimension through a distinct domain tag.  Every injection that *fires*
+is recorded in :attr:`FaultInjector.log` and counted in the
+:mod:`repro.obs.counters` registry under ``faults.*`` (once per site —
+queries are memoized), so profiles and reports show exactly what was
+injected where.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.cta import SegmentKind
+from ..obs.counters import inc_counter
+from .config import FaultConfig
+
+__all__ = ["FaultInjector", "InjectedFault"]
+
+_MASK64 = (1 << 64) - 1
+
+# Domain tags: one per fault dimension so draws never collide across
+# dimensions even at the same structural site.
+_DOM_STRAGGLER = 0x51A
+_DOM_SKEW = 0x5E3
+_DOM_JITTER = 0x117
+_DOM_SIG_DELAY = 0xDE1
+_DOM_SIG_DROP = 0xD20
+_DOM_PREEMPT = 0x9EE
+_DOM_PREEMPT_FRAC = 0x9EF
+
+#: Segment kinds whose cycle cost is DRAM/L2-latency bound and therefore
+#: subject to memory jitter.
+_MEMORY_KINDS = frozenset(
+    (SegmentKind.STORE_PARTIALS, SegmentKind.FIXUP, SegmentKind.STORE_TILE)
+)
+
+
+def _splitmix64(x: int) -> int:
+    """One splitmix64 round: a high-quality 64-bit mixer."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _site_u01(seed: int, domain: int, *ids: int) -> float:
+    """Uniform [0, 1) draw keyed by (seed, domain, site ids)."""
+    x = _splitmix64(seed & _MASK64)
+    x = _splitmix64(x ^ domain)
+    for i in ids:
+        x = _splitmix64(x ^ (i & _MASK64))
+    return x / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault that actually fired, for reports and trace annotation.
+
+    ``kind`` is one of ``straggler``, ``clock_skew``, ``mem_jitter``,
+    ``signal_delay``, ``signal_drop``, ``preempt``.  ``value`` is the
+    dimension's magnitude: a slowdown multiplier, delay cycles, or
+    penalty cycles (0.0 for drops).
+    """
+
+    kind: str
+    value: float
+    sm_slot: "int | None" = None
+    cta: "int | None" = None
+    segment: "int | None" = None
+
+
+class FaultInjector:
+    """Stateful facade over a :class:`FaultConfig`: memoized site queries.
+
+    One injector instance corresponds to one simulated execution; the
+    memoization guarantees a site queried twice (cost model then
+    executor, or diagnostic replay) reports the same draw and is logged
+    and counted exactly once.
+    """
+
+    def __init__(self, config: FaultConfig):
+        self.config = config
+        self.log: "list[InjectedFault]" = []
+        self._slot_mult: "dict[int, float]" = {}
+        self._seg_mult: "dict[tuple[int, int], float]" = {}
+        self._mem_mult: "dict[tuple[int, int], float]" = {}
+        self._sig_delay: "dict[int, float]" = {}
+        self._sig_drop: "dict[int, bool]" = {}
+
+    # ------------------------------------------------------------------ #
+    # Per-SM-slot faults                                                  #
+    # ------------------------------------------------------------------ #
+
+    def slot_multiplier(self, sm_slot: int) -> float:
+        """Duration multiplier for every segment run on ``sm_slot``.
+
+        Combines the straggler draw (slot slowed by ``1 + severity``)
+        with the continuous clock-skew drift in ``[1, 1 + clock_skew]``.
+        Exactly 1.0 when neither dimension is configured.
+        """
+        mult = self._slot_mult.get(sm_slot)
+        if mult is not None:
+            return mult
+        cfg = self.config
+        mult = 1.0
+        if cfg.straggler_prob > 0.0 and cfg.straggler_severity > 0.0:
+            if _site_u01(cfg.seed, _DOM_STRAGGLER, sm_slot) < cfg.straggler_prob:
+                mult *= 1.0 + cfg.straggler_severity
+                self._record("straggler", mult, sm_slot=sm_slot)
+        if cfg.clock_skew > 0.0:
+            skew = 1.0 + cfg.clock_skew * _site_u01(cfg.seed, _DOM_SKEW, sm_slot)
+            mult *= skew
+            self._record("clock_skew", skew, sm_slot=sm_slot)
+        self._slot_mult[sm_slot] = mult
+        return mult
+
+    # ------------------------------------------------------------------ #
+    # Per-segment faults (cost-model side)                                #
+    # ------------------------------------------------------------------ #
+
+    def mem_latency_multiplier(
+        self, cta: int, segment: int, kind: SegmentKind
+    ) -> float:
+        """DRAM/L2 jitter multiplier for one memory-priced segment.
+
+        Keyed by (CTA, segment index); non-memory kinds always get 1.0.
+        The cost model applies this when pricing a schedule into timed
+        tasks, so jitter is part of the task's intrinsic cycles.
+        """
+        cfg = self.config
+        if cfg.mem_jitter <= 0.0 or kind not in _MEMORY_KINDS:
+            return 1.0
+        key = (cta, segment)
+        mult = self._mem_mult.get(key)
+        if mult is None:
+            mult = 1.0 + cfg.mem_jitter * _site_u01(
+                cfg.seed, _DOM_JITTER, cta, segment
+            )
+            self._record("mem_jitter", mult, cta=cta, segment=segment)
+            self._mem_mult[key] = mult
+        return mult
+
+    # ------------------------------------------------------------------ #
+    # Per-segment faults (executor side)                                  #
+    # ------------------------------------------------------------------ #
+
+    def segment_cycles(
+        self,
+        cta: int,
+        segment: int,
+        kind: SegmentKind,
+        base_cycles: float,
+        sm_slot: int,
+    ) -> float:
+        """Executed duration of one segment under the fault environment.
+
+        Applies the slot's straggler/skew multiplier to every timed
+        segment, plus the preempt/restart penalty to compute segments:
+        a preempted CTA pays the fixed penalty plus re-execution of the
+        uniformly-drawn fraction of work lost at preemption.
+        ``WAIT`` segments never pass through here (their duration is
+        observed, not intrinsic).
+        """
+        cycles = base_cycles * self.slot_multiplier(sm_slot)
+        cfg = self.config
+        if (
+            cfg.preempt_prob > 0.0
+            and kind is SegmentKind.COMPUTE
+            and base_cycles > 0.0
+        ):
+            key = (cta, segment)
+            penalty = self._seg_mult.get(key)
+            if penalty is None:
+                penalty = 0.0
+                if _site_u01(cfg.seed, _DOM_PREEMPT, cta, segment) < cfg.preempt_prob:
+                    lost = _site_u01(cfg.seed, _DOM_PREEMPT_FRAC, cta, segment)
+                    penalty = cfg.preempt_penalty_cycles + lost * base_cycles
+                    self._record("preempt", penalty, cta=cta, segment=segment)
+                self._seg_mult[key] = penalty
+            cycles += penalty
+        return cycles
+
+    # ------------------------------------------------------------------ #
+    # Signal-protocol faults                                              #
+    # ------------------------------------------------------------------ #
+
+    def signal_delay(self, cta: int) -> float:
+        """Extra cycles before CTA ``cta``'s flag publication is visible."""
+        cfg = self.config
+        if cfg.signal_delay_prob <= 0.0 or cfg.signal_delay_cycles <= 0.0:
+            return 0.0
+        delay = self._sig_delay.get(cta)
+        if delay is None:
+            delay = 0.0
+            if _site_u01(cfg.seed, _DOM_SIG_DELAY, cta) < cfg.signal_delay_prob:
+                delay = cfg.signal_delay_cycles * (
+                    0.5 + 0.5 * _site_u01(cfg.seed, _DOM_SIG_DELAY, cta, 1)
+                )
+                self._record("signal_delay", delay, cta=cta)
+            self._sig_delay[cta] = delay
+        return delay
+
+    def signal_dropped(self, cta: int) -> bool:
+        """Whether CTA ``cta``'s flag publication is lost entirely.
+
+        A dropped signal leaves every waiter on that slot blocked forever;
+        the executor converts the condition into a
+        :class:`~repro.errors.DeadlockError` with a wait-chain diagnostic
+        instead of hanging.
+        """
+        cfg = self.config
+        if cfg.signal_drop_prob <= 0.0:
+            return False
+        dropped = self._sig_drop.get(cta)
+        if dropped is None:
+            dropped = _site_u01(cfg.seed, _DOM_SIG_DROP, cta) < cfg.signal_drop_prob
+            if dropped:
+                self._record("signal_drop", 0.0, cta=cta)
+            self._sig_drop[cta] = dropped
+        return dropped
+
+    @property
+    def dropped_signals(self) -> "frozenset[int]":
+        """CTA ids whose signals were dropped (among queried sites)."""
+        return frozenset(c for c, d in self._sig_drop.items() if d)
+
+    # ------------------------------------------------------------------ #
+    # Reporting                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _record(self, kind: str, value: float, **site) -> None:
+        self.log.append(InjectedFault(kind=kind, value=value, **site))
+        inc_counter("faults.%s" % kind)
+
+    def injection_counts(self) -> "dict[str, int]":
+        """Fired-injection totals by kind (for sweep rows and reports)."""
+        counts: "dict[str, int]" = {}
+        for f in self.log:
+            counts[f.kind] = counts.get(f.kind, 0) + 1
+        return counts

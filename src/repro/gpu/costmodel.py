@@ -145,18 +145,32 @@ class KernelCostModel:
     # Schedule -> timed tasks                                             #
     # ------------------------------------------------------------------ #
 
-    def build_tasks(self, schedule: Schedule) -> "list[CtaTask]":
+    def build_tasks(self, schedule: Schedule, faults=None) -> "list[CtaTask]":
         """Attach cycle costs to every CTA of a schedule.
 
         Segment order follows the work item's execution order; the one
         partial store a CTA may perform is signalled on its own slot, and
         owners emit a ``WAIT`` + ``FIXUP`` pair per peer in reduction order.
+
+        ``faults``, when given, is a :class:`~repro.faults.injector.
+        FaultInjector`: DRAM/L2-latency-priced segments (partial stores,
+        fixups, tile stores) are stretched by its per-(CTA, segment)
+        memory-jitter multiplier at pricing time, so latency variance is
+        part of the task's intrinsic cycle cost.  ``None`` (and a
+        null-config injector, whose multipliers are exactly 1.0) leaves
+        costs bitwise untouched.
         """
         if schedule.grid.blocking != self.blocking:
             raise ConfigurationError(
                 "schedule blocked %s but cost model is for %s"
                 % (schedule.grid.blocking, self.blocking)
             )
+
+        def priced(cta: int, index: int, kind: SegmentKind, cycles: float) -> float:
+            if faults is None:
+                return cycles
+            return cycles * faults.mem_latency_multiplier(cta, index, kind)
+
         tasks = []
         for w in schedule.work_items:
             segs = [TimedSegment(SegmentKind.PROLOGUE, self.prologue_cycles)]
@@ -173,20 +187,36 @@ class KernelCostModel:
                         segs.append(
                             TimedSegment(
                                 SegmentKind.FIXUP,
-                                self.fixup_cycles_per_peer,
+                                priced(
+                                    w.cta,
+                                    len(segs),
+                                    SegmentKind.FIXUP,
+                                    self.fixup_cycles_per_peer,
+                                ),
                                 peer,
                             )
                         )
                     segs.append(
                         TimedSegment(
-                            SegmentKind.STORE_TILE, self.store_tile_cycles
+                            SegmentKind.STORE_TILE,
+                            priced(
+                                w.cta,
+                                len(segs),
+                                SegmentKind.STORE_TILE,
+                                self.store_tile_cycles,
+                            ),
                         )
                     )
                 else:
                     segs.append(
                         TimedSegment(
                             SegmentKind.STORE_PARTIALS,
-                            self.store_partials_cycles,
+                            priced(
+                                w.cta,
+                                len(segs),
+                                SegmentKind.STORE_PARTIALS,
+                                self.store_partials_cycles,
+                            ),
                         )
                     )
                     segs.append(TimedSegment(SegmentKind.SIGNAL, 0.0, w.cta))

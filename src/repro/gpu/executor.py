@@ -16,6 +16,17 @@ approximation or iteration-to-fixpoint is involved.  If every resident CTA
 is blocked on flags owned by CTAs that cannot launch, the executor raises
 :class:`~repro.errors.DeadlockError` — the same hang a real GPU would
 experience with a waiter-before-producer launch order and full residency.
+The error carries a structured wait-chain diagnostic naming, for every
+blocked CTA, the slot it waits on and why that signal can never arrive
+(including circular waits, reported as the blocking CTA cycle).
+
+Fault injection (:mod:`repro.faults`) threads through here: an optional
+:class:`~repro.faults.injector.FaultInjector` scales segment durations
+per SM slot (stragglers/clock skew), adds preempt/restart penalties to
+compute segments, delays flag publications, and drops signals outright —
+dropped signals surface as the same clean ``DeadlockError`` (a discrete-
+event simulator cannot literally hang, so the "GPU hang" is always
+reported as a diagnosis, never experienced as one).
 """
 
 from __future__ import annotations
@@ -50,32 +61,46 @@ class _CtaState:
             return segs[self.cursor].slot
         return None
 
+    @property
+    def launched(self) -> bool:
+        return self.sm_slot >= 0
+
 
 class Executor:
-    """Runs a list of :class:`~repro.gpu.cta.CtaTask` to completion."""
+    """Runs a list of :class:`~repro.gpu.cta.CtaTask` to completion.
 
-    def __init__(self, num_sm_slots: int):
+    ``faults``, when given, is a :class:`~repro.faults.injector.
+    FaultInjector` consulted at every injection site; ``None`` (the
+    default) is the pristine fast path and is bitwise identical to a
+    null-config injector.
+    """
+
+    def __init__(self, num_sm_slots: int, faults=None):
         if num_sm_slots <= 0:
             raise ConfigurationError(
                 "need at least one SM slot, got %d" % num_sm_slots
             )
         self.num_sm_slots = num_sm_slots
+        self.faults = faults
 
     def run(self, tasks: "list[CtaTask]") -> ExecutionTrace:
         """Execute ``tasks`` in launch order; return the full trace.
 
         Besides returning the trace, each run publishes volume counters to
         :mod:`repro.obs.counters` (``executor.runs|ctas|segments``,
-        ``executor.spin_waits|signals``) — one batched update per run, so
-        the per-segment hot loop stays untouched.
+        ``executor.spin_waits|signals``, plus ``faults.*`` from the
+        injector) — one batched update per run, so the per-segment hot
+        loop stays untouched.
         """
         ids = [t.cta for t in tasks]
         if len(set(ids)) != len(ids):
             raise ConfigurationError("duplicate CTA ids in task list")
 
+        inj = self.faults
         spin_parks = [0]  # CTAs that actually blocked on an unpublished flag
         states = [_CtaState(task=t) for t in tasks]
         by_slot_signal: "dict[int, float]" = {}  # partial slot -> signal time
+        dropped_slots: "set[int]" = set()  # slots whose signal was dropped
         waiters: "dict[int, list[_CtaState]]" = {}
         pending = deque(states)
         # (free_time, slot_index); one entry per currently-free slot.
@@ -105,20 +130,42 @@ class Executor:
                         )
                         st.time = end
                     else:
-                        end = st.time + seg.cycles
+                        cycles = seg.cycles
+                        if inj is not None:
+                            cycles = inj.segment_cycles(
+                                st.task.cta,
+                                st.cursor,
+                                seg.kind,
+                                cycles,
+                                st.sm_slot,
+                            )
+                        end = st.time + cycles
+                        if seg.kind is SegmentKind.SIGNAL:
+                            slot = st.task.cta if seg.slot is None else seg.slot
+                            if slot in by_slot_signal or slot in dropped_slots:
+                                raise SimulationError(
+                                    "slot %d signalled twice" % slot
+                                )
+                            if inj is not None and inj.signal_dropped(
+                                st.task.cta
+                            ):
+                                # The flag never becomes visible: waiters on
+                                # this slot stay parked and are diagnosed as
+                                # a deadlock when the run cannot complete.
+                                dropped_slots.add(slot)
+                            else:
+                                if inj is not None:
+                                    # Slow flag propagation: publication is
+                                    # charged as the segment's duration, so
+                                    # the trace shows when the flag landed.
+                                    end += inj.signal_delay(st.task.cta)
+                                by_slot_signal[slot] = end
+                                for w in waiters.pop(slot, []):
+                                    ready.append(w)
                         st.records.append(
                             SegmentRecord(seg.kind, st.time, end, seg.slot)
                         )
                         st.time = end
-                        if seg.kind is SegmentKind.SIGNAL:
-                            slot = st.task.cta if seg.slot is None else seg.slot
-                            if slot in by_slot_signal:
-                                raise SimulationError(
-                                    "slot %d signalled twice" % slot
-                                )
-                            by_slot_signal[slot] = end
-                            for w in waiters.pop(slot, []):
-                                ready.append(w)
                     st.cursor += 1
                 else:
                     st.finished = True
@@ -136,10 +183,7 @@ class Executor:
         with span("executor_run"):
             while pending:
                 if not free_slots:
-                    blocked = [
-                        s.task.cta for s in states if s.blocked_on is not None
-                    ]
-                    raise DeadlockError(blocked)
+                    raise self._deadlock(states, by_slot_signal, dropped_slots)
                 t, slot = heapq.heappop(free_slots)
                 st = pending.popleft()
                 st.sm_slot = slot
@@ -148,7 +192,7 @@ class Executor:
 
             unfinished = [s for s in states if not s.finished]
             if unfinished:
-                raise DeadlockError([s.task.cta for s in unfinished])
+                raise self._deadlock(states, by_slot_signal, dropped_slots)
 
         inc_counter("executor.runs")
         inc_counter("executor.ctas", len(tasks))
@@ -159,7 +203,95 @@ class Executor:
         trace.ctas.sort(key=lambda c: c.cta)
         return trace
 
+    # ------------------------------------------------------------------ #
+    # Deadlock diagnosis                                                  #
+    # ------------------------------------------------------------------ #
 
-def execute_tasks(tasks: "list[CtaTask]", num_sm_slots: int) -> ExecutionTrace:
-    """Convenience wrapper: ``Executor(num_sm_slots).run(tasks)``."""
-    return Executor(num_sm_slots).run(tasks)
+    def _deadlock(
+        self,
+        states: "list[_CtaState]",
+        by_slot_signal: "dict[int, float]",
+        dropped_slots: "set[int]",
+    ) -> DeadlockError:
+        """Build the wait-chain diagnostic for an unprogressable run.
+
+        For every blocked CTA: name the slot it waits on and *why* that
+        signal can never arrive — the producer was never launched (no
+        free slot), the producer itself is blocked (possibly forming a
+        cycle), the producer's flag was dropped by fault injection, or no
+        task ever signals the slot at all.  Detects and reports the first
+        circular wait (the blocking CTA cycle) when one exists.
+        """
+        by_cta = {s.task.cta: s for s in states}
+        producer_of_slot = {
+            s.task.signals_slot: s.task.cta
+            for s in states
+            if s.task.signals_slot is not None
+        }
+        blocked = sorted(
+            s.task.cta
+            for s in states
+            if not s.finished and s.blocked_on is not None
+        )
+
+        wait_chain: "list[tuple[int, int, str]]" = []
+        for cta in blocked:
+            slot = by_cta[cta].blocked_on
+            if slot in dropped_slots:
+                reason = (
+                    "signal from CTA %d was dropped by fault injection"
+                    % producer_of_slot.get(slot, slot)
+                )
+            elif slot in by_slot_signal:  # pragma: no cover - defensive
+                reason = "signal published but waiter not released"
+            elif slot not in producer_of_slot:
+                reason = "no CTA ever signals slot %d" % slot
+            else:
+                producer = by_cta[producer_of_slot[slot]]
+                if not producer.launched:
+                    reason = (
+                        "producer CTA %d never launched (all SM slots held "
+                        "by blocked CTAs)" % producer.task.cta
+                    )
+                elif producer.blocked_on is not None:
+                    reason = "producer CTA %d is itself blocked on slot %d" % (
+                        producer.task.cta,
+                        producer.blocked_on,
+                    )
+                elif producer.finished:
+                    reason = (
+                        "producer CTA %d finished without publishing"
+                        % producer.task.cta
+                    )
+                else:  # pragma: no cover - defensive
+                    reason = "producer CTA %d stalled" % producer.task.cta
+            wait_chain.append((cta, slot, reason))
+
+        cycle = self._find_cycle(by_cta, producer_of_slot, blocked)
+        return DeadlockError(blocked, wait_chain=wait_chain, cycle=cycle)
+
+    @staticmethod
+    def _find_cycle(by_cta, producer_of_slot, blocked) -> "list[int] | None":
+        """First circular wait among blocked CTAs, as a CTA id list."""
+        for start in blocked:
+            path: "list[int]" = []
+            seen: "dict[int, int]" = {}
+            cta = start
+            while True:
+                if cta in seen:
+                    return path[seen[cta]:]
+                seen[cta] = len(path)
+                path.append(cta)
+                state = by_cta.get(cta)
+                slot = state.blocked_on if state is not None else None
+                if slot is None or slot not in producer_of_slot:
+                    break
+                cta = producer_of_slot[slot]
+        return None
+
+
+def execute_tasks(
+    tasks: "list[CtaTask]", num_sm_slots: int, faults=None
+) -> ExecutionTrace:
+    """Convenience wrapper: ``Executor(num_sm_slots, faults).run(tasks)``."""
+    return Executor(num_sm_slots, faults=faults).run(tasks)

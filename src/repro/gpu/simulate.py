@@ -72,6 +72,8 @@ def simulate_kernel(
     gpu: GpuSpec,
     memory_model: str = "analytical",
     validate: bool = False,
+    faults=None,
+    check_invariants: bool = False,
 ) -> KernelResult:
     """Simulate one schedule end to end.
 
@@ -87,13 +89,34 @@ def simulate_kernel(
     validate:
         Run :meth:`Schedule.validate` first (cheap insurance in examples;
         the harness validates at construction).
+    faults:
+        Optional fault environment: a
+        :class:`~repro.faults.config.FaultConfig` (a fresh injector is
+        created for this run) or an already-constructed
+        :class:`~repro.faults.injector.FaultInjector` (shared across
+        runs when the caller wants one injection log).  ``None`` is the
+        pristine simulator, bitwise identical to a zero-fault config.
+    check_invariants:
+        Replay the resulting trace through the protocol invariant
+        checker (:func:`repro.faults.checker.check_protocol_invariants`)
+        and raise :class:`~repro.errors.ProtocolViolation` on any breach
+        of the partials/fixup carry protocol.
     """
     if validate:
         schedule.validate()
+    injector = faults
+    if injector is not None and not hasattr(injector, "segment_cycles"):
+        from ..faults.injector import FaultInjector
+
+        injector = FaultInjector(injector)
     problem = schedule.grid.problem
     cost = KernelCostModel(gpu=gpu, blocking=schedule.grid.blocking, dtype=problem.dtype)
-    tasks = cost.build_tasks(schedule)
-    trace = Executor(gpu.total_cta_slots).run(tasks)
+    tasks = cost.build_tasks(schedule, faults=injector)
+    trace = Executor(gpu.total_cta_slots, faults=injector).run(tasks)
+    if check_invariants:
+        from ..faults.checker import check_protocol_invariants
+
+        check_protocol_invariants(schedule, trace)
 
     if memory_model == "analytical":
         traffic = AnalyticalMemoryModel().traffic(schedule, gpu, cost)

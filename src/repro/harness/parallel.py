@@ -21,6 +21,17 @@ to persist evaluations across processes as ``.npz`` artifacts
 Workers re-derive calibration constants through the persistent
 calibration cache (:mod:`repro.model.paramcache`), so a cold pool does
 not re-run simulator microbenchmarks per worker.
+
+The pool is **self-healing**: every shard is submitted asynchronously
+with a timeout, retried with exponential backoff on worker crash or
+timeout (``harness.shard_retries`` / ``harness.shard_timeouts``
+counters), and — when the pool is unusable or retries are exhausted —
+evaluated in-process instead (``harness.shard_serial_fallbacks``).
+Because shard evaluation is deterministic, a sweep that loses workers
+mid-flight still returns the bitwise-exact corpus result.  Corrupt
+persisted evaluation artifacts are quarantined (renamed ``*.corrupt``,
+counted in ``evalcache.corrupt_quarantined``) and recomputed rather than
+re-parsed forever.
 """
 
 from __future__ import annotations
@@ -29,6 +40,8 @@ import hashlib
 import multiprocessing
 import os
 import tempfile
+import time
+import zipfile
 
 import numpy as np
 
@@ -61,6 +74,22 @@ _ENV_EVAL_CACHE_DIR = "REPRO_EVAL_CACHE_DIR"
 #: Minimum rows per shard: below this, process fan-out costs more than the
 #: vectorized evaluation itself.
 _MIN_SHARD_ROWS = 256
+
+#: Default per-shard wall-clock budget (seconds).  Generous — a shard is
+#: a vectorized evaluation of at most a few thousand rows — but finite,
+#: so a crashed worker (whose result never arrives) cannot wedge a sweep.
+_DEFAULT_SHARD_TIMEOUT_S = 300.0
+
+#: Default retry budget per shard before falling back to in-process
+#: evaluation, and the base of the exponential backoff between attempts.
+_DEFAULT_MAX_RETRIES = 2
+_DEFAULT_RETRY_BACKOFF_S = 0.05
+
+#: Test seam: when set, called as ``hook(shard_index, attempt)`` inside
+#: the worker before evaluating — lets the test suite crash or fail a
+#: specific (shard, attempt) deterministically.  Inherited by forked
+#: workers; never set in production code paths.
+_SHARD_FAULT_HOOK = None
 
 _MEMO: "dict[str, SystemTimings]" = {}
 
@@ -99,7 +128,7 @@ def merge_timings(parts: "list[SystemTimings]") -> SystemTimings:
 
 
 def _eval_shard(
-    args: "tuple[np.ndarray, str, GpuSpec, bool]",
+    args: "tuple[np.ndarray, str, GpuSpec, bool, int, int]",
 ) -> "tuple[SystemTimings, dict, dict]":
     """Worker entry point: evaluate one contiguous shard.
 
@@ -108,7 +137,9 @@ def _eval_shard(
     snapshot — so the parent can merge worker telemetry into one profile
     (see :mod:`repro.obs`).
     """
-    shapes, dtype_name, gpu, profile = args
+    shapes, dtype_name, gpu, profile, shard_index, attempt = args
+    if _SHARD_FAULT_HOOK is not None:
+        _SHARD_FAULT_HOOK(shard_index, attempt)
     if profile:
         _profiler.enable_profiling()
     _profiler.reset_profile()
@@ -119,11 +150,94 @@ def _eval_shard(
 
 
 def _resolve_jobs(jobs: "int | None") -> int:
+    """``None``/``1`` => in-process; ``<= 0`` => one per *available* CPU.
+
+    "Available" respects the process's CPU affinity mask
+    (``os.sched_getaffinity``) — under cgroup/affinity-restricted
+    runners, ``os.cpu_count()`` reports the machine, not the quota, and
+    oversubscribing the mask makes every worker a straggler.
+    """
     if jobs is None or jobs == 1:
         return 1
     if jobs <= 0:
-        return max(1, os.cpu_count() or 1)
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except (AttributeError, OSError):  # pragma: no cover - non-Linux
+            return max(1, os.cpu_count() or 1)
     return jobs
+
+
+def _eval_shard_serial(
+    shapes: np.ndarray, dtype: DtypeConfig, gpu: GpuSpec
+) -> SystemTimings:
+    """In-process shard evaluation (graceful-degradation path)."""
+    _counters.inc_counter("harness.shard_serial_fallbacks")
+    with span("shard_serial_fallback"):
+        return evaluate_corpus(shapes, dtype, gpu)
+
+
+def _run_shards_self_healing(
+    pool,
+    shards: "list[tuple]",
+    dtype: DtypeConfig,
+    gpu: GpuSpec,
+    max_retries: int,
+    shard_timeout: "float | None",
+    retry_backoff_s: float,
+) -> "list[SystemTimings]":
+    """Drive shards through the pool with retry, backoff, and fallback.
+
+    Every shard is submitted asynchronously; a shard whose worker raises,
+    crashes (its result never arrives => timeout), or exceeds
+    ``shard_timeout`` is resubmitted up to ``max_retries`` times with
+    exponential backoff, then evaluated in-process.  Shard evaluation is
+    deterministic, so any path yields the bitwise-identical result.
+    """
+    results: "list[SystemTimings | None]" = [None] * len(shards)
+    # (shard_index, attempt, async_result), submitted generation by
+    # generation so backoff between a shard's attempts is honored.
+    outstanding = []
+    for i, shard in enumerate(shards):
+        outstanding.append((i, 0, pool.apply_async(_eval_shard, (shard,))))
+    while outstanding:
+        retry_queue = []
+        for i, attempt, handle in outstanding:
+            try:
+                res, prof_snap, counter_snap = handle.get(timeout=shard_timeout)
+            except multiprocessing.TimeoutError:
+                _counters.inc_counter("harness.shard_timeouts")
+                retry_queue.append((i, attempt))
+            except Exception:
+                _counters.inc_counter("harness.shard_failures")
+                retry_queue.append((i, attempt))
+            else:
+                # Fold worker telemetry into this process: spans from the
+                # shard land in one profile (distinguished by pid),
+                # counters add up.
+                _profiler.merge_profile(prof_snap)
+                _counters.merge_counters(counter_snap)
+                _counters.inc_counter("harness.shards_ok")
+                results[i] = res
+        outstanding = []
+        for i, attempt in retry_queue:
+            shapes_i = shards[i][0]
+            if attempt >= max_retries:
+                results[i] = _eval_shard_serial(shapes_i, dtype, gpu)
+                continue
+            _counters.inc_counter("harness.shard_retries")
+            if retry_backoff_s > 0.0:
+                time.sleep(retry_backoff_s * (2.0 ** attempt))
+            next_args = shards[i][:5] + (attempt + 1,)
+            try:
+                outstanding.append(
+                    (i, attempt + 1, pool.apply_async(_eval_shard, (next_args,)))
+                )
+            except Exception:
+                # Pool itself is unusable (terminated, broken): degrade.
+                _counters.inc_counter("harness.pool_unusable")
+                results[i] = _eval_shard_serial(shapes_i, dtype, gpu)
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
 
 
 def evaluate_corpus_sharded(
@@ -132,13 +246,21 @@ def evaluate_corpus_sharded(
     gpu: GpuSpec,
     jobs: "int | None" = None,
     shard_rows: "int | None" = None,
+    max_retries: int = _DEFAULT_MAX_RETRIES,
+    shard_timeout: "float | None" = _DEFAULT_SHARD_TIMEOUT_S,
+    retry_backoff_s: float = _DEFAULT_RETRY_BACKOFF_S,
 ) -> SystemTimings:
-    """Evaluate a corpus across ``jobs`` worker processes.
+    """Evaluate a corpus across ``jobs`` worker processes, self-healing.
 
     ``jobs=None``/``1`` runs in-process (no pool); ``jobs<=0`` means "one
-    per CPU".  ``shard_rows`` overrides the shard size (default: roughly
-    four shards per worker for load balance, never below
-    ``_MIN_SHARD_ROWS``).  Results are independent of both knobs.
+    per available CPU" (affinity-aware).  ``shard_rows`` overrides the
+    shard size (default: roughly four shards per worker for load balance,
+    never below ``_MIN_SHARD_ROWS``).  Results are independent of every
+    knob: a worker crash, a hung shard (``shard_timeout`` seconds,
+    ``None`` disables), exhausted retries (``max_retries``, exponential
+    ``retry_backoff_s`` base), or an unusable pool all degrade to
+    in-process evaluation of the affected shards, and the merged result
+    stays bitwise identical to the single-process evaluation.
     """
     shapes = np.asarray(shapes, dtype=np.int64)
     jobs = _resolve_jobs(jobs)
@@ -151,8 +273,8 @@ def evaluate_corpus_sharded(
     profiling = _profiler.profiling_enabled()
     bounds = list(range(0, n, shard_rows)) + [n]
     shards = [
-        (shapes[lo:hi], dtype.name, gpu, profiling)
-        for lo, hi in zip(bounds[:-1], bounds[1:])
+        (shapes[lo:hi], dtype.name, gpu, profiling, idx, 0)
+        for idx, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:]))
         if hi > lo
     ]
     # Warm the persistent calibration cache before forking so workers hit
@@ -162,15 +284,30 @@ def evaluate_corpus_sharded(
 
     with span("sharded_pool"):
         ctx = multiprocessing.get_context()
-        with ctx.Pool(processes=min(jobs, len(shards))) as pool:
-            parts = pool.map(_eval_shard, shards)
-    # Fold worker telemetry into this process: spans from every shard land
-    # in one profile (distinguished by pid), counters add up.
-    for _, prof_snap, counter_snap in parts:
-        _profiler.merge_profile(prof_snap)
-        _counters.merge_counters(counter_snap)
+        try:
+            pool = ctx.Pool(processes=min(jobs, len(shards)))
+        except Exception:
+            # No pool at all (fork limits, sandboxing): evaluate serially.
+            _counters.inc_counter("harness.pool_unusable")
+            parts = [
+                _eval_shard_serial(s[0], dtype, gpu) for s in shards
+            ]
+        else:
+            try:
+                parts = _run_shards_self_healing(
+                    pool,
+                    shards,
+                    dtype,
+                    gpu,
+                    max_retries=max_retries,
+                    shard_timeout=shard_timeout,
+                    retry_backoff_s=retry_backoff_s,
+                )
+            finally:
+                pool.terminate()
+                pool.join()
     with span("merge_shards"):
-        return merge_timings([p[0] for p in parts])
+        return merge_timings(parts)
 
 
 # --------------------------------------------------------------------- #
@@ -202,11 +339,29 @@ def _eval_entry_path(root: str, key: str) -> str:
     )
 
 
+def _quarantine_artifact(path: str, counter: str) -> None:
+    """Move a corrupt cache artifact aside so it is never re-parsed.
+
+    The artifact is renamed to ``<path>.corrupt`` (kept for post-mortem,
+    ignored by every loader) and the event counted — without this, a
+    half-written or bit-rotted file would silently fail and be re-read on
+    every single run.  Rename failures are swallowed: a read-only cache
+    directory degrades to the old re-parse behavior rather than erroring.
+    """
+    try:
+        os.replace(path, path + ".corrupt")
+    except OSError:
+        pass
+    _counters.inc_counter(counter)
+
+
 def _load_eval(path: str, key: str) -> "SystemTimings | None":
+    if not os.path.exists(path):
+        return None  # plain miss, not corruption
     try:
         with np.load(path, allow_pickle=False) as doc:
             if str(doc["key"]) != key:
-                return None
+                return None  # truncated-hash collision: a miss, keep it
             shapes = doc["shapes"]
             choice = doc["cublas_choice"]
             if choice.shape[0] != shapes.shape[0]:
@@ -222,7 +377,10 @@ def _load_eval(path: str, key: str) -> "SystemTimings | None":
                 cublas_choice=choice,
                 cublas_variant_names=[str(v) for v in doc["variant_names"]],
             )
-    except (OSError, ValueError, KeyError):
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+        # The file exists but cannot be parsed as this engine's artifact:
+        # quarantine it and recompute instead of retrying forever.
+        _quarantine_artifact(path, "evalcache.corrupt_quarantined")
         return None
 
 
@@ -310,7 +468,7 @@ def wipe_eval_cache(cache_dir: "str | None" = None) -> int:
     except OSError:
         return 0
     for name in entries:
-        if name.startswith("eval_") and name.endswith(".npz"):
+        if name.startswith("eval_") and name.endswith((".npz", ".corrupt")):
             try:
                 os.unlink(os.path.join(root, "eval", name))
                 removed += 1

@@ -104,19 +104,47 @@ def _entry_path(
     return os.path.join(cache_dir, "calibration", name)
 
 
+def _quarantine(path: str) -> None:
+    """Move a corrupt calibration artifact aside and count the event.
+
+    Renaming to ``<path>.corrupt`` (kept for post-mortem, never matched
+    by the loader again) means the next lookup is a clean miss that
+    recomputes and overwrites — instead of re-parsing the same broken
+    file on every run forever.  Best-effort: an unrenamable (read-only)
+    cache degrades to the old behavior.
+    """
+    try:
+        os.replace(path, path + ".corrupt")
+    except OSError:
+        pass
+    inc_counter("paramcache.corrupt_quarantined")
+
+
 def load_cached_params(
     gpu: GpuSpec,
     blocking: Blocking,
     dtype: DtypeConfig,
     cache_dir: "str | None" = None,
 ) -> "StreamKModelParams | None":
-    """Load a persisted calibration, or ``None`` on miss/stale/corrupt."""
+    """Load a persisted calibration, or ``None`` on miss/stale/corrupt.
+
+    A *stale* entry (version bump, different GPU fingerprint) is a
+    legitimate miss — it is left in place and overwritten by the next
+    store.  A *corrupt* entry (unparsable JSON, missing or mistyped
+    fields) is quarantined: renamed to ``*.corrupt`` and counted in
+    ``paramcache.corrupt_quarantined``.
+    """
     fp = gpu_fingerprint(gpu)
     path = _entry_path(cache_dir or default_cache_dir(), fp, blocking, dtype)
     try:
         with open(path) as fh:
-            doc = json.load(fh)
-    except (OSError, ValueError):
+            raw = fh.read()
+    except OSError:
+        return None  # plain miss, not corruption
+    try:
+        doc = json.loads(raw)
+    except ValueError:
+        _quarantine(path)
         return None
     try:
         if (
@@ -125,7 +153,7 @@ def load_cached_params(
             or tuple(doc["blocking"]) != blocking.as_tuple
             or doc["dtype"] != dtype.name
         ):
-            return None
+            return None  # stale, will be overwritten on next store
         return StreamKModelParams(
             a=float(doc["a"]),
             b=float(doc["b"]),
@@ -136,6 +164,7 @@ def load_cached_params(
             gpu_name=str(doc.get("gpu_name", gpu.name)),
         )
     except (KeyError, TypeError, ValueError):
+        _quarantine(path)
         return None
 
 
@@ -238,7 +267,7 @@ def wipe_calibration_cache(cache_dir: "str | None" = None) -> int:
     except OSError:
         return 0
     for name in entries:
-        if name.startswith("calib_") and name.endswith(".json"):
+        if name.startswith("calib_") and name.endswith((".json", ".corrupt")):
             try:
                 os.unlink(os.path.join(root, name))
                 removed += 1

@@ -1,0 +1,319 @@
+"""Protocol invariant checker: accepts legal runs, catches broken ones.
+
+Structural breaches use duck-typed schedule fixtures (gaps, overlaps,
+missing owners); temporal breaches tamper a legally-executed trace and
+assert the race detector names the violation.
+"""
+
+import dataclasses
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ProtocolViolation
+from repro.faults import FaultConfig, check_protocol_invariants
+from repro.faults.checker import InvariantReport
+from repro.gemm import FP16_FP32, Blocking, GemmProblem, TileGrid
+from repro.gpu import (
+    HYPOTHETICAL_4SM,
+    CtaTask,
+    ExecutionTrace,
+    SegmentKind,
+    TimedSegment,
+    execute_tasks,
+    simulate_kernel,
+)
+from repro.schedules.registry import DECOMPOSITION_NAMES
+from repro.schedules.workitem import CtaWorkItem, SegmentRole, TileSegment
+from repro.faults.sweep import build_registered_schedule
+
+OWNER = SegmentRole.OWNER
+CONTRIB = SegmentRole.CONTRIBUTOR
+
+DUMMY_TRACE = ExecutionTrace(num_sm_slots=1)
+
+
+def fake_schedule(work_items, iters_per_tile=8, num_tiles=1):
+    """Duck-typed stand-in: just the attributes the checker reads."""
+    return SimpleNamespace(
+        grid=SimpleNamespace(iters_per_tile=iters_per_tile, num_tiles=num_tiles),
+        work_items=list(work_items),
+    )
+
+
+def owner_item(cta, tile=0, end=4, peers=()):
+    return CtaWorkItem(
+        cta=cta, segments=(TileSegment(tile, 0, end, OWNER, tuple(peers)),)
+    )
+
+
+def contrib_item(cta, tile=0, begin=4, end=8):
+    return CtaWorkItem(
+        cta=cta, segments=(TileSegment(tile, begin, end, CONTRIB),)
+    )
+
+
+# --------------------------------------------------------------------- #
+# A minimal legal (schedule, trace) pair for tampering                    #
+# --------------------------------------------------------------------- #
+
+
+def legal_pair():
+    """One owner (CTA 0) accumulating one contributor (CTA 1)."""
+    schedule = fake_schedule(
+        [owner_item(0, peers=(1,)), contrib_item(1)]
+    )
+    tasks = [
+        CtaTask(
+            cta=0,
+            segments=(
+                TimedSegment(SegmentKind.PROLOGUE, 1.0),
+                TimedSegment(SegmentKind.COMPUTE, 4.0),
+                TimedSegment(SegmentKind.WAIT, 0.0, 1),
+                TimedSegment(SegmentKind.FIXUP, 2.0, 1),
+                TimedSegment(SegmentKind.STORE_TILE, 1.0),
+            ),
+        ),
+        CtaTask(
+            cta=1,
+            segments=(
+                TimedSegment(SegmentKind.PROLOGUE, 1.0),
+                TimedSegment(SegmentKind.COMPUTE, 6.0),
+                TimedSegment(SegmentKind.STORE_PARTIALS, 1.0),
+                TimedSegment(SegmentKind.SIGNAL, 0.0, 1),
+            ),
+        ),
+    ]
+    return schedule, execute_tasks(tasks, 2)
+
+
+def tamper(trace, cta, index=None, segment=None, drop_index=None, **rec_changes):
+    """Rebuild ``trace`` with one CTA's record altered."""
+    ctas = []
+    for rec in trace.ctas:
+        if rec.cta == cta:
+            segs = list(rec.segments)
+            if drop_index is not None:
+                del segs[drop_index]
+            if index is not None:
+                segs[index] = dataclasses.replace(segs[index], **segment)
+            rec = dataclasses.replace(rec, segments=tuple(segs), **rec_changes)
+        ctas.append(rec)
+    return ExecutionTrace(num_sm_slots=trace.num_sm_slots, ctas=ctas)
+
+
+# --------------------------------------------------------------------- #
+# Acceptance: every registered schedule, faulted or not                   #
+# --------------------------------------------------------------------- #
+
+
+class TestAcceptsLegalRuns:
+    @pytest.mark.parametrize("name", DECOMPOSITION_NAMES)
+    def test_registered_schedules_pass(self, name):
+        problem = GemmProblem(384, 384, 128, dtype=FP16_FP32)
+        grid = TileGrid(problem, Blocking(128, 128, 32))
+        schedule = build_registered_schedule(name, grid, HYPOTHETICAL_4SM)
+        simulate_kernel(schedule, HYPOTHETICAL_4SM, check_invariants=True)
+
+    @pytest.mark.parametrize("name", DECOMPOSITION_NAMES)
+    def test_registered_schedules_pass_under_faults(self, name):
+        problem = GemmProblem(384, 384, 128, dtype=FP16_FP32)
+        grid = TileGrid(problem, Blocking(128, 128, 32))
+        schedule = build_registered_schedule(name, grid, HYPOTHETICAL_4SM)
+        cfg = FaultConfig.straggler_sweep_point(1.5, seed=11)
+        simulate_kernel(
+            schedule, HYPOTHETICAL_4SM, faults=cfg, check_invariants=True
+        )
+
+    def test_report_counts_protocol_events(self):
+        schedule, trace = legal_pair()
+        report = check_protocol_invariants(schedule, trace)
+        assert isinstance(report, InvariantReport)
+        assert report.num_ctas == 2 and report.num_tiles == 1
+        assert report.signals == report.fixups == report.waits == 1
+        assert report.min_fixup_slack >= 0.0
+
+
+# --------------------------------------------------------------------- #
+# Structural breaches (broken-schedule fixtures)                          #
+# --------------------------------------------------------------------- #
+
+
+class TestStructuralBreaches:
+    def check(self, schedule, match):
+        with pytest.raises(ProtocolViolation, match=match):
+            check_protocol_invariants(schedule, DUMMY_TRACE)
+
+    def test_overlapping_k_ranges(self):
+        sched = fake_schedule(
+            [owner_item(0, end=6, peers=(1,)), contrib_item(1, begin=4)]
+        )
+        self.check(sched, "covered twice")
+
+    def test_k_range_gap(self):
+        sched = fake_schedule(
+            [owner_item(0, end=3, peers=(1,)), contrib_item(1, begin=5)]
+        )
+        self.check(sched, "gap at iterations")
+
+    def test_short_coverage(self):
+        sched = fake_schedule([owner_item(0, end=6)])
+        self.check(sched, "stops at iteration 6 of 8")
+
+    def test_no_owner(self):
+        sched = fake_schedule(
+            [contrib_item(0, begin=0, end=4), contrib_item(1, begin=4)]
+        )
+        self.check(sched, "0 owners")
+
+    def test_peer_list_mismatch(self):
+        sched = fake_schedule(
+            [owner_item(0, peers=(5,)), contrib_item(1)]
+        )
+        self.check(sched, "contributors")
+
+    def test_tile_out_of_range(self):
+        sched = fake_schedule([owner_item(0, tile=3, end=8)])
+        self.check(sched, "outside grid")
+
+    def test_uncovered_tile(self):
+        sched = fake_schedule([owner_item(0, end=8)], num_tiles=2)
+        self.check(sched, "no k-range coverage")
+
+
+# --------------------------------------------------------------------- #
+# Temporal breaches (tampered traces)                                     #
+# --------------------------------------------------------------------- #
+
+
+class TestTemporalBreaches:
+    def test_legal_pair_sanity(self):
+        schedule, trace = legal_pair()
+        check_protocol_invariants(schedule, trace)
+
+    def test_wait_released_before_publication(self):
+        schedule, trace = legal_pair()
+        # Publication lands at cycle 8; release the wait a cycle early.
+        bad = tamper(trace, 0, index=2, segment={"end": 7.0})
+        with pytest.raises(ProtocolViolation, match="before the flag"):
+            check_protocol_invariants(schedule, bad)
+
+    def test_wait_released_at_wrong_time(self):
+        schedule, trace = legal_pair()
+        bad = tamper(trace, 0, index=2, segment={"end": 8.5})
+        bad = tamper(bad, 0, index=3, segment={"start": 8.5})
+        with pytest.raises(ProtocolViolation, match="not at max"):
+            check_protocol_invariants(schedule, bad)
+
+    def test_dropped_segment_breaks_kind_sequence(self):
+        schedule, trace = legal_pair()
+        bad = tamper(trace, 0, drop_index=3)  # owner skips its FIXUP
+        with pytest.raises(ProtocolViolation, match="prescribes"):
+            check_protocol_invariants(schedule, bad)
+
+    def test_wait_on_wrong_peer_slot(self):
+        schedule, trace = legal_pair()
+        bad = tamper(trace, 0, index=2, segment={"slot": 9})
+        with pytest.raises(ProtocolViolation, match="targets slot"):
+            check_protocol_invariants(schedule, bad)
+
+    def test_signal_on_foreign_slot(self):
+        schedule, trace = legal_pair()
+        bad = tamper(trace, 1, index=3, segment={"slot": 0})
+        with pytest.raises(ProtocolViolation, match="only its own"):
+            check_protocol_invariants(schedule, bad)
+
+    def test_overlapping_segments_within_cta(self):
+        schedule, trace = legal_pair()
+        bad = tamper(trace, 1, index=2, segment={"start": 0.5})
+        with pytest.raises(ProtocolViolation, match="before the previous"):
+            check_protocol_invariants(schedule, bad)
+
+    def test_duplicate_cta_record(self):
+        schedule, trace = legal_pair()
+        dup = ExecutionTrace(
+            num_sm_slots=trace.num_sm_slots, ctas=trace.ctas + [trace.ctas[0]]
+        )
+        with pytest.raises(ProtocolViolation, match="twice"):
+            check_protocol_invariants(schedule, dup)
+
+    def test_missing_cta_record(self):
+        schedule, trace = legal_pair()
+        short = ExecutionTrace(
+            num_sm_slots=trace.num_sm_slots, ctas=trace.ctas[:1]
+        )
+        with pytest.raises(ProtocolViolation, match="mismatch"):
+            check_protocol_invariants(schedule, short)
+
+
+# --------------------------------------------------------------------- #
+# Conservation breaches (partials leaked or double-counted)               #
+# --------------------------------------------------------------------- #
+
+
+class TestConservation:
+    def test_orphaned_partial(self):
+        """A contributor signals but no owner ever accumulates it."""
+        schedule = fake_schedule([owner_item(0, peers=()), contrib_item(1)])
+        tasks = [
+            CtaTask(
+                cta=0,
+                segments=(
+                    TimedSegment(SegmentKind.PROLOGUE, 1.0),
+                    TimedSegment(SegmentKind.COMPUTE, 4.0),
+                    TimedSegment(SegmentKind.STORE_TILE, 1.0),
+                ),
+            ),
+            CtaTask(
+                cta=1,
+                segments=(
+                    TimedSegment(SegmentKind.PROLOGUE, 1.0),
+                    TimedSegment(SegmentKind.COMPUTE, 6.0),
+                    TimedSegment(SegmentKind.STORE_PARTIALS, 1.0),
+                    TimedSegment(SegmentKind.SIGNAL, 0.0, 1),
+                ),
+            ),
+        ]
+        trace = execute_tasks(tasks, 2)
+        with pytest.raises(ProtocolViolation, match="no owner ever"):
+            check_protocol_invariants(schedule, trace, check_structure=False)
+
+    def test_double_counted_partial(self):
+        """Two owners both accumulate the same contributor's partials."""
+        schedule = fake_schedule(
+            [
+                owner_item(0, tile=0, peers=(2,)),
+                owner_item(1, tile=1, end=8, peers=(2,)),
+                contrib_item(2, tile=0),
+            ],
+            num_tiles=2,
+        )
+
+        def owner_task(cta):
+            return CtaTask(
+                cta=cta,
+                segments=(
+                    TimedSegment(SegmentKind.PROLOGUE, 1.0),
+                    TimedSegment(SegmentKind.COMPUTE, 4.0),
+                    TimedSegment(SegmentKind.WAIT, 0.0, 2),
+                    TimedSegment(SegmentKind.FIXUP, 2.0, 2),
+                    TimedSegment(SegmentKind.STORE_TILE, 1.0),
+                ),
+            )
+
+        tasks = [
+            owner_task(0),
+            owner_task(1),
+            CtaTask(
+                cta=2,
+                segments=(
+                    TimedSegment(SegmentKind.PROLOGUE, 1.0),
+                    TimedSegment(SegmentKind.COMPUTE, 6.0),
+                    TimedSegment(SegmentKind.STORE_PARTIALS, 1.0),
+                    TimedSegment(SegmentKind.SIGNAL, 0.0, 2),
+                ),
+            ),
+        ]
+        trace = execute_tasks(tasks, 3)
+        with pytest.raises(ProtocolViolation, match="double-counted"):
+            check_protocol_invariants(schedule, trace, check_structure=False)

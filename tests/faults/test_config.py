@@ -1,0 +1,73 @@
+"""FaultConfig: validation, null detection, sweep-point construction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultConfig
+
+
+class TestValidation:
+    def test_default_is_null(self):
+        cfg = FaultConfig()
+        assert cfg.is_null
+        assert cfg == FaultConfig.none()
+
+    @pytest.mark.parametrize(
+        "field", ["straggler_prob", "signal_delay_prob", "signal_drop_prob",
+                  "preempt_prob"]
+    )
+    def test_probabilities_bounded(self, field):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(**{field: 1.5})
+        with pytest.raises(ConfigurationError):
+            FaultConfig(**{field: -0.1})
+
+    @pytest.mark.parametrize(
+        "field", ["straggler_severity", "clock_skew", "mem_jitter",
+                  "signal_delay_cycles", "preempt_penalty_cycles"]
+    )
+    def test_magnitudes_non_negative(self, field):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(**{field: -1.0})
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(seed=-1)
+
+
+class TestNullness:
+    def test_prob_without_severity_is_null(self):
+        # straggler_prob alone cannot fire a slowdown.
+        assert FaultConfig(straggler_prob=1.0).is_null
+        assert FaultConfig(signal_delay_prob=1.0).is_null
+
+    def test_each_dimension_breaks_nullness(self):
+        assert not FaultConfig(
+            straggler_prob=0.5, straggler_severity=1.0
+        ).is_null
+        assert not FaultConfig(clock_skew=0.1).is_null
+        assert not FaultConfig(mem_jitter=0.1).is_null
+        assert not FaultConfig(
+            signal_delay_prob=0.5, signal_delay_cycles=100.0
+        ).is_null
+        assert not FaultConfig(signal_drop_prob=0.01).is_null
+        assert not FaultConfig(preempt_prob=0.01).is_null
+
+
+class TestSweepPoint:
+    def test_zero_severity_is_exactly_none(self):
+        assert FaultConfig.straggler_sweep_point(0.0, seed=9) == FaultConfig.none(seed=9)
+
+    def test_severity_scales_dimensions(self):
+        lo = FaultConfig.straggler_sweep_point(0.5, seed=1)
+        hi = FaultConfig.straggler_sweep_point(2.0, seed=1)
+        assert hi.straggler_severity > lo.straggler_severity
+        assert hi.mem_jitter > lo.mem_jitter
+        assert hi.signal_delay_cycles > lo.signal_delay_cycles
+        assert not lo.is_null and not hi.is_null
+
+    def test_with_seed_changes_only_seed(self):
+        cfg = FaultConfig.straggler_sweep_point(1.0, seed=1)
+        other = cfg.with_seed(2)
+        assert other.seed == 2
+        assert other.with_seed(1) == cfg

@@ -1,0 +1,192 @@
+"""FaultInjector: determinism, order-independence, memoized logging."""
+
+import pytest
+
+from repro.faults import FaultConfig, FaultInjector
+from repro.gpu import SegmentKind
+from repro.obs.counters import get_counter, reset_counters
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counters():
+    reset_counters()
+    yield
+    reset_counters()
+
+
+def full_config(seed=0):
+    """Every dimension armed, all probabilities certain."""
+    return FaultConfig(
+        seed=seed,
+        straggler_prob=1.0,
+        straggler_severity=0.5,
+        clock_skew=0.2,
+        mem_jitter=0.3,
+        signal_delay_prob=1.0,
+        signal_delay_cycles=100.0,
+        signal_drop_prob=1.0,
+        preempt_prob=1.0,
+        preempt_penalty_cycles=50.0,
+    )
+
+
+class TestNullConfig:
+    """A null injector must be bitwise inert — exact identities, no log."""
+
+    def test_all_queries_are_identity(self):
+        inj = FaultInjector(FaultConfig.none())
+        assert inj.slot_multiplier(3) == 1.0
+        assert inj.mem_latency_multiplier(0, 2, SegmentKind.FIXUP) == 1.0
+        base = 1234.5678901234
+        assert inj.segment_cycles(0, 1, SegmentKind.COMPUTE, base, 0) == base
+        assert inj.signal_delay(7) == 0.0
+        assert not inj.signal_dropped(7)
+
+    def test_nothing_logged_or_counted(self):
+        inj = FaultInjector(FaultConfig.none())
+        inj.slot_multiplier(0)
+        inj.segment_cycles(0, 0, SegmentKind.COMPUTE, 10.0, 0)
+        inj.signal_dropped(0)
+        assert inj.log == []
+        assert inj.injection_counts() == {}
+        assert get_counter("faults.straggler") == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = FaultInjector(full_config(seed=42))
+        b = FaultInjector(full_config(seed=42))
+        for slot in range(8):
+            assert a.slot_multiplier(slot) == b.slot_multiplier(slot)
+        for cta in range(4):
+            assert a.signal_delay(cta) == b.signal_delay(cta)
+            assert a.signal_dropped(cta) == b.signal_dropped(cta)
+            assert a.mem_latency_multiplier(
+                cta, 1, SegmentKind.STORE_PARTIALS
+            ) == b.mem_latency_multiplier(cta, 1, SegmentKind.STORE_PARTIALS)
+            assert a.segment_cycles(
+                cta, 0, SegmentKind.COMPUTE, 100.0, cta
+            ) == b.segment_cycles(cta, 0, SegmentKind.COMPUTE, 100.0, cta)
+
+    def test_query_order_does_not_matter(self):
+        a = FaultInjector(full_config(seed=7))
+        b = FaultInjector(full_config(seed=7))
+        fwd = [a.slot_multiplier(s) for s in range(6)]
+        rev = [b.slot_multiplier(s) for s in reversed(range(6))]
+        assert fwd == list(reversed(rev))
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(full_config(seed=1))
+        b = FaultInjector(full_config(seed=2))
+        assert any(
+            a.slot_multiplier(s) != b.slot_multiplier(s) for s in range(16)
+        )
+
+    def test_dimensions_are_independent(self):
+        """Toggling one knob leaves other dimensions' draws untouched."""
+        base = full_config(seed=5)
+        import dataclasses
+
+        no_drop = dataclasses.replace(base, signal_drop_prob=0.0)
+        a = FaultInjector(base)
+        b = FaultInjector(no_drop)
+        for slot in range(8):
+            assert a.slot_multiplier(slot) == b.slot_multiplier(slot)
+        for cta in range(4):
+            assert a.signal_delay(cta) == b.signal_delay(cta)
+
+
+class TestDimensions:
+    def test_straggler_multiplier_exact(self):
+        cfg = FaultConfig(straggler_prob=1.0, straggler_severity=0.5)
+        inj = FaultInjector(cfg)
+        assert inj.slot_multiplier(0) == 1.5
+
+    def test_clock_skew_bounded(self):
+        cfg = FaultConfig(clock_skew=0.2)
+        inj = FaultInjector(cfg)
+        for slot in range(16):
+            assert 1.0 <= inj.slot_multiplier(slot) < 1.2 + 1e-12
+
+    def test_mem_jitter_only_on_memory_kinds(self):
+        cfg = FaultConfig(mem_jitter=0.5)
+        inj = FaultInjector(cfg)
+        assert inj.mem_latency_multiplier(0, 0, SegmentKind.COMPUTE) == 1.0
+        assert inj.mem_latency_multiplier(0, 0, SegmentKind.PROLOGUE) == 1.0
+        for kind in (
+            SegmentKind.STORE_PARTIALS,
+            SegmentKind.FIXUP,
+            SegmentKind.STORE_TILE,
+        ):
+            mult = inj.mem_latency_multiplier(1, 2, kind)
+            assert 1.0 <= mult < 1.5 + 1e-12
+
+    def test_preempt_only_on_compute(self):
+        cfg = FaultConfig(preempt_prob=1.0, preempt_penalty_cycles=50.0)
+        inj = FaultInjector(cfg)
+        base = 100.0
+        hit = inj.segment_cycles(0, 0, SegmentKind.COMPUTE, base, 0)
+        assert hit >= base + 50.0  # penalty + lost-fraction re-execution
+        assert hit <= base + 50.0 + base
+        untouched = inj.segment_cycles(0, 1, SegmentKind.STORE_TILE, base, 0)
+        assert untouched == base
+
+    def test_preempt_skips_zero_cycle_compute(self):
+        cfg = FaultConfig(preempt_prob=1.0, preempt_penalty_cycles=50.0)
+        inj = FaultInjector(cfg)
+        assert inj.segment_cycles(0, 0, SegmentKind.COMPUTE, 0.0, 0) == 0.0
+
+    def test_signal_delay_bounded(self):
+        cfg = FaultConfig(signal_delay_prob=1.0, signal_delay_cycles=100.0)
+        inj = FaultInjector(cfg)
+        for cta in range(8):
+            d = inj.signal_delay(cta)
+            assert 50.0 <= d < 100.0 + 1e-9
+
+    def test_signal_drop_certain(self):
+        inj = FaultInjector(FaultConfig(signal_drop_prob=1.0))
+        assert inj.signal_dropped(0) and inj.signal_dropped(5)
+        assert inj.dropped_signals == frozenset({0, 5})
+
+    def test_signal_drop_never(self):
+        inj = FaultInjector(FaultConfig(signal_drop_prob=0.0))
+        assert not inj.signal_dropped(0)
+        assert inj.dropped_signals == frozenset()
+
+
+class TestMemoizationAndLogging:
+    def test_repeat_queries_log_once(self):
+        inj = FaultInjector(
+            FaultConfig(straggler_prob=1.0, straggler_severity=1.0)
+        )
+        first = inj.slot_multiplier(0)
+        for _ in range(5):
+            assert inj.slot_multiplier(0) == first
+        assert len(inj.log) == 1
+        assert get_counter("faults.straggler") == 1
+
+    def test_log_entries_carry_site(self):
+        inj = FaultInjector(FaultConfig(mem_jitter=0.5))
+        inj.mem_latency_multiplier(3, 7, SegmentKind.FIXUP)
+        (fault,) = inj.log
+        assert fault.kind == "mem_jitter"
+        assert fault.cta == 3 and fault.segment == 7
+        assert fault.value > 1.0
+
+    def test_injection_counts_match_log(self):
+        inj = FaultInjector(full_config())
+        for slot in range(4):
+            inj.slot_multiplier(slot)
+        for cta in range(3):
+            inj.signal_dropped(cta)
+        counts = inj.injection_counts()
+        assert sum(counts.values()) == len(inj.log)
+        assert counts["straggler"] == 4  # prob 1.0: every slot
+        assert counts["clock_skew"] == 4
+        assert counts["signal_drop"] == 3
+
+    def test_counters_registry_updated(self):
+        inj = FaultInjector(FaultConfig(signal_drop_prob=1.0))
+        inj.signal_dropped(0)
+        inj.signal_dropped(1)
+        assert get_counter("faults.signal_drop") == 2

@@ -18,6 +18,7 @@ from repro.model.paramcache import (
     store_params,
     wipe_calibration_cache,
 )
+from repro.obs.counters import get_counter, reset_counters
 
 BLOCKING = Blocking(16, 16, 8)
 
@@ -104,6 +105,83 @@ class TestInvalidation:
         assert load_cached_params(
             HYPOTHETICAL_4SM, BLOCKING, FP64, cache_dir=str(tmp_path)
         ) is not None
+
+
+class TestQuarantine:
+    """Corrupt artifacts are renamed aside and counted, never re-parsed."""
+
+    def _stored(self, tmp_path):
+        params = calibrate(HYPOTHETICAL_4SM, BLOCKING, FP64)
+        return store_params(params, HYPOTHETICAL_4SM, cache_dir=str(tmp_path))
+
+    def test_unparsable_json_is_quarantined(self, tmp_path):
+        reset_counters()
+        path = self._stored(tmp_path)
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        assert load_cached_params(
+            HYPOTHETICAL_4SM, BLOCKING, FP64, cache_dir=str(tmp_path)
+        ) is None
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+        assert get_counter("paramcache.corrupt_quarantined") == 1
+        # The quarantined file is never matched again: next lookup is a
+        # clean miss, not another quarantine.
+        assert load_cached_params(
+            HYPOTHETICAL_4SM, BLOCKING, FP64, cache_dir=str(tmp_path)
+        ) is None
+        assert get_counter("paramcache.corrupt_quarantined") == 1
+
+    def test_mistyped_fields_are_quarantined(self, tmp_path):
+        reset_counters()
+        path = self._stored(tmp_path)
+        doc = json.load(open(path))
+        del doc["a"]
+        json.dump(doc, open(path, "w"))
+        assert load_cached_params(
+            HYPOTHETICAL_4SM, BLOCKING, FP64, cache_dir=str(tmp_path)
+        ) is None
+        assert os.path.exists(path + ".corrupt")
+        assert get_counter("paramcache.corrupt_quarantined") == 1
+
+    def test_stale_entry_is_not_quarantined(self, tmp_path):
+        """Version/fingerprint mismatches are legitimate misses — the
+        entry stays in place to be overwritten by the next store."""
+        reset_counters()
+        path = self._stored(tmp_path)
+        doc = json.load(open(path))
+        doc["version"] = CALIBRATION_CACHE_VERSION + 999
+        json.dump(doc, open(path, "w"))
+        assert load_cached_params(
+            HYPOTHETICAL_4SM, BLOCKING, FP64, cache_dir=str(tmp_path)
+        ) is None
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".corrupt")
+        assert get_counter("paramcache.corrupt_quarantined") == 0
+
+    def test_quarantine_then_recompute_and_overwrite(self, tmp_path):
+        path = self._stored(tmp_path)
+        with open(path, "w") as fh:
+            fh.write("garbage")
+        p = calibrate_cached(
+            HYPOTHETICAL_4SM, BLOCKING, FP64, cache_dir=str(tmp_path)
+        )
+        assert p is not None
+        # Recomputed and re-stored under the original name.
+        assert os.path.exists(path)
+        assert load_cached_params(
+            HYPOTHETICAL_4SM, BLOCKING, FP64, cache_dir=str(tmp_path)
+        ) is not None
+
+    def test_wipe_removes_quarantined_files(self, tmp_path):
+        path = self._stored(tmp_path)
+        with open(path, "w") as fh:
+            fh.write("garbage")
+        load_cached_params(
+            HYPOTHETICAL_4SM, BLOCKING, FP64, cache_dir=str(tmp_path)
+        )
+        assert wipe_calibration_cache(cache_dir=str(tmp_path)) == 1
+        assert os.listdir(tmp_path / "calibration") == []
 
 
 class TestHousekeeping:

@@ -137,3 +137,52 @@ class TestObservabilityCommands:
         assert "two_tile" in captured.out
         assert "self" in captured.err  # profiler report table header
         assert "counter" in captured.err  # counters report table header
+
+
+class TestFaultsCommand:
+    ARGS = ["faults", "384", "384", "128", "--gpu", "hypothetical_4sm"]
+
+    def test_sweep_table_printed(self, capsys):
+        rc = main(self.ARGS + ["--severities", "0,1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault sweep" in out
+        assert "invariant-checked" in out
+        for name in ("data_parallel", "stream_k", "two_tile_stream_k"):
+            assert name in out
+        assert "sev 0.00" in out and "sev 1.00" in out
+        assert "injected faults" in out
+
+    def test_schedule_subset_and_seed(self, capsys):
+        rc = main(
+            self.ARGS
+            + ["--severities", "0,0.5", "--schedules", "stream_k", "--seed", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stream_k" in out
+        assert "data_parallel" not in out
+        assert "seed 3" in out
+
+    def test_drop_signals_reports_deadlock_not_hang(self, capsys):
+        rc = main(
+            self.ARGS
+            + ["--severities", "0,1", "--schedules", "stream_k",
+               "--drop-signals", "1.0"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "DEADLOCK" in out
+        # --drop-signals applies at every severity, baseline included.
+        assert "2 deadlocked" in out
+
+    def test_no_check_skips_invariants(self, capsys):
+        rc = main(self.ARGS + ["--severities", "0", "--no-check"])
+        assert rc == 0
+        assert "invariant-checked" not in capsys.readouterr().out
+
+    def test_bad_severities_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(self.ARGS + ["--severities", "0,banana"])
