@@ -11,11 +11,15 @@ Commands
 ``trace``      export one schedule's execution as Chrome/Perfetto JSON
 ``profile``    profile a corpus evaluation (span report + counters)
 ``faults``     straggler-severity x schedule fault sweep (docs/FAULTS.md)
+``crosshw``    schedule comparison across several GPUs (docs/HARDWARE.md)
 
 Every command accepts ``--dtype {fp64,fp16_fp32,fp32,bf16_fp32}`` and
-``--gpu {a100,hypothetical_4sm}``.  Setting ``REPRO_PROFILE=1`` makes any
-command print a span-profiler report and the counters registry to stderr
-on exit (see :mod:`repro.obs` and README.md's environment-variable table).
+``--gpu NAME|path.json`` where ``NAME`` is a registered preset (see
+``repro.gpu.spec.available_gpus``) and a path loads a custom device via
+:meth:`~repro.gpu.spec.GpuSpec.from_json_file` (schema in
+docs/HARDWARE.md).  Setting ``REPRO_PROFILE=1`` makes any command print
+a span-profiler report and the counters registry to stderr on exit (see
+:mod:`repro.obs` and README.md's environment-variable table).
 """
 
 from __future__ import annotations
@@ -30,7 +34,7 @@ from .corpus.generator import CorpusSpec, generate_corpus
 from .gemm.dtypes import DTYPE_CONFIGS, get_dtype_config
 from .gemm.problem import GemmProblem
 from .gemm.tiling import Blocking, TileGrid
-from .gpu.spec import GPU_PRESETS, get_gpu
+from .gpu.spec import DEFAULT_GPU_NAME, available_gpus, resolve_gpu
 from .metrics.report import format_utilization
 from .obs import profiler as _profiler
 from .schedules.registry import DECOMPOSITION_NAMES
@@ -44,8 +48,10 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         help="precision configuration (default fp16_fp32)",
     )
     p.add_argument(
-        "--gpu", default="a100", choices=sorted(GPU_PRESETS),
-        help="simulated GPU (default a100)",
+        "--gpu", default=DEFAULT_GPU_NAME, metavar="NAME|PATH.json",
+        help="simulated GPU: a registered preset (%s) or a path to a "
+        "custom spec JSON (default %s; see docs/HARDWARE.md)"
+        % (", ".join(available_gpus()), DEFAULT_GPU_NAME),
     )
 
 
@@ -147,6 +153,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "crosshw",
+        help="schedule comparison across several GPUs (one corpus pass "
+        "per device; see docs/HARDWARE.md)",
+    )
+    p.add_argument(
+        "--dtype", default="fp16_fp32", choices=sorted(DTYPE_CONFIGS),
+        help="precision configuration (default fp16_fp32)",
+    )
+    p.add_argument(
+        "--gpus", default="a100,h100_sxm,v100_sxm2,rtx3090",
+        metavar="NAME|PATH,...",
+        help="comma-separated devices: registered presets (%s) and/or "
+        "spec-JSON paths (default a100,h100_sxm,v100_sxm2,rtx3090)"
+        % ", ".join(available_gpus()),
+    )
+    p.add_argument(
+        "--schedules", default="data_parallel,fixed_split,stream_k,cublas",
+        metavar="NAME,...",
+        help="schedule families to compare "
+        "(default data_parallel,fixed_split,stream_k,cublas; "
+        "also: oracle)",
+    )
+    p.add_argument("--size", type=int, default=2000, help="corpus slice size")
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per device evaluation (0 = all cores, "
+        "default 1)",
+    )
+
+    p = sub.add_parser(
         "profile",
         help="profile a corpus evaluation: span report + counters",
     )
@@ -176,7 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_plan(args) -> int:
     from .ensembles.streamk_library import StreamKLibrary
 
-    dtype, gpu = get_dtype_config(args.dtype), get_gpu(args.gpu)
+    dtype, gpu = get_dtype_config(args.dtype), resolve_gpu(args.gpu)
     problem = GemmProblem(args.m, args.n, args.k, dtype=dtype)
     lib = StreamKLibrary(gpu, dtype)
     grid = TileGrid(problem, lib.blocking)
@@ -201,7 +237,7 @@ def _cmd_simulate(args) -> int:
     from .schedules.fixed_split import fixed_split_schedule
     from .schedules.stream_k import stream_k_schedule
 
-    dtype, gpu = get_dtype_config(args.dtype), get_gpu(args.gpu)
+    dtype, gpu = get_dtype_config(args.dtype), resolve_gpu(args.gpu)
     problem = GemmProblem(args.m, args.n, args.k, dtype=dtype)
     lib = StreamKLibrary(gpu, dtype)
     grid = TileGrid(problem, lib.blocking)
@@ -235,7 +271,7 @@ def _cmd_model(args) -> int:
     from .model.calibrate import calibrate
     from .model.gridsize import select_grid_size
 
-    dtype, gpu = get_dtype_config(args.dtype), get_gpu(args.gpu)
+    dtype, gpu = get_dtype_config(args.dtype), resolve_gpu(args.gpu)
     problem = GemmProblem(args.m, args.n, args.k, dtype=dtype)
     blocking = Blocking(*dtype.default_blocking)
     grid = TileGrid(problem, blocking)
@@ -258,7 +294,7 @@ def _cmd_corpus(args) -> int:
     from .metrics.report import format_relative_table
     from .metrics.stats import relative_performance
 
-    dtype, gpu = get_dtype_config(args.dtype), get_gpu(args.gpu)
+    dtype, gpu = get_dtype_config(args.dtype), resolve_gpu(args.gpu)
     shapes = generate_corpus(CorpusSpec(size=args.size))
     res = evaluate_corpus_sharded(shapes, dtype, gpu, jobs=args.jobs)
     cb = compute_bound_mask(shapes, dtype)
@@ -283,7 +319,7 @@ def _cmd_corpus(args) -> int:
 def _cmd_calibrate(args) -> int:
     from .model.calibrate import calibrate
 
-    dtype, gpu = get_dtype_config(args.dtype), get_gpu(args.gpu)
+    dtype, gpu = get_dtype_config(args.dtype), resolve_gpu(args.gpu)
     blocking = Blocking(*dtype.default_blocking)
     params = calibrate(gpu, blocking, dtype)
     print("gpu=%s dtype=%s blocking=%s" % (gpu.name, dtype.name, blocking))
@@ -322,7 +358,7 @@ def _cmd_trace(args) -> int:
     from .obs.export import trace_to_chrome, write_chrome_trace
     from .schedules.registry import make_decomposition
 
-    dtype, gpu = get_dtype_config(args.dtype), get_gpu(args.gpu)
+    dtype, gpu = get_dtype_config(args.dtype), resolve_gpu(args.gpu)
     problem = GemmProblem(args.m, args.n, args.k, dtype=dtype)
     blocking = Blocking(*dtype.default_blocking)
     grid = TileGrid(problem, blocking)
@@ -365,7 +401,7 @@ def _cmd_faults(args) -> int:
     from .faults import FaultConfig, format_sweep_table, run_fault_sweep
     from .obs.counters import get_counter
 
-    dtype, gpu = get_dtype_config(args.dtype), get_gpu(args.gpu)
+    dtype, gpu = get_dtype_config(args.dtype), resolve_gpu(args.gpu)
     problem = GemmProblem(args.m, args.n, args.k, dtype=dtype)
     try:
         severities = tuple(
@@ -415,12 +451,27 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_crosshw(args) -> int:
+    from .harness.crosshw import format_crosshw_table, run_crosshw
+
+    dtype = get_dtype_config(args.dtype)
+    gpus = [g.strip() for g in args.gpus.split(",") if g.strip()]
+    schedules = [s.strip() for s in args.schedules.split(",") if s.strip()]
+    shapes = generate_corpus(CorpusSpec(size=args.size))
+    result = run_crosshw(gpus, schedules, shapes, dtype, jobs=args.jobs)
+    print(format_crosshw_table(result))
+    print()
+    for name in (spec_name for spec_name in result.winners):
+        print("%-16s winner: %s" % (name, result.winners[name]))
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from .harness.parallel import evaluate_corpus_cached
     from .obs import counters as _counters
     from .obs.export import profile_to_chrome, render_flamegraph, write_chrome_trace
 
-    dtype, gpu = get_dtype_config(args.dtype), get_gpu(args.gpu)
+    dtype, gpu = get_dtype_config(args.dtype), resolve_gpu(args.gpu)
     _profiler.enable_profiling()
     _profiler.reset_profile()
     _counters.reset_counters()
@@ -459,6 +510,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "profile": _cmd_profile,
     "faults": _cmd_faults,
+    "crosshw": _cmd_crosshw,
 }
 
 

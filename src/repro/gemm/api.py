@@ -79,8 +79,10 @@ def gemm(
     surface; transposition is materialized before tiling — the paper's
     decompositions are layout-agnostic at this level).  The precision is
     inferred from the operand dtype unless given; the GPU defaults to the
-    paper's A100.  Returns the validated product plus the simulated
-    kernel measurement::
+    registry default (:func:`repro.gpu.spec.default_gpu`, the paper's
+    A100) and accepts any registered or custom
+    :class:`~repro.gpu.spec.GpuSpec`.  Returns the validated product plus
+    the simulated kernel measurement::
 
         >>> import numpy as np
         >>> from repro.gemm import gemm
@@ -97,7 +99,7 @@ def gemm(
     """
     from ..ensembles.streamk_library import StreamKLibrary  # cycle guard
     from ..gpu.simulate import simulate_kernel
-    from ..gpu.spec import A100
+    from ..gpu.spec import default_gpu
     from .validation import validate_result
 
     if a.ndim != 2 or b.ndim != 2:
@@ -109,7 +111,7 @@ def gemm(
             "inner dimensions disagree: %r @ %r" % (a_op.shape, b_op.shape)
         )
 
-    gpu = gpu if gpu is not None else A100
+    gpu = gpu if gpu is not None else default_gpu()
     cfg = dtype or _infer_dtype(a_op, b_op)
     problem = GemmProblem(
         a_op.shape[0], b_op.shape[1], a_op.shape[1],

@@ -56,7 +56,7 @@ def plan_batched(
     dimensions).
     """
     from ..ensembles.streamk_library import StreamKLibrary
-    from ..gpu.spec import A100
+    from ..gpu.spec import default_gpu
 
     if batch <= 0:
         raise ConfigurationError("batch must be positive")
@@ -66,7 +66,7 @@ def plan_batched(
             "batched stacking needs m (%d) to be a multiple of BLK_M (%d); "
             "pad the item or use per-item launches" % (m, blk_m)
         )
-    gpu = gpu if gpu is not None else A100
+    gpu = gpu if gpu is not None else default_gpu()
     item = GemmProblem(m, n, k, dtype=dtype)
     flattened = GemmProblem(batch * m, n, k, dtype=dtype)
     library = StreamKLibrary(gpu, dtype)
@@ -90,9 +90,9 @@ def execute_batched(
     """
     from ..ensembles.streamk_library import StreamKLibrary
     from ..gpu.simulate import simulate_kernel
-    from ..gpu.spec import A100
+    from ..gpu.spec import default_gpu
 
-    gpu = gpu if gpu is not None else A100
+    gpu = gpu if gpu is not None else default_gpu()
     item = plan.item
     if a.shape != (plan.batch, item.m, item.k):
         raise ConfigurationError(

@@ -2,8 +2,9 @@
 
 The subpackage layers, bottom up:
 
-* :mod:`~repro.gpu.spec` — hardware descriptions (A100 preset, the 4-SM
-  illustration GPU);
+* :mod:`~repro.gpu.spec` — the hardware spec registry (A100/H100/V100/
+  RTX-3090-class presets, the 4-SM illustration GPU, custom devices from
+  JSON; see docs/HARDWARE.md);
 * :mod:`~repro.gpu.cta` / :mod:`~repro.gpu.executor` /
   :mod:`~repro.gpu.trace` — timed CTA tasks, the discrete-event wave
   scheduler with spin-wait flag semantics, and execution traces;
@@ -35,12 +36,30 @@ from .occupancy import (
     smem_bytes_per_cta,
 )
 from .simulate import KernelResult, simulate_kernel
-from .spec import A100, GPU_PRESETS, HYPOTHETICAL_4SM, GpuSpec, get_gpu
+from .spec import (
+    A100,
+    DEFAULT_GPU_NAME,
+    GPU_PRESETS,
+    H100_SXM,
+    HYPOTHETICAL_4SM,
+    RTX3090,
+    V100_SXM2,
+    GpuSpec,
+    available_gpus,
+    default_gpu,
+    get_gpu,
+    register_gpu,
+    resolve_gpu,
+)
 from .trace import CtaRecord, ExecutionTrace, SegmentRecord
 
 __all__ = [
     "A100",
     "AnalyticalMemoryModel",
+    "DEFAULT_GPU_NAME",
+    "H100_SXM",
+    "RTX3090",
+    "V100_SXM2",
     "CacheSimMemoryModel",
     "CacheStats",
     "CtaRecord",
@@ -59,13 +78,17 @@ __all__ = [
     "SetAssociativeCache",
     "TimedSegment",
     "TrafficBreakdown",
+    "available_gpus",
     "basic_streamk_makespan",
     "basic_streamk_makespan_batch",
     "data_parallel_makespan",
+    "default_gpu",
     "estimate_occupancy",
     "execute_tasks",
     "fixed_split_makespan",
     "get_gpu",
+    "register_gpu",
+    "resolve_gpu",
     "max_streamk_grid",
     "one_wave_makespan",
     "persistent_dp_makespan",

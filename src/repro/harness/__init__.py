@@ -15,11 +15,20 @@ Three layers, by scale:
 
 :mod:`~repro.harness.experiments` packages these as one entry point per
 paper artifact (``fig1_...``–``fig9_...``, ``relative_performance_table``);
+:mod:`~repro.harness.crosshw` sweeps the schedule comparison across
+several :class:`~repro.gpu.spec.GpuSpec` points (``repro crosshw``);
 :mod:`~repro.harness.io` writes the JSON/CSV artifacts the benchmarks
 commit.  The harness phases are span-instrumented through
 :mod:`repro.obs` — set ``REPRO_PROFILE=1`` to see where corpus time goes.
 """
 
+from .crosshw import (
+    CROSSHW_SCHEDULES,
+    CrossHwCell,
+    CrossHwResult,
+    format_crosshw_table,
+    run_crosshw,
+)
 from .experiments import (
     FIG8_SCENARIOS,
     corpus_timings,
@@ -52,10 +61,15 @@ from .vectorized import (
 )
 
 __all__ = [
+    "CROSSHW_SCHEDULES",
+    "CrossHwCell",
+    "CrossHwResult",
     "EVAL_ENGINE_VERSION",
     "FIG8_SCENARIOS",
     "MeasuredRun",
     "SystemTimings",
+    "format_crosshw_table",
+    "run_crosshw",
     "corpus_fingerprint",
     "corpus_timings",
     "dp_times",

@@ -1,0 +1,288 @@
+"""Cross-hardware sweep engine: one corpus, many GPUs, one table.
+
+The paper evaluates on a single device (A100, 108 SMs, Section 6), but
+Stream-K's quantization-free utilization is claimed to be *structural* —
+a property of the work-centric decomposition, not of one SM count.  This
+module runs the Figure-7-style schedule comparison across a set of
+:class:`~repro.gpu.spec.GpuSpec` points (registered presets or custom
+JSON devices, see docs/HARDWARE.md) in one sharded/memoized pass per
+device, and reduces each (device, schedule) cell to:
+
+* the geometric-mean kernel time over the corpus (the ranking metric —
+  robust to the corpus's orders-of-magnitude volume spread);
+* the mean **quantization efficiency**: useful MAC-loop iterations
+  divided by occupied iteration slots, the utilization ceiling work
+  placement alone imposes (Figures 1/2 arithmetic, vectorized over the
+  corpus);
+* the slowdown vs the device's winning schedule.
+
+Evaluations go through
+:func:`repro.harness.parallel.evaluate_corpus_cached`, so each device
+costs one vectorized corpus pass (sharded across ``jobs`` workers) and
+repeated sweeps are free.  The sweep is instrumented: ``crosshw`` /
+``crosshw/device`` spans and ``crosshw.devices`` /
+``crosshw.evaluations`` counters (see :mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..gemm.dtypes import DtypeConfig
+from ..gemm.tiling import Blocking
+from ..gpu.spec import GpuSpec, resolve_gpu
+from ..metrics.report import format_table, format_utilization
+from ..obs.counters import inc_counter
+from ..obs.profiler import span
+from .parallel import evaluate_corpus_cached
+from .vectorized import fixed_split_times
+
+__all__ = [
+    "CROSSHW_SCHEDULES",
+    "CrossHwCell",
+    "CrossHwResult",
+    "run_crosshw",
+    "format_crosshw_table",
+    "quantization_efficiency_corpus",
+]
+
+#: Schedule families the sweep can compare.  ``data_parallel``,
+#: ``stream_k``, ``cublas`` and ``oracle`` fall out of the standard
+#: four-system corpus evaluation; ``fixed_split`` adds the s=2 splitting
+#: kernel of the same blocking.  The ensemble rows (``cublas``/``oracle``)
+#: mix decompositions per problem, so they report no single quantization
+#: efficiency.
+CROSSHW_SCHEDULES = (
+    "data_parallel",
+    "fixed_split",
+    "stream_k",
+    "cublas",
+    "oracle",
+)
+
+_DEFAULT_FIXED_SPLIT_S = 2
+
+
+def _ceil_div(a, b):
+    return -(-a // b)
+
+
+def quantization_efficiency_corpus(
+    shapes: np.ndarray, schedule: str, dtype: DtypeConfig, gpu: GpuSpec
+) -> "np.ndarray | None":
+    """Per-problem quantization efficiency for one schedule family.
+
+    Vectorized twin of
+    :func:`repro.metrics.efficiency.quantization_efficiency` for the
+    canonical launch configurations: data-parallel launches one CTA per
+    tile, fixed-split ``s_eff`` CTAs per tile, and Stream-K
+    ``min(p, total_iters)`` CTAs over the iteration space (so its
+    per-slot spread is at most one iteration — the structural claim).
+    Returns ``None`` for the ensemble rows, which mix decompositions.
+    """
+    shapes = np.asarray(shapes, dtype=np.int64)
+    blocking = Blocking(*dtype.default_blocking)
+    m, n, k = shapes[:, 0], shapes[:, 1], shapes[:, 2]
+    t = _ceil_div(m, blocking.blk_m) * _ceil_div(n, blocking.blk_n)
+    ipt = _ceil_div(k, blocking.blk_k)
+    total = (t * ipt).astype(np.float64)
+    p = gpu.num_sms
+    if schedule == "data_parallel":
+        # t tile-sized CTAs, list-scheduled on p slots: ceil(t/p) waves.
+        return total / (p * _ceil_div(t, p) * ipt)
+    if schedule == "fixed_split":
+        s_eff = np.minimum(_DEFAULT_FIXED_SPLIT_S, ipt)
+        share = _ceil_div(ipt, s_eff)
+        return total / (p * _ceil_div(t * s_eff, p) * share)
+    if schedule == "stream_k":
+        # g = min(p, total) CTAs splitting the iteration space evenly:
+        # the longest CTA owns ceil(total/g) iterations, one wave.
+        g = np.minimum(p, t * ipt)
+        return total / (p * _ceil_div(t * ipt, g))
+    if schedule in ("cublas", "oracle"):
+        return None
+    raise ConfigurationError(
+        "unknown schedule %r; cross-hardware sweep supports: %s"
+        % (schedule, ", ".join(CROSSHW_SCHEDULES))
+    )
+
+
+@dataclass(frozen=True)
+class CrossHwCell:
+    """One (device, schedule) cell of the sweep."""
+
+    gpu_name: str
+    schedule: str
+    geomean_time_s: float
+    mean_time_s: float
+    #: Mean quantization efficiency in [0, 1], or None for ensembles.
+    mean_quant_eff: "float | None"
+    #: geomean time / device winner's geomean time (1.0 for the winner).
+    vs_winner: float = float("nan")
+
+
+@dataclass
+class CrossHwResult:
+    """Full sweep: per-device cells + per-device winner."""
+
+    dtype_name: str
+    corpus_size: int
+    cells: "list[CrossHwCell]" = field(default_factory=list)
+    #: gpu name -> winning schedule (lowest geomean corpus time).
+    winners: "dict[str, str]" = field(default_factory=dict)
+    #: gpu name -> SM count (for the report header).
+    num_sms: "dict[str, int]" = field(default_factory=dict)
+
+    def cell(self, gpu_name: str, schedule: str) -> CrossHwCell:
+        for c in self.cells:
+            if c.gpu_name == gpu_name and c.schedule == schedule:
+                return c
+        raise KeyError((gpu_name, schedule))
+
+
+def _schedule_times(
+    schedule: str,
+    res,
+    shapes: np.ndarray,
+    dtype: DtypeConfig,
+    gpu: GpuSpec,
+) -> np.ndarray:
+    if schedule == "data_parallel":
+        return res.singleton
+    if schedule == "stream_k":
+        return res.streamk
+    if schedule == "cublas":
+        return res.cublas
+    if schedule == "oracle":
+        return res.oracle
+    if schedule == "fixed_split":
+        return fixed_split_times(
+            shapes,
+            Blocking(*dtype.default_blocking),
+            _DEFAULT_FIXED_SPLIT_S,
+            dtype,
+            gpu,
+        )
+    raise ConfigurationError(
+        "unknown schedule %r; cross-hardware sweep supports: %s"
+        % (schedule, ", ".join(CROSSHW_SCHEDULES))
+    )
+
+
+def run_crosshw(
+    gpus: "list[str | GpuSpec]",
+    schedules: "list[str]",
+    shapes: np.ndarray,
+    dtype: DtypeConfig,
+    jobs: "int | None" = None,
+) -> CrossHwResult:
+    """Sweep ``schedules`` x ``gpus`` over one corpus.
+
+    ``gpus`` entries are anything :func:`repro.gpu.spec.resolve_gpu`
+    accepts — preset names, spec-JSON paths, or :class:`GpuSpec`
+    instances.  Each device costs one memoized corpus evaluation
+    (sharded across ``jobs`` workers); unknown schedule names and
+    precisions a device does not support raise
+    :class:`~repro.errors.ConfigurationError` up front.
+    """
+    if not gpus:
+        raise ConfigurationError("need at least one GPU to sweep")
+    if not schedules:
+        raise ConfigurationError("need at least one schedule to compare")
+    for s in schedules:
+        if s not in CROSSHW_SCHEDULES:
+            raise ConfigurationError(
+                "unknown schedule %r; cross-hardware sweep supports: %s"
+                % (s, ", ".join(CROSSHW_SCHEDULES))
+            )
+    specs = [resolve_gpu(g) for g in gpus]
+    seen: "set[str]" = set()
+    for spec in specs:
+        if spec.name in seen:
+            raise ConfigurationError(
+                "device %r listed twice in the sweep" % spec.name
+            )
+        seen.add(spec.name)
+        if not spec.supports_dtype(dtype):
+            raise ConfigurationError(
+                "device %r has no %s rate (supported: %s)"
+                % (
+                    spec.name,
+                    dtype.name,
+                    ", ".join(sorted(spec.macs_per_sm_per_cycle)),
+                )
+            )
+
+    shapes = np.asarray(shapes, dtype=np.int64)
+    out = CrossHwResult(dtype_name=dtype.name, corpus_size=shapes.shape[0])
+    with span("crosshw"):
+        for spec in specs:
+            with span("device"):
+                inc_counter("crosshw.devices")
+                res = evaluate_corpus_cached(shapes, dtype, spec, jobs=jobs)
+                inc_counter("crosshw.evaluations")
+                device_cells = []
+                for sched in schedules:
+                    times = _schedule_times(sched, res, shapes, dtype, spec)
+                    qe = quantization_efficiency_corpus(
+                        shapes, sched, dtype, spec
+                    )
+                    device_cells.append(
+                        CrossHwCell(
+                            gpu_name=spec.name,
+                            schedule=sched,
+                            geomean_time_s=float(
+                                np.exp(np.mean(np.log(times)))
+                            ),
+                            mean_time_s=float(np.mean(times)),
+                            mean_quant_eff=(
+                                float(np.mean(qe)) if qe is not None else None
+                            ),
+                        )
+                    )
+                best = min(device_cells, key=lambda c: c.geomean_time_s)
+                out.winners[spec.name] = best.schedule
+                out.num_sms[spec.name] = spec.num_sms
+                for c in device_cells:
+                    out.cells.append(
+                        CrossHwCell(
+                            gpu_name=c.gpu_name,
+                            schedule=c.schedule,
+                            geomean_time_s=c.geomean_time_s,
+                            mean_time_s=c.mean_time_s,
+                            mean_quant_eff=c.mean_quant_eff,
+                            vs_winner=c.geomean_time_s / best.geomean_time_s,
+                        )
+                    )
+    return out
+
+
+def format_crosshw_table(result: CrossHwResult) -> str:
+    """Render the sweep as the per-device winner/efficiency table."""
+    headers = [
+        "device", "SMs", "schedule", "geomean us", "quant eff", "vs winner",
+    ]
+    rows = []
+    for c in result.cells:
+        marker = "  <-- winner" if result.winners[c.gpu_name] == c.schedule else ""
+        rows.append(
+            [
+                c.gpu_name,
+                str(result.num_sms[c.gpu_name]),
+                c.schedule,
+                "%.2f" % (c.geomean_time_s * 1e6),
+                format_utilization(c.mean_quant_eff)
+                if c.mean_quant_eff is not None
+                else "-",
+                "%.2fx%s" % (c.vs_winner, marker),
+            ]
+        )
+    return format_table(
+        headers,
+        rows,
+        title="cross-hardware sweep: %d-shape %s corpus"
+        % (result.corpus_size, result.dtype_name),
+    )

@@ -18,7 +18,7 @@ from ..corpus.generator import PAPER_CORPUS, CorpusSpec, generate_corpus
 from ..gemm.dtypes import FP16_FP32, FP64, DtypeConfig
 from ..gemm.problem import GemmProblem
 from ..gemm.tiling import Blocking, TileGrid
-from ..gpu.spec import A100, HYPOTHETICAL_4SM, GpuSpec
+from ..gpu.spec import HYPOTHETICAL_4SM, GpuSpec, default_gpu
 from ..metrics.roofline import band_width, roofline_points, roofline_summary
 from ..metrics.stats import RelativePerformance, relative_performance, slowdown_fraction
 from ..model.calibrate import calibrate
@@ -53,10 +53,16 @@ _ILLUSTRATION_BLOCKING_HALF = Blocking(128, 64, 4)
 
 def corpus_timings(
     dtype: DtypeConfig,
-    gpu: GpuSpec = A100,
+    gpu: "GpuSpec | None" = None,
     spec: CorpusSpec = PAPER_CORPUS,
 ) -> "tuple[np.ndarray, SystemTimings]":
     """(shapes, per-system times) for a corpus.
+
+    ``gpu=None`` resolves to the registry default
+    (:func:`repro.gpu.spec.default_gpu`, the paper's A100 testbed); pass
+    any registered preset or a custom
+    :meth:`~repro.gpu.spec.GpuSpec.from_json` device to sweep other
+    hardware.
 
     Served through the content-keyed evaluation memo
     (:func:`repro.harness.parallel.evaluate_corpus_cached`), so Table 1,
@@ -65,6 +71,7 @@ def corpus_timings(
     first (cold) evaluation across worker processes, and
     ``REPRO_EVAL_CACHE_DIR`` to persist evaluations across processes.
     """
+    gpu = gpu if gpu is not None else default_gpu()
     with span("generate_corpus"):
         shapes = generate_corpus(spec)
     jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
@@ -212,7 +219,7 @@ def fig4_corpus_statistics(spec: CorpusSpec = PAPER_CORPUS) -> "dict":
 
 def roofline_landscapes(
     dtype: DtypeConfig,
-    gpu: GpuSpec = A100,
+    gpu: "GpuSpec | None" = None,
     spec: CorpusSpec = PAPER_CORPUS,
     num_bins: int = 12,
 ) -> "dict":
@@ -222,6 +229,7 @@ def roofline_landscapes(
     width; the paper's claim is streamk < oracle < cublas <= singleton in
     spread.
     """
+    gpu = gpu if gpu is not None else default_gpu()
     shapes, res = corpus_timings(dtype, gpu, spec)
     out = {}
     for system, times in (
@@ -241,7 +249,7 @@ def roofline_landscapes(
 
 def relative_performance_table(
     dtype: DtypeConfig,
-    gpu: GpuSpec = A100,
+    gpu: "GpuSpec | None" = None,
     spec: CorpusSpec = PAPER_CORPUS,
 ) -> "dict[str, RelativePerformance]":
     """Tables 1 and 2: Stream-K relative performance columns.
@@ -267,7 +275,7 @@ def relative_performance_table(
 
 def fig7_speedup_vs_cublas(
     dtype: DtypeConfig,
-    gpu: GpuSpec = A100,
+    gpu: "GpuSpec | None" = None,
     spec: CorpusSpec = PAPER_CORPUS,
 ) -> "dict":
     """Figure 7: Stream-K speedup vs the cuBLAS-like ensemble, overall and
@@ -308,9 +316,10 @@ FIG8_SCENARIOS = (
 )
 
 
-def fig8_analytical_model(gpu: GpuSpec = A100) -> "dict":
+def fig8_analytical_model(gpu: "GpuSpec | None" = None) -> "dict":
     """Figure 8: modeled runtime vs grid size for the three strong-scaling
     scenarios, plus the selected optimum vs the paper's."""
+    gpu = gpu if gpu is not None else default_gpu()
     blocking = Blocking(128, 128, 32)
     params = calibrate(gpu, blocking, FP16_FP32)
     out = {"params": {"a": params.a, "b": params.b, "c": params.c, "d": params.d}}

@@ -15,7 +15,14 @@ from repro.obs.export import validate_chrome_trace
 
 REPO = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
 
-DOCS = ["README.md", "EXPERIMENTS.md", "DESIGN.md", os.path.join("docs", "TRACING.md")]
+DOCS = [
+    "README.md",
+    "EXPERIMENTS.md",
+    "DESIGN.md",
+    os.path.join("docs", "TRACING.md"),
+    os.path.join("docs", "FAULTS.md"),
+    os.path.join("docs", "HARDWARE.md"),
+]
 
 # Repo paths the prose references in backticks (not markdown links).
 _BACKTICK_PATH = re.compile(
@@ -56,8 +63,19 @@ class TestRelativeLinks:
 class TestCommittedTrace:
     TRACE = os.path.join(REPO, "docs", "traces", "fig2_stream_k_g4.json")
 
-    def test_exists_and_validates(self):
-        with open(self.TRACE) as fh:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "fig2_stream_k_g4.json",
+            "stream_k_h100_sxm.json",
+            "stream_k_v100_sxm2.json",
+            "stream_k_rtx3090.json",
+        ],
+    )
+    def test_exists_and_validates(self, name):
+        # Freshness (committed == regenerated) is pinned per preset in
+        # tests/gpu/test_golden_traces.py; the docs job checks schema.
+        with open(os.path.join(REPO, "docs", "traces", name)) as fh:
             doc = json.load(fh)
         validate_chrome_trace(doc)
 

@@ -15,7 +15,10 @@ from repro.errors import ConfigurationError
 from repro.gemm import FP16_FP32, FP64, Blocking, GemmProblem, TileGrid
 from repro.gpu import (
     A100,
+    H100_SXM,
     HYPOTHETICAL_4SM,
+    RTX3090,
+    V100_SXM2,
     Executor,
     KernelCostModel,
     basic_streamk_makespan,
@@ -104,6 +107,70 @@ class TestBatchEqualsScalar:
         for chunk in (1, 13, 130, 131, 4096):
             got = basic_streamk_makespan_batch(t, g, ipt, cost_4sm, row_chunk=chunk)
             np.testing.assert_array_equal(got, ref)
+
+
+class TestBatchEqualsScalarCrossHardware:
+    """PR-1 proved batch == scalar == executor on A100/4-SM shapes only;
+    the multi-backend registry makes the same identity a per-spec
+    obligation: distinct SM counts, rate tables, and occupancy (RTX3090's
+    two CTAs per SM) must not perturb the closed forms."""
+
+    SPECS = [H100_SXM, V100_SXM2, RTX3090]
+
+    @pytest.mark.parametrize("gpu", SPECS, ids=lambda g: g.name)
+    def test_random_batch_matches_scalar(self, gpu):
+        cost = KernelCostModel(
+            gpu=gpu, blocking=Blocking(128, 128, 32), dtype=FP16_FP32
+        )
+        rng = np.random.default_rng(0xC0FFEE)
+        t = rng.integers(1, 64, size=300)
+        ipt = rng.integers(1, 48, size=300)
+        g = rng.integers(1, gpu.num_sms + 1, size=300)
+        batch = basic_streamk_makespan_batch(t, g, ipt, cost)
+        for i in range(t.shape[0]):
+            scalar = basic_streamk_makespan(
+                int(t[i]), int(g[i]), int(ipt[i]), cost
+            )
+            assert batch[i] == pytest.approx(scalar, rel=1e-12), (
+                "%s: t=%d g=%d ipt=%d" % (gpu.name, t[i], g[i], ipt[i])
+            )
+
+    @pytest.mark.parametrize("gpu", SPECS, ids=lambda g: g.name)
+    @settings(max_examples=25, deadline=None)
+    @given(
+        tiles_m=st.integers(1, 6),
+        tiles_n=st.integers(1, 6),
+        ipt=st.integers(1, 16),
+        g_frac=st.floats(0.01, 1.0),
+    )
+    def test_matches_executor(self, gpu, tiles_m, tiles_n, ipt, g_frac):
+        """Closed form == discrete-event executor on every new preset,
+        including grid sizes scaled to each device's own SM count."""
+        cost = KernelCostModel(
+            gpu=gpu, blocking=Blocking(16, 16, 8), dtype=FP16_FP32
+        )
+        grid = grid_of(tiles_m, tiles_n, ipt, dtype=FP16_FP32)
+        g = max(1, min(int(g_frac * gpu.num_sms), grid.total_iters))
+        ev = executor_makespan(stream_k_schedule(grid, g), gpu, cost)
+        batch = basic_streamk_makespan_batch(
+            np.array([grid.num_tiles]), np.array([g]), np.array([ipt]), cost
+        )
+        assert batch[0] == pytest.approx(ev, rel=1e-9)
+
+    def test_specs_disagree_with_each_other(self):
+        """Sanity: the cross-hardware fixtures are not vacuous — distinct
+        rate tables produce distinct makespans for the same workload."""
+        t = np.array([50]); g = np.array([40]); ipt = np.array([8])
+        spans = {
+            gpu.name: basic_streamk_makespan_batch(
+                t, g, ipt,
+                KernelCostModel(
+                    gpu=gpu, blocking=Blocking(128, 128, 32), dtype=FP16_FP32
+                ),
+            )[0]
+            for gpu in (A100, H100_SXM, V100_SXM2)
+        }
+        assert len(set(spans.values())) == len(spans)
 
 
 class TestValidation:

@@ -1,0 +1,98 @@
+"""Golden-trace regression tests for the non-A100 presets.
+
+Each new hardware preset ships a committed reduced-scale canonical
+Stream-K trace under ``docs/traces/`` (like ``fig2_stream_k_g4.json``).
+These tests regenerate each trace in-process with the same canonical
+knobs the ``repro trace`` CLI uses and require the export to match the
+committed file event-for-event — so an edit to a preset's spec (SM
+count, rates, occupancy) or to the cost model cannot silently shift the
+schedules the registry promises.  If a change is intentional, regenerate
+with::
+
+    python -m repro trace 640 640 256 --gpu <preset> --schedule stream_k \
+        --out docs/traces/stream_k_<preset>.json
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.gemm.dtypes import get_dtype_config
+from repro.gemm.problem import GemmProblem
+from repro.gemm.tiling import Blocking, TileGrid
+from repro.gpu.spec import get_gpu
+from repro.harness.runner import run_schedule
+from repro.obs.export import trace_to_chrome, validate_chrome_trace
+from repro.schedules.registry import make_decomposition
+
+TRACES_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "..", "docs", "traces"
+)
+
+#: (preset, m, n, k) — the committed canonical Stream-K trace per preset.
+GOLDEN = [
+    ("h100_sxm", 640, 640, 256),
+    ("v100_sxm2", 640, 640, 256),
+    ("rtx3090", 640, 640, 256),
+]
+
+
+def _fresh_trace(preset: str, m: int, n: int, k: int):
+    gpu = get_gpu(preset)
+    dtype = get_dtype_config("fp16_fp32")
+    grid = TileGrid(GemmProblem(m, n, k, dtype=dtype), Blocking(*dtype.default_blocking))
+    g = max(1, min(gpu.num_sms, grid.total_iters))
+    schedule = make_decomposition("stream_k", g=g).build(grid)
+    run = run_schedule(schedule, gpu, execute_numeric=False)
+    return gpu, run.result.trace
+
+
+class TestPresetGoldenTraces:
+    @pytest.mark.parametrize("preset,m,n,k", GOLDEN)
+    def test_committed_trace_is_fresh(self, preset, m, n, k):
+        path = os.path.join(TRACES_DIR, "stream_k_%s.json" % preset)
+        with open(path) as fh:
+            committed = json.load(fh)
+        validate_chrome_trace(committed)
+        gpu, trace = _fresh_trace(preset, m, n, k)
+        fresh = trace_to_chrome(
+            trace,
+            name="stream_k %dx%dx%d fp16_fp32 on %s" % (m, n, k, preset),
+            clock_hz=gpu.clock_hz,
+        )
+        assert committed["traceEvents"] == fresh["traceEvents"], (
+            "docs/traces/stream_k_%s.json is stale — the %s preset or the "
+            "cost model changed; regenerate it if the change is intended "
+            "(see this module's docstring)" % (preset, preset)
+        )
+
+    @pytest.mark.parametrize("preset,m,n,k", GOLDEN)
+    def test_trace_reflects_preset_geometry(self, preset, m, n, k):
+        # The golden traces are per-device distinct: CTA count follows the
+        # preset's SM count (g = min(num_sms, total_iters)) and the track
+        # count its total CTA slots.
+        path = os.path.join(TRACES_DIR, "stream_k_%s.json" % preset)
+        with open(path) as fh:
+            committed = json.load(fh)
+        gpu = get_gpu(preset)
+        grid = TileGrid(
+            GemmProblem(m, n, k, dtype=get_dtype_config("fp16_fp32")),
+            Blocking(128, 128, 32),
+        )
+        expected_g = min(gpu.num_sms, grid.total_iters)
+        ctas = {
+            e["args"]["cta"]
+            for e in committed["traceEvents"]
+            if e.get("ph") == "X" and "cta" in e.get("args", {})
+        }
+        assert len(ctas) == expected_g
+
+    def test_goldens_are_pairwise_distinct(self):
+        docs = []
+        for preset, _, _, _ in GOLDEN:
+            path = os.path.join(TRACES_DIR, "stream_k_%s.json" % preset)
+            with open(path) as fh:
+                docs.append(json.load(fh)["traceEvents"])
+        assert docs[0] != docs[1] != docs[2]
+        assert docs[0] != docs[2]

@@ -1,11 +1,30 @@
-"""GpuSpec tests: the paper's hardware numbers must fall out exactly."""
+"""GpuSpec tests: the paper's hardware numbers must fall out exactly,
+and the multi-backend registry (presets, JSON round trip, resolve_gpu)
+must validate everything it accepts."""
+
+import json
+import os
 
 import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.gemm import FP16_FP32, FP32, FP64
-from repro.gpu import A100, GPU_PRESETS, HYPOTHETICAL_4SM, GpuSpec, get_gpu
+from repro.gemm import BF16_FP32, FP16_FP32, FP32, FP64
+from repro.gpu import (
+    A100,
+    DEFAULT_GPU_NAME,
+    GPU_PRESETS,
+    H100_SXM,
+    HYPOTHETICAL_4SM,
+    RTX3090,
+    V100_SXM2,
+    GpuSpec,
+    available_gpus,
+    default_gpu,
+    get_gpu,
+    register_gpu,
+    resolve_gpu,
+)
 
 
 class TestA100MatchesPaper:
@@ -58,12 +77,28 @@ class TestDerivedQuantities:
 
 class TestPresetsAndErrors:
     def test_presets_registered(self):
-        assert set(GPU_PRESETS) == {"a100", "hypothetical_4sm"}
+        assert {
+            "a100", "h100_sxm", "v100_sxm2", "rtx3090", "hypothetical_4sm"
+        } <= set(GPU_PRESETS)
         assert get_gpu("a100") is A100
+        assert get_gpu("h100_sxm") is H100_SXM
+        assert get_gpu("v100_sxm2") is V100_SXM2
+        assert get_gpu("rtx3090") is RTX3090
 
-    def test_unknown_preset(self):
+    def test_unknown_preset_lists_available(self):
+        with pytest.raises(ConfigurationError) as exc:
+            get_gpu("tpu_v5")
+        msg = str(exc.value)
+        for name in available_gpus():
+            assert name in msg, "error must list preset %r" % name
+
+    def test_non_string_name_rejected(self):
         with pytest.raises(ConfigurationError):
-            get_gpu("h100")
+            get_gpu(None)
+
+    def test_default_gpu_is_the_paper_testbed(self):
+        assert DEFAULT_GPU_NAME == "a100"
+        assert default_gpu() is A100
 
     def test_4sm_gpu_has_4_sms(self):
         assert HYPOTHETICAL_4SM.num_sms == 4
@@ -103,3 +138,204 @@ class TestPresetsAndErrors:
         kwargs[field] = value
         with pytest.raises(ConfigurationError):
             GpuSpec(**kwargs)
+
+
+class TestNewPresets:
+    """The multi-backend presets: non-108 SM counts, distinct rate tables,
+    uneven occupancy — the structural variety the cross-hardware sweeps
+    rely on."""
+
+    def test_sm_counts_are_all_distinct_and_non_108(self):
+        counts = {g.num_sms for g in (H100_SXM, V100_SXM2, RTX3090)}
+        assert counts == {132, 80, 82}
+        assert 108 not in counts
+
+    def test_h100_doubles_a100_tensor_rates(self):
+        assert H100_SXM.mac_rate(FP64) == 2 * A100.mac_rate(FP64)
+        assert H100_SXM.mac_rate(FP16_FP32) == 2 * A100.mac_rate(FP16_FP32)
+        assert H100_SXM.peak_tflops(FP16_FP32) > A100.peak_tflops(FP16_FP32)
+        assert H100_SXM.dram_bandwidth > A100.dram_bandwidth
+
+    def test_v100_has_no_bf16_path(self):
+        assert not V100_SXM2.supports_dtype(BF16_FP32)
+        with pytest.raises(ConfigurationError, match="bf16_fp32"):
+            V100_SXM2.mac_rate(BF16_FP32)
+        assert V100_SXM2.mac_rate(FP16_FP32) == 512.0
+        assert V100_SXM2.mac_rate(FP64) == 32.0
+
+    def test_rtx3090_consumer_ratios(self):
+        # FP64 crippled to 1:64 of FP32; FP16->FP32-accum halved vs pro parts.
+        assert RTX3090.mac_rate(FP64) == 2.0
+        assert RTX3090.mac_rate(FP32) == 64 * RTX3090.mac_rate(FP64)
+        assert RTX3090.mac_rate(FP16_FP32) == 256.0
+
+    def test_rtx3090_uneven_occupancy(self):
+        assert RTX3090.occupancy == 2
+        assert RTX3090.total_cta_slots == 164
+
+    def test_every_preset_supports_the_paper_precisions(self):
+        for gpu in GPU_PRESETS.values():
+            assert gpu.supports_dtype(FP64), gpu.name
+            assert gpu.supports_dtype(FP16_FP32), gpu.name
+            assert gpu.peak_tflops(FP64) > 0
+            assert gpu.peak_tflops(FP16_FP32) > gpu.peak_tflops(FP64)
+
+    def test_every_preset_bandwidth_exceeds_per_sm_limit(self):
+        for gpu in GPU_PRESETS.values():
+            assert gpu.dram_bandwidth > gpu.sm_max_bandwidth, gpu.name
+
+
+class TestJsonRoundTrip:
+    def test_every_preset_round_trips_exactly(self):
+        for gpu in GPU_PRESETS.values():
+            clone = GpuSpec.from_json(gpu.to_json())
+            assert clone == gpu, gpu.name
+
+    def test_from_json_accepts_dict(self):
+        doc = json.loads(RTX3090.to_json())
+        assert GpuSpec.from_json(doc) == RTX3090
+
+    def test_optional_keys_default(self):
+        spec = GpuSpec.from_json(
+            {
+                "name": "mini",
+                "num_sms": 8,
+                "clock_hz": 1e9,
+                "macs_per_sm_per_cycle": {"fp64": 4.0},
+                "dram_bandwidth": 1e11,
+                "l2_bytes": 1 << 20,
+            }
+        )
+        assert spec.occupancy == 1
+        assert spec.l2_line_bytes == 128
+        assert spec.sm_max_bandwidth == 30.0e9
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "custom.json"
+        path.write_text(H100_SXM.to_json())
+        assert GpuSpec.from_json_file(str(path)) == H100_SXM
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            GpuSpec.from_json_file(str(tmp_path / "absent.json"))
+
+
+class TestFromJsonValidation:
+    BASE = {
+        "name": "custom",
+        "num_sms": 8,
+        "clock_hz": 1e9,
+        "macs_per_sm_per_cycle": {"fp64": 4.0},
+        "dram_bandwidth": 1e11,
+        "l2_bytes": 1 << 20,
+    }
+
+    def _doc(self, **overrides):
+        doc = dict(self.BASE)
+        doc.update(overrides)
+        return doc
+
+    def test_unparsable_json(self):
+        with pytest.raises(ConfigurationError, match="does not parse"):
+            GpuSpec.from_json("{not json")
+
+    def test_non_object_json(self):
+        with pytest.raises(ConfigurationError, match="must be an object"):
+            GpuSpec.from_json("[1, 2]")
+
+    def test_missing_required_key(self):
+        doc = self._doc()
+        del doc["num_sms"]
+        with pytest.raises(ConfigurationError, match="num_sms"):
+            GpuSpec.from_json(doc)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="warp_size"):
+            GpuSpec.from_json(self._doc(warp_size=32))
+
+    def test_non_positive_sm_count(self):
+        with pytest.raises(ConfigurationError):
+            GpuSpec.from_json(self._doc(num_sms=0))
+        with pytest.raises(ConfigurationError):
+            GpuSpec.from_json(self._doc(num_sms=-4))
+
+    def test_empty_rate_table(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            GpuSpec.from_json(self._doc(macs_per_sm_per_cycle={}))
+
+    def test_non_positive_rate(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            GpuSpec.from_json(
+                self._doc(macs_per_sm_per_cycle={"fp64": 0.0})
+            )
+
+    def test_bandwidth_must_exceed_per_sm_bandwidth(self):
+        with pytest.raises(ConfigurationError, match="sm_max_bandwidth"):
+            GpuSpec.from_json(
+                self._doc(dram_bandwidth=1e9, sm_max_bandwidth=30e9)
+            )
+
+    def test_mistyped_field(self):
+        with pytest.raises(ConfigurationError, match="mistyped"):
+            GpuSpec.from_json(self._doc(clock_hz="fast"))
+
+    def test_empty_name(self):
+        with pytest.raises(ConfigurationError, match="name"):
+            GpuSpec.from_json(self._doc(name=""))
+
+
+class TestResolveAndRegister:
+    def test_resolve_preset_name(self):
+        assert resolve_gpu("rtx3090") is RTX3090
+
+    def test_resolve_passthrough(self):
+        assert resolve_gpu(A100) is A100
+
+    def test_resolve_json_path(self, tmp_path):
+        path = tmp_path / "dev.json"
+        path.write_text(V100_SXM2.to_json())
+        assert resolve_gpu(str(path)) == V100_SXM2
+
+    def test_resolve_unknown_name_lists_presets(self):
+        with pytest.raises(ConfigurationError, match="available presets"):
+            resolve_gpu("no_such_gpu")
+
+    def test_resolve_bad_json_path_propagates_validation(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x"}')
+        with pytest.raises(ConfigurationError, match="missing required"):
+            resolve_gpu(str(path))
+
+    def test_resolve_non_string(self):
+        with pytest.raises(ConfigurationError):
+            resolve_gpu(42)
+
+    def test_register_and_lookup(self):
+        spec = GpuSpec.from_json(
+            {
+                "name": "test_register_tmp",
+                "num_sms": 6,
+                "clock_hz": 1e9,
+                "macs_per_sm_per_cycle": {"fp64": 8.0},
+                "dram_bandwidth": 2e11,
+                "l2_bytes": 1 << 21,
+            }
+        )
+        try:
+            register_gpu(spec)
+            assert get_gpu("test_register_tmp") is spec
+            assert resolve_gpu("test_register_tmp") is spec
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_gpu(spec)
+            register_gpu(spec, overwrite=True)  # explicit replace is allowed
+        finally:
+            GPU_PRESETS.pop("test_register_tmp", None)
+
+    def test_register_rejects_non_spec(self):
+        with pytest.raises(ConfigurationError):
+            register_gpu({"name": "dict"})
+
+    def test_with_sms_preserves_sm_max_bandwidth(self):
+        narrow = V100_SXM2.with_sms(8)
+        assert narrow.sm_max_bandwidth == V100_SXM2.sm_max_bandwidth
+        assert narrow.occupancy == V100_SXM2.occupancy

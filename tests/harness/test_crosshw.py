@@ -1,0 +1,209 @@
+"""Cross-hardware sweep engine tests (harness/crosshw.py).
+
+Covers: sweep structure (one cell per device x schedule, winner per
+device), the vectorized quantization-efficiency formulas against the
+scalar Figure-1/2 oracle in :mod:`repro.metrics.efficiency`, validation
+errors (unknown schedule, duplicate device, unsupported precision), the
+table rendering, custom spec-JSON devices, and the obs counters.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.corpus.generator import CorpusSpec, generate_corpus
+from repro.errors import ConfigurationError
+from repro.gemm.dtypes import get_dtype_config
+from repro.gemm.problem import GemmProblem
+from repro.gemm.tiling import Blocking, TileGrid
+from repro.gpu.spec import A100, H100_SXM, HYPOTHETICAL_4SM, RTX3090, V100_SXM2
+from repro.harness.crosshw import (
+    CROSSHW_SCHEDULES,
+    format_crosshw_table,
+    quantization_efficiency_corpus,
+    run_crosshw,
+)
+from repro.harness.parallel import clear_eval_memo
+from repro.metrics.efficiency import quantization_efficiency
+from repro.obs.counters import get_counter, reset_counters
+from repro.schedules.data_parallel import data_parallel_schedule
+from repro.schedules.stream_k import stream_k_schedule
+
+FP16 = get_dtype_config("fp16_fp32")
+
+
+@pytest.fixture(scope="module")
+def shapes():
+    return generate_corpus(CorpusSpec(size=120))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_eval_memo()
+    yield
+    clear_eval_memo()
+
+
+class TestSweepStructure:
+    def test_one_cell_per_device_schedule(self, shapes):
+        res = run_crosshw(
+            ["a100", "rtx3090"], ["data_parallel", "stream_k"], shapes, FP16
+        )
+        assert len(res.cells) == 4
+        assert set(res.winners) == {"a100", "rtx3090"}
+        assert res.num_sms == {"a100": 108, "rtx3090": 82}
+        assert res.corpus_size == shapes.shape[0]
+
+    def test_accepts_spec_instances(self, shapes):
+        res = run_crosshw([A100, H100_SXM], ["stream_k"], shapes, FP16)
+        assert {c.gpu_name for c in res.cells} == {"a100", "h100_sxm"}
+
+    def test_winner_has_lowest_geomean(self, shapes):
+        res = run_crosshw(
+            ["a100", "h100_sxm"],
+            ["data_parallel", "fixed_split", "stream_k"],
+            shapes,
+            FP16,
+        )
+        for name, winner in res.winners.items():
+            device_cells = [c for c in res.cells if c.gpu_name == name]
+            best = min(device_cells, key=lambda c: c.geomean_time_s)
+            assert best.schedule == winner
+            assert best.vs_winner == 1.0
+            for c in device_cells:
+                assert c.vs_winner >= 1.0
+                assert math.isfinite(c.geomean_time_s)
+                assert c.geomean_time_s > 0.0
+
+    def test_streamk_quant_eff_beats_dp_on_every_device(self, shapes):
+        # The structural claim: quantization-free utilization holds for
+        # any (SM count, rate) point, not just the paper's 108-SM A100.
+        res = run_crosshw(
+            ["a100", "h100_sxm", "v100_sxm2", "rtx3090"],
+            ["data_parallel", "stream_k"],
+            shapes,
+            FP16,
+        )
+        for name in res.winners:
+            dp = res.cell(name, "data_parallel")
+            sk = res.cell(name, "stream_k")
+            assert sk.mean_quant_eff > dp.mean_quant_eff
+            assert sk.mean_quant_eff > 0.9
+
+    def test_ensemble_rows_have_no_quant_eff(self, shapes):
+        res = run_crosshw(["a100"], ["cublas", "oracle"], shapes, FP16)
+        assert all(c.mean_quant_eff is None for c in res.cells)
+
+    def test_custom_json_device(self, shapes, tmp_path):
+        path = tmp_path / "mygpu.json"
+        path.write_text(HYPOTHETICAL_4SM.to_json())
+        res = run_crosshw([str(path)], ["stream_k"], shapes, FP16)
+        assert res.cells[0].gpu_name == "hypothetical_4sm"
+        assert res.num_sms["hypothetical_4sm"] == 4
+
+    def test_counters(self, shapes):
+        reset_counters()
+        run_crosshw(["a100", "rtx3090"], ["stream_k"], shapes, FP16)
+        assert get_counter("crosshw.devices") == 2
+        assert get_counter("crosshw.evaluations") == 2
+
+
+class TestValidation:
+    def test_unknown_schedule_lists_supported(self, shapes):
+        with pytest.raises(ConfigurationError, match="fixed_split"):
+            run_crosshw(["a100"], ["bogus"], shapes, FP16)
+
+    def test_empty_gpus(self, shapes):
+        with pytest.raises(ConfigurationError, match="at least one GPU"):
+            run_crosshw([], ["stream_k"], shapes, FP16)
+
+    def test_empty_schedules(self, shapes):
+        with pytest.raises(ConfigurationError, match="at least one schedule"):
+            run_crosshw(["a100"], [], shapes, FP16)
+
+    def test_duplicate_device(self, shapes):
+        with pytest.raises(ConfigurationError, match="twice"):
+            run_crosshw(["a100", "a100"], ["stream_k"], shapes, FP16)
+
+    def test_unsupported_precision_names_device(self, shapes):
+        # V100-class parts predate bf16; the sweep refuses up front
+        # instead of failing mid-evaluation.
+        with pytest.raises(ConfigurationError, match="v100_sxm2"):
+            run_crosshw(
+                ["a100", "v100_sxm2"],
+                ["stream_k"],
+                shapes,
+                get_dtype_config("bf16_fp32"),
+            )
+
+    def test_unknown_gpu_lists_presets(self, shapes):
+        with pytest.raises(ConfigurationError, match="h100_sxm"):
+            run_crosshw(["h100"], ["stream_k"], shapes, FP16)
+
+
+class TestQuantizationEfficiencyCorpus:
+    """The vectorized formulas vs the scalar Figure-1/2 oracle."""
+
+    CASES = [(1152, 1152, 128), (384, 896, 256), (128, 128, 512), (256, 640, 64)]
+
+    def _grid(self, m, n, k, gpu):
+        problem = GemmProblem(m, n, k, dtype=FP16)
+        return TileGrid(problem, Blocking(*FP16.default_blocking))
+
+    @pytest.mark.parametrize("gpu", [A100, H100_SXM, RTX3090, V100_SXM2, HYPOTHETICAL_4SM])
+    def test_data_parallel_matches_scalar(self, gpu):
+        shapes = np.array(self.CASES, dtype=np.int64)
+        qe = quantization_efficiency_corpus(shapes, "data_parallel", FP16, gpu)
+        for i, (m, n, k) in enumerate(self.CASES):
+            grid = self._grid(m, n, k, gpu)
+            expected = quantization_efficiency(
+                data_parallel_schedule(grid), gpu.num_sms
+            )
+            assert qe[i] == pytest.approx(expected)
+
+    @pytest.mark.parametrize("gpu", [A100, H100_SXM, RTX3090, V100_SXM2, HYPOTHETICAL_4SM])
+    def test_stream_k_matches_scalar(self, gpu):
+        shapes = np.array(self.CASES, dtype=np.int64)
+        qe = quantization_efficiency_corpus(shapes, "stream_k", FP16, gpu)
+        for i, (m, n, k) in enumerate(self.CASES):
+            grid = self._grid(m, n, k, gpu)
+            g = min(gpu.num_sms, grid.total_iters)
+            expected = quantization_efficiency(
+                stream_k_schedule(grid, g), gpu.num_sms
+            )
+            assert qe[i] == pytest.approx(expected)
+
+    def test_fixed_split_bounded(self):
+        shapes = np.array(self.CASES, dtype=np.int64)
+        qe = quantization_efficiency_corpus(shapes, "fixed_split", FP16, A100)
+        assert np.all(qe > 0.0) and np.all(qe <= 1.0)
+
+    def test_ensembles_return_none(self):
+        shapes = np.array(self.CASES, dtype=np.int64)
+        assert quantization_efficiency_corpus(shapes, "cublas", FP16, A100) is None
+        assert quantization_efficiency_corpus(shapes, "oracle", FP16, A100) is None
+
+    def test_unknown_schedule_raises(self):
+        shapes = np.array(self.CASES, dtype=np.int64)
+        with pytest.raises(ConfigurationError, match="supports"):
+            quantization_efficiency_corpus(shapes, "bogus", FP16, A100)
+
+
+class TestTable:
+    def test_table_contents(self, shapes):
+        res = run_crosshw(
+            ["a100", "h100_sxm"], ["data_parallel", "stream_k"], shapes, FP16
+        )
+        text = format_crosshw_table(res)
+        assert "cross-hardware sweep" in text
+        assert "a100" in text and "h100_sxm" in text
+        assert "<-- winner" in text
+        assert "108" in text and "132" in text
+        # ensemble-free sweep: every row carries a quantization efficiency
+        assert "-" not in [row.split()[4] for row in text.splitlines()[3:]]
+
+    def test_schedule_families_constant(self):
+        assert CROSSHW_SCHEDULES == (
+            "data_parallel", "fixed_split", "stream_k", "cublas", "oracle"
+        )

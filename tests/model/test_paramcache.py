@@ -213,3 +213,34 @@ class TestHousekeeping:
             f for f in os.listdir(tmp_path / "calibration") if f.endswith(".tmp")
         ]
         assert leftovers == []
+
+
+class TestMultiBackendFingerprints:
+    """Every registered preset must calibrate into its own cache slot."""
+
+    def test_presets_have_pairwise_distinct_fingerprints(self):
+        from repro.gpu.spec import GPU_PRESETS
+
+        fps = {name: gpu_fingerprint(spec) for name, spec in GPU_PRESETS.items()}
+        assert len(set(fps.values())) == len(fps), fps
+
+    def test_each_preset_gets_its_own_cache_entry(self, tmp_path):
+        from repro.gpu.spec import A100, H100_SXM, RTX3090
+
+        paths = set()
+        for gpu in (A100, H100_SXM, RTX3090):
+            params = calibrate(gpu, BLOCKING, FP64)
+            paths.add(store_params(params, gpu, cache_dir=str(tmp_path)))
+        assert len(paths) == 3
+        for gpu in (A100, H100_SXM, RTX3090):
+            loaded = load_cached_params(gpu, BLOCKING, FP64, cache_dir=str(tmp_path))
+            assert loaded == calibrate(gpu, BLOCKING, FP64)
+
+    def test_custom_json_device_fingerprint_matches_original(self):
+        from repro.gpu.spec import GpuSpec, RTX3090
+
+        # JSON round trip is fingerprint-preserving: a custom device file
+        # hits the same calibration entries as the in-process spec.
+        assert gpu_fingerprint(GpuSpec.from_json(RTX3090.to_json())) == (
+            gpu_fingerprint(RTX3090)
+        )

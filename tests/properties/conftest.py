@@ -1,0 +1,36 @@
+"""Hypothesis profiles for the property-based conformance suite.
+
+Two profiles, selected via ``HYPOTHESIS_PROFILE`` (default ``dev``):
+
+* ``dev`` — 25 examples per property, for the everyday tier-1 run;
+* ``ci``  — 200 examples per property with a pinned (derandomized) seed,
+  the acceptance bar (>= 200 generated (shape, spec) cases per
+  registered schedule; run with ``--hypothesis-show-statistics`` in the
+  ``properties`` CI job).
+
+Both profiles are derandomized so the suite is reproducible: a failing
+example fails everywhere, not just on one runner's RNG draw.  Deadlines
+are disabled because one example is a full discrete-event execution plus
+an invariant-checker replay — wall time scales with the drawn (shape,
+spec) point, which is exactly what deadlines mis-flag.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "dev",
+    max_examples=25,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    max_examples=200,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

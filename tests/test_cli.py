@@ -26,9 +26,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["plan", "1", "1", "1", "--dtype", "fp8"])
 
-    def test_bad_gpu_exits(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["plan", "1", "1", "1", "--gpu", "h100"])
+    def test_bad_gpu_raises_listing_presets(self):
+        # --gpu is free-form (it also accepts spec-JSON paths), so unknown
+        # names surface as ConfigurationError at resolve time, naming the
+        # registered presets.
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="h100_sxm"):
+            main(["plan", "1", "1", "1", "--gpu", "h100"])
 
 
 class TestCommands:
@@ -186,3 +191,44 @@ class TestFaultsCommand:
 
         with pytest.raises(ConfigurationError):
             main(self.ARGS + ["--severities", "0,banana"])
+
+
+class TestCrossHwCommand:
+    def test_table_and_winners_printed(self, capsys):
+        rc = main(
+            [
+                "crosshw",
+                "--gpus", "a100,h100_sxm,rtx3090",
+                "--schedules", "data_parallel,stream_k",
+                "--size", "120",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cross-hardware sweep" in out
+        assert "<-- winner" in out
+        for name in ("a100", "h100_sxm", "rtx3090"):
+            assert "%s " % name in out
+            assert "winner:" in out
+
+    def test_custom_json_device(self, capsys, tmp_path):
+        from repro.gpu.spec import HYPOTHETICAL_4SM
+
+        path = tmp_path / "tiny.json"
+        path.write_text(HYPOTHETICAL_4SM.to_json())
+        rc = main(
+            [
+                "crosshw",
+                "--gpus", "a100,%s" % path,
+                "--schedules", "stream_k",
+                "--size", "60",
+            ]
+        )
+        assert rc == 0
+        assert "hypothetical_4sm" in capsys.readouterr().out
+
+    def test_unknown_schedule_raises(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="supports"):
+            main(["crosshw", "--schedules", "bogus", "--size", "50"])
