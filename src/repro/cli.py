@@ -12,6 +12,8 @@ Commands
 ``profile``    profile a corpus evaluation (span report + counters)
 ``faults``     straggler-severity x schedule fault sweep (docs/FAULTS.md)
 ``crosshw``    schedule comparison across several GPUs (docs/HARDWARE.md)
+``sweep``      durable corpus sweep: WAL journal, ``--resume``, chaos kill
+               (docs/CHECKPOINTING.md)
 
 Every command accepts ``--dtype {fp64,fp16_fp32,fp32,bf16_fp32}`` and
 ``--gpu NAME|path.json`` where ``NAME`` is a registered preset (see
@@ -30,6 +32,7 @@ import sys
 import numpy as np
 
 from .corpus.filters import compute_bound_mask
+from .errors import SweepInterrupted
 from .corpus.generator import CorpusSpec, generate_corpus
 from .gemm.dtypes import DTYPE_CONFIGS, get_dtype_config
 from .gemm.problem import GemmProblem
@@ -59,6 +62,18 @@ def _add_shape(p: argparse.ArgumentParser) -> None:
     p.add_argument("m", type=int)
     p.add_argument("n", type=int)
     p.add_argument("k", type=int)
+
+
+def _add_journal(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="write-ahead journal directory for durable checkpoint/resume "
+        "(default $REPRO_JOURNAL_DIR; see docs/CHECKPOINTING.md)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="replay the journal and skip digest-verified completed shards",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -91,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for the sweep (0 = all cores, default 1)",
+    )
+    _add_journal(p)
+    p.add_argument(
+        "--max-shard-seconds", type=float, default=None, metavar="S",
+        help="watchdog deadline per shard before it is abandoned and "
+        "retried (default 300)",
     )
 
     p = sub.add_parser("calibrate", help="print {a, b, c, d}")
@@ -180,6 +201,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes per device evaluation (0 = all cores, "
         "default 1)",
+    )
+    _add_journal(p)
+
+    p = sub.add_parser(
+        "sweep",
+        help="durable, resumable corpus sweep: every shard completion is "
+        "committed to a write-ahead journal (docs/CHECKPOINTING.md)",
+    )
+    _add_common(p)
+    p.add_argument("--size", type=int, default=2000, help="corpus slice size")
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (0 = all cores, default 1)",
+    )
+    p.add_argument(
+        "--shard-rows", type=int, default=None, metavar="R",
+        help="rows per shard (default: ~4 shards per worker)",
+    )
+    _add_journal(p)
+    p.add_argument(
+        "--max-shard-seconds", type=float, default=None, metavar="S",
+        help="watchdog deadline per shard before it is abandoned and "
+        "retried (default 300)",
+    )
+    p.add_argument(
+        "--chaos-kill-after", type=int, default=None, metavar="K",
+        help="chaos mode: SIGKILL this process right after the K-th shard "
+        "completion is durably journaled (testing the resume contract)",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="optionally write the merged timings as an .npz artifact",
     )
 
     p = sub.add_parser(
@@ -289,6 +342,19 @@ def _cmd_model(args) -> int:
     return 0
 
 
+def _corpus_eval_kwargs(args) -> dict:
+    """Journal/watchdog kwargs shared by ``corpus`` and ``sweep``."""
+    from .harness.journal import default_journal_dir
+
+    kwargs: dict = {
+        "journal": args.journal or default_journal_dir(),
+        "resume": args.resume,
+    }
+    if getattr(args, "max_shard_seconds", None) is not None:
+        kwargs["shard_timeout"] = args.max_shard_seconds
+    return kwargs
+
+
 def _cmd_corpus(args) -> int:
     from .harness.parallel import evaluate_corpus_sharded
     from .metrics.report import format_relative_table
@@ -296,7 +362,9 @@ def _cmd_corpus(args) -> int:
 
     dtype, gpu = get_dtype_config(args.dtype), resolve_gpu(args.gpu)
     shapes = generate_corpus(CorpusSpec(size=args.size))
-    res = evaluate_corpus_sharded(shapes, dtype, gpu, jobs=args.jobs)
+    res = evaluate_corpus_sharded(
+        shapes, dtype, gpu, jobs=args.jobs, **_corpus_eval_kwargs(args)
+    )
     cb = compute_bound_mask(shapes, dtype)
     cols = {
         "vs CUTLASS %dx%dx%d" % dtype.default_blocking: relative_performance(
@@ -453,16 +521,93 @@ def _cmd_faults(args) -> int:
 
 def _cmd_crosshw(args) -> int:
     from .harness.crosshw import format_crosshw_table, run_crosshw
+    from .harness.journal import default_journal_dir
 
     dtype = get_dtype_config(args.dtype)
     gpus = [g.strip() for g in args.gpus.split(",") if g.strip()]
     schedules = [s.strip() for s in args.schedules.split(",") if s.strip()]
     shapes = generate_corpus(CorpusSpec(size=args.size))
-    result = run_crosshw(gpus, schedules, shapes, dtype, jobs=args.jobs)
+    result = run_crosshw(
+        gpus,
+        schedules,
+        shapes,
+        dtype,
+        jobs=args.jobs,
+        journal=args.journal or default_journal_dir(),
+        resume=args.resume,
+    )
     print(format_crosshw_table(result))
     print()
     for name in (spec_name for spec_name in result.winners):
         print("%-16s winner: %s" % (name, result.winners[name]))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .errors import ConfigurationError
+    from .faults.chaos import ChaosKill
+    from .harness.journal import default_journal_dir, write_timings_npz
+    from .harness.parallel import evaluate_corpus_sharded
+    from .metrics.report import format_relative_table
+    from .metrics.stats import relative_performance
+    from .obs.counters import get_counter
+
+    dtype, gpu = get_dtype_config(args.dtype), resolve_gpu(args.gpu)
+    journal_dir = args.journal or default_journal_dir()
+    if journal_dir is None:
+        raise ConfigurationError(
+            "repro sweep needs a journal directory: pass --journal DIR or "
+            "set REPRO_JOURNAL_DIR (see docs/CHECKPOINTING.md)"
+        )
+    chaos = (
+        ChaosKill(args.chaos_kill_after)
+        if args.chaos_kill_after is not None
+        else None
+    )
+    shapes = generate_corpus(CorpusSpec(size=args.size))
+    res = evaluate_corpus_sharded(
+        shapes,
+        dtype,
+        gpu,
+        jobs=args.jobs,
+        shard_rows=args.shard_rows,
+        shard_timeout=(
+            args.max_shard_seconds
+            if args.max_shard_seconds is not None
+            else 300.0
+        ),
+        journal=journal_dir,
+        resume=args.resume,
+        chaos=chaos,
+    )
+    skipped = get_counter("journal.skipped_shards")
+    evaluated = get_counter("harness.shards_ok") + (
+        get_counter("harness.shard_serial_fallbacks")
+    )
+    print("journal    : %s" % journal_dir)
+    print("shards     : %d skipped (journal), %d evaluated%s"
+          % (skipped, evaluated,
+             "  [degraded: journal-less]"
+             if get_counter("harness.journal.degraded") else ""))
+    if args.out:
+        write_timings_npz(args.out, res)
+        print("artifact   : wrote merged timings to %s" % args.out)
+    cb = compute_bound_mask(shapes, dtype)
+    cols = {
+        "vs CUTLASS %dx%dx%d" % dtype.default_blocking: relative_performance(
+            res.singleton, res.streamk
+        ),
+        "vs cuBLAS": relative_performance(res.cublas, res.streamk),
+        "vs cuBLAS (CB)": relative_performance(res.cublas[cb], res.streamk[cb]),
+        "vs oracle": relative_performance(res.oracle, res.streamk),
+    }
+    print(
+        format_relative_table(
+            cols,
+            title="Stream-K %s relative performance (%d shapes, %d compute-bound)"
+            % (dtype.name, args.size, int(np.sum(cb))),
+        )
+    )
     return 0
 
 
@@ -511,6 +656,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "faults": _cmd_faults,
     "crosshw": _cmd_crosshw,
+    "sweep": _cmd_sweep,
 }
 
 
@@ -519,7 +665,16 @@ def main(argv: "list[str] | None" = None) -> int:
     # Honor REPRO_PROFILE regardless of import order: any command can be
     # profiled by setting the environment variable (docs in README.md).
     env_profiling = _profiler.sync_profiling_with_env()
-    rc = _COMMANDS[args.command](args)
+    try:
+        rc = _COMMANDS[args.command](args)
+    except SweepInterrupted as exc:
+        # A drained SIGINT/SIGTERM: every in-flight completion has been
+        # journaled, workers are gone.  Exit with the distinct resumable
+        # status so wrappers know a --resume re-run will pick up the rest.
+        from .harness.journal import RESUMABLE_EXIT_STATUS
+
+        print("interrupted: %s" % exc, file=sys.stderr)
+        rc = RESUMABLE_EXIT_STATUS
     if env_profiling and args.command != "profile":
         from .obs.counters import counters_report
 

@@ -16,6 +16,7 @@ __all__ = [
     "ProtocolViolation",
     "CalibrationError",
     "ValidationError",
+    "SweepInterrupted",
 ]
 
 
@@ -88,6 +89,47 @@ class ProtocolViolation(SimulationError):
     before its producer published the flag, or a partial consumed by more
     than one owner.
     """
+
+
+class SweepInterrupted(ReproError):
+    """A corpus sweep drained cleanly on SIGINT/SIGTERM.
+
+    Raised by :func:`repro.harness.parallel.evaluate_corpus_sharded`
+    after the drain handler fires: dispatch of new shards stopped,
+    already-received completions were journaled (when a journal is
+    attached), and the worker pool was terminated and joined.  The CLI
+    maps this to the distinct *resumable* exit status
+    (:data:`repro.harness.journal.RESUMABLE_EXIT_STATUS`); re-run with
+    ``--resume`` to pick the sweep back up from the journal.
+
+    Attributes ``completed`` / ``total`` (shard counts) and
+    ``journal_dir`` are filled in when known.
+    """
+
+    def __init__(
+        self,
+        message: "str | None" = None,
+        completed: "int | None" = None,
+        total: "int | None" = None,
+        journal_dir: "str | None" = None,
+    ):
+        self.completed = completed
+        self.total = total
+        self.journal_dir = journal_dir
+        if message is None:
+            message = "sweep interrupted; dispatch drained and workers reaped"
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        msg = super().__str__()
+        if self.completed is not None and self.total is not None:
+            msg += " (%d/%d shards durably completed)" % (
+                self.completed,
+                self.total,
+            )
+        if self.journal_dir:
+            msg += "; resume with --resume --journal %s" % self.journal_dir
+        return msg
 
 
 class CalibrationError(ReproError, RuntimeError):

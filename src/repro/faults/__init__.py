@@ -19,7 +19,11 @@ that claim testable on the simulator:
   Stream-K carry protocol;
 * :mod:`~repro.faults.sweep` — straggler-severity x schedule sweeps
   reporting makespan degradation (the sensitivity curves behind
-  ``python -m repro faults``).
+  ``python -m repro faults``);
+* :mod:`~repro.faults.chaos` — :class:`ChaosKill`, deterministic
+  *process-level* kill-point injection for the durable sweep engine:
+  SIGKILL the harness right after the K-th journaled shard completion
+  (``repro sweep --chaos-kill-after K``, docs/CHECKPOINTING.md).
 
 Determinism contract: all randomness derives from
 :class:`FaultConfig.seed` through a counter-free splitmix64 hash of the
@@ -29,12 +33,14 @@ inert: traces are identical to the unfaulted simulator.  See
 ``docs/FAULTS.md`` for the full fault model.
 """
 
+from .chaos import ChaosKill
 from .checker import InvariantReport, check_protocol_invariants
 from .config import FaultConfig
 from .injector import FaultInjector, InjectedFault
 from .sweep import SweepCell, format_sweep_table, run_fault_sweep
 
 __all__ = [
+    "ChaosKill",
     "FaultConfig",
     "FaultInjector",
     "InjectedFault",

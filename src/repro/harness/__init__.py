@@ -11,7 +11,10 @@ Three layers, by scale:
   Python loop (:func:`evaluate_corpus` -> :class:`SystemTimings`).
 * :mod:`~repro.harness.parallel` — exact process-sharding plus a
   content-keyed evaluation memo on top of the engine
-  (:func:`evaluate_corpus_sharded`, :func:`evaluate_corpus_cached`).
+  (:func:`evaluate_corpus_sharded`, :func:`evaluate_corpus_cached`),
+  with :mod:`~repro.harness.journal` underneath for durability: a
+  write-ahead shard journal so killed sweeps resume bitwise-identically
+  (``repro sweep``, docs/CHECKPOINTING.md).
 
 :mod:`~repro.harness.experiments` packages these as one entry point per
 paper artifact (``fig1_...``–``fig9_...``, ``relative_performance_table``);
@@ -43,6 +46,12 @@ from .experiments import (
     roofline_landscapes,
 )
 from .io import timings_to_rows, write_csv, write_json
+from .journal import (
+    RESUMABLE_EXIT_STATUS,
+    ShardJournal,
+    default_journal_dir,
+    timings_digest,
+)
 from .parallel import (
     EVAL_ENGINE_VERSION,
     corpus_fingerprint,
@@ -67,7 +76,11 @@ __all__ = [
     "EVAL_ENGINE_VERSION",
     "FIG8_SCENARIOS",
     "MeasuredRun",
+    "RESUMABLE_EXIT_STATUS",
+    "ShardJournal",
     "SystemTimings",
+    "default_journal_dir",
+    "timings_digest",
     "format_crosshw_table",
     "run_crosshw",
     "corpus_fingerprint",

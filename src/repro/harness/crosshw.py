@@ -19,13 +19,18 @@ device, and reduces each (device, schedule) cell to:
 Evaluations go through
 :func:`repro.harness.parallel.evaluate_corpus_cached`, so each device
 costs one vectorized corpus pass (sharded across ``jobs`` workers) and
-repeated sweeps are free.  The sweep is instrumented: ``crosshw`` /
+repeated sweeps are free.  Pass ``journal=DIR`` (``repro crosshw
+--journal DIR [--resume]``) to make the multi-device sweep durable: each
+device's corpus pass commits shard-by-shard to its own write-ahead
+journal under ``DIR/<device>/`` and resumes from wherever a crash left
+it (docs/CHECKPOINTING.md).  The sweep is instrumented: ``crosshw`` /
 ``crosshw/device`` spans and ``crosshw.devices`` /
 ``crosshw.evaluations`` counters (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -178,6 +183,8 @@ def run_crosshw(
     shapes: np.ndarray,
     dtype: DtypeConfig,
     jobs: "int | None" = None,
+    journal: "str | None" = None,
+    resume: bool = False,
 ) -> CrossHwResult:
     """Sweep ``schedules`` x ``gpus`` over one corpus.
 
@@ -187,6 +194,12 @@ def run_crosshw(
     (sharded across ``jobs`` workers); unknown schedule names and
     precisions a device does not support raise
     :class:`~repro.errors.ConfigurationError` up front.
+
+    ``journal=DIR`` makes the sweep durable: device ``name`` journals
+    under ``DIR/name/`` (see :mod:`repro.harness.journal`), so a killed
+    multi-device sweep re-run with ``resume=True`` skips every
+    journal-committed shard and finished devices resolve from the
+    evaluation cache — bitwise identical to an uninterrupted sweep.
     """
     if not gpus:
         raise ConfigurationError("need at least one GPU to sweep")
@@ -222,7 +235,18 @@ def run_crosshw(
         for spec in specs:
             with span("device"):
                 inc_counter("crosshw.devices")
-                res = evaluate_corpus_cached(shapes, dtype, spec, jobs=jobs)
+                res = evaluate_corpus_cached(
+                    shapes,
+                    dtype,
+                    spec,
+                    jobs=jobs,
+                    journal=(
+                        os.path.join(journal, spec.name)
+                        if journal is not None
+                        else None
+                    ),
+                    resume=resume,
+                )
                 inc_counter("crosshw.evaluations")
                 device_cells = []
                 for sched in schedules:

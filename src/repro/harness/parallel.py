@@ -23,29 +23,48 @@ calibration cache (:mod:`repro.model.paramcache`), so a cold pool does
 not re-run simulator microbenchmarks per worker.
 
 The pool is **self-healing**: every shard is submitted asynchronously
-with a timeout, retried with exponential backoff on worker crash or
-timeout (``harness.shard_retries`` / ``harness.shard_timeouts``
-counters), and — when the pool is unusable or retries are exhausted —
-evaluated in-process instead (``harness.shard_serial_fallbacks``).
-Because shard evaluation is deterministic, a sweep that loses workers
-mid-flight still returns the bitwise-exact corpus result.  Corrupt
-persisted evaluation artifacts are quarantined (renamed ``*.corrupt``,
-counted in ``evalcache.corrupt_quarantined``) and recomputed rather than
-re-parsed forever.
+with a monotonic watchdog deadline, retried with exponential backoff on
+worker crash or timeout (``harness.shard_retries`` /
+``harness.shard_timeouts`` counters), and — when the pool is unusable or
+retries are exhausted — evaluated in-process instead
+(``harness.shard_serial_fallbacks``).  Because shard evaluation is
+deterministic, a sweep that loses workers mid-flight still returns the
+bitwise-exact corpus result.  Corrupt persisted evaluation artifacts are
+quarantined (renamed ``*.corrupt``, counted in
+``evalcache.corrupt_quarantined``) and recomputed rather than re-parsed
+forever; artifact *writes* that hit a full or read-only filesystem are
+dropped (``evalcache.write_failed``) instead of crashing the sweep.
+
+On top of self-healing sits **durability**
+(:mod:`repro.harness.journal`, docs/CHECKPOINTING.md): pass
+``journal=DIR`` and every shard completion is committed to a write-ahead
+journal (fsync'd CRC-framed records + a digest-verified per-shard npz
+store) the instant it lands.  ``resume=True`` replays the journal on
+startup and skips completed shards (``journal.skipped_shards``), so a
+sweep killed at *any* instant — SIGKILL included — resumes to the
+bitwise-identical merged result.  During a sweep, SIGINT/SIGTERM install
+a drain handler: dispatch stops, in-flight completions are journaled,
+workers are terminated and joined (an ``atexit`` guard reaps any pool a
+harder teardown leaves behind), and :class:`~repro.errors.SweepInterrupted`
+propagates so the CLI can exit with the distinct resumable status.
 """
 
 from __future__ import annotations
 
+import atexit
+import contextlib
 import hashlib
 import multiprocessing
 import os
+import signal
 import tempfile
+import threading
 import time
 import zipfile
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SweepInterrupted
 from ..gemm.dtypes import DtypeConfig, get_dtype_config
 from ..gemm.tiling import Blocking
 from ..gpu.spec import GpuSpec
@@ -53,6 +72,7 @@ from ..model.paramcache import calibrate_cached, gpu_fingerprint
 from ..obs import counters as _counters
 from ..obs import profiler as _profiler
 from ..obs.profiler import span
+from .journal import ShardJournal
 from .vectorized import SystemTimings, evaluate_corpus
 
 __all__ = [
@@ -85,13 +105,93 @@ _DEFAULT_SHARD_TIMEOUT_S = 300.0
 _DEFAULT_MAX_RETRIES = 2
 _DEFAULT_RETRY_BACKOFF_S = 0.05
 
+#: Poll interval of the dispatch loop: bounds how quickly a drain signal
+#: or a watchdog deadline is noticed without busy-waiting.
+_POLL_INTERVAL_S = 0.02
+
 #: Test seam: when set, called as ``hook(shard_index, attempt)`` inside
 #: the worker before evaluating — lets the test suite crash or fail a
 #: specific (shard, attempt) deterministically.  Inherited by forked
 #: workers; never set in production code paths.
 _SHARD_FAULT_HOOK = None
 
+#: Test seam: when set, called as ``hook(event, shard_index)`` in the
+#: *parent* dispatch loop (``event`` is ``"done"``) after each shard
+#: completion is recorded — lets tests inject a signal/interrupt at a
+#: deterministic point between shard boundaries.
+_DISPATCH_HOOK = None
+
 _MEMO: "dict[str, SystemTimings]" = {}
+
+
+# --------------------------------------------------------------------- #
+# Signal-safe lifecycle: drain on SIGINT/SIGTERM, reap pools at exit     #
+# --------------------------------------------------------------------- #
+
+#: Set by the drain handler; checked by the dispatch loop at shard
+#: boundaries.  A plain Event keeps the handler async-signal-trivial.
+_DRAIN_EVENT = threading.Event()
+
+#: Pools currently alive, terminated by the ``atexit`` guard if a
+#: non-local teardown (unhandled exception past our ``finally``,
+#: interpreter shutdown) would otherwise orphan their worker children.
+_LIVE_POOLS: "set" = set()
+
+
+def _reap_live_pools() -> None:
+    while _LIVE_POOLS:
+        pool = _LIVE_POOLS.pop()
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:  # pragma: no cover - best-effort reaper
+            pass
+
+
+atexit.register(_reap_live_pools)
+
+
+def _drain_handler(signum, frame) -> None:
+    """SIGINT/SIGTERM: request a drain; never interrupt a journal write."""
+    _DRAIN_EVENT.set()
+
+
+@contextlib.contextmanager
+def _drain_signals():
+    """Install the drain handler for the duration of a sweep.
+
+    Replacing Python's default KeyboardInterrupt delivery means a signal
+    can no longer land *inside* a journal append or cache write — the
+    handler only sets a flag, and the dispatch loop drains at the next
+    shard boundary.  Outside the main thread (where ``signal.signal``
+    is illegal) the sweep runs with default delivery; the ``finally``
+    blocks and the atexit guard still reap the pool.
+    """
+    installed = []
+    try:
+        if threading.current_thread() is threading.main_thread():
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    previous = signal.signal(sig, _drain_handler)
+                except (ValueError, OSError):  # pragma: no cover
+                    continue
+                installed.append((sig, previous))
+        yield
+    finally:
+        for sig, previous in installed:
+            try:
+                signal.signal(sig, previous)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        _DRAIN_EVENT.clear()
+
+
+def _check_drain() -> None:
+    """Raise :class:`SweepInterrupted` if a drain signal is pending."""
+    if _DRAIN_EVENT.is_set():
+        _counters.inc_counter("harness.drained_interrupts")
+        _DRAIN_EVENT.clear()
+        raise SweepInterrupted()
 
 
 # --------------------------------------------------------------------- #
@@ -155,16 +255,30 @@ def _resolve_jobs(jobs: "int | None") -> int:
     "Available" respects the process's CPU affinity mask
     (``os.sched_getaffinity``) — under cgroup/affinity-restricted
     runners, ``os.cpu_count()`` reports the machine, not the quota, and
-    oversubscribing the mask makes every worker a straggler.
+    oversubscribing the mask makes every worker a straggler.  Constrained
+    cgroups can expose an empty or one-element mask (and some runtimes
+    raise ``ValueError``); the result is always clamped to >= 1 so the
+    sweep degrades to in-process evaluation instead of building a
+    zero-worker pool.
     """
     if jobs is None or jobs == 1:
         return 1
     if jobs <= 0:
         try:
-            return max(1, len(os.sched_getaffinity(0)))
-        except (AttributeError, OSError):  # pragma: no cover - non-Linux
-            return max(1, os.cpu_count() or 1)
+            available = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError, ValueError):
+            # non-Linux, or a runtime that refuses the syscall
+            available = os.cpu_count() or 1
+        return max(1, available)
     return jobs
+
+
+def _eval_shard_inproc(
+    shapes: np.ndarray, dtype: DtypeConfig, gpu: GpuSpec
+) -> SystemTimings:
+    """Evaluate one shard in the parent process (journaled serial sweeps)."""
+    with span("shard"):
+        return evaluate_corpus(shapes, dtype, gpu)
 
 
 def _eval_shard_serial(
@@ -176,6 +290,47 @@ def _eval_shard_serial(
         return evaluate_corpus(shapes, dtype, gpu)
 
 
+def _shard_bounds(
+    n: int, jobs: int, shard_rows: "int | None"
+) -> "list[tuple[int, int]]":
+    """Deterministic contiguous shard layout for an ``n``-row corpus."""
+    if shard_rows is None:
+        shard_rows = max(_MIN_SHARD_ROWS, -(-n // (4 * max(jobs, 1))))
+    shard_rows = max(1, int(shard_rows))
+    edges = list(range(0, n, shard_rows)) + [n]
+    return [(lo, hi) for lo, hi in zip(edges[:-1], edges[1:]) if hi > lo]
+
+
+def _shard_content_fp(shapes: np.ndarray) -> str:
+    """Short content fingerprint of one shard's rows (journal forensics)."""
+    return hashlib.sha256(
+        np.ascontiguousarray(shapes).tobytes()
+    ).hexdigest()[:16]
+
+
+def _commit_shard(
+    journal: "ShardJournal | None",
+    chaos,
+    shard_index: int,
+    shard_args: tuple,
+    res: SystemTimings,
+) -> None:
+    """Journal a completion, then evaluate the chaos kill point.
+
+    Ordering is the crash contract: the result is durably committed
+    (npz + fsync'd WAL record) *before* the kill point fires, so a chaos
+    SIGKILL always leaves a journal that resumes past this shard.
+    """
+    if journal is not None:
+        journal.record_done(
+            shard_index, res, fingerprint=_shard_content_fp(shard_args[0])
+        )
+    if _DISPATCH_HOOK is not None:
+        _DISPATCH_HOOK("done", shard_index)
+    if chaos is not None:
+        chaos.on_shard_done()
+
+
 def _run_shards_self_healing(
     pool,
     shards: "list[tuple]",
@@ -184,60 +339,215 @@ def _run_shards_self_healing(
     max_retries: int,
     shard_timeout: "float | None",
     retry_backoff_s: float,
-) -> "list[SystemTimings]":
-    """Drive shards through the pool with retry, backoff, and fallback.
+    results: "list[SystemTimings | None]",
+    pending: "list[int]",
+    journal: "ShardJournal | None" = None,
+    chaos=None,
+) -> None:
+    """Drive ``pending`` shards through the pool with retry and fallback.
 
-    Every shard is submitted asynchronously; a shard whose worker raises,
-    crashes (its result never arrives => timeout), or exceeds
-    ``shard_timeout`` is resubmitted up to ``max_retries`` times with
-    exponential backoff, then evaluated in-process.  Shard evaluation is
-    deterministic, so any path yields the bitwise-identical result.
+    Every shard is submitted asynchronously and watched against a
+    monotonic deadline; a shard whose worker raises, crashes (its result
+    never arrives => watchdog timeout, journaled as ``shard_abandoned``),
+    or hangs past ``shard_timeout`` is resubmitted up to ``max_retries``
+    times with exponential backoff, then evaluated in-process.  Shard
+    evaluation is deterministic, so any path yields the bitwise-identical
+    result.  The loop polls (never blocks unboundedly), so drain signals
+    and watchdog deadlines are honored within ``_POLL_INTERVAL_S``.
     """
-    results: "list[SystemTimings | None]" = [None] * len(shards)
-    # (shard_index, attempt, async_result), submitted generation by
-    # generation so backoff between a shard's attempts is honored.
+    now = time.monotonic
     outstanding = []
-    for i, shard in enumerate(shards):
-        outstanding.append((i, 0, pool.apply_async(_eval_shard, (shard,))))
+    for i in pending:
+        if journal is not None:
+            journal.record_started(
+                i, fingerprint=_shard_content_fp(shards[i][0])
+            )
+        deadline = None if shard_timeout is None else now() + shard_timeout
+        outstanding.append(
+            (i, 0, pool.apply_async(_eval_shard, (shards[i],)), deadline)
+        )
     while outstanding:
-        retry_queue = []
-        for i, attempt, handle in outstanding:
-            try:
-                res, prof_snap, counter_snap = handle.get(timeout=shard_timeout)
-            except multiprocessing.TimeoutError:
+        _check_drain()
+        progressed = False
+        still, retry_queue = [], []
+        for i, attempt, handle, deadline in outstanding:
+            if handle.ready():
+                progressed = True
+                try:
+                    res, prof_snap, counter_snap = handle.get()
+                except Exception:
+                    _counters.inc_counter("harness.shard_failures")
+                    retry_queue.append((i, attempt))
+                else:
+                    # Fold worker telemetry into this process: spans from
+                    # the shard land in one profile (distinguished by
+                    # pid), counters add up.
+                    _profiler.merge_profile(prof_snap)
+                    _counters.merge_counters(counter_snap)
+                    _counters.inc_counter("harness.shards_ok")
+                    results[i] = res
+                    _commit_shard(journal, chaos, i, shards[i], res)
+            elif deadline is not None and now() > deadline:
+                # Watchdog: the worker hung or died without a result.
+                progressed = True
                 _counters.inc_counter("harness.shard_timeouts")
-                retry_queue.append((i, attempt))
-            except Exception:
-                _counters.inc_counter("harness.shard_failures")
+                if journal is not None:
+                    journal.record_abandoned(
+                        i, "watchdog deadline (%.1fs) exceeded" % shard_timeout
+                    )
                 retry_queue.append((i, attempt))
             else:
-                # Fold worker telemetry into this process: spans from the
-                # shard land in one profile (distinguished by pid),
-                # counters add up.
-                _profiler.merge_profile(prof_snap)
-                _counters.merge_counters(counter_snap)
-                _counters.inc_counter("harness.shards_ok")
-                results[i] = res
-        outstanding = []
+                still.append((i, attempt, handle, deadline))
         for i, attempt in retry_queue:
             shapes_i = shards[i][0]
             if attempt >= max_retries:
                 results[i] = _eval_shard_serial(shapes_i, dtype, gpu)
+                _commit_shard(journal, chaos, i, shards[i], results[i])
                 continue
             _counters.inc_counter("harness.shard_retries")
             if retry_backoff_s > 0.0:
                 time.sleep(retry_backoff_s * (2.0 ** attempt))
             next_args = shards[i][:5] + (attempt + 1,)
             try:
-                outstanding.append(
-                    (i, attempt + 1, pool.apply_async(_eval_shard, (next_args,)))
-                )
+                handle = pool.apply_async(_eval_shard, (next_args,))
             except Exception:
                 # Pool itself is unusable (terminated, broken): degrade.
                 _counters.inc_counter("harness.pool_unusable")
                 results[i] = _eval_shard_serial(shapes_i, dtype, gpu)
-    assert all(r is not None for r in results)
-    return results  # type: ignore[return-value]
+                _commit_shard(journal, chaos, i, shards[i], results[i])
+            else:
+                deadline = (
+                    None if shard_timeout is None else now() + shard_timeout
+                )
+                still.append((i, attempt + 1, handle, deadline))
+        outstanding = still
+        if outstanding and not progressed:
+            time.sleep(_POLL_INTERVAL_S)
+
+
+def _run_shards_serial(
+    shards: "list[tuple]",
+    dtype: DtypeConfig,
+    gpu: GpuSpec,
+    results: "list[SystemTimings | None]",
+    pending: "list[int]",
+    journal: "ShardJournal | None",
+    chaos,
+) -> None:
+    """In-process shard loop (``jobs=1`` journaled sweeps, broken pools)."""
+    for i in pending:
+        _check_drain()
+        if journal is not None:
+            journal.record_started(
+                i, fingerprint=_shard_content_fp(shards[i][0])
+            )
+        results[i] = _eval_shard_inproc(shards[i][0], dtype, gpu)
+        _counters.inc_counter("harness.shards_ok")
+        _commit_shard(journal, chaos, i, shards[i], results[i])
+
+
+def _pool_worker_init() -> None:
+    """Reset signal disposition in freshly-forked pool workers.
+
+    Workers fork while the parent's drain handler is installed (the pool
+    is created inside :func:`_drain_signals`), and ``fork`` inherits
+    signal handlers — so without this reset a worker would *swallow* the
+    ``SIGTERM`` that ``Pool.terminate()`` relies on, and the parent's
+    ``join()`` would hang forever on a busy worker.  ``SIGTERM`` goes
+    back to the default (die, so terminate/atexit reaping always works);
+    ``SIGINT`` is ignored (a terminal Ctrl-C is delivered to the whole
+    foreground process group — only the *parent* should drain, journal,
+    and then reap the workers, instead of every worker dying mid-shard
+    with a KeyboardInterrupt traceback).
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+@contextlib.contextmanager
+def _managed_pool(ctx, processes: int):
+    """A worker pool that cannot leak children.
+
+    Registered in ``_LIVE_POOLS`` so the ``atexit`` guard reaps workers
+    even if teardown is skipped (interpreter exit mid-sweep); the normal
+    path terminates + joins in ``finally`` — including on
+    :class:`SweepInterrupted` and KeyboardInterrupt — so no orphaned
+    worker survives the parent.  ``_pool_worker_init`` restores default
+    signal handling inside each worker so ``terminate()`` is always able
+    to kill them (see its docstring for the fork-inheritance trap).
+    """
+    pool = ctx.Pool(processes=processes, initializer=_pool_worker_init)
+    _LIVE_POOLS.add(pool)
+    try:
+        yield pool
+    finally:
+        _LIVE_POOLS.discard(pool)
+        pool.terminate()
+        pool.join()
+
+
+def _sweep_shards(
+    shapes: np.ndarray,
+    dtype: DtypeConfig,
+    gpu: GpuSpec,
+    jobs: int,
+    bounds: "list[tuple[int, int]]",
+    results: "list[SystemTimings | None]",
+    pending: "list[int]",
+    max_retries: int,
+    shard_timeout: "float | None",
+    retry_backoff_s: float,
+    journal: "ShardJournal | None",
+    chaos,
+) -> None:
+    """Evaluate ``pending`` shards (pool when possible, else in-process)."""
+    profiling = _profiler.profiling_enabled()
+    shards = [
+        (shapes[lo:hi], dtype.name, gpu, profiling, idx, 0)
+        for idx, (lo, hi) in enumerate(bounds)
+    ]
+    # Warm the persistent calibration cache before forking so workers hit
+    # the memo (fork) or the on-disk store (spawn) instead of racing on
+    # the simulator microbenchmarks.
+    calibrate_cached(gpu, Blocking(*dtype.default_blocking), dtype)
+    with span("sharded_pool"), _drain_signals():
+        if jobs == 1:
+            _run_shards_serial(
+                shards, dtype, gpu, results, pending, journal, chaos
+            )
+            return
+        try:
+            ctx = multiprocessing.get_context()
+            pool_cm = _managed_pool(ctx, min(jobs, len(pending)))
+            pool = pool_cm.__enter__()
+        except Exception:
+            # No pool at all (fork limits, sandboxing): evaluate serially.
+            _counters.inc_counter("harness.pool_unusable")
+            for i in pending:
+                _check_drain()
+                if journal is not None:
+                    journal.record_started(
+                        i, fingerprint=_shard_content_fp(shards[i][0])
+                    )
+                results[i] = _eval_shard_serial(shards[i][0], dtype, gpu)
+                _commit_shard(journal, chaos, i, shards[i], results[i])
+            return
+        try:
+            _run_shards_self_healing(
+                pool,
+                shards,
+                dtype,
+                gpu,
+                max_retries=max_retries,
+                shard_timeout=shard_timeout,
+                retry_backoff_s=retry_backoff_s,
+                results=results,
+                pending=pending,
+                journal=journal,
+                chaos=chaos,
+            )
+        finally:
+            pool_cm.__exit__(None, None, None)
 
 
 def evaluate_corpus_sharded(
@@ -249,6 +559,9 @@ def evaluate_corpus_sharded(
     max_retries: int = _DEFAULT_MAX_RETRIES,
     shard_timeout: "float | None" = _DEFAULT_SHARD_TIMEOUT_S,
     retry_backoff_s: float = _DEFAULT_RETRY_BACKOFF_S,
+    journal: "str | None" = None,
+    resume: bool = False,
+    chaos=None,
 ) -> SystemTimings:
     """Evaluate a corpus across ``jobs`` worker processes, self-healing.
 
@@ -256,58 +569,76 @@ def evaluate_corpus_sharded(
     per available CPU" (affinity-aware).  ``shard_rows`` overrides the
     shard size (default: roughly four shards per worker for load balance,
     never below ``_MIN_SHARD_ROWS``).  Results are independent of every
-    knob: a worker crash, a hung shard (``shard_timeout`` seconds,
-    ``None`` disables), exhausted retries (``max_retries``, exponential
-    ``retry_backoff_s`` base), or an unusable pool all degrade to
-    in-process evaluation of the affected shards, and the merged result
-    stays bitwise identical to the single-process evaluation.
+    knob: a worker crash, a hung shard (``shard_timeout`` seconds — also
+    the per-shard watchdog deadline — ``None`` disables), exhausted
+    retries (``max_retries``, exponential ``retry_backoff_s`` base), or
+    an unusable pool all degrade to in-process evaluation of the affected
+    shards, and the merged result stays bitwise identical to the
+    single-process evaluation.
+
+    ``journal=DIR`` makes the sweep **durable** (docs/CHECKPOINTING.md):
+    each shard completion is committed to a write-ahead journal under
+    ``DIR`` the moment it lands, ``resume=True`` replays the journal and
+    skips digest-verified completed shards, and killing the process at
+    any instant — including SIGKILL via ``chaos``
+    (:class:`repro.faults.chaos.ChaosKill`) — loses at most the open
+    shards.  SIGINT/SIGTERM during any sharded sweep drain cleanly:
+    dispatch stops, workers are reaped, and
+    :class:`~repro.errors.SweepInterrupted` is raised.
     """
     shapes = np.asarray(shapes, dtype=np.int64)
     jobs = _resolve_jobs(jobs)
     n = shapes.shape[0]
-    if jobs == 1 or n <= _MIN_SHARD_ROWS:
+    if journal is None and (jobs == 1 or n <= _MIN_SHARD_ROWS):
         return evaluate_corpus(shapes, dtype, gpu)
 
-    if shard_rows is None:
-        shard_rows = max(_MIN_SHARD_ROWS, -(-n // (4 * jobs)))
-    profiling = _profiler.profiling_enabled()
-    bounds = list(range(0, n, shard_rows)) + [n]
-    shards = [
-        (shapes[lo:hi], dtype.name, gpu, profiling, idx, 0)
-        for idx, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:]))
-        if hi > lo
-    ]
-    # Warm the persistent calibration cache before forking so workers hit
-    # the memo (fork) or the on-disk store (spawn) instead of racing on
-    # the simulator microbenchmarks.
-    calibrate_cached(gpu, Blocking(*dtype.default_blocking), dtype)
+    bounds = _shard_bounds(n, jobs, shard_rows)
+    if journal is None:
+        results: "list[SystemTimings | None]" = [None] * len(bounds)
+        _sweep_shards(
+            shapes, dtype, gpu, jobs, bounds, results,
+            list(range(len(bounds))), max_retries, shard_timeout,
+            retry_backoff_s, journal=None, chaos=chaos,
+        )
+        with span("merge_shards"):
+            return merge_timings([r for r in results if r is not None])
 
-    with span("sharded_pool"):
-        ctx = multiprocessing.get_context()
-        try:
-            pool = ctx.Pool(processes=min(jobs, len(shards)))
-        except Exception:
-            # No pool at all (fork limits, sandboxing): evaluate serially.
-            _counters.inc_counter("harness.pool_unusable")
-            parts = [
-                _eval_shard_serial(s[0], dtype, gpu) for s in shards
-            ]
-        else:
+    key = corpus_fingerprint(shapes, dtype, gpu)
+    jr = ShardJournal.open(
+        journal,
+        corpus_key=key,
+        bounds=bounds,
+        resume=resume,
+        dtype_name=dtype.name,
+        gpu_name=gpu.name,
+    )
+    try:
+        bounds = jr.bounds  # resumed journals own the shard layout
+        results = [None] * len(bounds)
+        for i in sorted(jr.completed):
+            res = jr.load_completed(i)
+            if res is not None:
+                results[i] = res
+                _counters.inc_counter("journal.skipped_shards")
+        pending = [i for i, r in enumerate(results) if r is None]
+        if pending:
             try:
-                parts = _run_shards_self_healing(
-                    pool,
-                    shards,
-                    dtype,
-                    gpu,
-                    max_retries=max_retries,
-                    shard_timeout=shard_timeout,
-                    retry_backoff_s=retry_backoff_s,
+                _sweep_shards(
+                    shapes, dtype, gpu, jobs, bounds, results, pending,
+                    max_retries, shard_timeout, retry_backoff_s,
+                    journal=jr, chaos=chaos,
                 )
-            finally:
-                pool.terminate()
-                pool.join()
-    with span("merge_shards"):
-        return merge_timings(parts)
+            except SweepInterrupted as exc:
+                exc.completed = sum(r is not None for r in results)
+                exc.total = len(results)
+                exc.journal_dir = journal
+                raise
+        with span("merge_shards"):
+            merged = merge_timings([r for r in results if r is not None])
+        jr.compact()
+        return merged
+    finally:
+        jr.close()
 
 
 # --------------------------------------------------------------------- #
@@ -385,6 +716,12 @@ def _load_eval(path: str, key: str) -> "SystemTimings | None":
 
 
 def _store_eval(path: str, key: str, res: SystemTimings) -> None:
+    """Persist one evaluation atomically; never raises.
+
+    A full or read-only filesystem (``ENOSPC``/``EROFS``/any ``OSError``)
+    removes the partial temporary file, bumps ``evalcache.write_failed``,
+    and the sweep continues uncached instead of crashing.
+    """
     try:
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -415,7 +752,8 @@ def _store_eval(path: str, key: str, res: SystemTimings) -> None:
                 pass
             raise
     except OSError:
-        pass  # unwritable cache dir: stay in-memory only
+        # ENOSPC/EROFS/unwritable cache dir: stay in-memory only, loudly.
+        _counters.inc_counter("evalcache.write_failed")
 
 
 def evaluate_corpus_cached(
@@ -424,12 +762,17 @@ def evaluate_corpus_cached(
     gpu: GpuSpec,
     jobs: "int | None" = None,
     cache_dir: "str | None" = None,
+    journal: "str | None" = None,
+    resume: bool = False,
 ) -> SystemTimings:
     """Content-memoized :func:`evaluate_corpus` (optionally sharded).
 
     Identical corpora (same shape bytes, dtype, GPU, engine version) are
     evaluated once per process; with a persistent cache directory, once
-    per machine.
+    per machine.  ``journal``/``resume`` thread through to
+    :func:`evaluate_corpus_sharded` for sweeps that must survive being
+    killed (a memo/disk hit returns immediately — the cached artifact
+    already *is* the completed sweep).
     """
     shapes = np.asarray(shapes, dtype=np.int64)
     key = corpus_fingerprint(shapes, dtype, gpu)
@@ -445,7 +788,9 @@ def evaluate_corpus_cached(
             _MEMO[key] = res
             return res
     _counters.inc_counter("evalcache.miss")
-    res = evaluate_corpus_sharded(shapes, dtype, gpu, jobs=jobs)
+    res = evaluate_corpus_sharded(
+        shapes, dtype, gpu, jobs=jobs, journal=journal, resume=resume
+    )
     _MEMO[key] = res
     if root is not None:
         _store_eval(_eval_entry_path(root, key), key, res)

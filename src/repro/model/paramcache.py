@@ -177,7 +177,9 @@ def store_params(
 
     Concurrent writers race benignly: each writes its own temporary file
     and the last :func:`os.replace` wins with a complete document.  Any
-    filesystem failure degrades to in-memory-only caching.
+    filesystem failure (``ENOSPC``, ``EROFS``, unwritable directory)
+    removes the partial temporary file, bumps ``paramcache.write_failed``,
+    and degrades to in-memory-only caching instead of propagating.
     """
     fp = gpu_fingerprint(gpu)
     blocking = Blocking(*params.blocking)
@@ -213,6 +215,7 @@ def store_params(
                 pass
             raise
     except OSError:
+        inc_counter("paramcache.write_failed")
         return None
     return path
 

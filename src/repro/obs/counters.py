@@ -11,12 +11,23 @@ rates uniformly.  Counters wired in by this PR:
 
 ======================================  =================================
 ``paramcache.memo_hit|disk_hit|miss``   calibration cache lookups
+``paramcache.write_failed``             calibration store hit ENOSPC/EROFS
 ``evalcache.memo_hit|disk_hit|miss``    corpus-evaluation memo lookups
+``evalcache.write_failed``              evaluation store hit ENOSPC/EROFS
 ``executor.runs|ctas|segments``         discrete-event executor volume
 ``executor.spin_waits|signals``         flag-protocol events
 ``l2sim.fragment.hit|miss``             FragmentCache replay outcomes
 ``l2sim.fragment.hit_bytes|miss_bytes`` ...and their byte volumes
 ``l2sim.line.hit|miss`` (etc.)          SetAssociativeCache, when published
+``journal.replayed``                    WAL records replayed on resume
+``journal.skipped_shards``              digest-verified shards not re-run
+``journal.torn_tail_truncated``         torn WAL tails dropped on replay
+``journal.fingerprint_mismatch``        foreign journals ignored
+``journal.digest_mismatch``             stale shard artifacts re-run
+``journal.abandoned_shards``            watchdog-abandoned shards
+``harness.journal.degraded``            journal writes hit ENOSPC/EROFS
+``harness.drained_interrupts``          SIGINT/SIGTERM drains of a sweep
+``faults.chaos_kills``                  chaos kill points fired
 ======================================  =================================
 
 Like the profiler, worker processes ship :func:`snapshot_counters` back to

@@ -22,6 +22,7 @@ DOCS = [
     os.path.join("docs", "TRACING.md"),
     os.path.join("docs", "FAULTS.md"),
     os.path.join("docs", "HARDWARE.md"),
+    os.path.join("docs", "CHECKPOINTING.md"),
 ]
 
 # Repo paths the prose references in backticks (not markdown links).

@@ -1,0 +1,254 @@
+"""Durable sweep: kill/resume bitwise exactness, drain, and pool hygiene.
+
+End-to-end tests of the journaled :func:`evaluate_corpus_sharded` path:
+chaos kill points (via the in-process ``action`` seam and, once, a real
+``SIGKILL`` through the ``repro sweep`` CLI), SIGINT drains, degraded
+filesystems, and the no-leaked-workers guarantee.
+"""
+
+import errno
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.corpus.generator import CorpusSpec, generate_corpus
+from repro.errors import SweepInterrupted
+from repro.faults import ChaosKill
+from repro.gemm import FP64
+from repro.gpu import HYPOTHETICAL_4SM
+from repro.harness import parallel
+from repro.harness.journal import RESUMABLE_EXIT_STATUS
+from repro.harness.parallel import clear_eval_memo, evaluate_corpus_sharded
+from repro.harness.vectorized import evaluate_corpus
+from repro.obs.counters import get_counter, reset_counters
+
+from .test_parallel import assert_timings_equal
+
+SIZE = 600
+SHARD_ROWS = 128  # -> 5 shards
+NSHARDS = 5
+
+
+@pytest.fixture(scope="module")
+def shapes():
+    return generate_corpus(CorpusSpec(size=SIZE))
+
+
+@pytest.fixture(scope="module")
+def reference(shapes):
+    return evaluate_corpus(shapes, FP64, HYPOTHETICAL_4SM)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state(monkeypatch):
+    clear_eval_memo()
+    reset_counters()
+    monkeypatch.setattr(parallel, "_SHARD_FAULT_HOOK", None)
+    monkeypatch.setattr(parallel, "_DISPATCH_HOOK", None)
+    yield
+    clear_eval_memo()
+    reset_counters()
+
+
+class _ChaosAbort(BaseException):
+    """Sentinel substituted for SIGKILL by the in-process chaos tests."""
+
+
+def _sweep(shapes, journal, resume=False, jobs=1, chaos=None, **kw):
+    return evaluate_corpus_sharded(
+        shapes,
+        FP64,
+        HYPOTHETICAL_4SM,
+        jobs=jobs,
+        shard_rows=SHARD_ROWS,
+        journal=journal,
+        resume=resume,
+        chaos=chaos,
+        **kw,
+    )
+
+
+class TestChaosResume:
+    @pytest.mark.parametrize("kill_after", [1, 3])
+    def test_kill_at_shard_boundary_resumes_bitwise(
+        self, shapes, reference, tmp_path, kill_after
+    ):
+        jdir = str(tmp_path / "j")
+        chaos = ChaosKill(kill_after, action=_raise_chaos)
+        with pytest.raises(_ChaosAbort):
+            _sweep(shapes, jdir, chaos=chaos)
+        assert chaos.fired
+        assert get_counter("faults.chaos_kills") == 1
+        reset_counters()
+        got = _sweep(shapes, jdir, resume=True)
+        assert_timings_equal(got, reference)
+        assert get_counter("journal.skipped_shards") == kill_after
+        assert get_counter("harness.shards_ok") == NSHARDS - kill_after
+
+    def test_mid_shard_kill_loses_only_open_shards(
+        self, shapes, reference, tmp_path
+    ):
+        """A crash *inside* a shard (started, never done) re-runs it."""
+        jdir = str(tmp_path / "j")
+        chaos = ChaosKill(2, action=_raise_chaos)
+        with pytest.raises(_ChaosAbort):
+            _sweep(shapes, jdir, chaos=chaos)
+        # The journal now holds shard_started records for shards that
+        # never committed — exactly the mid-shard SIGKILL footprint.
+        reset_counters()
+        got = _sweep(shapes, jdir, resume=True)
+        assert_timings_equal(got, reference)
+        assert get_counter("journal.skipped_shards") == 2
+
+    def test_completed_journal_resume_evaluates_nothing(
+        self, shapes, reference, tmp_path
+    ):
+        jdir = str(tmp_path / "j")
+        _sweep(shapes, jdir)
+        reset_counters()
+        got = _sweep(shapes, jdir, resume=True)
+        assert_timings_equal(got, reference)
+        assert get_counter("journal.skipped_shards") == NSHARDS
+        assert get_counter("harness.shards_ok") == 0  # zero evaluations
+
+    def test_resume_without_prior_journal_runs_everything(
+        self, shapes, reference, tmp_path
+    ):
+        got = _sweep(shapes, str(tmp_path / "fresh"), resume=True)
+        assert_timings_equal(got, reference)
+        assert get_counter("journal.skipped_shards") == 0
+
+    def test_pool_chaos_resume_bitwise(self, shapes, reference, tmp_path):
+        """Kill points also hold in the multiprocess dispatch loop."""
+        jdir = str(tmp_path / "j")
+        chaos = ChaosKill(1, action=_raise_chaos)
+        with pytest.raises(_ChaosAbort):
+            _sweep(shapes, jdir, jobs=2, chaos=chaos)
+        _wait_for_no_children()
+        assert multiprocessing.active_children() == []
+        got = _sweep(shapes, jdir, resume=True, jobs=2)
+        assert_timings_equal(got, reference)
+
+
+def _raise_chaos():
+    raise _ChaosAbort()
+
+
+def _wait_for_no_children(timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+
+
+class TestDrain:
+    def test_sigint_drains_to_resumable_state(
+        self, shapes, reference, tmp_path, monkeypatch
+    ):
+        """A real SIGINT mid-sweep journals progress and raises
+        :class:`SweepInterrupted`; resume finishes bitwise."""
+        jdir = str(tmp_path / "j")
+
+        def send_sigint(event, shard_index):
+            if event == "done" and shard_index == 0:
+                os.kill(os.getpid(), signal.SIGINT)
+
+        monkeypatch.setattr(parallel, "_DISPATCH_HOOK", send_sigint)
+        with pytest.raises(SweepInterrupted) as exc_info:
+            _sweep(shapes, jdir)
+        exc = exc_info.value
+        assert exc.journal_dir == jdir
+        assert 1 <= exc.completed < exc.total == NSHARDS
+        assert "--resume" in str(exc)
+        assert get_counter("harness.drained_interrupts") == 1
+        monkeypatch.setattr(parallel, "_DISPATCH_HOOK", None)
+        got = _sweep(shapes, jdir, resume=True)
+        assert_timings_equal(got, reference)
+
+    def test_interrupt_reaps_pool_workers(
+        self, shapes, tmp_path, monkeypatch
+    ):
+        """No worker-process leak on interrupt (the PR's leak fix)."""
+
+        def interrupt(event, shard_index):
+            raise SweepInterrupted()
+
+        monkeypatch.setattr(parallel, "_DISPATCH_HOOK", interrupt)
+        with pytest.raises(SweepInterrupted):
+            _sweep(shapes, str(tmp_path / "j"), jobs=2)
+        _wait_for_no_children()
+        assert multiprocessing.active_children() == []
+
+    def test_default_sigint_behavior_restored_after_sweep(
+        self, shapes, tmp_path
+    ):
+        before = signal.getsignal(signal.SIGINT)
+        _sweep(shapes, str(tmp_path / "j"))
+        assert signal.getsignal(signal.SIGINT) is before
+
+
+class TestDegraded:
+    def test_enospc_journal_degrades_but_sweep_completes(
+        self, shapes, reference, tmp_path, monkeypatch
+    ):
+        def no_space(fd):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr(os, "fsync", no_space)
+        got = _sweep(shapes, str(tmp_path / "j"))
+        assert_timings_equal(got, reference)
+        assert get_counter("harness.journal.degraded") == 1
+
+
+@pytest.mark.slow
+class TestRealSigkill:
+    """The full contract, through the CLI, with a genuine SIGKILL."""
+
+    def _run(self, args, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "..", "src")]
+            + env.get("PYTHONPATH", "").split(os.pathsep)
+        )
+        env["REPRO_NO_DISK_CACHE"] = "1"
+        env["REPRO_EVAL_CACHE_DIR"] = str(tmp_path / "evalcache")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "sweep", "--size", "400",
+             "--dtype", "fp64", "--gpu", "hypothetical_4sm",
+             "--shard-rows", "128"] + args,
+            env=env, capture_output=True, text=True, timeout=600,
+        )
+
+    def test_sigkill_then_resume_is_byte_identical(self, tmp_path):
+        import numpy as np
+
+        jdir = str(tmp_path / "journal")
+        ref = str(tmp_path / "ref.npz")
+        out = str(tmp_path / "resumed.npz")
+        killed = self._run(
+            ["--journal", jdir + "-ref", "--out", ref], tmp_path
+        )
+        assert killed.returncode == 0, killed.stderr
+        chaos = self._run(
+            ["--journal", jdir, "--chaos-kill-after", "1"], tmp_path
+        )
+        assert chaos.returncode == -signal.SIGKILL
+        resumed = self._run(
+            ["--journal", jdir, "--resume", "--out", out], tmp_path
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "skipped (journal)" in resumed.stdout
+        a, b = np.load(ref, allow_pickle=False), np.load(out, allow_pickle=False)
+        assert sorted(a.files) == sorted(b.files)
+        for key in a.files:
+            assert a[key].tobytes() == b[key].tobytes(), key
+
+
+class TestExitStatus:
+    def test_resumable_status_reserved(self):
+        # EX_TEMPFAIL-style: distinct from success/failure/SIGKILL codes.
+        assert RESUMABLE_EXIT_STATUS == 75

@@ -148,6 +148,24 @@ class TestResolveJobs:
         assert _resolve_jobs(1) == 1
         assert _resolve_jobs(7) == 7
 
+    def test_empty_affinity_mask_clamps_to_one(self, monkeypatch):
+        """Constrained cgroups can expose an empty mask; never build a
+        zero-worker pool (regression: used to return 0)."""
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set())
+        assert _resolve_jobs(0) == 1
+        assert _resolve_jobs(-4) == 1
+
+    def test_one_element_affinity_mask(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {3})
+        assert _resolve_jobs(0) == 1
+
+    def test_affinity_valueerror_falls_back(self, monkeypatch):
+        def refuse(pid):
+            raise ValueError("affinity mask unavailable")
+
+        monkeypatch.setattr(os, "sched_getaffinity", refuse)
+        assert _resolve_jobs(0) == max(1, os.cpu_count() or 1)
+
 
 class TestEvalCacheQuarantine:
     def _entry_path(self, tmp_path, shapes):
@@ -182,6 +200,58 @@ class TestEvalCacheQuarantine:
         evaluate_corpus_cached(small, FP64, A100, cache_dir=str(tmp_path))
         assert os.path.exists(path + ".corrupt")
         assert get_counter("evalcache.corrupt_quarantined") == 1
+
+    def test_enospc_store_degrades_without_partial_files(
+        self, shapes, tmp_path, monkeypatch
+    ):
+        """A full disk during the atomic publish leaves no temp file, a
+        ``evalcache.write_failed`` count, and an unharmed result."""
+        import errno
+
+        small = shapes[:64]
+
+        def no_space(src, dst):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr(parallel.os, "replace", no_space)
+        res = evaluate_corpus_cached(small, FP64, A100, cache_dir=str(tmp_path))
+        assert_timings_equal(res, evaluate_corpus(small, FP64, A100))
+        assert get_counter("evalcache.write_failed") == 1
+        eval_dir = os.path.join(str(tmp_path), "eval")
+        leftovers = [
+            p for p in os.listdir(eval_dir) if p.endswith(".tmp")
+        ] if os.path.isdir(eval_dir) else []
+        assert leftovers == []
+        assert not os.path.exists(self._entry_path(tmp_path, small))
+
+    def test_enospc_paramcache_store_counts_and_continues(
+        self, monkeypatch, tmp_path
+    ):
+        import errno
+
+        from repro.gemm.tiling import Blocking
+        from repro.model import paramcache
+        from repro.model.paramcache import calibrate_cached, clear_memory_cache
+
+        clear_memory_cache()
+        monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+
+        def no_space(src, dst):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr(paramcache.os, "replace", no_space)
+        params = calibrate_cached(
+            A100, Blocking(*FP64.default_blocking), FP64,
+            cache_dir=str(tmp_path),
+        )
+        assert params is not None  # calibration itself unharmed
+        assert get_counter("paramcache.write_failed") == 1
+        calib_dir = os.path.join(str(tmp_path), "calibration")
+        leftovers = [
+            p for p in os.listdir(calib_dir) if p.endswith(".tmp")
+        ] if os.path.isdir(calib_dir) else []
+        assert leftovers == []
+        clear_memory_cache()
 
     def test_key_mismatch_is_a_miss_not_corruption(self, shapes, tmp_path):
         a, b = shapes[:64], shapes[:65]

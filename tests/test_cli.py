@@ -232,3 +232,81 @@ class TestCrossHwCommand:
 
         with pytest.raises(ConfigurationError, match="supports"):
             main(["crosshw", "--schedules", "bogus", "--size", "50"])
+
+
+class TestSweepCommand:
+    """``repro sweep``: durable journaled sweeps (docs/CHECKPOINTING.md)."""
+
+    ARGS = [
+        "sweep", "--size", "300", "--dtype", "fp64",
+        "--gpu", "hypothetical_4sm", "--shard-rows", "128",
+    ]
+
+    @pytest.fixture(autouse=True)
+    def _fresh(self, monkeypatch):
+        from repro.harness.parallel import clear_eval_memo
+
+        monkeypatch.delenv("REPRO_JOURNAL_DIR", raising=False)
+        clear_eval_memo()
+        counters.reset_counters()
+        yield
+        clear_eval_memo()
+        counters.reset_counters()
+
+    def test_requires_journal_dir(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="REPRO_JOURNAL_DIR"):
+            main(self.ARGS)
+
+    def test_sweep_then_resume_zero_evaluations(self, capsys, tmp_path):
+        jdir = str(tmp_path / "journal")
+        assert main(self.ARGS + ["--journal", jdir]) == 0
+        out = capsys.readouterr().out
+        assert jdir in out
+        assert "0 skipped (journal)" in out
+        assert "relative performance" in out
+        counters.reset_counters()
+        assert main(self.ARGS + ["--journal", jdir, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0 evaluated" in out  # everything came from the journal
+        assert counters.get_counter("harness.shards_ok") == 0
+
+    def test_env_var_supplies_journal_dir(self, capsys, tmp_path, monkeypatch):
+        jdir = str(tmp_path / "envjournal")
+        monkeypatch.setenv("REPRO_JOURNAL_DIR", jdir)
+        assert main(self.ARGS) == 0
+        assert jdir in capsys.readouterr().out
+        import os as _os
+
+        assert _os.path.exists(_os.path.join(jdir, "wal.bin"))
+
+    def test_out_artifact_written(self, capsys, tmp_path):
+        import numpy as np
+
+        out_path = str(tmp_path / "timings.npz")
+        rc = main(
+            self.ARGS
+            + ["--journal", str(tmp_path / "j"), "--out", out_path]
+        )
+        assert rc == 0
+        with np.load(out_path, allow_pickle=False) as doc:
+            assert doc["shapes"].shape == (300, 3)
+
+    def test_chaos_kill_after_validates(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            main(
+                self.ARGS
+                + ["--journal", str(tmp_path / "j"), "--chaos-kill-after", "0"]
+            )
+
+    def test_corpus_accepts_journal_flags(self, capsys, tmp_path):
+        rc = main(
+            ["corpus", "--size", "300", "--dtype", "fp64",
+             "--gpu", "hypothetical_4sm",
+             "--journal", str(tmp_path / "cj"), "--resume"]
+        )
+        assert rc == 0
+        assert "Stream-K" in capsys.readouterr().out
