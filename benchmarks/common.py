@@ -10,12 +10,50 @@ Set ``REPRO_CORPUS_SIZE`` to shrink the corpus for smoke runs; the default
 is the paper's full 32,824 shapes.
 """
 
+import gc
+import math
 import os
+import time
 
 from repro.corpus import PAPER_CORPUS, CorpusSpec
 from repro.harness import write_json
 
 ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+
+
+def min_of_k(fn, k: int = 3) -> "dict[str, float]":
+    """Time ``fn()`` ``k`` times; report best, mean and population stddev.
+
+    Each repetition is preceded by a ``gc.collect()`` so one round's
+    garbage (the oracle's task objects, mainly) is not billed to the
+    next.  ``best_s`` is the headline number — for deterministic CPU
+    work the minimum is the least-noise estimator — and ``pstdev_s``
+    (population stddev: these are all k runs, not a sample) records how
+    noisy the box was.
+    """
+    if k < 1:
+        raise ValueError("need at least one repetition, got k=%d" % k)
+    times = []
+    for _ in range(k):
+        gc.collect()
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    mean = sum(times) / k
+    return {
+        "best_s": min(times),
+        "mean_s": mean,
+        "pstdev_s": math.sqrt(sum((t - mean) ** 2 for t in times) / k),
+        "rounds": float(k),
+    }
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive ratios (speedups)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of no values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
 def corpus_spec() -> CorpusSpec:

@@ -25,6 +25,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from ..errors import ConfigurationError
 from ..gpu.cta import SegmentKind
 from ..obs.counters import inc_counter
 from .config import FaultConfig
@@ -65,6 +68,43 @@ def _site_u01(seed: int, domain: int, *ids: int) -> float:
     for i in ids:
         x = _splitmix64(x ^ (i & _MASK64))
     return x / float(1 << 64)
+
+
+def _splitmix64_vec(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 round over a uint64 array (wrapping mod 2^64)."""
+    x = (x + np.uint64(0x9E3779B97F4A7C15))
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+def _site_u01_vec(seed: int, domain: int, *id_arrays) -> np.ndarray:
+    """Vectorized :func:`_site_u01`: one draw per row of the id arrays.
+
+    Bitwise identical to the scalar path element for element: uint64
+    wraparound reproduces the masked Python arithmetic, and the final
+    uint64 -> float64 conversion followed by division by the exact power
+    of two ``2^64`` is the same correctly-rounded quotient Python's
+    ``int / float`` computes.
+    """
+    id_arrays = [np.ascontiguousarray(a, dtype=np.uint64) for a in id_arrays]
+    n = id_arrays[0].shape[0] if id_arrays else 1
+    x = np.full(n, _splitmix64(seed & _MASK64), dtype=np.uint64)
+    x = _splitmix64_vec(x ^ np.uint64(domain))
+    for ids in id_arrays:
+        x = _splitmix64_vec(x ^ ids)
+    return x.astype(np.float64) / float(1 << 64)
+
+
+def _missing_first_occurrence(keys, memo):
+    """Indices of the first occurrence of each key not already memoized."""
+    seen = set()
+    out = []
+    for i, key in enumerate(keys):
+        if key not in memo and key not in seen:
+            seen.add(key)
+            out.append(i)
+    return out
 
 
 @dataclass(frozen=True)
@@ -238,6 +278,204 @@ class FaultInjector:
     def dropped_signals(self) -> "frozenset[int]":
         """CTA ids whose signals were dropped (among queried sites)."""
         return frozenset(c for c, d in self._sig_drop.items() if d)
+
+    # ------------------------------------------------------------------ #
+    # Bulk vectorized draws (array backends)                              #
+    # ------------------------------------------------------------------ #
+
+    def draws_for_sites(self, dimension: str, *site_arrays, base_cycles=None):
+        """Bulk draws for a whole array of injection sites in one pass.
+
+        This is the array-backend twin of the scalar query methods:
+        every returned value is bitwise identical to the corresponding
+        scalar draw, the per-site memo is shared with the scalar path
+        (mixing bulk and scalar queries in either order is safe), and
+        each *fired* site is logged and counted exactly once no matter
+        how many times or through which API it is queried.
+
+        ``dimension`` selects the fault dimension and fixes the site
+        arrays expected:
+
+        * ``"slot_multiplier"`` — ``(sm_slots,)``; returns duration
+          multipliers (straggler x clock skew) per slot.
+        * ``"preempt_penalty"`` — ``(ctas, segments)`` plus the
+          ``base_cycles`` keyword; returns additive penalty cycles.
+          Callers must pass only sites the scalar path would draw for:
+          ``COMPUTE`` segments with positive base cycles.
+        * ``"mem_jitter"`` — ``(ctas, segments)``; returns DRAM/L2
+          latency multipliers.  Pass only memory-kind segment sites.
+        * ``"signal_delay"`` — ``(ctas,)``; returns delay cycles.
+        * ``"signal_drop"`` — ``(ctas,)``; returns a boolean array.
+        """
+        if dimension == "slot_multiplier":
+            (slots,) = site_arrays
+            return self.slot_multipliers(slots)
+        if dimension == "preempt_penalty":
+            ctas, segments = site_arrays
+            if base_cycles is None:
+                raise ConfigurationError(
+                    "preempt_penalty draws require base_cycles"
+                )
+            return self.preempt_penalties(ctas, segments, base_cycles)
+        if dimension == "mem_jitter":
+            ctas, segments = site_arrays
+            return self.mem_latency_multipliers(ctas, segments)
+        if dimension == "signal_delay":
+            (ctas,) = site_arrays
+            return self.signal_delays(ctas)
+        if dimension == "signal_drop":
+            (ctas,) = site_arrays
+            return self.signal_drops(ctas)
+        raise ConfigurationError(
+            "unknown fault draw dimension %r; expected slot_multiplier, "
+            "preempt_penalty, mem_jitter, signal_delay or signal_drop"
+            % (dimension,)
+        )
+
+    def slot_multipliers(self, sm_slots) -> np.ndarray:
+        """Vectorized :meth:`slot_multiplier` over an array of slot ids."""
+        slots = np.ascontiguousarray(sm_slots, dtype=np.int64)
+        slot_list = slots.tolist()
+        memo = self._slot_mult
+        miss_idx = _missing_first_occurrence(slot_list, memo)
+        if miss_idx:
+            cfg = self.config
+            sites = slots[np.array(miss_idx, dtype=np.int64)]
+            strag = np.ones(len(miss_idx), dtype=np.float64)
+            strag_fired = None
+            if cfg.straggler_prob > 0.0 and cfg.straggler_severity > 0.0:
+                u = _site_u01_vec(cfg.seed, _DOM_STRAGGLER, sites)
+                strag_fired = (u < cfg.straggler_prob).tolist()
+                strag = np.where(
+                    strag_fired, 1.0 + cfg.straggler_severity, 1.0
+                )
+            if cfg.clock_skew > 0.0:
+                skew = 1.0 + cfg.clock_skew * _site_u01_vec(
+                    cfg.seed, _DOM_SKEW, sites
+                )
+                mult = (strag * skew).tolist()
+                skew = skew.tolist()
+            else:
+                skew = None
+                mult = strag.tolist()
+            strag = strag.tolist()
+            for j, i in enumerate(miss_idx):
+                slot = slot_list[i]
+                if strag_fired is not None and strag_fired[j]:
+                    self._record("straggler", strag[j], sm_slot=slot)
+                if skew is not None:
+                    self._record("clock_skew", skew[j], sm_slot=slot)
+                memo[slot] = mult[j]
+        return np.array([memo[s] for s in slot_list], dtype=np.float64)
+
+    def preempt_penalties(self, ctas, segments, base_cycles) -> np.ndarray:
+        """Vectorized preempt penalties for compute-segment sites.
+
+        Pass only sites the scalar :meth:`segment_cycles` would draw
+        for — ``COMPUTE`` segments with positive base cycles.
+        """
+        ctas = np.ascontiguousarray(ctas, dtype=np.int64)
+        segments = np.ascontiguousarray(segments, dtype=np.int64)
+        base = np.ascontiguousarray(base_cycles, dtype=np.float64)
+        cfg = self.config
+        if cfg.preempt_prob <= 0.0:
+            return np.zeros(ctas.shape[0], dtype=np.float64)
+        keys = list(zip(ctas.tolist(), segments.tolist()))
+        memo = self._seg_mult
+        miss_idx = _missing_first_occurrence(keys, memo)
+        if miss_idx:
+            idx = np.array(miss_idx, dtype=np.int64)
+            c, s, b = ctas[idx], segments[idx], base[idx]
+            fired = _site_u01_vec(cfg.seed, _DOM_PREEMPT, c, s)
+            fired = (fired < cfg.preempt_prob).tolist()
+            lost = _site_u01_vec(cfg.seed, _DOM_PREEMPT_FRAC, c, s)
+            penalty = np.where(
+                fired, cfg.preempt_penalty_cycles + lost * b, 0.0
+            ).tolist()
+            for j, i in enumerate(miss_idx):
+                key = keys[i]
+                if fired[j]:
+                    self._record(
+                        "preempt", penalty[j], cta=key[0], segment=key[1]
+                    )
+                memo[key] = penalty[j]
+        return np.array([memo[k] for k in keys], dtype=np.float64)
+
+    def mem_latency_multipliers(self, ctas, segments) -> np.ndarray:
+        """Vectorized mem jitter; pass only memory-kind segment sites."""
+        ctas = np.ascontiguousarray(ctas, dtype=np.int64)
+        segments = np.ascontiguousarray(segments, dtype=np.int64)
+        cfg = self.config
+        if cfg.mem_jitter <= 0.0:
+            return np.ones(ctas.shape[0], dtype=np.float64)
+        keys = list(zip(ctas.tolist(), segments.tolist()))
+        memo = self._mem_mult
+        miss_idx = _missing_first_occurrence(keys, memo)
+        if miss_idx:
+            idx = np.array(miss_idx, dtype=np.int64)
+            c, s = ctas[idx], segments[idx]
+            mult = 1.0 + cfg.mem_jitter * _site_u01_vec(
+                cfg.seed, _DOM_JITTER, c, s
+            )
+            mult = mult.tolist()
+            for j, i in enumerate(miss_idx):
+                key = keys[i]
+                self._record(
+                    "mem_jitter", mult[j], cta=key[0], segment=key[1]
+                )
+                memo[key] = mult[j]
+        return np.array([memo[k] for k in keys], dtype=np.float64)
+
+    def signal_delays(self, ctas) -> np.ndarray:
+        """Vectorized :meth:`signal_delay` over an array of CTA ids."""
+        ctas = np.ascontiguousarray(ctas, dtype=np.int64)
+        cfg = self.config
+        if cfg.signal_delay_prob <= 0.0 or cfg.signal_delay_cycles <= 0.0:
+            return np.zeros(ctas.shape[0], dtype=np.float64)
+        cta_list = ctas.tolist()
+        memo = self._sig_delay
+        miss_idx = _missing_first_occurrence(cta_list, memo)
+        if miss_idx:
+            sites = ctas[np.array(miss_idx, dtype=np.int64)]
+            fired = _site_u01_vec(cfg.seed, _DOM_SIG_DELAY, sites)
+            fired = (fired < cfg.signal_delay_prob).tolist()
+            mag = cfg.signal_delay_cycles * (
+                0.5
+                + 0.5
+                * _site_u01_vec(
+                    cfg.seed,
+                    _DOM_SIG_DELAY,
+                    sites,
+                    np.ones(sites.shape[0], dtype=np.uint64),
+                )
+            )
+            delay = np.where(fired, mag, 0.0).tolist()
+            for j, i in enumerate(miss_idx):
+                cta = cta_list[i]
+                if fired[j]:
+                    self._record("signal_delay", delay[j], cta=cta)
+                memo[cta] = delay[j]
+        return np.array([memo[c] for c in cta_list], dtype=np.float64)
+
+    def signal_drops(self, ctas) -> np.ndarray:
+        """Vectorized :meth:`signal_dropped` over an array of CTA ids."""
+        ctas = np.ascontiguousarray(ctas, dtype=np.int64)
+        cfg = self.config
+        if cfg.signal_drop_prob <= 0.0:
+            return np.zeros(ctas.shape[0], dtype=bool)
+        cta_list = ctas.tolist()
+        memo = self._sig_drop
+        miss_idx = _missing_first_occurrence(cta_list, memo)
+        if miss_idx:
+            sites = ctas[np.array(miss_idx, dtype=np.int64)]
+            dropped = _site_u01_vec(cfg.seed, _DOM_SIG_DROP, sites)
+            dropped = (dropped < cfg.signal_drop_prob).tolist()
+            for j, i in enumerate(miss_idx):
+                cta = cta_list[i]
+                if dropped[j]:
+                    self._record("signal_drop", 0.0, cta=cta)
+                memo[cta] = dropped[j]
+        return np.array([memo[c] for c in cta_list], dtype=bool)
 
     # ------------------------------------------------------------------ #
     # Reporting                                                           #

@@ -27,6 +27,7 @@ from ..errors import ConfigurationError, DeadlockError
 from ..gemm.dtypes import DtypeConfig
 from ..gemm.problem import GemmProblem
 from ..gemm.tiling import Blocking, TileGrid
+from ..gpu.backends import resolve_executor_backend
 from ..gpu.costmodel import KernelCostModel
 from ..gpu.executor import Executor
 from ..gpu.spec import GpuSpec
@@ -89,6 +90,7 @@ def run_fault_sweep(
     seed: int = 0,
     config_factory=FaultConfig.straggler_sweep_point,
     check: bool = True,
+    executor: "str | None" = None,
 ) -> "list[SweepCell]":
     """Sweep fault severity x schedule; return one cell per combination.
 
@@ -96,7 +98,8 @@ def run_fault_sweep(
     :class:`FaultConfig` (default: the canonical straggler sweep point).
     With ``check=True`` every completed cell is replayed through the
     protocol invariant checker.  Deterministic: same arguments => same
-    cells, bitwise.
+    cells, bitwise — including across ``executor`` backends (``python``
+    / ``numpy`` / ``numba``; ``None`` defers to the process default).
     """
     if not severities:
         raise ConfigurationError("need at least one severity")
@@ -114,11 +117,20 @@ def run_fault_sweep(
             for severity in severities:
                 injector = FaultInjector(config_factory(severity, seed))
                 with span("fault_sweep_cell"):
-                    tasks = cost.build_tasks(schedule, faults=injector)
+                    exe = Executor(
+                        gpu.total_cta_slots, faults=injector, backend=executor
+                    )
                     try:
-                        trace = Executor(
-                            gpu.total_cta_slots, faults=injector
-                        ).run(tasks)
+                        if resolve_executor_backend(executor) == "python":
+                            trace = exe.run(
+                                cost.build_tasks(schedule, faults=injector)
+                            )
+                        else:
+                            trace = exe.run_arrays(
+                                cost.build_task_arrays(
+                                    schedule, faults=injector
+                                )
+                            )
                     except DeadlockError:
                         cells.append(
                             SweepCell(

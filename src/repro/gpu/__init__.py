@@ -19,10 +19,23 @@ from .analytic import (
     basic_streamk_makespan,
     basic_streamk_makespan_batch,
     data_parallel_makespan,
+    dp_one_tile_hybrid_makespan,
+    dp_one_tile_hybrid_makespan_batch,
     fixed_split_makespan,
+    fixed_split_makespan_batch,
     one_wave_makespan,
     persistent_dp_makespan,
+    persistent_dp_makespan_batch,
     two_tile_hybrid_makespan,
+    two_tile_hybrid_makespan_batch,
+)
+from .backends import (
+    EXECUTOR_BACKENDS,
+    TaskArrays,
+    resolve_executor_backend,
+    run_task_arrays,
+    set_default_executor,
+    tasks_to_arrays,
 )
 from .cache import CacheStats, FragmentCache, SetAssociativeCache
 from .costmodel import KernelCostModel
@@ -65,6 +78,7 @@ __all__ = [
     "CtaRecord",
     "CtaTask",
     "DEFAULT_SMEM_PER_SM",
+    "EXECUTOR_BACKENDS",
     "ExecutionTrace",
     "Executor",
     "FragmentCache",
@@ -76,6 +90,7 @@ __all__ = [
     "SegmentKind",
     "SegmentRecord",
     "SetAssociativeCache",
+    "TaskArrays",
     "TimedSegment",
     "TrafficBreakdown",
     "available_gpus",
@@ -83,16 +98,25 @@ __all__ = [
     "basic_streamk_makespan_batch",
     "data_parallel_makespan",
     "default_gpu",
+    "dp_one_tile_hybrid_makespan",
+    "dp_one_tile_hybrid_makespan_batch",
+    "fixed_split_makespan_batch",
+    "persistent_dp_makespan_batch",
+    "two_tile_hybrid_makespan_batch",
     "estimate_occupancy",
     "execute_tasks",
     "fixed_split_makespan",
     "get_gpu",
     "register_gpu",
+    "resolve_executor_backend",
     "resolve_gpu",
+    "run_task_arrays",
     "max_streamk_grid",
     "one_wave_makespan",
     "persistent_dp_makespan",
+    "set_default_executor",
     "simulate_kernel",
     "smem_bytes_per_cta",
+    "tasks_to_arrays",
     "two_tile_hybrid_makespan",
 ]

@@ -29,9 +29,14 @@ from .costmodel import KernelCostModel
 __all__ = [
     "data_parallel_makespan",
     "persistent_dp_makespan",
+    "persistent_dp_makespan_batch",
     "fixed_split_makespan",
+    "fixed_split_makespan_batch",
     "one_wave_makespan",
     "two_tile_hybrid_makespan",
+    "two_tile_hybrid_makespan_batch",
+    "dp_one_tile_hybrid_makespan",
+    "dp_one_tile_hybrid_makespan_batch",
     "basic_streamk_makespan",
     "basic_streamk_makespan_batch",
 ]
@@ -419,3 +424,209 @@ def two_tile_hybrid_makespan(
             now = max(now, peer_signal) + fx + st
         makespan = max(makespan, now + dp_tail)
     return makespan
+
+
+def dp_one_tile_hybrid_makespan(
+    t: int, p: int, ipt: int, cost: KernelCostModel
+) -> float:
+    """Estimate of the data-parallel + one-tile-Stream-K hybrid makespan.
+
+    Mirrors :func:`~repro.schedules.hybrid.dp_one_tile_schedule`'s
+    structure exactly: perfect quantization -> persistent DP (exact);
+    otherwise every CTA runs the same ``w = floor(t/p)`` full DP tiles
+    before the residual ``r = t - w*p`` tiles are Stream-K-balanced over
+    ``g = min(p, r*ipt)`` CTAs.  Because the DP prefix is identical for
+    every CTA, the Stream-K region is the basic Stream-K walk uniformly
+    time-shifted — ``max`` commutes with the shift, so the makespan is
+    the shift plus :func:`basic_streamk_makespan` of the residual.
+    Agreement with the event executor is asserted in the test suite.
+    """
+    w, r = divmod(t, p)
+    if r == 0:
+        return persistent_dp_makespan(t, p, ipt, cost)
+    c = cost.cycles_per_iter
+    st = cost.store_tile_cycles
+    dp_prefix = w * (c * ipt + st)
+    g = min(p, r * ipt)
+    return dp_prefix + basic_streamk_makespan(r, g, ipt, cost)
+
+
+def _validated_batch(t, ipt) -> "tuple[np.ndarray, np.ndarray]":
+    t = np.asarray(t, dtype=np.int64)
+    ipt = np.asarray(ipt, dtype=np.int64)
+    if t.shape != ipt.shape or t.ndim != 1:
+        raise ConfigurationError("t and ipt must be equal-length 1-D arrays")
+    if t.size and (np.any(t <= 0) or np.any(ipt <= 0)):
+        raise ConfigurationError("t and ipt must be positive")
+    return t, ipt
+
+
+def _ceil_div_arr(a: np.ndarray, b) -> np.ndarray:
+    return -(-a // b)
+
+
+def persistent_dp_makespan_batch(
+    t: np.ndarray, p: int, ipt: np.ndarray, cost: KernelCostModel
+) -> np.ndarray:
+    """Vectorized :func:`persistent_dp_makespan` over N problems.
+
+    Same arithmetic broadcast elementwise, so it agrees with the scalar
+    form bitwise (asserted in the test suite).
+    """
+    t, ipt = _validated_batch(t, ipt)
+    if p <= 0:
+        raise ConfigurationError("p must be positive, got %d" % p)
+    g = np.minimum(p, t)
+    tiles_max = _ceil_div_arr(t, g)
+    per_tile = cost.cycles_per_iter * ipt + cost.store_tile_cycles
+    return cost.prologue_cycles + tiles_max * per_tile
+
+
+def fixed_split_makespan_batch(
+    t: np.ndarray, s: int, p: int, ipt: np.ndarray, cost: KernelCostModel
+) -> np.ndarray:
+    """Vectorized :func:`fixed_split_makespan` over N problems.
+
+    Elementwise the same list-scheduling estimate (and the same exact
+    regimes at ``s_eff == 1`` and single-wave grids), op for op, so the
+    scalar and batch forms agree bitwise.
+    """
+    t, ipt = _validated_batch(t, ipt)
+    if s <= 0 or p <= 0:
+        raise ConfigurationError("s and p must be positive")
+    c = cost.cycles_per_iter
+    s_eff = np.minimum(s, ipt)
+    share = _ceil_div_arr(ipt, s_eff)
+    d_c = cost.prologue_cycles + c * share + cost.store_partials_cycles
+    fixup_tail = (
+        (s_eff - 1) * cost.fixup_cycles_per_peer + cost.store_tile_cycles
+    )
+    d_o = np.where(
+        s_eff <= p,
+        d_c + fixup_tail,
+        cost.prologue_cycles + c * share + fixup_tail,
+    )
+    total = t * ((s_eff - 1) * d_c + d_o)
+    multiwave = np.maximum(d_o, total / p + 0.5 * (p - 1) / p * d_o)
+    dp_cta = cost.prologue_cycles + c * ipt + cost.store_tile_cycles
+    return np.where(
+        s_eff == 1,
+        _ceil_div_arr(t, p) * dp_cta,
+        np.where(t * s_eff <= p, d_o, multiwave),
+    )
+
+
+def dp_one_tile_hybrid_makespan_batch(
+    t: np.ndarray, p: int, ipt: np.ndarray, cost: KernelCostModel
+) -> np.ndarray:
+    """Vectorized :func:`dp_one_tile_hybrid_makespan` over N problems."""
+    t, ipt = _validated_batch(t, ipt)
+    if p <= 0:
+        raise ConfigurationError("p must be positive, got %d" % p)
+    if t.size == 0:
+        return np.empty(0, dtype=np.float64)
+    out = np.empty(t.shape[0], dtype=np.float64)
+    w = t // p
+    r = t - w * p
+    mask_dp = r == 0
+    if mask_dp.any():
+        out[mask_dp] = persistent_dp_makespan_batch(
+            t[mask_dp], p, ipt[mask_dp], cost
+        )
+    mask_sk = ~mask_dp
+    if mask_sk.any():
+        c = cost.cycles_per_iter
+        st = cost.store_tile_cycles
+        r_sk, ipt_sk = r[mask_sk], ipt[mask_sk]
+        dp_prefix = w[mask_sk] * (c * ipt_sk + st)
+        g = np.minimum(p, r_sk * ipt_sk)
+        out[mask_sk] = dp_prefix + basic_streamk_makespan_batch(
+            r_sk, g, ipt_sk, cost
+        )
+    return out
+
+
+def two_tile_hybrid_makespan_batch(
+    t: np.ndarray,
+    p: int,
+    ipt: np.ndarray,
+    cost: KernelCostModel,
+    row_chunk: int = _BATCH_ROW_CHUNK,
+) -> np.ndarray:
+    """Vectorized :func:`two_tile_hybrid_makespan` over N problems.
+
+    Splits the rows into the scalar form's three regimes (perfect
+    quantization, fewer tiles than SMs, main two-tile walk) and solves
+    each with the matching batched machinery; the main-regime walk
+    broadcasts the scalar per-CTA timeline over ``(rows, p)`` chunks.
+    """
+    t, ipt = _validated_batch(t, ipt)
+    if p <= 0:
+        raise ConfigurationError("p must be positive, got %d" % p)
+    if t.size == 0:
+        return np.empty(0, dtype=np.float64)
+    out = np.empty(t.shape[0], dtype=np.float64)
+    mask_dp = t % p == 0
+    if mask_dp.any():
+        out[mask_dp] = persistent_dp_makespan_batch(
+            t[mask_dp], p, ipt[mask_dp], cost
+        )
+    mask_sk = (~mask_dp) & (t < p)
+    if mask_sk.any():
+        g = np.full(int(mask_sk.sum()), p, dtype=np.int64)
+        out[mask_sk] = basic_streamk_makespan_batch(
+            t[mask_sk], g, ipt[mask_sk], cost
+        )
+    mask_walk = (~mask_dp) & (t >= p)
+    if mask_walk.any():
+        t_w, ipt_w = t[mask_walk], ipt[mask_walk]
+        res = np.empty(t_w.shape[0], dtype=np.float64)
+        for lo in range(0, t_w.shape[0], max(1, row_chunk)):
+            sl = slice(lo, min(lo + max(1, row_chunk), t_w.shape[0]))
+            res[sl] = _two_tile_chunk(t_w[sl], ipt_w[sl], p, cost)
+        out[mask_walk] = res
+    return out
+
+
+def _two_tile_chunk(
+    t: np.ndarray, ipt: np.ndarray, p: int, cost: KernelCostModel
+) -> np.ndarray:
+    """One row chunk of the two-tile main-regime walk (``w >= 1``,
+    ``t % p != 0``): the scalar per-CTA timeline over a (rows, p) grid."""
+    c = cost.cycles_per_iter
+    pro = cost.prologue_cycles
+    sp = cost.store_partials_cycles
+    fx = cost.fixup_cycles_per_peer
+    st = cost.store_tile_cycles
+
+    geo = (
+        np.int32
+        if int(t.max()) * int(ipt.max()) < np.iinfo(np.int32).max
+        else np.int64
+    )
+    t2 = t[:, None].astype(geo)
+    ipt_c = ipt[:, None].astype(geo)
+    w = t2 // geo(p)
+    sk_tiles = t2 - (w - 1) * geo(p)
+    region = sk_tiles * ipt_c
+    base, rem = np.divmod(region, geo(p))
+    x = np.arange(p + 1, dtype=geo)[None, :]
+    begins = x * base + np.minimum(x, rem)
+    heads_all = (-begins) % ipt_c
+    head = heads_all[:, :-1]
+    head_next = heads_all[:, 1:]
+    share = begins[:, 1:] - begins[:, :-1]
+    # Every share >= ipt in this regime, so b + head is tile-aligned and
+    # the owned-tile count reduces to one integer division.
+    last_part = np.where(head_next != 0, ipt_c - head_next, 0)
+    fully = (share - head - last_part) // ipt_c
+
+    now = pro + np.where(head > 0, c * head + sp, 0.0)
+    now = now + fully * (c * ipt_c + st)
+    own_end = now + np.where(last_part > 0, c * last_part, 0.0)
+    peer_signal = pro + c * head_next + sp
+    now = np.where(
+        last_part > 0, np.maximum(own_end, peer_signal) + fx + st, own_end
+    )
+    finish = now + (w - 1) * (c * ipt_c + st)
+    return finish.max(axis=1)

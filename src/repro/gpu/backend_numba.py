@@ -1,0 +1,284 @@
+"""Optional Numba executor backend: an ``@njit`` twin of the event loop.
+
+Selected with ``REPRO_EXECUTOR=numba`` (or ``--executor numba``).  The
+kernel below is the lean event loop of :mod:`repro.gpu.backends` written
+against primitive arrays only, so numba can compile it; when numba is
+not installed the backend resolves to ``numpy`` instead (graceful
+fallback — no import error, no behavior change).  The *un*-jitted
+function is still importable and runnable, which is how its logic is
+parity-tested on machines without numba.
+
+Scope: the pristine (fault-free) path only.  Fault injection needs
+callback-style injector queries in execution order, which would defeat
+compilation; :func:`usable` reports ``False`` for faulted runs and the
+dispatcher falls back to the numpy backend, which is bitwise identical
+anyway.
+
+Parity notes mirrored from the oracle:
+
+* dispatch picks the earliest-freeing free slot, lowest index on ties —
+  exactly the oracle's ``(free_time, slot)`` heap order;
+* released waiters are pushed so the *last-arrived* waiter resumes
+  first, the oracle's LIFO ``ready`` stack behavior (this is what the
+  in-place reversal below is for);
+* wait ends are ``max(t, sig)`` and all adds happen in the oracle's
+  order, so timings are bitwise identical, not approximately equal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..schedules.flatten import KIND_SIGNAL, KIND_WAIT
+
+__all__ = ["HAS_NUMBA", "usable", "run"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAS_NUMBA = True
+except ImportError:  # pragma: no cover - the common case in this image
+    numba = None
+    HAS_NUMBA = False
+
+
+def _event_loop_kernel(
+    seg_off,
+    kinds,
+    cycles,
+    wait_prod_row,
+    num_slots,
+    seg_start,
+    seg_end,
+    sm_slot,
+    cta_start,
+    cta_finish,
+    cursor,
+    finished,
+    published,
+    sig_time,
+    waiter_head,
+    waiter_next,
+    ready_stack,
+):
+    """Run the event loop; returns ``(status, spin_parks, n_signals)``.
+
+    status 0 = completed; 1 = deadlock (the caller diagnoses it from the
+    output arrays); 2 = a slot was signalled twice (the second return
+    value then carries the offending row instead of the park count).
+    """
+    n = sm_slot.shape[0]
+    parks = 0
+    n_pub = 0
+    free_time = np.zeros(num_slots, dtype=np.float64)
+    is_free = np.ones(num_slots, dtype=np.bool_)
+    for nxt in range(n):
+        best = -1
+        bt = 0.0
+        for s in range(num_slots):
+            if is_free[s] and (best < 0 or free_time[s] < bt):
+                best = s
+                bt = free_time[s]
+        if best < 0:
+            return 1, parks, n_pub
+        is_free[best] = False
+        sm_slot[nxt] = best
+        cta_start[nxt] = bt
+        cta_finish[nxt] = bt
+        top = 0
+        ready_stack[top] = nxt
+        top += 1
+        while top > 0:
+            top -= 1
+            r = ready_stack[top]
+            j = cursor[r]
+            end_j = seg_off[r + 1]
+            t = cta_finish[r]
+            while j < end_j:
+                k = kinds[j]
+                if k == 4:  # WAIT
+                    pr = wait_prod_row[j]
+                    if pr < 0 or not published[pr]:
+                        parks += 1
+                        if pr >= 0:
+                            waiter_next[r] = waiter_head[pr]
+                            waiter_head[pr] = r
+                        break
+                    sig = sig_time[pr]
+                    end = t if t > sig else sig
+                else:
+                    end = t + cycles[j]
+                    if k == 3:  # SIGNAL
+                        if published[r]:
+                            return 2, r, n_pub
+                        published[r] = True
+                        sig_time[r] = end
+                        n_pub += 1
+                        # Collect waiters (list head = last arrived),
+                        # then reverse so the stack pops last-arrived
+                        # first, matching the oracle's LIFO cascade.
+                        base = top
+                        w = waiter_head[r]
+                        while w >= 0:
+                            ready_stack[top] = w
+                            top += 1
+                            w2 = waiter_next[w]
+                            waiter_next[w] = -1
+                            w = w2
+                        waiter_head[r] = -1
+                        lo = base
+                        hi = top - 1
+                        while lo < hi:
+                            tmp = ready_stack[lo]
+                            ready_stack[lo] = ready_stack[hi]
+                            ready_stack[hi] = tmp
+                            lo += 1
+                            hi -= 1
+                seg_start[j] = t
+                seg_end[j] = end
+                t = end
+                j += 1
+            cursor[r] = j
+            cta_finish[r] = t
+            if j >= end_j:
+                finished[r] = True
+                is_free[sm_slot[r]] = True
+                free_time[sm_slot[r]] = t
+    for r in range(n):
+        if not finished[r]:
+            return 1, parks, n_pub
+    return 0, parks, n_pub
+
+
+if HAS_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    _kernel = numba.njit(cache=True)(_event_loop_kernel)
+else:
+    _kernel = _event_loop_kernel
+
+
+def usable(arrays, faults) -> bool:
+    """Whether the jitted kernel can run this workload.
+
+    Requires numba, no fault injector (callback queries don't compile),
+    at most one signal per CTA and unique published slots — anything
+    else falls back to the numpy backend, which handles the general
+    case bitwise-identically.
+    """
+    if not HAS_NUMBA or faults is not None:
+        return False
+    return _well_formed_signals(arrays)
+
+
+def _well_formed_signals(arrays) -> bool:
+    if int(np.count_nonzero(arrays.kinds == KIND_SIGNAL)) != int(
+        np.count_nonzero(arrays.signal_local >= 0)
+    ):
+        return False
+    pub = arrays.signal_slot[arrays.signal_slot >= 0]
+    return np.unique(pub).shape[0] == pub.shape[0]
+
+
+def run(arrays, num_sm_slots: int):
+    """Execute ``arrays`` with the (possibly jitted) kernel.
+
+    Returns ``(ArrayTrace, spin_parks, n_signals)`` like the numpy
+    backend's internals; raises the oracle's exact ``DeadlockError`` /
+    ``SimulationError`` on unprogressable or malformed runs.
+    """
+    from .backends import ArrayTrace, DeadlockCtaView, diagnose_deadlock
+
+    n = arrays.num_ctas
+    S = arrays.num_segments
+
+    # Map each WAIT to its producer's ROW (slot ids -> rows), so the
+    # kernel never touches raw slot ids.
+    wait_prod_row = np.full(S, -1, dtype=np.int64)
+    sig_rows = np.flatnonzero(arrays.signal_local >= 0)
+    wait_idx = np.flatnonzero(arrays.kinds == KIND_WAIT)
+    if wait_idx.size and sig_rows.size:
+        pub_slots = arrays.signal_slot[sig_rows]
+        order = np.argsort(pub_slots)
+        sorted_slots = pub_slots[order]
+        sorted_rows = sig_rows[order]
+        wslots = arrays.slots[wait_idx]
+        pos = np.searchsorted(sorted_slots, wslots)
+        pos_c = np.minimum(pos, sorted_slots.size - 1)
+        found = sorted_slots[pos_c] == wslots
+        wait_prod_row[wait_idx[found]] = sorted_rows[pos_c[found]]
+
+    seg_start = np.zeros(S, dtype=np.float64)
+    seg_end = np.zeros(S, dtype=np.float64)
+    sm_slot = np.full(n, -1, dtype=np.int64)
+    cta_start = np.zeros(n, dtype=np.float64)
+    cta_finish = np.zeros(n, dtype=np.float64)
+    cursor = arrays.seg_off[:-1].astype(np.int64).copy()
+    finished = np.zeros(n, dtype=np.bool_)
+    published = np.zeros(n, dtype=np.bool_)
+    sig_time = np.zeros(n, dtype=np.float64)
+    waiter_head = np.full(n, -1, dtype=np.int64)
+    waiter_next = np.full(n, -1, dtype=np.int64)
+    ready_stack = np.zeros(max(n, 1), dtype=np.int64)
+
+    status, parks, n_pub = _kernel(
+        arrays.seg_off,
+        arrays.kinds,
+        arrays.cycles,
+        wait_prod_row,
+        num_sm_slots,
+        seg_start,
+        seg_end,
+        sm_slot,
+        cta_start,
+        cta_finish,
+        cursor,
+        finished,
+        published,
+        sig_time,
+        waiter_head,
+        waiter_next,
+        ready_stack,
+    )
+
+    if status == 2:
+        # `parks` carries the offending row in this status.
+        raise SimulationError(
+            "slot %d signalled twice" % int(arrays.signal_slot[parks])
+        )
+    if status == 1:
+        by_slot_signal = {
+            int(arrays.signal_slot[r]): float(sig_time[r])
+            for r in np.flatnonzero(published)
+        }
+        views = []
+        seg_off = arrays.seg_off
+        for r in range(n):
+            j = int(cursor[r])
+            blocked_on = None
+            if j < seg_off[r + 1] and arrays.kinds[j] == KIND_WAIT:
+                blocked_on = int(arrays.slots[j])
+            views.append(
+                DeadlockCtaView(
+                    cta=int(arrays.ctas[r]),
+                    signals_slot=(
+                        int(arrays.signal_slot[r])
+                        if arrays.signal_slot[r] >= 0
+                        else None
+                    ),
+                    launched=bool(sm_slot[r] >= 0),
+                    finished=bool(finished[r]),
+                    blocked_on=blocked_on,
+                )
+            )
+        raise diagnose_deadlock(views, by_slot_signal, set())
+
+    trace = ArrayTrace(
+        num_sm_slots,
+        arrays,
+        seg_start,
+        seg_end,
+        sm_slot=sm_slot,
+        start=cta_start,
+        finish=cta_finish,
+    )
+    return trace, int(parks), int(n_pub)

@@ -1,0 +1,961 @@
+"""Array executor backends: the vectorized simulation core.
+
+The pure-Python :class:`~repro.gpu.executor.Executor` is this repo's
+*bitwise oracle*: exact, heavily tested, and slow — every simulated
+segment allocates a :class:`~repro.gpu.trace.SegmentRecord` and walks a
+chain of frozen dataclasses.  This module re-runs the same discrete-event
+model over flat numpy arrays (:class:`TaskArrays`) and is required to be
+**bitwise identical** to the oracle: same ``ExecutionTrace`` segment
+timings, same ``DeadlockError`` wait chains, same ``executor.*`` and
+``faults.*`` counters.
+
+Two array strategies, picked per run:
+
+* **single-wave vectorized** — when every CTA launches immediately
+  (``num_ctas <= num_sm_slots``) and, per CTA, its one ``SIGNAL``
+  precedes its first ``WAIT`` (true of every schedule this repo builds;
+  asserted structurally by ``one_wave_makespan``), all signal timestamps
+  are closed-form prefix folds.  The simulation becomes two short loops
+  over segment *positions* with all CTAs advanced as numpy vectors —
+  the fold order of the floating-point adds is exactly the oracle's, so
+  equality is bitwise, not approximate.
+* **lean event loop** — the general fallback (multi-wave dispatch,
+  adversarial hand-built tasks): the oracle's algorithm verbatim, but
+  over flat arrays with zero per-segment allocation, consulting the
+  fault injector in the oracle's exact query order.
+
+Backend selection: ``python`` (the oracle), ``numpy`` (this module), or
+``numba`` (:mod:`~repro.gpu.backend_numba`, an ``@njit`` twin of the
+event loop that falls back to numpy when numba is not installed or when
+fault callbacks are needed).  The default comes from the
+``REPRO_EXECUTOR`` environment variable (CLI flag ``--executor``
+overrides per invocation via :func:`set_default_executor`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, DeadlockError
+from ..obs.counters import inc_counter
+from ..obs.profiler import span
+from ..schedules.flatten import (
+    KIND_COMPUTE,
+    KIND_NAMES,
+    KIND_SIGNAL,
+    KIND_WAIT,
+)
+from .cta import SegmentKind
+from .trace import CtaRecord, ExecutionTrace, SegmentRecord
+
+__all__ = [
+    "EXECUTOR_BACKENDS",
+    "ArrayTrace",
+    "DeadlockCtaView",
+    "TaskArrays",
+    "diagnose_deadlock",
+    "resolve_executor_backend",
+    "run_task_arrays",
+    "set_default_executor",
+    "tasks_to_arrays",
+]
+
+#: Integer code -> SegmentKind, index-aligned with the flattener's codes.
+CODE_TO_KIND = tuple(SegmentKind)
+if tuple(k.value for k in CODE_TO_KIND) != KIND_NAMES:  # pragma: no cover
+    raise AssertionError("segment-kind codes drifted from SegmentKind")
+KIND_TO_CODE = {k: i for i, k in enumerate(CODE_TO_KIND)}
+
+EXECUTOR_BACKENDS = ("python", "numpy", "numba")
+_ENV_VAR = "REPRO_EXECUTOR"
+_default_backend: "str | None" = None
+
+
+def set_default_executor(name: "str | None") -> None:
+    """Set the process-wide default backend.
+
+    ``None`` restores the environment default (``REPRO_EXECUTOR``, else
+    ``python``).  The CLI's ``--executor`` flag lands here.
+    """
+    global _default_backend
+    if name is not None:
+        name = _validate_backend(name)
+    _default_backend = name
+
+
+def resolve_executor_backend(name: "str | None" = None) -> str:
+    """Resolve a backend request to a concrete backend name.
+
+    Precedence: explicit ``name`` > :func:`set_default_executor` >
+    ``REPRO_EXECUTOR`` env var > ``"python"``.  ``numba`` degrades
+    gracefully to ``numpy`` when numba is not importable.
+    """
+    if name is None:
+        name = _default_backend
+    if name is None:
+        name = os.environ.get(_ENV_VAR, "").strip() or "python"
+    name = _validate_backend(name)
+    if name == "numba":
+        from . import backend_numba
+
+        if not backend_numba.HAS_NUMBA:
+            return "numpy"
+    return name
+
+
+def _validate_backend(name: str) -> str:
+    name = str(name).lower()
+    if name not in EXECUTOR_BACKENDS:
+        raise ConfigurationError(
+            "unknown executor backend %r; expected one of %s"
+            % (name, ", ".join(EXECUTOR_BACKENDS))
+        )
+    return name
+
+
+# ---------------------------------------------------------------------- #
+# Task arrays                                                             #
+# ---------------------------------------------------------------------- #
+
+
+class TaskArrays:
+    """A priced CTA/segment stream as flat parallel arrays.
+
+    The array counterpart of ``list[CtaTask]``: ``ctas`` in launch
+    order, CSR ``seg_off`` row pointers, and per-segment ``kinds``
+    (flattener codes), ``cycles`` (base-priced, pre-fault-multiplier)
+    and ``slots`` (-1 = none; ``SIGNAL`` rows carry the CTA's own slot).
+
+    Derived per-CTA arrays are precomputed once: ``signal_local`` (the
+    signal's index within its CTA, -1 if none), ``signal_slot`` (the
+    slot it publishes, -1 if none) and ``first_wait_local``.
+    """
+
+    __slots__ = (
+        "ctas",
+        "seg_off",
+        "kinds",
+        "cycles",
+        "slots",
+        "signal_local",
+        "signal_slot",
+        "first_wait_local",
+    )
+
+    def __init__(self, ctas, seg_off, kinds, cycles, slots):
+        self.ctas = np.ascontiguousarray(ctas, dtype=np.int64)
+        self.seg_off = np.ascontiguousarray(seg_off, dtype=np.int64)
+        self.kinds = np.ascontiguousarray(kinds, dtype=np.int8)
+        self.cycles = np.ascontiguousarray(cycles, dtype=np.float64)
+        self.slots = np.ascontiguousarray(slots, dtype=np.int64)
+        n = self.ctas.shape[0]
+        if np.unique(self.ctas).shape[0] != n:
+            raise ConfigurationError("duplicate CTA ids in task list")
+        rows = self.rows()
+        self.signal_local = np.full(n, -1, dtype=np.int64)
+        self.signal_slot = np.full(n, -1, dtype=np.int64)
+        sig_idx = np.flatnonzero(self.kinds == KIND_SIGNAL)
+        if sig_idx.size:
+            srows = rows[sig_idx]
+            self.signal_local[srows] = sig_idx - self.seg_off[srows]
+            sslots = self.slots[sig_idx]
+            self.signal_slot[srows] = np.where(
+                sslots < 0, self.ctas[srows], sslots
+            )
+        self.first_wait_local = np.full(n, -1, dtype=np.int64)
+        wait_idx = np.flatnonzero(self.kinds == KIND_WAIT)
+        if wait_idx.size:
+            wrows = rows[wait_idx]
+            # Reverse assignment: the earliest wait of each row wins.
+            self.first_wait_local[wrows[::-1]] = (
+                wait_idx - self.seg_off[wrows]
+            )[::-1]
+
+    @property
+    def num_ctas(self) -> int:
+        return self.ctas.shape[0]
+
+    @property
+    def num_segments(self) -> int:
+        return self.kinds.shape[0]
+
+    def rows(self) -> np.ndarray:
+        """CTA row index of every segment (CSR expansion)."""
+        return np.repeat(
+            np.arange(self.num_ctas, dtype=np.int64), np.diff(self.seg_off)
+        )
+
+    def local_indices(self) -> np.ndarray:
+        """Each segment's index within its own CTA's segment list."""
+        return (
+            np.arange(self.num_segments, dtype=np.int64)
+            - self.seg_off[self.rows()]
+        )
+
+
+def tasks_to_arrays(tasks) -> TaskArrays:
+    """Lower a ``list[CtaTask]`` into :class:`TaskArrays`.
+
+    The loop is the only per-object walk an array-backend run performs;
+    schedules coming from a cost model should prefer
+    :meth:`~repro.gpu.costmodel.KernelCostModel.build_task_arrays`,
+    which never builds the task objects at all.
+    """
+    ctas: "list[int]" = []
+    offs: "list[int]" = [0]
+    kinds: "list[int]" = []
+    cycles: "list[float]" = []
+    slots: "list[int]" = []
+    for t in tasks:
+        ctas.append(t.cta)
+        for s in t.segments:
+            kinds.append(KIND_TO_CODE[s.kind])
+            cycles.append(s.cycles)
+            if s.slot is None:
+                slots.append(t.cta if s.kind is SegmentKind.SIGNAL else -1)
+            else:
+                slots.append(s.slot)
+        offs.append(len(kinds))
+    return TaskArrays(ctas, offs, kinds, cycles, slots)
+
+
+# ---------------------------------------------------------------------- #
+# Lazy trace                                                              #
+# ---------------------------------------------------------------------- #
+
+
+class ArrayTrace(ExecutionTrace):
+    """An :class:`~repro.gpu.trace.ExecutionTrace` backed by arrays.
+
+    ``makespan`` comes straight from the finish-time array; the
+    :class:`~repro.gpu.trace.CtaRecord` list materializes lazily on
+    first access to ``ctas``, so throughput paths (benchmarks, corpus
+    sweeps reading only the makespan) never pay for per-segment record
+    objects.  Once materialized, records are bitwise identical to the
+    oracle's — same values, same ordering (sorted by CTA id).
+    """
+
+    def __init__(
+        self, num_sm_slots, arrays, seg_start, seg_end, sm_slot, start, finish
+    ):
+        self.num_sm_slots = num_sm_slots
+        self._arrays = arrays
+        self._seg_start = seg_start
+        self._seg_end = seg_end
+        self._sm_slot = sm_slot
+        self._start = start
+        self._finish = finish
+        self._records: "list[CtaRecord] | None" = None
+
+    @property
+    def ctas(self) -> "list[CtaRecord]":
+        if self._records is None:
+            self._records = self._materialize()
+        return self._records
+
+    @ctas.setter
+    def ctas(self, value) -> None:
+        self._records = value
+
+    @property
+    def makespan(self) -> float:
+        if self._finish.shape[0] == 0:
+            return 0.0
+        return float(self._finish.max())
+
+    def _materialize(self) -> "list[CtaRecord]":
+        a = self._arrays
+        starts = self._seg_start.tolist()
+        ends = self._seg_end.tolist()
+        kinds = a.kinds.tolist()
+        slots = a.slots.tolist()
+        seg_off = a.seg_off.tolist()
+        cta_ids = a.ctas.tolist()
+        sm_slot = self._sm_slot.tolist()
+        t0 = self._start.tolist()
+        t1 = self._finish.tolist()
+        records = []
+        for i in sorted(range(len(cta_ids)), key=cta_ids.__getitem__):
+            segs = tuple(
+                SegmentRecord(
+                    CODE_TO_KIND[kinds[j]],
+                    starts[j],
+                    ends[j],
+                    slots[j] if slots[j] >= 0 else None,
+                )
+                for j in range(seg_off[i], seg_off[i + 1])
+            )
+            records.append(
+                CtaRecord(
+                    cta=cta_ids[i],
+                    sm_slot=sm_slot[i],
+                    start=t0[i],
+                    finish=t1[i],
+                    segments=segs,
+                )
+            )
+        return records
+
+
+# ---------------------------------------------------------------------- #
+# Deadlock diagnosis (shared with the oracle)                             #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class DeadlockCtaView:
+    """The per-CTA facts deadlock diagnosis needs, backend-agnostic."""
+
+    cta: int
+    signals_slot: "int | None"
+    launched: bool
+    finished: bool
+    blocked_on: "int | None"
+
+
+def diagnose_deadlock(views, by_slot_signal, dropped_slots) -> DeadlockError:
+    """Build the wait-chain diagnostic for an unprogressable run.
+
+    For every blocked CTA: name the slot it waits on and *why* that
+    signal can never arrive — the producer was never launched (no free
+    slot), the producer itself is blocked (possibly forming a cycle),
+    the producer's flag was dropped by fault injection, or no task ever
+    signals the slot at all.  Detects and reports the first circular
+    wait (the blocking CTA cycle) when one exists.  Every backend funnels
+    through here, so wait chains are identical by construction.
+    """
+    by_cta = {v.cta: v for v in views}
+    producer_of_slot = {
+        v.signals_slot: v.cta for v in views if v.signals_slot is not None
+    }
+    blocked = sorted(
+        v.cta for v in views if not v.finished and v.blocked_on is not None
+    )
+
+    wait_chain: "list[tuple[int, int, str]]" = []
+    for cta in blocked:
+        slot = by_cta[cta].blocked_on
+        if slot in dropped_slots:
+            reason = (
+                "signal from CTA %d was dropped by fault injection"
+                % producer_of_slot.get(slot, slot)
+            )
+        elif slot in by_slot_signal:  # pragma: no cover - defensive
+            reason = "signal published but waiter not released"
+        elif slot not in producer_of_slot:
+            reason = "no CTA ever signals slot %d" % slot
+        else:
+            producer = by_cta[producer_of_slot[slot]]
+            if not producer.launched:
+                reason = (
+                    "producer CTA %d never launched (all SM slots held "
+                    "by blocked CTAs)" % producer.cta
+                )
+            elif producer.blocked_on is not None:
+                reason = "producer CTA %d is itself blocked on slot %d" % (
+                    producer.cta,
+                    producer.blocked_on,
+                )
+            elif producer.finished:
+                reason = (
+                    "producer CTA %d finished without publishing"
+                    % producer.cta
+                )
+            else:  # pragma: no cover - defensive
+                reason = "producer CTA %d stalled" % producer.cta
+        wait_chain.append((cta, slot, reason))
+
+    cycle = _find_cycle(by_cta, producer_of_slot, blocked)
+    return DeadlockError(blocked, wait_chain=wait_chain, cycle=cycle)
+
+
+def _find_cycle(by_cta, producer_of_slot, blocked) -> "list[int] | None":
+    """First circular wait among blocked CTAs, as a CTA id list."""
+    for start in blocked:
+        path: "list[int]" = []
+        seen: "dict[int, int]" = {}
+        cta = start
+        while True:
+            if cta in seen:
+                return path[seen[cta]:]
+            seen[cta] = len(path)
+            path.append(cta)
+            view = by_cta.get(cta)
+            slot = view.blocked_on if view is not None else None
+            if slot is None or slot not in producer_of_slot:
+                break
+            cta = producer_of_slot[slot]
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# Backend entry point                                                     #
+# ---------------------------------------------------------------------- #
+
+
+def run_task_arrays(
+    arrays: TaskArrays, num_sm_slots: int, faults=None, backend: str = "numpy"
+) -> ExecutionTrace:
+    """Execute a :class:`TaskArrays` with an array backend.
+
+    Publishes the same ``executor.*`` counters as the oracle (plus an
+    ``executor.backend.<name>`` tally) and returns an
+    :class:`ArrayTrace`; raises the oracle's exact ``DeadlockError`` /
+    ``SimulationError`` on unprogressable or malformed runs.
+    """
+    if num_sm_slots <= 0:
+        raise ConfigurationError(
+            "need at least one SM slot, got %d" % num_sm_slots
+        )
+    with span("executor_run"):
+        used = backend
+        if backend == "numba":
+            from . import backend_numba
+
+            if backend_numba.usable(arrays, faults):
+                trace, parks, n_signals = backend_numba.run(
+                    arrays, num_sm_slots
+                )
+            else:
+                used = "numpy"
+                trace, parks, n_signals = _run_numpy(
+                    arrays, num_sm_slots, faults
+                )
+        else:
+            trace, parks, n_signals = _run_numpy(arrays, num_sm_slots, faults)
+
+    inc_counter("executor.backend.%s" % used)
+    inc_counter("executor.runs")
+    inc_counter("executor.ctas", arrays.num_ctas)
+    inc_counter("executor.segments", arrays.num_segments)
+    inc_counter("executor.spin_waits", parks)
+    inc_counter("executor.signals", n_signals)
+    return trace
+
+
+def _run_numpy(arrays, num_sm_slots, faults):
+    if _single_wave_ok(arrays, num_sm_slots):
+        return _run_single_wave(arrays, num_sm_slots, faults)
+    return _run_event_loop(arrays, num_sm_slots, faults)
+
+
+def _single_wave_ok(arrays: TaskArrays, num_sm_slots: int) -> bool:
+    """Whether the vectorized single-wave path applies.
+
+    Requires: every CTA launches immediately (one wave), each CTA's
+    signal precedes its first wait (so signal timestamps are closed-form
+    prefix sums — the structural invariant of every schedule this repo
+    builds), and no two CTAs publish the same slot (the pathological
+    double-signal case is left to the event loop, which reports it at
+    the oracle's exact execution point).
+    """
+    if arrays.num_ctas > num_sm_slots:
+        return False
+    sig, fw = arrays.signal_local, arrays.first_wait_local
+    if bool(np.any((sig >= 0) & (fw >= 0) & (fw < sig))):
+        return False
+    # One signal per CTA (hand-built arrays can violate what CtaTask
+    # validation normally guarantees), and no two CTAs on one slot.
+    if int(np.count_nonzero(arrays.kinds == KIND_SIGNAL)) != int(
+        np.count_nonzero(sig >= 0)
+    ):
+        return False
+    pub = arrays.signal_slot[arrays.signal_slot >= 0]
+    if np.unique(pub).shape[0] != pub.shape[0]:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------- #
+# Vectorized single-wave path                                             #
+# ---------------------------------------------------------------------- #
+
+
+def _run_single_wave(arrays: TaskArrays, num_sm_slots: int, faults):
+    """All CTAs launch at t=0 on slot == launch index; advance CTAs in
+    lockstep over segment positions with numpy vectors.
+
+    Floating-point parity with the oracle holds because every value is
+    produced by the same op sequence: per segment one ``t + cycles`` add
+    (cycles being ``base * slot_mult`` plus an optional penalty add), a
+    ``max`` for waits (exact), and the two-add signal-delay sequence.
+    """
+    n = arrays.num_ctas
+    S = arrays.num_segments
+    seg_off = arrays.seg_off
+    kinds = arrays.kinds
+    cycles = arrays.cycles
+    slots = arrays.slots
+    nseg = np.diff(seg_off)
+    rows = arrays.rows()
+    local = arrays.local_indices()
+    launch = np.arange(n, dtype=np.int64)
+
+    # --- signal bookkeeping (drops, delays, producers) ----------------- #
+    sig_rows = np.flatnonzero(arrays.signal_local >= 0)
+    if faults is not None and sig_rows.size:
+        # Every signal executes (it precedes its CTA's first wait), so
+        # drop/delay sites are static — query them in launch order, the
+        # oracle's dispatch order.
+        dropped = faults.signal_drops(arrays.ctas[sig_rows])
+    else:
+        dropped = np.zeros(sig_rows.shape[0], dtype=bool)
+    delay_by_row = np.zeros(n, dtype=np.float64)
+    if faults is not None and sig_rows.size:
+        live = sig_rows[~dropped]
+        delay_by_row[live] = faults.signal_delays(arrays.ctas[live])
+
+    pub_rows = sig_rows[~dropped]
+    pub_slots = arrays.signal_slot[pub_rows]
+    order = np.argsort(pub_slots)
+    sorted_slots = pub_slots[order]
+    sorted_rows = pub_rows[order]
+    dropped_slot_ids = set(arrays.signal_slot[sig_rows[dropped]].tolist())
+
+    # --- wait availability and blocked prefixes ------------------------ #
+    wait_idx = np.flatnonzero(kinds == KIND_WAIT)
+    wait_prod_row = np.full(S, -1, dtype=np.int64)
+    if wait_idx.size and sorted_slots.size:
+        wslots = slots[wait_idx]
+        pos = np.searchsorted(sorted_slots, wslots)
+        pos_c = np.minimum(pos, sorted_slots.size - 1)
+        found = sorted_slots[pos_c] == wslots
+        wait_prod_row[wait_idx[found]] = sorted_rows[pos_c[found]]
+    stop_local = nseg.copy()
+    if wait_idx.size:
+        bad = wait_idx[wait_prod_row[wait_idx] < 0]
+        if bad.size:
+            brows = rows[bad]
+            stop_local[brows[::-1]] = (local[bad])[::-1]
+    executed = local < stop_local[rows]
+
+    # --- fault pricing over executed sites ----------------------------- #
+    if faults is None:
+        exec_cycles = cycles
+    else:
+        nonwait_exec = executed & (kinds != KIND_WAIT)
+        mult_rows = np.unique(rows[nonwait_exec])
+        mult_by_row = np.ones(n, dtype=np.float64)
+        if mult_rows.size:
+            # Slot index == launch index in a single wave.
+            mult_by_row[mult_rows] = faults.slot_multipliers(mult_rows)
+        exec_cycles = cycles * mult_by_row[rows]
+        pmask = (kinds == KIND_COMPUTE) & (cycles > 0.0) & executed
+        if pmask.any():
+            pen = faults.preempt_penalties(
+                arrays.ctas[rows[pmask]], local[pmask], cycles[pmask]
+            )
+            exec_cycles[pmask] += pen
+
+    # --- pass 1: signal timestamps (prefix folds, oracle op order) ----- #
+    sig_time_by_row = np.zeros(n, dtype=np.float64)
+    if sig_rows.size:
+        soff = seg_off[sig_rows]
+        sl = arrays.signal_local[sig_rows]
+        t = np.zeros(sig_rows.size, dtype=np.float64)
+        for p in range(int(sl.max()) + 1):
+            act = sl >= p
+            t[act] = t[act] + exec_cycles[soff[act] + p]
+        if faults is not None:
+            t = t + delay_by_row[sig_rows]
+        sig_time_by_row[sig_rows] = t
+
+    wait_sig = np.zeros(S, dtype=np.float64)
+    avail = wait_prod_row >= 0
+    wait_sig[avail] = sig_time_by_row[np.maximum(wait_prod_row[avail], 0)]
+
+    # --- pass 2: the full fold ----------------------------------------- #
+    seg_start = np.zeros(S, dtype=np.float64)
+    seg_end = np.zeros(S, dtype=np.float64)
+    tcur = np.zeros(n, dtype=np.float64)
+    runmax = launch.copy()  # highest producer launch index seen per CTA
+    parks = 0
+    for p in range(int(nseg.max()) if n else 0):
+        sel = np.flatnonzero(stop_local > p)
+        if not sel.size:
+            break
+        idx = seg_off[sel] + p
+        k = kinds[idx]
+        tprev = tcur[sel]
+        end = tprev + exec_cycles[idx]
+        w = k == KIND_WAIT
+        if w.any():
+            widx = idx[w]
+            end[w] = np.maximum(tprev[w], wait_sig[widx])
+            prod = wait_prod_row[widx]
+            msel = runmax[sel[w]]
+            parks += int(np.count_nonzero(prod > msel))
+            runmax[sel[w]] = np.maximum(msel, prod)
+        if faults is not None:
+            sg = k == KIND_SIGNAL
+            if sg.any():
+                end[sg] = end[sg] + delay_by_row[sel[sg]]
+        seg_start[idx] = tprev
+        seg_end[idx] = end
+        tcur[sel] = end
+
+    # Blocked CTAs also park once, at the wait they never clear.
+    blocked_rows = np.flatnonzero(stop_local < nseg)
+    parks += int(blocked_rows.size)
+
+    if blocked_rows.size:
+        by_slot_signal = dict(
+            zip(sorted_slots.tolist(), sig_time_by_row[sorted_rows].tolist())
+        )
+        blocked_slot = slots[seg_off[blocked_rows] + stop_local[blocked_rows]]
+        blocked_on = dict(zip(blocked_rows.tolist(), blocked_slot.tolist()))
+        finished = stop_local == nseg
+        views = [
+            DeadlockCtaView(
+                cta=int(arrays.ctas[i]),
+                signals_slot=(
+                    int(arrays.signal_slot[i])
+                    if arrays.signal_slot[i] >= 0
+                    else None
+                ),
+                launched=True,
+                finished=bool(finished[i]),
+                blocked_on=blocked_on.get(i),
+            )
+            for i in range(n)
+        ]
+        raise diagnose_deadlock(views, by_slot_signal, dropped_slot_ids)
+
+    trace = ArrayTrace(
+        num_sm_slots,
+        arrays,
+        seg_start,
+        seg_end,
+        sm_slot=launch,
+        start=np.zeros(n, dtype=np.float64),
+        finish=tcur,
+    )
+    return trace, parks, int(pub_rows.size)
+
+
+# ---------------------------------------------------------------------- #
+# Lean event-loop path (general fallback)                                 #
+# ---------------------------------------------------------------------- #
+
+
+def _run_event_loop(arrays: TaskArrays, num_sm_slots: int, faults):
+    if faults is None:
+        return _run_event_loop_pristine(arrays, num_sm_slots)
+    return _run_event_loop_faulted(arrays, num_sm_slots, faults)
+
+
+def _run_event_loop_pristine(arrays: TaskArrays, num_sm_slots: int):
+    """Multi-wave dispatch without fault injection: two passes.
+
+    Pass A replays the oracle's dispatch algorithm but touches Python
+    only at WAIT/SIGNAL segments — runs of plain segments fold through
+    ``sum(slice, t)``, and CPython's ``sum`` is the same strict
+    left-to-right float fold as the oracle's per-segment ``t = t + c``,
+    so every timestamp (and therefore every dispatch decision) is
+    bitwise the oracle's.  Pass B then fills per-segment start/end
+    times by advancing all CTAs in lockstep over segment *positions*
+    (the same numpy op order), never looping over individual segments.
+    """
+    import heapq
+
+    from ..errors import SimulationError
+
+    n = arrays.num_ctas
+    S = arrays.num_segments
+    seg_off_arr = arrays.seg_off
+    kinds_arr = arrays.kinds
+    seg_off = seg_off_arr.tolist()
+    kinds = kinds_arr.tolist()
+    cyc = arrays.cycles.tolist()
+    slots = arrays.slots.tolist()
+    W, G = KIND_WAIT, KIND_SIGNAL
+
+    # Per-CTA list of WAIT/SIGNAL segment indices, in stream order.
+    specials: "list[list[int]]" = [[] for _ in range(n)]
+    spec_idx = np.flatnonzero((kinds_arr == W) | (kinds_arr == G))
+    if spec_idx.size:
+        srows = np.searchsorted(seg_off_arr, spec_idx, side="right") - 1
+        for row, j in zip(srows.tolist(), spec_idx.tolist()):
+            specials[row].append(j)
+
+    time_ = [0.0] * n
+    start = [0.0] * n
+    cursor = seg_off[:n]
+    spec_ptr = [0] * n
+    sm_slot = [-1] * n
+    finished = [False] * n
+    by_slot_signal: "dict[int, float]" = {}
+    waiters: "dict[int, list[int]]" = {}
+    free_slots = [(0.0, s) for s in range(num_sm_slots)]
+    heapq.heapify(free_slots)
+    parks = 0
+    heappop, heappush = heapq.heappop, heapq.heappush
+
+    def deadlock() -> DeadlockError:
+        views = []
+        for r in range(n):
+            j = cursor[r]
+            blocked_on = (
+                slots[j] if (j < seg_off[r + 1] and kinds[j] == W) else None
+            )
+            views.append(
+                DeadlockCtaView(
+                    cta=int(arrays.ctas[r]),
+                    signals_slot=(
+                        int(arrays.signal_slot[r])
+                        if arrays.signal_slot[r] >= 0
+                        else None
+                    ),
+                    launched=sm_slot[r] >= 0,
+                    finished=finished[r],
+                    blocked_on=blocked_on,
+                )
+            )
+        return diagnose_deadlock(views, by_slot_signal, set())
+
+    if not spec_idx.size:
+        # No waits or signals anywhere (e.g. data-parallel): dispatch is
+        # a plain slot queue and each CTA is one left fold.
+        for r in range(n):
+            t, slot = heappop(free_slots)
+            sm_slot[r] = slot
+            start[r] = t
+            t = sum(cyc[seg_off[r]:seg_off[r + 1]], t)
+            time_[r] = t
+            finished[r] = True
+            heappush(free_slots, (t, slot))
+        cursor = seg_off[1:]
+    else:
+        ready: "list[int]" = []
+        nxt_cta = 0
+        while nxt_cta < n:
+            if not free_slots:
+                raise deadlock()
+            t, slot = heappop(free_slots)
+            r = nxt_cta
+            nxt_cta += 1
+            sm_slot[r] = slot
+            start[r] = time_[r] = t
+            ready.append(r)
+            while ready:
+                r = ready.pop()
+                j = cursor[r]
+                b = seg_off[r + 1]
+                t = time_[r]
+                sp = specials[r]
+                si = spec_ptr[r]
+                ns = len(sp)
+                while True:
+                    nxt = sp[si] if si < ns else b
+                    if nxt > j:
+                        t = sum(cyc[j:nxt], t)
+                        j = nxt
+                    if j >= b:
+                        break
+                    if kinds[j] == W:
+                        sig = by_slot_signal.get(slots[j])
+                        if sig is None:
+                            parks += 1
+                            waiters.setdefault(slots[j], []).append(r)
+                            break
+                        t = max(t, sig)
+                    else:
+                        t = t + cyc[j]
+                        slot = slots[j]
+                        if slot in by_slot_signal:
+                            raise SimulationError(
+                                "slot %d signalled twice" % slot
+                            )
+                        by_slot_signal[slot] = t
+                        for wr in waiters.pop(slot, []):
+                            ready.append(wr)
+                    j += 1
+                    si += 1
+                cursor[r] = j
+                spec_ptr[r] = si
+                time_[r] = t
+                if j >= b:
+                    finished[r] = True
+                    heappush(free_slots, (t, sm_slot[r]))
+
+        if not all(finished):
+            raise deadlock()
+
+    # --- pass B: vectorized per-segment recording ---------------------- #
+    cycles = arrays.cycles
+    nseg = np.diff(seg_off_arr)
+    wait_sig = np.zeros(S, dtype=np.float64)
+    wait_idx = np.flatnonzero(kinds_arr == W)
+    if wait_idx.size:
+        ps = np.fromiter(by_slot_signal, dtype=np.int64, count=len(by_slot_signal))
+        pt = np.fromiter(
+            by_slot_signal.values(), dtype=np.float64, count=len(by_slot_signal)
+        )
+        order = np.argsort(ps)
+        ps, pt = ps[order], pt[order]
+        # Every wait resolved (the run completed), so lookups all hit.
+        wait_sig[wait_idx] = pt[np.searchsorted(ps, arrays.slots[wait_idx])]
+
+    seg_start = np.zeros(S, dtype=np.float64)
+    seg_end = np.zeros(S, dtype=np.float64)
+    tcur = np.array(start, dtype=np.float64)
+    for p in range(int(nseg.max()) if n else 0):
+        sel = np.flatnonzero(nseg > p)
+        idx = seg_off_arr[sel] + p
+        tprev = tcur[sel]
+        end = tprev + cycles[idx]
+        w = kinds_arr[idx] == W
+        if w.any():
+            end[w] = np.maximum(tprev[w], wait_sig[idx[w]])
+        seg_start[idx] = tprev
+        seg_end[idx] = end
+        tcur[sel] = end
+
+    trace = ArrayTrace(
+        num_sm_slots,
+        arrays,
+        seg_start,
+        seg_end,
+        sm_slot=np.array(sm_slot, dtype=np.int64),
+        start=np.array(start, dtype=np.float64),
+        finish=np.array(time_, dtype=np.float64),
+    )
+    return trace, parks, len(by_slot_signal)
+
+
+def _run_event_loop_faulted(arrays: TaskArrays, num_sm_slots: int, faults):
+    """The oracle's algorithm verbatim over flat arrays.
+
+    No per-segment allocation: start/end times land in flat lists turned
+    into the ArrayTrace's arrays at the end.  Injector queries happen in
+    the oracle's exact order, so even the injection *log order* matches.
+    """
+    import heapq
+
+    from ..errors import SimulationError
+
+    n = arrays.num_ctas
+    S = arrays.num_segments
+    seg_off = arrays.seg_off.tolist()
+    kinds = arrays.kinds.tolist()
+    cyc = arrays.cycles.tolist()
+    slots = arrays.slots.tolist()
+    cta_ids = arrays.ctas.tolist()
+
+    seg_start = [0.0] * S
+    seg_end = [0.0] * S
+    time = [0.0] * n
+    start = [0.0] * n
+    cursor = [seg_off[i] for i in range(n)]
+    sm_slot = [-1] * n
+    finished = [False] * n
+
+    by_slot_signal: "dict[int, float]" = {}
+    dropped_slots: "set[int]" = set()
+    waiters: "dict[int, list[int]]" = {}
+    free_slots = [(0.0, s) for s in range(num_sm_slots)]
+    heapq.heapify(free_slots)
+    inj = faults
+    parks = 0
+    W, G = KIND_WAIT, KIND_SIGNAL
+
+    def advance(ready: "list[int]") -> None:
+        nonlocal parks
+        while ready:
+            r = ready.pop()
+            j = cursor[r]
+            end_j = seg_off[r + 1]
+            t = time[r]
+            while j < end_j:
+                k = kinds[j]
+                if k == W:
+                    sig = by_slot_signal.get(slots[j])
+                    if sig is None:
+                        parks += 1
+                        waiters.setdefault(slots[j], []).append(r)
+                        break
+                    end = max(t, sig)
+                else:
+                    c = cyc[j]
+                    if inj is not None:
+                        c = inj.segment_cycles(
+                            cta_ids[r],
+                            j - seg_off[r],
+                            CODE_TO_KIND[k],
+                            c,
+                            sm_slot[r],
+                        )
+                    end = t + c
+                    if k == G:
+                        slot = slots[j]
+                        if slot in by_slot_signal or slot in dropped_slots:
+                            raise SimulationError(
+                                "slot %d signalled twice" % slot
+                            )
+                        if inj is not None and inj.signal_dropped(cta_ids[r]):
+                            dropped_slots.add(slot)
+                        else:
+                            if inj is not None:
+                                end += inj.signal_delay(cta_ids[r])
+                            by_slot_signal[slot] = end
+                            for wr in waiters.pop(slot, []):
+                                ready.append(wr)
+                seg_start[j] = t
+                seg_end[j] = end
+                t = end
+                j += 1
+            cursor[r] = j
+            time[r] = t
+            if j >= end_j:
+                finished[r] = True
+                heapq.heappush(free_slots, (t, sm_slot[r]))
+
+    def deadlock() -> DeadlockError:
+        views = []
+        for r in range(n):
+            j = cursor[r]
+            blocked_on = (
+                slots[j] if (j < seg_off[r + 1] and kinds[j] == W) else None
+            )
+            views.append(
+                DeadlockCtaView(
+                    cta=cta_ids[r],
+                    signals_slot=(
+                        int(arrays.signal_slot[r])
+                        if arrays.signal_slot[r] >= 0
+                        else None
+                    ),
+                    launched=sm_slot[r] >= 0,
+                    finished=finished[r],
+                    blocked_on=blocked_on,
+                )
+            )
+        return diagnose_deadlock(views, by_slot_signal, dropped_slots)
+
+    nxt = 0
+    while nxt < n:
+        if not free_slots:
+            raise deadlock()
+        t, slot = heapq.heappop(free_slots)
+        r = nxt
+        nxt += 1
+        sm_slot[r] = slot
+        start[r] = time[r] = t
+        advance([r])
+
+    if not all(finished):
+        raise deadlock()
+
+    trace = ArrayTrace(
+        num_sm_slots,
+        arrays,
+        np.array(seg_start, dtype=np.float64),
+        np.array(seg_end, dtype=np.float64),
+        sm_slot=np.array(sm_slot, dtype=np.int64),
+        start=np.array(start, dtype=np.float64),
+        finish=np.array(time, dtype=np.float64),
+    )
+    return trace, parks, len(by_slot_signal)

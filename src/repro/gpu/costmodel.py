@@ -223,6 +223,58 @@ class KernelCostModel:
             tasks.append(CtaTask(cta=w.cta, segments=tuple(segs)))
         return tasks
 
+    def build_task_arrays(self, schedule: Schedule, faults=None):
+        """Price a schedule straight into :class:`~repro.gpu.backends.
+        TaskArrays` — the array-backend twin of :meth:`build_tasks`.
+
+        No ``CtaTask``/``TimedSegment`` objects are built: the schedule
+        is flattened once (:func:`~repro.schedules.flatten.
+        flatten_work_items`) and cycle costs are attached as vectorized
+        array ops.  Pricing is bitwise identical to :meth:`build_tasks`,
+        including memory-jitter fault draws, which go through the
+        injector's bulk API against the exact same ``(cta, segment)``
+        sites — so mixing this path and the scalar path in one process
+        sees one consistent, once-logged set of draws.
+        """
+        import numpy as np
+
+        from ..schedules.flatten import (
+            KIND_COMPUTE,
+            KIND_FIXUP,
+            KIND_PROLOGUE,
+            KIND_STORE_PARTIALS,
+            KIND_STORE_TILE,
+            MEMORY_KIND_CODES,
+            flatten_work_items,
+        )
+        from .backends import TaskArrays
+
+        if schedule.grid.blocking != self.blocking:
+            raise ConfigurationError(
+                "schedule blocked %s but cost model is for %s"
+                % (schedule.grid.blocking, self.blocking)
+            )
+        flat = flatten_work_items(schedule)
+        cycles = np.zeros(flat.num_segments, dtype=np.float64)
+        kinds = flat.kinds
+        cycles[kinds == KIND_PROLOGUE] = self.prologue_cycles
+        cmask = kinds == KIND_COMPUTE
+        cycles[cmask] = self.cycles_per_iter * flat.iters[cmask]
+        cycles[kinds == KIND_FIXUP] = self.fixup_cycles_per_peer
+        cycles[kinds == KIND_STORE_TILE] = self.store_tile_cycles
+        cycles[kinds == KIND_STORE_PARTIALS] = self.store_partials_cycles
+        if faults is not None:
+            mem = np.isin(kinds, np.array(MEMORY_KIND_CODES, dtype=kinds.dtype))
+            if mem.any():
+                rows = flat.rows()
+                local = flat.local_indices()
+                cycles[mem] = cycles[mem] * faults.mem_latency_multipliers(
+                    flat.ctas[rows[mem]], local[mem]
+                )
+        return TaskArrays(
+            flat.ctas, flat.seg_off, kinds, cycles, flat.slots
+        )
+
     # ------------------------------------------------------------------ #
     # Convenience aggregates                                              #
     # ------------------------------------------------------------------ #

@@ -38,6 +38,13 @@ from dataclasses import dataclass, field
 from ..errors import ConfigurationError, DeadlockError, SimulationError
 from ..obs.counters import inc_counter
 from ..obs.profiler import span
+from .backends import (
+    DeadlockCtaView,
+    diagnose_deadlock,
+    resolve_executor_backend,
+    run_task_arrays,
+    tasks_to_arrays,
+)
 from .cta import CtaTask, SegmentKind
 from .trace import CtaRecord, ExecutionTrace, SegmentRecord
 
@@ -73,25 +80,61 @@ class Executor:
     FaultInjector` consulted at every injection site; ``None`` (the
     default) is the pristine fast path and is bitwise identical to a
     null-config injector.
+
+    ``backend`` selects the simulation core: ``"python"`` (this module —
+    the bitwise oracle), ``"numpy"`` or ``"numba"`` (the array backends
+    of :mod:`repro.gpu.backends`, bitwise identical and much faster).
+    ``None`` defers to the process default (CLI ``--executor`` flag,
+    else the ``REPRO_EXECUTOR`` environment variable, else python).
     """
 
-    def __init__(self, num_sm_slots: int, faults=None):
+    def __init__(self, num_sm_slots: int, faults=None, backend=None):
         if num_sm_slots <= 0:
             raise ConfigurationError(
                 "need at least one SM slot, got %d" % num_sm_slots
             )
         self.num_sm_slots = num_sm_slots
         self.faults = faults
+        self.backend = backend
 
     def run(self, tasks: "list[CtaTask]") -> ExecutionTrace:
         """Execute ``tasks`` in launch order; return the full trace.
 
         Besides returning the trace, each run publishes volume counters to
         :mod:`repro.obs.counters` (``executor.runs|ctas|segments``,
-        ``executor.spin_waits|signals``, plus ``faults.*`` from the
-        injector) — one batched update per run, so the per-segment hot
-        loop stays untouched.
+        ``executor.spin_waits|signals``, ``executor.backend.<name>``,
+        plus ``faults.*`` from the injector) — one batched update per
+        run, so the per-segment hot loop stays untouched.
         """
+        backend = resolve_executor_backend(self.backend)
+        if backend != "python":
+            return run_task_arrays(
+                tasks_to_arrays(tasks),
+                self.num_sm_slots,
+                faults=self.faults,
+                backend=backend,
+            )
+        return self._run_python(tasks)
+
+    def run_arrays(self, arrays) -> ExecutionTrace:
+        """Execute a pre-flattened :class:`~repro.gpu.backends.TaskArrays`.
+
+        The fast path for callers that price schedules straight into
+        arrays (:meth:`~repro.gpu.costmodel.KernelCostModel.
+        build_task_arrays`) — no task objects are ever built.  Always
+        runs an array backend: a ``python`` resolution executes the
+        (bitwise-identical) numpy core, since the oracle walks task
+        objects.
+        """
+        backend = resolve_executor_backend(self.backend)
+        if backend == "python":
+            backend = "numpy"
+        return run_task_arrays(
+            arrays, self.num_sm_slots, faults=self.faults, backend=backend
+        )
+
+    def _run_python(self, tasks: "list[CtaTask]") -> ExecutionTrace:
+        """The oracle: the original pure-Python discrete-event loop."""
         ids = [t.cta for t in tasks]
         if len(set(ids)) != len(ids):
             raise ConfigurationError("duplicate CTA ids in task list")
@@ -194,6 +237,7 @@ class Executor:
             if unfinished:
                 raise self._deadlock(states, by_slot_signal, dropped_slots)
 
+        inc_counter("executor.backend.python")
         inc_counter("executor.runs")
         inc_counter("executor.ctas", len(tasks))
         inc_counter("executor.segments", sum(len(t.segments) for t in tasks))
@@ -215,83 +259,26 @@ class Executor:
     ) -> DeadlockError:
         """Build the wait-chain diagnostic for an unprogressable run.
 
-        For every blocked CTA: name the slot it waits on and *why* that
-        signal can never arrive — the producer was never launched (no
-        free slot), the producer itself is blocked (possibly forming a
-        cycle), the producer's flag was dropped by fault injection, or no
-        task ever signals the slot at all.  Detects and reports the first
-        circular wait (the blocking CTA cycle) when one exists.
+        The diagnosis itself lives in :func:`repro.gpu.backends.
+        diagnose_deadlock`, shared with the array backends so every
+        backend reports bitwise-identical wait chains; this method just
+        projects the oracle's states onto the shared view.
         """
-        by_cta = {s.task.cta: s for s in states}
-        producer_of_slot = {
-            s.task.signals_slot: s.task.cta
+        views = [
+            DeadlockCtaView(
+                cta=s.task.cta,
+                signals_slot=s.task.signals_slot,
+                launched=s.launched,
+                finished=s.finished,
+                blocked_on=s.blocked_on,
+            )
             for s in states
-            if s.task.signals_slot is not None
-        }
-        blocked = sorted(
-            s.task.cta
-            for s in states
-            if not s.finished and s.blocked_on is not None
-        )
-
-        wait_chain: "list[tuple[int, int, str]]" = []
-        for cta in blocked:
-            slot = by_cta[cta].blocked_on
-            if slot in dropped_slots:
-                reason = (
-                    "signal from CTA %d was dropped by fault injection"
-                    % producer_of_slot.get(slot, slot)
-                )
-            elif slot in by_slot_signal:  # pragma: no cover - defensive
-                reason = "signal published but waiter not released"
-            elif slot not in producer_of_slot:
-                reason = "no CTA ever signals slot %d" % slot
-            else:
-                producer = by_cta[producer_of_slot[slot]]
-                if not producer.launched:
-                    reason = (
-                        "producer CTA %d never launched (all SM slots held "
-                        "by blocked CTAs)" % producer.task.cta
-                    )
-                elif producer.blocked_on is not None:
-                    reason = "producer CTA %d is itself blocked on slot %d" % (
-                        producer.task.cta,
-                        producer.blocked_on,
-                    )
-                elif producer.finished:
-                    reason = (
-                        "producer CTA %d finished without publishing"
-                        % producer.task.cta
-                    )
-                else:  # pragma: no cover - defensive
-                    reason = "producer CTA %d stalled" % producer.task.cta
-            wait_chain.append((cta, slot, reason))
-
-        cycle = self._find_cycle(by_cta, producer_of_slot, blocked)
-        return DeadlockError(blocked, wait_chain=wait_chain, cycle=cycle)
-
-    @staticmethod
-    def _find_cycle(by_cta, producer_of_slot, blocked) -> "list[int] | None":
-        """First circular wait among blocked CTAs, as a CTA id list."""
-        for start in blocked:
-            path: "list[int]" = []
-            seen: "dict[int, int]" = {}
-            cta = start
-            while True:
-                if cta in seen:
-                    return path[seen[cta]:]
-                seen[cta] = len(path)
-                path.append(cta)
-                state = by_cta.get(cta)
-                slot = state.blocked_on if state is not None else None
-                if slot is None or slot not in producer_of_slot:
-                    break
-                cta = producer_of_slot[slot]
-        return None
+        ]
+        return diagnose_deadlock(views, by_slot_signal, dropped_slots)
 
 
 def execute_tasks(
-    tasks: "list[CtaTask]", num_sm_slots: int, faults=None
+    tasks: "list[CtaTask]", num_sm_slots: int, faults=None, backend=None
 ) -> ExecutionTrace:
     """Convenience wrapper: ``Executor(num_sm_slots, faults).run(tasks)``."""
-    return Executor(num_sm_slots, faults=faults).run(tasks)
+    return Executor(num_sm_slots, faults=faults, backend=backend).run(tasks)

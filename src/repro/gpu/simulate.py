@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 from ..schedules.base import Schedule
+from .backends import resolve_executor_backend
 from .costmodel import KernelCostModel
 from .executor import Executor
 from .memory import AnalyticalMemoryModel, CacheSimMemoryModel, TrafficBreakdown
@@ -74,6 +75,7 @@ def simulate_kernel(
     validate: bool = False,
     faults=None,
     check_invariants: bool = False,
+    executor: "str | None" = None,
 ) -> KernelResult:
     """Simulate one schedule end to end.
 
@@ -101,6 +103,13 @@ def simulate_kernel(
         checker (:func:`repro.faults.checker.check_protocol_invariants`)
         and raise :class:`~repro.errors.ProtocolViolation` on any breach
         of the partials/fixup carry protocol.
+    executor:
+        Executor backend: ``"python"`` (the bitwise oracle), ``"numpy"``
+        or ``"numba"`` (vectorized, bitwise identical — see
+        :mod:`repro.gpu.backends`).  ``None`` defers to the process
+        default (CLI ``--executor``, else ``REPRO_EXECUTOR``, else
+        python).  Array backends price the schedule straight into
+        arrays, never building per-segment task objects.
     """
     if validate:
         schedule.validate()
@@ -111,8 +120,17 @@ def simulate_kernel(
         injector = FaultInjector(injector)
     problem = schedule.grid.problem
     cost = KernelCostModel(gpu=gpu, blocking=schedule.grid.blocking, dtype=problem.dtype)
-    tasks = cost.build_tasks(schedule, faults=injector)
-    trace = Executor(gpu.total_cta_slots, faults=injector).run(tasks)
+    backend = resolve_executor_backend(executor)
+    if backend == "python":
+        tasks = cost.build_tasks(schedule, faults=injector)
+        trace = Executor(
+            gpu.total_cta_slots, faults=injector, backend=backend
+        ).run(tasks)
+    else:
+        arrays = cost.build_task_arrays(schedule, faults=injector)
+        trace = Executor(
+            gpu.total_cta_slots, faults=injector, backend=backend
+        ).run_arrays(arrays)
     if check_invariants:
         from ..faults.checker import check_protocol_invariants
 

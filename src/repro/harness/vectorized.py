@@ -34,7 +34,10 @@ from ..ensembles.cutlass import ORACLE_BLOCKINGS
 from ..errors import ConfigurationError
 from ..gemm.dtypes import DtypeConfig
 from ..gemm.tiling import Blocking
-from ..gpu.analytic import basic_streamk_makespan_batch
+from ..gpu.analytic import (
+    basic_streamk_makespan_batch,
+    fixed_split_makespan_batch,
+)
 from ..gpu.costmodel import KernelCostModel
 from ..gpu.spec import GpuSpec
 from ..model.cost import StreamKModelParams
@@ -183,21 +186,7 @@ def fixed_split_times(
     t = tiles_m * tiles_n
     ipt = _ceil_div(k, blocking.blk_k)
     s_eff = np.minimum(s, ipt)
-    share = _ceil_div(ipt, s_eff)
-    c = cost.cycles_per_iter
-    d_c = cost.prologue_cycles + c * share + cost.store_partials_cycles
-    fixup_tail = (s_eff - 1) * cost.fixup_cycles_per_peer + cost.store_tile_cycles
-    d_o = np.where(
-        s_eff <= p, d_c + fixup_tail, cost.prologue_cycles + c * share + fixup_tail
-    )
-    total = t * ((s_eff - 1) * d_c + d_o)
-    multiwave = np.maximum(d_o, total / p + 0.5 * (p - 1) / p * d_o)
-    dp_cta = cost.prologue_cycles + c * ipt + cost.store_tile_cycles
-    makespan = np.where(
-        s_eff == 1,
-        _ceil_div(t, p) * dp_cta,
-        np.where(t * s_eff <= p, d_o, multiwave),
-    )
+    makespan = fixed_split_makespan_batch(t, s, p, ipt, cost)
     stores = t * (s_eff - 1)
     traffic = _traffic_bytes(
         m, n, k, tiles_m, tiles_n, t * s_eff,

@@ -9,6 +9,7 @@ validated assignment of MAC-loop iteration ranges to CTAs — from a
 from .base import Decomposition, Schedule
 from .data_parallel import DataParallel, data_parallel_schedule
 from .fixed_split import FixedSplit, fixed_split_schedule, split_ranges
+from .flatten import FlatWorkItems, flatten_work_items
 from .hybrid import (
     DpOneTileStreamK,
     TwoTileStreamK,
@@ -27,6 +28,7 @@ __all__ = [
     "Decomposition",
     "DpOneTileStreamK",
     "FixedSplit",
+    "FlatWorkItems",
     "Schedule",
     "SegmentRole",
     "StreamK",
@@ -35,6 +37,7 @@ __all__ = [
     "data_parallel_schedule",
     "dp_one_tile_schedule",
     "fixed_split_schedule",
+    "flatten_work_items",
     "make_decomposition",
     "partition_region",
     "persistent_data_parallel_schedule",

@@ -1,0 +1,203 @@
+"""Flatten work-item streams into parallel arrays for array backends.
+
+The dataclass representation (:class:`~repro.schedules.workitem.
+CtaWorkItem` holding :class:`~repro.schedules.workitem.TileSegment`\\ s,
+priced into :class:`~repro.gpu.cta.CtaTask`/:class:`~repro.gpu.cta.
+TimedSegment`) is the right shape for validation and for the
+discrete-event oracle, but allocating and walking hundreds of thousands
+of frozen dataclasses dominates simulation time at corpus scale.  This
+module lowers a schedule into five parallel arrays — one row per CTA,
+one entry per *executor* segment — that the vectorized backends and the
+array cost-model path (:meth:`~repro.gpu.costmodel.KernelCostModel.
+build_task_arrays`) consume directly.
+
+The emitted segment stream is, by construction, exactly the stream
+``KernelCostModel.build_tasks`` emits: ``PROLOGUE``, then per tile
+segment a ``COMPUTE``, followed for owners by a ``(WAIT, FIXUP)`` pair
+per peer in reduction order plus a ``STORE_TILE``, and for contributors
+by a ``STORE_PARTIALS`` plus a ``SIGNAL`` on the CTA's own slot.  Kind
+codes are plain ints here (this package must not import :mod:`repro.gpu`)
+and are mapped back onto :class:`~repro.gpu.cta.SegmentKind` by the
+backend layer, which pins the correspondence with a test.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Schedule
+
+__all__ = [
+    "FlatWorkItems",
+    "flatten_work_items",
+    "KIND_PROLOGUE",
+    "KIND_COMPUTE",
+    "KIND_STORE_PARTIALS",
+    "KIND_SIGNAL",
+    "KIND_WAIT",
+    "KIND_FIXUP",
+    "KIND_STORE_TILE",
+    "KIND_NAMES",
+    "MEMORY_KIND_CODES",
+]
+
+# Integer segment-kind codes, index-aligned with KIND_NAMES.  The order
+# matches repro.gpu.cta.SegmentKind's declaration order; the backends
+# module asserts the mapping so the two can never drift silently.
+KIND_PROLOGUE = 0
+KIND_COMPUTE = 1
+KIND_STORE_PARTIALS = 2
+KIND_SIGNAL = 3
+KIND_WAIT = 4
+KIND_FIXUP = 5
+KIND_STORE_TILE = 6
+
+KIND_NAMES = (
+    "prologue",
+    "compute",
+    "store_partials",
+    "signal",
+    "wait",
+    "fixup",
+    "store_tile",
+)
+
+#: Kind codes priced at DRAM/L2 latency (subject to memory jitter).
+MEMORY_KIND_CODES = (KIND_STORE_PARTIALS, KIND_FIXUP, KIND_STORE_TILE)
+
+
+@dataclass(frozen=True)
+class FlatWorkItems:
+    """A schedule's CTA/segment stream as parallel arrays.
+
+    ``ctas`` is one row per CTA in launch order; ``seg_off`` is the CSR
+    row-pointer into the per-segment arrays (CTA ``i`` owns segments
+    ``seg_off[i]:seg_off[i+1]``).  ``iters`` is the MAC-loop iteration
+    count (nonzero only for ``COMPUTE``); ``slots`` is the partial-sum
+    slot a segment touches: the producer slot for ``WAIT``/``FIXUP``,
+    the CTA's own slot for ``SIGNAL``, and -1 elsewhere.
+    """
+
+    ctas: np.ndarray  # (n,) int64, launch order
+    seg_off: np.ndarray  # (n + 1,) int64, CSR row pointers
+    kinds: np.ndarray  # (S,) int8, KIND_* codes
+    iters: np.ndarray  # (S,) int64
+    slots: np.ndarray  # (S,) int64, -1 = none
+
+    @property
+    def num_ctas(self) -> int:
+        return self.ctas.shape[0]
+
+    @property
+    def num_segments(self) -> int:
+        return self.kinds.shape[0]
+
+    def rows(self) -> np.ndarray:
+        """CTA row index of every segment (CSR expansion)."""
+        return np.repeat(
+            np.arange(self.num_ctas, dtype=np.int64), np.diff(self.seg_off)
+        )
+
+    def local_indices(self) -> np.ndarray:
+        """Each segment's index within its own CTA's segment list."""
+        return (
+            np.arange(self.num_segments, dtype=np.int64)
+            - self.seg_off[self.rows()]
+        )
+
+
+# Per-pattern constant tuples, keyed by peer count for owners.  Batching
+# appends into tuple extends is worth ~3x on corpus-scale flattening.
+_CONTRIB_KINDS = (KIND_COMPUTE, KIND_STORE_PARTIALS, KIND_SIGNAL)
+_OWNER_KINDS: "dict[int, tuple]" = {}
+_ZEROS: "dict[int, tuple]" = {}
+
+
+def _owner_kinds(num_peers: int) -> tuple:
+    pat = _OWNER_KINDS.get(num_peers)
+    if pat is None:
+        pat = (
+            (KIND_COMPUTE,)
+            + (KIND_WAIT, KIND_FIXUP) * num_peers
+            + (KIND_STORE_TILE,)
+        )
+        _OWNER_KINDS[num_peers] = pat
+    return pat
+
+
+def _zeros(count: int) -> tuple:
+    pat = _ZEROS.get(count)
+    if pat is None:
+        pat = (0,) * count
+        _ZEROS[count] = pat
+    return pat
+
+
+# Flattenings are memoized per schedule instance: schedules are frozen,
+# so the arrays can never go stale, and re-pricing the same schedule
+# (fault sweeps, backend comparisons, repeated simulation) skips the
+# work-item walk entirely.  Keyed by id() because the metadata dict makes
+# Schedule unhashable; the weakref finalizer evicts the entry when the
+# schedule is collected, before its id can be reused.
+_MEMO: "dict[int, FlatWorkItems]" = {}
+
+
+def flatten_work_items(schedule: Schedule) -> FlatWorkItems:
+    """Lower a schedule's work items into a :class:`FlatWorkItems`.
+
+    Pure integer bookkeeping — no cycle pricing happens here, so one
+    flattening can be re-priced under many cost models or fault draws.
+    Results are cached per (immutable) schedule instance.
+    """
+    key = id(schedule)
+    hit = _MEMO.get(key)
+    if hit is not None:
+        return hit
+    flat = _flatten_uncached(schedule)
+    _MEMO[key] = flat
+    weakref.finalize(schedule, _MEMO.pop, key, None)
+    return flat
+
+
+def _flatten_uncached(schedule: Schedule) -> FlatWorkItems:
+    ctas: "list[int]" = []
+    offs: "list[int]" = [0]
+    kinds: "list[int]" = []
+    iters: "list[int]" = []
+    slots: "list[int]" = []
+    for w in schedule.work_items:
+        cta = w.cta
+        ctas.append(cta)
+        kinds.append(KIND_PROLOGUE)
+        iters.append(0)
+        slots.append(-1)
+        for s in w.segments:
+            if s.is_owner:
+                peers = s.peers
+                kinds.extend(_owner_kinds(len(peers)))
+                iters.append(s.num_iters)
+                iters.extend(_zeros(2 * len(peers) + 1))
+                slots.append(-1)
+                for peer in peers:
+                    slots.append(peer)
+                    slots.append(peer)
+                slots.append(-1)
+            else:
+                kinds.extend(_CONTRIB_KINDS)
+                iters.append(s.num_iters)
+                iters.append(0)
+                iters.append(0)
+                slots.append(-1)
+                slots.append(-1)
+                slots.append(cta)
+        offs.append(len(kinds))
+    return FlatWorkItems(
+        ctas=np.array(ctas, dtype=np.int64),
+        seg_off=np.array(offs, dtype=np.int64),
+        kinds=np.array(kinds, dtype=np.int8),
+        iters=np.array(iters, dtype=np.int64),
+        slots=np.array(slots, dtype=np.int64),
+    )

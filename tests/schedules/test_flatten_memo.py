@@ -1,0 +1,40 @@
+"""The per-schedule flatten memo: hit, miss, and eviction semantics."""
+
+import gc
+
+import numpy as np
+
+from repro.gemm import FP64, Blocking, GemmProblem, TileGrid
+from repro.gpu import HYPOTHETICAL_4SM
+from repro.faults.sweep import build_registered_schedule
+from repro.schedules import flatten_work_items
+from repro.schedules.flatten import _MEMO
+
+
+def _schedule():
+    grid = TileGrid(GemmProblem(96, 96, 64, dtype=FP64), Blocking(16, 16, 8))
+    return build_registered_schedule("stream_k", grid, HYPOTHETICAL_4SM)
+
+
+class TestFlattenMemo:
+    def test_same_schedule_returns_same_object(self):
+        schedule = _schedule()
+        assert flatten_work_items(schedule) is flatten_work_items(schedule)
+
+    def test_distinct_schedules_do_not_share_entries(self):
+        a, b = _schedule(), _schedule()
+        fa, fb = flatten_work_items(a), flatten_work_items(b)
+        assert fa is not fb
+        np.testing.assert_array_equal(fa.kinds, fb.kinds)
+        np.testing.assert_array_equal(fa.seg_off, fb.seg_off)
+        np.testing.assert_array_equal(fa.slots, fb.slots)
+        np.testing.assert_array_equal(fa.iters, fb.iters)
+
+    def test_entry_evicted_when_schedule_collected(self):
+        schedule = _schedule()
+        flatten_work_items(schedule)
+        key = id(schedule)
+        assert key in _MEMO
+        del schedule
+        gc.collect()
+        assert key not in _MEMO
