@@ -1,0 +1,161 @@
+"""Serving-path throughput and tail latency: the plan cache at work.
+
+``repro serve`` fronts the planning layer (:mod:`repro.plan`) with a
+tiered plan cache and a micro-batching window.  This bench replays the
+same deterministic Zipf trace ``repro loadgen`` ships, twice, against
+one in-process :class:`~repro.plan.PlanService`:
+
+* **cold replay** — the cache starts empty, so every first touch of a
+  shape is a genuinely cold plan riding a micro-batched
+  ``plan_batch``.  This pass supplies the *miss* latency column.
+* **warm replay** — the identical trace again: 100% cache hits, no
+  batches in flight.  This pass supplies the *hit* latency column and
+  the steady-state QPS headline.
+
+Two passes rather than one because a mixed replay contaminates the hit
+tail: a hit is a microsecond lock-and-lookup, but while the batcher
+thread is planning a cold micro-batch the GIL stretches concurrent
+hits to milliseconds.  Splitting the phases measures what the serving
+contract (docs/SERVING.md) actually promises — the cost of a cold plan
+vs the cost of a cached one — and the acceptance bar is a >= 10x p99
+split at full scale.
+
+The service runs with ``persist=False`` so the cold pass is cold even
+when a previous run flushed a disk shard for the same binding.
+
+The artifact lands under ``benchmarks/artifacts/`` and, for a
+full-scale run, as ``BENCH_serve.json`` at the repo root (the committed
+before/after record).  ``REPRO_BENCH_SERVE_REQUESTS`` shrinks the trace
+for smoke runs; the 10x split assertion fires only at full scale, and
+the smoke-scale QPS gate derives from the committed ``BENCH_serve.json``
+(half the committed throughput, capped at a noise-safe absolute) so a
+>2x serving regression fails CI without tripping on box speed.
+"""
+
+import json
+import os
+
+from repro.harness import write_json
+from repro.plan import LoadgenConfig, PlanService, ServeConfig, run_loadgen
+
+from .common import banner, emit
+
+FULL_REQUESTS = 20000
+FULL_UNIVERSE = 512
+
+#: Acceptance bar at full scale: cache-hit p99 at least 10x below the
+#: cold-plan (miss) p99.
+FULL_SPLIT_FLOOR = 10.0
+#: Reduced-scale CI floor for the same split (fewer samples => noisier
+#: percentiles, so half the full bar).
+SMOKE_SPLIT_FLOOR = 5.0
+
+#: Absolute steady-state QPS floors: a serving path slower than this is
+#: broken regardless of box speed.
+FULL_QPS_FLOOR = 1000.0
+SMOKE_QPS_FLOOR = 500.0
+#: Ceiling for the gate derived from the committed BENCH_serve.json —
+#: keeps a fast dev box from ratcheting the CI bar past runner noise.
+SMOKE_QPS_GATE_CAP = 1000.0
+
+ROOT_ARTIFACT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_serve.json",
+)
+
+
+def _scale() -> "tuple[int, int]":
+    env = os.environ.get("REPRO_BENCH_SERVE_REQUESTS")
+    if env:
+        n = int(env)
+        return n, max(8, min(FULL_UNIVERSE, n // 8))
+    return FULL_REQUESTS, FULL_UNIVERSE
+
+
+def _smoke_qps_gate() -> float:
+    """>2x regression gate vs the committed full-scale record."""
+    try:
+        with open(ROOT_ARTIFACT) as fh:
+            committed = float(json.load(fh)["qps"])
+    except (OSError, KeyError, ValueError):
+        return SMOKE_QPS_FLOOR
+    return max(SMOKE_QPS_FLOOR, min(SMOKE_QPS_GATE_CAP, committed / 2.0))
+
+
+def run_serving_trace(requests, universe):
+    """Replay the Zipf trace cold then warm against one service.
+
+    One client thread, deliberately: the latency columns are *service
+    time*, and extra closed-loop clients only add GIL queueing delay
+    (the interpreter parks a waiting thread for multiples of the 5 ms
+    switch interval, which would swamp a microsecond hit path).  Python
+    threads add no throughput to pure-Python work either, so the QPS
+    headline is what one client sustains back-to-back.
+    """
+    config = LoadgenConfig(
+        requests=requests, universe=universe, seed=0, clients=1
+    )
+    service = PlanService(ServeConfig(persist=False))
+    try:
+        cold = run_loadgen(config, service=service)
+        warm = run_loadgen(config, service=service)
+    finally:
+        service.close()
+    return cold, warm
+
+
+def test_serving_throughput(benchmark):
+    requests, universe = _scale()
+    cold, warm = benchmark.pedantic(
+        run_serving_trace, args=(requests, universe), rounds=1, iterations=1
+    )
+    full = (requests, universe) == (FULL_REQUESTS, FULL_UNIVERSE)
+    split = cold["miss_p99_us"] / warm["hit_p99_us"]
+
+    banner(
+        "Serving path: %d-request Zipf trace over %d shapes, replayed "
+        "cold then warm" % (requests, universe)
+    )
+    print("cold replay : %7.0f req/s, %5.1f%% hit rate (%d cold plans)"
+          % (cold["qps"], 100.0 * cold["hit_rate"], cold["misses"]))
+    print("warm replay : %7.0f req/s, %5.1f%% hit rate"
+          % (warm["qps"], 100.0 * warm["hit_rate"]))
+    print("hit latency : p50 %8.1f us   p99 %8.1f us   (warm replay)"
+          % (warm["hit_p50_us"], warm["hit_p99_us"]))
+    print("miss latency: p50 %8.1f us   p99 %8.1f us   (cold plans)"
+          % (cold["miss_p50_us"], cold["miss_p99_us"]))
+    print("p99 split   : %6.1fx  (floor %.0fx %s)"
+          % (split, FULL_SPLIT_FLOOR if full else SMOKE_SPLIT_FLOOR,
+             "full" if full else "smoke"))
+
+    payload = {
+        "requests": requests,
+        "universe": universe,
+        "full_scale": bool(full),
+        "qps": warm["qps"],
+        "qps_cold_replay": cold["qps"],
+        "hit_rate_cold_replay": cold["hit_rate"],
+        "hit_p50_us": warm["hit_p50_us"],
+        "hit_p99_us": warm["hit_p99_us"],
+        "miss_p50_us": cold["miss_p50_us"],
+        "miss_p99_us": cold["miss_p99_us"],
+        "p99_split_hit_vs_miss": split,
+        "split_floor": FULL_SPLIT_FLOOR if full else SMOKE_SPLIT_FLOOR,
+        "qps_floor": FULL_QPS_FLOOR if full else _smoke_qps_gate(),
+        "cold_replay": cold,
+        "warm_replay": warm,
+    }
+    emit("serve", payload)
+
+    assert cold["failed"] == 0 and warm["failed"] == 0
+    assert warm["misses"] == 0  # the warm replay must be pure hits
+    if full:
+        write_json(ROOT_ARTIFACT, payload)
+        # Acceptance bar: cache hits an order of magnitude under misses.
+        assert split >= FULL_SPLIT_FLOOR
+        assert warm["qps"] >= FULL_QPS_FLOOR
+    else:
+        # CI perf smoke: >2x QPS regression vs the committed record (or
+        # the absolute floor if no record is checked in yet).
+        assert split >= SMOKE_SPLIT_FLOOR
+        assert warm["qps"] >= _smoke_qps_gate()

@@ -14,6 +14,10 @@ Commands
 ``crosshw``    schedule comparison across several GPUs (docs/HARDWARE.md)
 ``sweep``      durable corpus sweep: WAL journal, ``--resume``, chaos kill
                (docs/CHECKPOINTING.md)
+``serve``      long-running plan server: micro-batched queries, tiered
+               plan cache, JSONL-over-TCP protocol (docs/SERVING.md)
+``loadgen``    deterministic Zipf load generator for the serving path;
+               reports QPS and p50/p99 split by cache hit/miss
 
 Every command accepts ``--dtype {fp64,fp16_fp32,fp32,bf16_fp32}`` and
 ``--gpu NAME|path.json`` where ``NAME`` is a registered preset (see
@@ -245,6 +249,105 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--out", default=None, metavar="PATH",
         help="optionally write the merged timings as an .npz artifact",
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help="serve plan queries over TCP: micro-batched misses, tiered "
+        "plan cache (docs/SERVING.md)",
+    )
+    _add_common(p)
+    p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="TCP port (default 0 = pick an ephemeral port)",
+    )
+    p.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port number to PATH once listening "
+        "(scripts use this with --port 0)",
+    )
+    p.add_argument(
+        "--batch-window-ms", type=float, default=2.0, metavar="MS",
+        help="micro-batching window for cache misses (default 2.0; hits "
+        "never wait)",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=256, metavar="N",
+        help="flush a miss batch early once N queries are queued "
+        "(default 256)",
+    )
+    p.add_argument(
+        "--cache-capacity", type=int, default=65536, metavar="N",
+        help="hot-tier LRU capacity per (dtype, gpu) binding (default 65536)",
+    )
+    p.add_argument(
+        "--no-warm", action="store_true",
+        help="skip calibration warm-up for the --dtype/--gpu binding at "
+        "startup",
+    )
+    p.add_argument(
+        "--no-persist", action="store_true",
+        help="disable the persistent plan-shard tier (memory-only cache)",
+    )
+    p.add_argument(
+        "--demo", type=int, default=None, metavar="N",
+        help="self-contained demo: boot the service, replay an N-request "
+        "Zipf trace in-process, print the serving stats, and exit",
+    )
+
+    p = sub.add_parser(
+        "loadgen",
+        help="replay a deterministic Zipf trace against the serving path "
+        "and report QPS + hit/miss latency percentiles",
+    )
+    _add_common(p)
+    p.add_argument(
+        "--requests", type=int, default=2000, metavar="N",
+        help="total requests to issue (default 2000)",
+    )
+    p.add_argument(
+        "--universe", type=int, default=256, metavar="N",
+        help="distinct shapes in the Zipf universe (default 256)",
+    )
+    p.add_argument(
+        "--zipf-s", type=float, default=1.1, metavar="S",
+        help="Zipf exponent; larger skews harder to hot shapes "
+        "(default 1.1)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, metavar="SEED",
+        help="trace seed (same knobs + seed => byte-identical trace)",
+    )
+    p.add_argument(
+        "--clients", type=int, default=4, metavar="C",
+        help="concurrent client threads (default 4)",
+    )
+    p.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="drive a running `repro serve` daemon over TCP instead of an "
+        "in-process service",
+    )
+    p.add_argument(
+        "--batch-window-ms", type=float, default=2.0, metavar="MS",
+        help="micro-batching window of the in-process service (ignored "
+        "with --connect; default 2.0)",
+    )
+    p.add_argument(
+        "--no-warm", action="store_true",
+        help="skip startup calibration of the in-process service "
+        "(ignored with --connect)",
+    )
+    p.add_argument(
+        "--no-persist", action="store_true",
+        help="keep the in-process service's plan cache memory-only "
+        "(ignored with --connect)",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="optionally write the full report as JSON",
     )
 
     p = sub.add_parser(
@@ -623,6 +726,132 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _serve_config(args) -> "object":
+    from .plan.service import ServeConfig
+
+    return ServeConfig(
+        batch_window_s=args.batch_window_ms / 1e3,
+        max_batch=getattr(args, "max_batch", 256),
+        cache_capacity=getattr(args, "cache_capacity", 65536),
+        warm=not getattr(args, "no_warm", False),
+        persist=not getattr(args, "no_persist", False),
+        warm_bindings=((args.gpu, args.dtype),),
+    )
+
+
+def _print_loadgen_report(report: dict) -> None:
+    print("mode        : %s" % report["mode"])
+    print(
+        "requests    : %d completed, %d failed (universe %d, zipf s=%.2f, "
+        "%d clients)"
+        % (
+            report["completed"], report["failed"], report["universe"],
+            report["zipf_s"], report["clients"],
+        )
+    )
+    print(
+        "throughput  : %.0f req/s sustained (%.2f s elapsed)"
+        % (report["qps"] or 0.0, report["elapsed_s"])
+    )
+    print(
+        "hit rate    : %s (%d hits / %d misses)"
+        % (
+            format_utilization(report["hit_rate"] or 0.0),
+            report["hits"], report["misses"],
+        )
+    )
+
+    def us(v):
+        return "%.1f us" % v if v is not None else "n/a"
+
+    print("latency p50 : hit %s, miss %s"
+          % (us(report["hit_p50_us"]), us(report["miss_p50_us"])))
+    split = report["p99_speedup_hit_vs_miss"]
+    print("latency p99 : hit %s, miss %s%s"
+          % (us(report["hit_p99_us"]), us(report["miss_p99_us"]),
+             "  (%.1fx split)" % split if split else ""))
+
+
+def _cmd_serve(args) -> int:
+    from .plan.loadgen import LoadgenConfig, run_loadgen
+    from .plan.server import PlanServer
+    from .plan.service import PlanService
+
+    service = PlanService(_serve_config(args))
+    if args.demo is not None:
+        # Self-contained demo for docs/CI: replay a small Zipf trace
+        # against the in-process service, print stats, exit cleanly.
+        report = run_loadgen(
+            LoadgenConfig(
+                requests=args.demo,
+                universe=max(1, min(64, args.demo)),
+                dtype=args.dtype,
+                gpu=args.gpu,
+            ),
+            service=service,
+        )
+        service.close()
+        print("serve demo (%d requests against the in-process service)"
+              % args.demo)
+        _print_loadgen_report(report)
+        return 0
+
+    server = PlanServer(service, host=args.host, port=args.port)
+    if args.port_file:
+        with open(args.port_file, "w") as fh:
+            fh.write("%d\n" % server.port)
+    print("serving plans on %s:%d (batch window %.1f ms, protocol: "
+          "docs/SERVING.md; send {\"op\": \"shutdown\"} or Ctrl-C to stop)"
+          % (server.host, server.port, args.batch_window_ms))
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    stats = service.stats()
+    print("served %d request(s), hit rate %s, %d micro-batch(es)"
+          % (
+              stats["requests"],
+              format_utilization(stats["hit_rate"] or 0.0),
+              stats["batches"],
+          ))
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from .errors import ConfigurationError
+    from .harness import write_json
+    from .plan.loadgen import LoadgenConfig, run_loadgen
+
+    config = LoadgenConfig(
+        requests=args.requests,
+        universe=args.universe,
+        zipf_s=args.zipf_s,
+        seed=args.seed,
+        clients=args.clients,
+        dtype=args.dtype,
+        gpu=args.gpu,
+    )
+    connect = None
+    if args.connect:
+        host, sep, port = args.connect.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ConfigurationError(
+                "--connect expects HOST:PORT, got %r" % args.connect
+            )
+        connect = (host or "127.0.0.1", int(port))
+    report = run_loadgen(
+        config, connect=connect, serve_config=_serve_config(args)
+    )
+    _print_loadgen_report(report)
+    if args.out:
+        write_json(args.out, report)
+        print("wrote %s" % args.out)
+    return 0 if report["failed"] == 0 else 1
+
+
 def _cmd_profile(args) -> int:
     from .harness.parallel import evaluate_corpus_cached
     from .obs import counters as _counters
@@ -669,6 +898,8 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "crosshw": _cmd_crosshw,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -26,6 +26,14 @@ first-order effects a selection heuristic can afford to compute —
 Selections are therefore good on bulky compute-bound shapes and
 systematically imperfect on skinny, small, or bandwidth-bound ones — the
 same qualitative behaviour the paper measures.
+
+Plan/evaluate boundary: this module sits entirely on the **plan** side —
+:func:`proxy_score` and :func:`heuristic_select` are pure functions of
+``(variant, problem, gpu)`` that *choose* a kernel without simulating
+anything.  The chosen variant's cost is then priced by the evaluation
+side (:func:`repro.ensembles.kernels.variant_time_s`, or the vectorized
+corpus engine's ``cublas`` column), so selection mistakes show up as
+measured slowness exactly as they would on hardware.
 """
 
 from __future__ import annotations
@@ -50,6 +58,8 @@ _CTA_MAC_EQUIV = 4096.0
 
 @dataclass(frozen=True)
 class ProxyScore:
+    """One variant's heuristic ranking (lower ``score`` is better)."""
+
     variant: KernelVariant
     score: float
 
@@ -57,7 +67,20 @@ class ProxyScore:
 def proxy_score(
     variant: KernelVariant, problem: GemmProblem, gpu: GpuSpec
 ) -> float:
-    """Heuristic cost proxy (arbitrary units; lower is better)."""
+    """Heuristic cost proxy (arbitrary units; lower is better).
+
+    Sums the three first-order terms a production selector can afford:
+    quantized compute (wave count × per-wave MAC volume, derated by the
+    coarse square-root blocking-efficiency rule), a per-split fixup
+    penalty proportional to the accumulator size, and a fixed per-CTA
+    overhead.  Deliberately omits the memory roofline and spin-wait
+    serialization — the omissions that make the ensemble's selections
+    imperfect in the same way the paper measures for cuBLAS.
+
+    The vectorized twin used by the corpus engine is
+    :func:`repro.harness.vectorized._proxy_scores`; the two must rank
+    variants identically.
+    """
     blk = variant.blocking
     grid = TileGrid(problem, blk)
     t = grid.num_tiles
@@ -81,7 +104,13 @@ def proxy_score(
 def heuristic_select(
     variants: "list[KernelVariant]", problem: GemmProblem, gpu: GpuSpec
 ) -> KernelVariant:
-    """Pick the proxy-best variant (deterministic; ties -> first listed)."""
+    """Pick the proxy-best variant (deterministic; ties -> first listed).
+
+    This is the cuBLAS-like ensemble's *planning* entry point: it never
+    simulates, it only ranks by :func:`proxy_score`.  Callers price the
+    winner separately on the evaluation side, so the selection error this
+    heuristic embodies is observable as end-to-end slowness.
+    """
     best = None
     best_score = float("inf")
     for v in variants:

@@ -6,6 +6,15 @@ instance."  The oracle *measures* every variant (here: evaluates each
 variant's simulated time) and takes the best — no heuristic error by
 construction, so its performance spread is the floor of what any
 tile-based ensemble selection can achieve.
+
+Plan/evaluate boundary: unlike the proxy heuristic
+(:mod:`repro.ensembles.heuristics`), which plans *without* evaluating,
+the oracle is defined by crossing the boundary — it runs the evaluation
+side (:func:`repro.ensembles.kernels.variant_time_s`) for **every**
+candidate and selects on measured results.  That is what makes it an
+upper bound no pure planner can beat, and also what makes it too
+expensive to serve: the serving daemon (:mod:`repro.plan.service`)
+fronts the pure planner instead.
 """
 
 from __future__ import annotations
@@ -30,7 +39,14 @@ class OracleChoice:
 
 
 def oracle_select(problem: GemmProblem, gpu: GpuSpec) -> OracleChoice:
-    """Evaluate every oracle variant and return the fastest."""
+    """Evaluate every oracle variant and return the fastest.
+
+    Exhaustive measurement, not prediction: each candidate blocking's
+    simulated time is computed via
+    :func:`repro.ensembles.kernels.variant_time_s` and the argmin wins
+    (ties -> first listed, deterministic).  ``all_times`` preserves the
+    full sweep for the spread figures.
+    """
     times = {}
     best = None
     best_t = float("inf")

@@ -34,8 +34,8 @@ from ..gpu.memory import AnalyticalMemoryModel, TrafficBreakdown
 from ..gpu.spec import GpuSpec
 from ..model.cost import StreamKModelParams
 from ..model.paramcache import calibrate_cached
-from ..model.gridsize import select_grid_size
 from ..obs.profiler import profiled
+from ..plan.core import plan_query
 from ..schedules.base import Schedule
 from ..schedules.hybrid import two_tile_schedule
 
@@ -85,40 +85,29 @@ class StreamKLibrary:
 
     @profiled("streamk_plan")
     def plan(self, problem: GemmProblem) -> StreamKPlan:
-        """Pure-arithmetic launch plan (no schedule materialization)."""
-        grid = TileGrid(problem, self.blocking)
-        t, ipt, p = grid.num_tiles, grid.iters_per_tile, self.gpu.num_sms
-        if t % p == 0:
-            return StreamKPlan(
-                kind="data_parallel",
-                g=min(p, t),
-                num_tiles=t,
-                iters_per_tile=ipt,
-                k_aligned_fraction=1.0,
-                fixup_stores=0,
-            )
-        if t < p:
-            g = select_grid_size(grid, self.params, self.gpu.total_cta_slots).g
-            stores, aligned = _region_fixup_profile(t * ipt, g, ipt)
-            return StreamKPlan(
-                kind="basic_stream_k",
-                g=g,
-                num_tiles=t,
-                iters_per_tile=ipt,
-                k_aligned_fraction=1.0 if aligned else 0.0,
-                fixup_stores=stores,
-            )
-        w = t // p
-        sk_tiles = t - (w - 1) * p
-        stores, _ = _region_fixup_profile(sk_tiles * ipt, p, ipt)
-        total = t * ipt
+        """Pure-arithmetic launch plan (no schedule materialization).
+
+        Delegates to the planning layer's :func:`repro.plan.core.plan_query`
+        — the same one-row :func:`~repro.plan.core.plan_batch` the serving
+        daemon and the corpus engine run — so a library plan, a served
+        plan, and a corpus-sweep row can never disagree.
+        """
+        decision = plan_query(
+            problem.m,
+            problem.n,
+            problem.k,
+            self.dtype,
+            self.gpu,
+            params=self.params,
+            blocking=self.blocking,
+        )
         return StreamKPlan(
-            kind="two_tile",
-            g=p,
-            num_tiles=t,
-            iters_per_tile=ipt,
-            k_aligned_fraction=(total - sk_tiles * ipt) / total,
-            fixup_stores=stores,
+            kind=decision.kind,
+            g=decision.g,
+            num_tiles=decision.num_tiles,
+            iters_per_tile=decision.iters_per_tile,
+            k_aligned_fraction=decision.k_aligned_fraction,
+            fixup_stores=decision.fixup_stores,
         )
 
     @profiled("streamk_build_schedule")

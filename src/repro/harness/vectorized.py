@@ -1,5 +1,13 @@
 """Vectorized corpus evaluation: every system over 32,824 shapes in seconds.
 
+This module is the **evaluate** side of the repo's plan/evaluate split:
+the pure planning arithmetic (regime choice, grid-size argmin, two-tile
+walk, memory roofline) lives in :mod:`repro.plan.core`, and this engine
+*consumes* it — :func:`streamk_times` is now a thin wrapper over
+:func:`repro.plan.core.plan_batch`, so corpus sweeps, cross-hardware
+comparisons, and the serving daemon all price Stream-K through the exact
+same batched code path.
+
 Per the hpc-parallel guides, the hot path is numpy array arithmetic, not
 Python loops: each system's kernel time is expressed as closed-form
 element-wise math over the (N,) shape arrays.  The closed forms are the
@@ -31,30 +39,23 @@ import numpy as np
 
 from ..ensembles.cublas import cublas_variants
 from ..ensembles.cutlass import ORACLE_BLOCKINGS
-from ..errors import ConfigurationError
 from ..gemm.dtypes import DtypeConfig
 from ..gemm.tiling import Blocking
-from ..gpu.analytic import (
-    basic_streamk_makespan_batch,
-    fixed_split_makespan_batch,
-)
+from ..gpu.analytic import fixed_split_makespan_batch
 from ..gpu.costmodel import KernelCostModel
 from ..gpu.spec import GpuSpec
 from ..model.cost import StreamKModelParams
-from ..model.gridsize import select_grid_sizes_batch
 from ..model.paramcache import calibrate_cached
 from ..obs.profiler import span
+from ..plan.core import (
+    _ceil_div,
+    _split_shapes,
+    plan_batch,
+    roofline_time as _roofline_time,
+    traffic_bytes as _traffic_bytes,
+)
 
 __all__ = ["SystemTimings", "evaluate_corpus", "streamk_times", "dp_times", "fixed_split_times"]
-
-_L2_RESIDENCY = 0.8
-_PIPELINE_STAGES = 2
-
-#: Row-chunk size bounding the transient (rows, p+1) matrices of the
-#: two-tile walk (and the Regime-B boundary profile), so corpora far larger
-#: than the paper's 32,824 shapes — or GPUs with huge ``total_cta_slots`` —
-#: never scale peak memory with N.
-_WALK_ROW_CHUNK = 8192
 
 
 def _cached_params(
@@ -62,85 +63,6 @@ def _cached_params(
 ) -> StreamKModelParams:
     """Calibrated constants via the persistent two-level cache."""
     return calibrate_cached(gpu, blocking, dtype)
-
-
-def _ceil_div(a: np.ndarray, b) -> np.ndarray:
-    return -(-a // b)
-
-
-def _split_shapes(shapes: np.ndarray) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
-    shapes = np.asarray(shapes, dtype=np.int64)
-    if shapes.ndim != 2 or shapes.shape[1] != 3:
-        raise ConfigurationError("shapes must be an (N, 3) array of m, n, k")
-    return shapes[:, 0], shapes[:, 1], shapes[:, 2]
-
-
-# --------------------------------------------------------------------- #
-# Vectorized analytical memory model (mirrors gpu.memory)               #
-# --------------------------------------------------------------------- #
-
-
-def _traffic_bytes(
-    m: np.ndarray,
-    n: np.ndarray,
-    k: np.ndarray,
-    tiles_m: np.ndarray,
-    tiles_n: np.ndarray,
-    g: np.ndarray,
-    aligned_fraction: np.ndarray,
-    fixup_stores: np.ndarray,
-    blocking: Blocking,
-    dtype: DtypeConfig,
-    gpu: GpuSpec,
-) -> np.ndarray:
-    """Element-wise port of AnalyticalMemoryModel.traffic (alpha=1, beta=0)."""
-    in_b = dtype.input_bytes
-    out_b = dtype.output_bytes
-    a_pass = tiles_m.astype(np.float64) * blocking.blk_m * k * in_b
-    b_pass = tiles_n.astype(np.float64) * blocking.blk_n * k * in_b
-
-    usable_l2 = gpu.l2_bytes * _L2_RESIDENCY
-    w = np.clip(g, 1, gpu.total_cta_slots)
-    w_n = np.minimum(w, tiles_n)
-    w_m = np.minimum(tiles_m, _ceil_div(w, tiles_n))
-    working_set = (
-        _PIPELINE_STAGES
-        * (w_m * blocking.blk_m + w_n * blocking.blk_n)
-        * blocking.blk_k
-        * in_b
-    )
-    amp_a_aligned = np.where(working_set > usable_l2, tiles_n, tiles_n / w_n)
-    amp_b_aligned = np.where(working_set > usable_l2, tiles_m, tiles_m / w_m)
-    # Skewed schedules keep most L2 reuse; cap their extra traffic at 2x
-    # the aligned wave (see repro.gpu.memory._SKEW_AMPLIFICATION).
-    amp_a_skewed = np.minimum(tiles_n, 2.0 * amp_a_aligned)
-    amp_b_skewed = np.minimum(tiles_m, 2.0 * amp_b_aligned)
-    f = aligned_fraction
-    amp_a = f * amp_a_aligned + (1.0 - f) * amp_a_skewed
-    amp_b = f * amp_b_aligned + (1.0 - f) * amp_b_skewed
-    resident = (a_pass + b_pass) <= usable_l2
-    amp_a = np.where(resident, 1.0, amp_a)
-    amp_b = np.where(resident, 1.0, amp_b)
-
-    out = m.astype(np.float64) * n * out_b
-    tile_accum = blocking.blk_m * blocking.blk_n * out_b
-    partials = fixup_stores.astype(np.float64) * tile_accum * 2.0
-    return a_pass * amp_a + b_pass * amp_b + out + partials
-
-
-def _roofline_time(
-    makespan_cycles: np.ndarray,
-    dram_bytes: np.ndarray,
-    g: np.ndarray,
-    gpu: GpuSpec,
-) -> np.ndarray:
-    """max(compute, memory) + launch, with memory bandwidth capped by the
-    number of CTAs actually resident (sparse grids cannot saturate HBM)."""
-    bandwidth = gpu.achieved_bandwidth(g)
-    return (
-        np.maximum(makespan_cycles / gpu.clock_hz, dram_bytes / bandwidth)
-        + gpu.launch_latency_s
-    )
 
 
 # --------------------------------------------------------------------- #
@@ -201,182 +123,20 @@ def fixed_split_times(
 # --------------------------------------------------------------------- #
 
 
-def _two_tile_walk(
-    t: np.ndarray,
-    ipt: np.ndarray,
-    p: int,
-    cost: KernelCostModel,
-    row_chunk: int = _WALK_ROW_CHUNK,
-) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
-    """Vectorized exact two-tile-hybrid makespan for the ``w >= 1,
-    t % p != 0`` regime.  Returns (makespan, aligned_fraction, stores).
-
-    Broadcasts the per-CTA timeline of
-    :func:`repro.gpu.analytic.two_tile_hybrid_makespan` over a (rows, p)
-    grid, one fixed-size row chunk at a time (the transient (rows, p+1)
-    boundary matrix is the largest allocation in the corpus engine): head
-    contribution, fully-owned tiles, the at-most-one-peer fixup, then the
-    ``w - 1`` data-parallel tiles.
-    """
-    n = t.shape[0]
-    makespan = np.empty(n, dtype=np.float64)
-    aligned_fraction = np.empty(n, dtype=np.float64)
-    stores = np.empty(n, dtype=np.int64)
-    for lo in range(0, n, max(1, row_chunk)):
-        sl = slice(lo, min(lo + max(1, row_chunk), n))
-        makespan[sl], aligned_fraction[sl], stores[sl] = _two_tile_walk_chunk(
-            t[sl], ipt[sl], p, cost
-        )
-    return makespan, aligned_fraction, stores
-
-
-def _two_tile_walk_chunk(
-    t: np.ndarray, ipt: np.ndarray, p: int, cost: KernelCostModel
-) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
-    """One row chunk of :func:`_two_tile_walk`."""
-    c = cost.cycles_per_iter
-    pro = cost.prologue_cycles
-    sp = cost.store_partials_cycles
-    fx = cost.fixup_cycles_per_peer
-    st = cost.store_tile_cycles
-
-    # Geometry is bounded by t * ipt; int32 halves memory traffic and
-    # speeds the hot div/mod ops on the (rows, p) matrices when safe.
-    geo = (
-        np.int32
-        if int(t.max()) * int(ipt.max()) < np.iinfo(np.int32).max
-        else np.int64
-    )
-    t = t[:, None].astype(geo)
-    ipt_c = ipt[:, None].astype(geo)
-    w = t // geo(p)
-    sk_tiles = t - (w - 1) * geo(p)
-    region = sk_tiles * ipt_c
-    base, rem = np.divmod(region, geo(p))
-    x = np.arange(p + 1, dtype=geo)[None, :]
-    begins = x * base + np.minimum(x, rem)  # (rows, p+1) range boundaries
-    heads_all = (-begins) % ipt_c
-    b_misaligned = heads_all[:, 1:-1]  # interior boundaries off tile edges
-    head = heads_all[:, :-1]
-    head_next = heads_all[:, 1:]  # == head of CTA x+1 (or 0 at region end)
-    share = begins[:, 1:] - begins[:, :-1]
-    # In this regime every share >= ipt, so b + head is tile-aligned and
-    # the owned-tile count reduces to one integer division.
-    last_part = np.where(head_next != 0, ipt_c - head_next, 0)
-    fully = (share - head - last_part) // ipt_c
-
-    now = pro + np.where(head > 0, c * head + sp, 0.0)
-    now = now + fully * (c * ipt_c + st)
-    own_end = now + np.where(last_part > 0, c * last_part, 0.0)
-    peer_signal = pro + c * head_next + sp
-    now = np.where(
-        last_part > 0, np.maximum(own_end, peer_signal) + fx + st, own_end
-    )
-    finish = now + (w - 1) * (c * ipt_c + st)
-    makespan = finish.max(axis=1)
-
-    total = (t * ipt_c).astype(np.float64)
-    aligned_fraction = ((t - sk_tiles) * ipt_c) / total
-    stores = np.count_nonzero(b_misaligned, axis=1)
-    return makespan, aligned_fraction.ravel(), stores
-
-
 def streamk_times(
     shapes: np.ndarray,
     dtype: DtypeConfig,
     gpu: GpuSpec,
     params: "StreamKModelParams | None" = None,
 ) -> np.ndarray:
-    """Shipped Stream-K library times across a shape corpus."""
-    m, n, k = _split_shapes(shapes)
-    blocking = Blocking(*dtype.default_blocking)
-    cost = KernelCostModel(gpu=gpu, blocking=blocking, dtype=dtype)
-    if params is None:
-        params = _cached_params(gpu, blocking, dtype)
-    p = gpu.num_sms
+    """Shipped Stream-K library times across a shape corpus.
 
-    tiles_m = _ceil_div(m, blocking.blk_m)
-    tiles_n = _ceil_div(n, blocking.blk_n)
-    t = tiles_m * tiles_n
-    ipt = _ceil_div(k, blocking.blk_k)
-    total = t * ipt
-
-    makespan = np.zeros(len(t), dtype=np.float64)
-    f = np.zeros(len(t), dtype=np.float64)
-    g_arr = np.zeros(len(t), dtype=np.int64)
-    stores = np.zeros(len(t), dtype=np.int64)
-
-    # Regime A: perfect quantization -> persistent data-parallel.
-    mask_a = t % p == 0
-    if mask_a.any():
-        g_a = np.minimum(p, t[mask_a])
-        makespan[mask_a] = cost.prologue_cycles + _ceil_div(t[mask_a], g_a) * (
-            cost.cycles_per_iter * ipt[mask_a] + cost.store_tile_cycles
-        )
-        f[mask_a] = 1.0
-        g_arr[mask_a] = g_a
-
-    # Regime C: two-tile hybrid (exact vectorized walk).
-    mask_c = (~mask_a) & (t >= p)
-    if mask_c.any():
-        with span("two_tile_walk"):
-            walk_span, frac, n_stores = _two_tile_walk(
-                t[mask_c], ipt[mask_c], p, cost
-            )
-        makespan[mask_c] = walk_span
-        f[mask_c] = frac
-        g_arr[mask_c] = p
-        stores[mask_c] = n_stores
-
-    # Regime B: fewer tiles than SMs -> batched model-selected grids and the
-    # batched exact walk (pure numpy; no per-problem Python loop).
-    mask_b = (~mask_a) & (t < p)
-    if mask_b.any():
-        t_b, ipt_b, tot_b = t[mask_b], ipt[mask_b], total[mask_b]
-        with span("gridsize_argmin"):
-            g_b = select_grid_sizes_batch(
-                tot_b, ipt_b, params, gpu.total_cta_slots
-            )
-        with span("makespan_batch"):
-            makespan[mask_b] = basic_streamk_makespan_batch(
-                t_b, g_b, ipt_b, cost
-            )
-        g_eff = np.minimum(g_b, tot_b)
-        mis = _misaligned_boundaries_batch(tot_b, g_eff, ipt_b)
-        stores[mask_b] = mis
-        f[mask_b] = (mis == 0).astype(np.float64)
-        g_arr[mask_b] = g_eff
-
-    traffic = _traffic_bytes(
-        m, n, k, tiles_m, tiles_n, g_arr, f, stores, blocking, dtype, gpu
-    )
-    return _roofline_time(makespan, traffic, g_arr, gpu)
-
-
-def _misaligned_boundaries_batch(
-    total: np.ndarray,
-    g_eff: np.ndarray,
-    ipt: np.ndarray,
-    row_chunk: int = _WALK_ROW_CHUNK,
-) -> np.ndarray:
-    """Per problem, how many of the ``g_eff - 1`` interior partition
-    boundaries fall off a tile edge (each costs one partial-sum exchange).
-    Batched twin of the per-problem profile in
-    :func:`repro.ensembles.streamk_library._region_fixup_profile`."""
-    n = total.shape[0]
-    out = np.empty(n, dtype=np.int64)
-    for lo in range(0, n, max(1, row_chunk)):
-        sl = slice(lo, min(lo + max(1, row_chunk), n))
-        tot_c = total[sl]
-        g_c = g_eff[sl]
-        base = (tot_c // g_c)[:, None]
-        rem = (tot_c % g_c)[:, None]
-        gmax = int(g_c.max())
-        bounds = np.arange(1, gmax, dtype=np.int64)[None, :]
-        begins = bounds * base + np.minimum(bounds, rem)
-        mis = (begins % ipt[sl][:, None] != 0) & (bounds < g_c[:, None])
-        out[sl] = np.count_nonzero(mis, axis=1)
-    return out
+    Thin wrapper over the planning layer: the regime decisions, grid
+    sizes, makespans, and roofline composition are all computed by
+    :func:`repro.plan.core.plan_batch` — the same call the serving
+    daemon micro-batches — and this returns its ``time_s`` column.
+    """
+    return plan_batch(shapes, dtype, gpu, params=params).time_s
 
 
 # --------------------------------------------------------------------- #

@@ -28,6 +28,14 @@ rates uniformly.  Counters wired in by this PR:
 ``harness.journal.degraded``            journal writes hit ENOSPC/EROFS
 ``harness.drained_interrupts``          SIGINT/SIGTERM drains of a sweep
 ``faults.chaos_kills``                  chaos kill points fired
+``plancache.hot_hit|disk_hit|miss``     tiered plan-cache lookups (serve)
+``plancache.evicted``                   hot-tier LRU evictions
+``plancache.corrupt_quarantined``       corrupt plan shards set aside
+``plancache.flush_failed``              plan-shard writes hit ENOSPC/EROFS
+``serve.requests``                      plan queries accepted by the daemon
+``serve.cache_hit|cache_miss``          ...split by plan-cache outcome
+``serve.batches|batched_queries``       micro-batches flushed / their size
+``serve.unique_shapes``                 deduped shapes actually planned
 ======================================  =================================
 
 Like the profiler, worker processes ship :func:`snapshot_counters` back to

@@ -1,0 +1,233 @@
+"""Zipf-distributed load generator for the plan-serving path.
+
+Production GEMM traffic is heavily repeat-shape (the same attention and
+MLP extents recur every step), which is the regime the plan cache is
+built for.  This module reproduces that regime deterministically: a
+*universe* of distinct shapes drawn by the corpus generator
+(:func:`repro.corpus.generator.generate_corpus`, seed-pinned), sampled
+with Zipf rank weights ``P(rank i) ∝ 1 / i**s`` by a seeded
+:func:`numpy.random.default_rng` — so every run of ``repro loadgen``
+with the same knobs replays byte-for-byte the same request trace.
+
+Two drive modes share one measurement path:
+
+* **in-process** — construct a :class:`~repro.plan.service.PlanService`
+  and hammer it from ``clients`` threads (this is how the committed
+  ``BENCH_serve.json`` numbers are produced; no socket overhead).
+* **socket** — connect to a running ``repro serve`` daemon
+  (``--connect HOST:PORT``) and speak the JSONL protocol of
+  :mod:`repro.plan.server`; this is what the CI serve job replays.
+
+The report splits client-observed latency by cache outcome — the
+hit/miss split, not the blended number, is the serving contract's
+headline (docs/SERVING.md, "Tail-latency expectations").
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..corpus.generator import CorpusSpec, generate_corpus
+from ..errors import ConfigurationError
+from ..gpu.spec import DEFAULT_GPU_NAME
+from .service import DEFAULT_DTYPE_NAME, PlanService, ServeConfig
+
+__all__ = ["LoadgenConfig", "zipf_trace", "run_loadgen"]
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Knobs of one load-generation run (all deterministic given seed)."""
+
+    #: Total requests to issue across all client threads.
+    requests: int = 2000
+    #: Number of distinct shapes in the Zipf universe.
+    universe: int = 256
+    #: Zipf exponent ``s``; larger skews harder toward the hot ranks.
+    zipf_s: float = 1.1
+    #: Seed for both the shape universe and the rank sampling.
+    seed: int = 0
+    #: Concurrent client threads (concurrency drives batch occupancy).
+    clients: int = 4
+    #: Precision and GPU every request asks for.
+    dtype: str = DEFAULT_DTYPE_NAME
+    gpu: str = DEFAULT_GPU_NAME
+
+    def __post_init__(self) -> None:
+        if self.requests <= 0 or self.universe <= 0 or self.clients <= 0:
+            raise ConfigurationError(
+                "requests, universe, and clients must be positive"
+            )
+        if self.zipf_s < 0:
+            raise ConfigurationError("zipf_s must be non-negative")
+
+
+def zipf_trace(config: LoadgenConfig) -> np.ndarray:
+    """The deterministic request trace: a ``(requests, 3)`` shape array.
+
+    Rank ``i`` of the universe (corpus order) is drawn with probability
+    proportional to ``1 / (i + 1)**s``.  Same config, same trace —
+    byte-for-byte.
+    """
+    universe = generate_corpus(CorpusSpec(size=config.universe, seed=config.seed))
+    ranks = np.arange(1, config.universe + 1, dtype=np.float64)
+    probs = ranks ** (-config.zipf_s)
+    probs /= probs.sum()
+    rng = np.random.default_rng(config.seed)
+    idx = rng.choice(config.universe, size=config.requests, p=probs)
+    return universe[idx]
+
+
+class _Recorder:
+    """Thread-safe (latency, hit?) ledger shared by the client threads."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hit_lat: "list[float]" = []
+        self.miss_lat: "list[float]" = []
+        self.errors: "list[str]" = []
+
+    def record(self, latency_s: float, hit: bool) -> None:
+        with self._lock:
+            (self.hit_lat if hit else self.miss_lat).append(latency_s)
+
+    def fail(self, message: str) -> None:
+        with self._lock:
+            self.errors.append(message)
+
+
+def _drive_inprocess(
+    service: PlanService, trace: np.ndarray, config: LoadgenConfig
+) -> _Recorder:
+    rec = _Recorder()
+
+    def worker(rows: np.ndarray) -> None:
+        for m, n, k in rows:
+            t0 = time.perf_counter()
+            try:
+                plan = service.submit(
+                    int(m), int(n), int(k), dtype=config.dtype, gpu=config.gpu
+                )
+            except Exception as exc:
+                rec.fail(str(exc))
+                continue
+            rec.record(
+                time.perf_counter() - t0, plan.provenance.startswith("cache")
+            )
+
+    _run_clients(trace, config.clients, worker)
+    return rec
+
+
+def _drive_socket(
+    host: str, port: int, trace: np.ndarray, config: LoadgenConfig
+) -> _Recorder:
+    rec = _Recorder()
+
+    def worker(rows: np.ndarray) -> None:
+        with socket.create_connection((host, port), timeout=30.0) as sock:
+            fh = sock.makefile("rwb")
+            for m, n, k in rows:
+                msg = {
+                    "op": "plan",
+                    "m": int(m),
+                    "n": int(n),
+                    "k": int(k),
+                    "dtype": config.dtype,
+                    "gpu": config.gpu,
+                }
+                t0 = time.perf_counter()
+                fh.write((json.dumps(msg) + "\n").encode("utf-8"))
+                fh.flush()
+                reply = json.loads(fh.readline().decode("utf-8"))
+                latency = time.perf_counter() - t0
+                if not reply.get("ok"):
+                    rec.fail(str(reply.get("error")))
+                    continue
+                rec.record(latency, reply.get("cache") == "hit")
+
+    _run_clients(trace, config.clients, worker)
+    return rec
+
+
+def _run_clients(trace: np.ndarray, clients: int, worker) -> None:
+    """Fan the trace out round-robin so hot ranks spread across threads."""
+    threads = [
+        threading.Thread(target=worker, args=(trace[i::clients],), daemon=True)
+        for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+def run_loadgen(
+    config: "LoadgenConfig | None" = None,
+    connect: "tuple[str, int] | None" = None,
+    service: "PlanService | None" = None,
+    serve_config: "ServeConfig | None" = None,
+) -> dict:
+    """Replay one Zipf trace and return the latency/QPS report.
+
+    ``connect`` targets a running daemon over TCP; otherwise an
+    in-process :class:`PlanService` is constructed (or ``service`` is
+    used, and left open, if given).  The report is the JSON written by
+    ``repro loadgen --out`` and the payload ``bench_serve`` aggregates.
+    """
+    config = config or LoadgenConfig()
+    trace = zipf_trace(config)
+
+    owned = None
+    t0 = time.perf_counter()
+    try:
+        if connect is not None:
+            rec = _drive_socket(connect[0], connect[1], trace, config)
+            mode = "socket"
+        else:
+            if service is None:
+                service = owned = PlanService(serve_config)
+            rec = _drive_inprocess(service, trace, config)
+            mode = "in-process"
+    finally:
+        if owned is not None:
+            owned.close()
+    elapsed = time.perf_counter() - t0
+
+    def pct_us(values, q):
+        return float(np.percentile(values, q)) * 1e6 if values else None
+
+    completed = len(rec.hit_lat) + len(rec.miss_lat)
+    hit_p99 = pct_us(rec.hit_lat, 99)
+    miss_p99 = pct_us(rec.miss_lat, 99)
+    return {
+        "mode": mode,
+        "requests": config.requests,
+        "completed": completed,
+        "failed": len(rec.errors),
+        "errors": rec.errors[:10],
+        "universe": config.universe,
+        "zipf_s": config.zipf_s,
+        "seed": config.seed,
+        "clients": config.clients,
+        "dtype": config.dtype,
+        "gpu": config.gpu,
+        "elapsed_s": elapsed,
+        "qps": completed / elapsed if elapsed > 0 else None,
+        "hits": len(rec.hit_lat),
+        "misses": len(rec.miss_lat),
+        "hit_rate": (len(rec.hit_lat) / completed) if completed else None,
+        "hit_p50_us": pct_us(rec.hit_lat, 50),
+        "hit_p99_us": hit_p99,
+        "miss_p50_us": pct_us(rec.miss_lat, 50),
+        "miss_p99_us": pct_us(rec.miss_lat, 99),
+        "p99_speedup_hit_vs_miss": (
+            miss_p99 / hit_p99 if hit_p99 and miss_p99 else None
+        ),
+    }

@@ -1,0 +1,159 @@
+"""JSON-lines TCP front-end for :class:`repro.plan.service.PlanService`.
+
+The wire protocol (normative copy in ``docs/SERVING.md``): one JSON
+object per ``\\n``-terminated line, one JSON object back per request,
+over a plain TCP connection.  Ops:
+
+``{"op": "plan", "m": .., "n": .., "k": .., "dtype"?: .., "gpu"?: .., "id"?: ..}``
+    Plan one query.  Reply: ``{"id", "ok": true, "cache": "hit"|"miss",
+    "plan": {...}, "server_latency_us"}`` where ``plan`` is
+    :meth:`repro.plan.core.Plan.to_payload`.
+``{"op": "stats"}``
+    Reply ``{"ok": true, "stats": {...}}`` — :meth:`PlanService.stats`.
+``{"op": "shutdown"}``
+    Reply ``{"ok": true, "bye": true}`` and stop the server.
+
+Any malformed line or failed query yields ``{"ok": false, "error": ..}``
+on that line; the connection stays usable.  Each connection is handled
+by its own thread (``ThreadingTCPServer``), so concurrent clients' cache
+misses land in the same micro-batch window — the server inherits the
+batching behavior of the service it wraps.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+import time
+
+from .service import PlanService
+
+__all__ = ["PlanServer"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: "_TcpServer" = self.server  # type: ignore[assignment]
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                reply = self._dispatch(server, json.loads(line.decode("utf-8")))
+            except Exception as exc:  # malformed line / planner error
+                reply = {"ok": False, "error": str(exc)}
+            self.wfile.write((json.dumps(reply) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if reply.get("bye"):
+                break
+
+    def _dispatch(self, server: "_TcpServer", msg: dict) -> dict:
+        op = msg.get("op", "plan")
+        if op == "stats":
+            return {"ok": True, "stats": server.service.stats()}
+        if op == "shutdown":
+            server.begin_shutdown()
+            return {"ok": True, "bye": True}
+        if op != "plan":
+            return {"ok": False, "error": "unknown op %r" % (op,)}
+        t0 = time.perf_counter()
+        plan = server.service.submit(
+            int(msg["m"]),
+            int(msg["n"]),
+            int(msg["k"]),
+            dtype=msg.get("dtype") or "fp16_fp32",
+            gpu=msg.get("gpu") or "a100",
+        )
+        reply = {
+            "ok": True,
+            "cache": "hit" if plan.provenance.startswith("cache") else "miss",
+            "plan": plan.to_payload(),
+            "server_latency_us": (time.perf_counter() - t0) * 1e6,
+        }
+        if "id" in msg:
+            reply["id"] = msg["id"]
+        return reply
+
+
+class _TcpServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, addr, service: PlanService):
+        super().__init__(addr, _Handler)
+        self.service = service
+        self._shutdown_started = False
+        self._shutdown_lock = threading.Lock()
+
+    def begin_shutdown(self) -> None:
+        """Stop the accept loop from a handler thread (shutdown() blocks,
+        so it must run off the handler's own thread)."""
+        with self._shutdown_lock:
+            if self._shutdown_started:
+                return
+            self._shutdown_started = True
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+class PlanServer:
+    """Owns a TCP listener + the :class:`PlanService` behind it.
+
+    ``port=0`` binds an ephemeral port; read it back from :attr:`port`
+    (the CLI's ``--port-file`` publishes it for scripts)::
+
+        server = PlanServer(service, port=0)
+        server.start()          # background accept loop
+        ... connect to ("127.0.0.1", server.port) ...
+        server.stop()
+    """
+
+    def __init__(
+        self,
+        service: PlanService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self._tcp = _TcpServer((host, port), service)
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def host(self) -> str:
+        return self._tcp.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return int(self._tcp.server_address[1])
+
+    def start(self) -> "PlanServer":
+        """Run the accept loop on a background thread."""
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="plan-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Run the accept loop on the calling thread (``repro serve``).
+
+        Returns after a ``shutdown`` op or a :meth:`stop` from another
+        thread."""
+        self._tcp.serve_forever(poll_interval=0.05)
+
+    def stop(self) -> None:
+        """Stop accepting, close the listener, and close the service."""
+        self._tcp.begin_shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._tcp.server_close()
+        self.service.close()
+
+    def __enter__(self) -> "PlanServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,334 @@
+"""The serving core: micro-batched planning over the tiered plan cache.
+
+:class:`PlanService` is the in-process engine behind ``repro serve``
+(:mod:`repro.plan.server` wraps it in a socket front-end) and ``repro
+loadgen``'s in-process mode.  It implements the serving contract of
+``docs/SERVING.md``:
+
+* **Hit path** — :meth:`submit` resolves cache hits synchronously on the
+  calling thread (one LRU lookup, no queueing), which is why hit latency
+  is microseconds and independent of the batching window.
+* **Miss path** — misses are enqueued to a single batcher thread that
+  waits up to ``batch_window_s`` (or until ``max_batch`` queued misses)
+  for concurrent queries to pile up, then groups them by ``(dtype,
+  gpu)`` binding and prices each group's *unique* shapes through **one**
+  :func:`repro.plan.core.plan_batch` call — one batched Appendix A.1
+  argmin and one batched walk instead of N scalar model evaluations.
+  Results fill the plan cache and resolve every waiter.
+* **Warm start** — construction optionally pre-runs the persistent
+  calibration (:func:`repro.model.paramcache.calibrate_cached`) for the
+  configured bindings so the first miss never pays simulator
+  microbenchmarks inline.
+
+Counters (:mod:`repro.obs.counters`): ``serve.requests``,
+``serve.cache_hit`` / ``serve.cache_miss`` (the pair behind
+``hit_rate("serve.cache")``), ``serve.batches``,
+``serve.batched_queries``, ``serve.unique_shapes``.  Each flush of the
+batcher runs under an obs span named ``serve_batch``; queue depth and
+batch occupancy are tracked in :meth:`stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..gemm.dtypes import DtypeConfig, get_dtype_config
+from ..gemm.tiling import Blocking
+from ..gpu.spec import DEFAULT_GPU_NAME, GpuSpec, resolve_gpu
+from ..model.paramcache import calibrate_cached, gpu_fingerprint
+from ..obs.counters import inc_counter
+from ..obs.profiler import span
+from .cache import PlanCache
+from .core import Plan, plan_batch
+
+__all__ = ["ServeConfig", "PlanService", "DEFAULT_DTYPE_NAME"]
+
+#: Serving default precision (matches the CLI's ``--dtype`` default).
+DEFAULT_DTYPE_NAME = "fp16_fp32"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables for one :class:`PlanService` (see docs/SERVING.md)."""
+
+    #: Micro-batching window: how long the batcher waits for concurrent
+    #: misses to coalesce before pricing the batch.  Bounds worst-case
+    #: added miss latency; never delays cache hits.
+    batch_window_s: float = 0.002
+    #: Queued misses that trigger an immediate flush before the window
+    #: expires (prevents unbounded batches under heavy load).
+    max_batch: int = 256
+    #: Hot-tier LRU capacity per ``(dtype, gpu)`` binding.
+    cache_capacity: int = 65536
+    #: Run persistent calibration for ``warm_bindings`` at startup.
+    warm: bool = True
+    #: Load/flush persistent plan shards (tier 2).
+    persist: bool = True
+    #: Cache root override (defaults to ``$REPRO_CACHE_DIR`` rules).
+    cache_dir: "str | None" = None
+    #: ``(gpu, dtype)`` pairs calibrated at startup when ``warm``.
+    warm_bindings: "tuple[tuple[str, str], ...]" = (
+        (DEFAULT_GPU_NAME, DEFAULT_DTYPE_NAME),
+    )
+
+
+class _Pending:
+    """One in-flight miss: a waiter slot resolved by the batcher."""
+
+    __slots__ = ("key", "binding", "event", "plan", "error", "enqueued_at")
+
+    def __init__(self, binding, key, enqueued_at: float):
+        self.binding = binding
+        self.key = key
+        self.event = threading.Event()
+        self.plan: "Plan | None" = None
+        self.error: "BaseException | None" = None
+        self.enqueued_at = enqueued_at
+
+
+class _Binding:
+    """Resolved (dtype, gpu) pair plus its cache and calibration."""
+
+    def __init__(self, dtype: DtypeConfig, gpu: GpuSpec, config: ServeConfig):
+        self.dtype = dtype
+        self.gpu = gpu
+        self.key = (dtype.name, gpu_fingerprint(gpu))
+        self.cache = PlanCache(
+            gpu,
+            dtype,
+            capacity=config.cache_capacity,
+            cache_dir=config.cache_dir,
+            persist=config.persist,
+        )
+        self.params = None  # calibrated lazily or by warm-up
+
+    def calibrated(self):
+        if self.params is None:
+            self.params = calibrate_cached(
+                self.gpu, Blocking(*self.dtype.default_blocking), self.dtype
+            )
+        return self.params
+
+
+class PlanService:
+    """Thread-safe plan server: sync cache hits, micro-batched misses.
+
+    Use as a context manager, or call :meth:`close` to stop the batcher
+    thread and flush plan shards::
+
+        with PlanService() as svc:
+            plan = svc.submit(4096, 4096, 4096)
+    """
+
+    def __init__(self, config: "ServeConfig | None" = None):
+        self.config = config or ServeConfig()
+        self._bindings: "dict[tuple[str, str], _Binding]" = {}
+        self._bindings_lock = threading.Lock()
+        self._queue: "list[_Pending]" = []
+        self._cond = threading.Condition()
+        self._stop = False
+        self._started_at = time.perf_counter()
+        # Latency ledgers (seconds), split by cache outcome.
+        self._stats_lock = threading.Lock()
+        self._hit_lat: "list[float]" = []
+        self._miss_lat: "list[float]" = []
+        self._batch_sizes: "list[int]" = []
+        self._max_queue_depth = 0
+        if self.config.warm:
+            for gpu_ref, dtype_ref in self.config.warm_bindings:
+                self._binding(dtype_ref, gpu_ref).calibrated()
+        self._batcher = threading.Thread(
+            target=self._batch_loop, name="plan-batcher", daemon=True
+        )
+        self._batcher.start()
+
+    # ------------------------------------------------------------------ #
+    # Request path                                                        #
+    # ------------------------------------------------------------------ #
+
+    def _binding(self, dtype_ref, gpu_ref) -> _Binding:
+        dtype = (
+            get_dtype_config(dtype_ref)
+            if isinstance(dtype_ref, str)
+            else dtype_ref
+        )
+        gpu = resolve_gpu(gpu_ref)
+        key = (dtype.name, gpu_fingerprint(gpu))
+        with self._bindings_lock:
+            binding = self._bindings.get(key)
+            if binding is None:
+                binding = _Binding(dtype, gpu, self.config)
+                self._bindings[key] = binding
+            return binding
+
+    def submit(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        dtype: "DtypeConfig | str" = DEFAULT_DTYPE_NAME,
+        gpu: "GpuSpec | str" = DEFAULT_GPU_NAME,
+        timeout: "float | None" = 30.0,
+    ) -> Plan:
+        """Plan one query; blocks until the plan is available.
+
+        Hits return synchronously from the calling thread; misses ride
+        the next micro-batch.  The returned plan's ``provenance`` tells
+        which path it took (``cache:*`` vs ``model``).
+        """
+        if self._stop:
+            raise ConfigurationError("PlanService is closed")
+        if m <= 0 or n <= 0 or k <= 0:
+            raise ConfigurationError(
+                "problem dimensions must be positive, got (%d, %d, %d)"
+                % (m, n, k)
+            )
+        t0 = time.perf_counter()
+        inc_counter("serve.requests")
+        binding = self._binding(dtype, gpu)
+        plan = binding.cache.get(m, n, k)
+        if plan is not None:
+            inc_counter("serve.cache_hit")
+            with self._stats_lock:
+                self._hit_lat.append(time.perf_counter() - t0)
+            return plan
+
+        inc_counter("serve.cache_miss")
+        pending = _Pending(binding, (int(m), int(n), int(k)), t0)
+        with self._cond:
+            self._queue.append(pending)
+            depth = len(self._queue)
+            self._cond.notify_all()
+        with self._stats_lock:
+            self._max_queue_depth = max(self._max_queue_depth, depth)
+        if not pending.event.wait(timeout):
+            raise ConfigurationError(
+                "plan request timed out after %.1fs (batcher stalled?)"
+                % (timeout or 0.0)
+            )
+        if pending.error is not None:
+            raise pending.error
+        with self._stats_lock:
+            self._miss_lat.append(time.perf_counter() - t0)
+        assert pending.plan is not None
+        return pending.plan
+
+    # ------------------------------------------------------------------ #
+    # Batcher                                                             #
+    # ------------------------------------------------------------------ #
+
+    def _batch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stop:
+                    self._cond.wait()
+                if self._stop and not self._queue:
+                    return
+                # Window: wait for concurrent misses to coalesce, but
+                # flush early once max_batch are queued.
+                deadline = time.perf_counter() + self.config.batch_window_s
+                while (
+                    len(self._queue) < self.config.max_batch
+                    and not self._stop
+                ):
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+                batch = self._queue[: self.config.max_batch]
+                del self._queue[: self.config.max_batch]
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: "list[_Pending]") -> None:
+        with self._stats_lock:
+            self._batch_sizes.append(len(batch))
+        inc_counter("serve.batches")
+        inc_counter("serve.batched_queries", len(batch))
+        # Group by binding, then price each group's unique shapes in ONE
+        # plan_batch call — the whole point of the micro-batcher.
+        groups: "dict[tuple, list[_Pending]]" = {}
+        for pending in batch:
+            groups.setdefault(pending.binding.key, []).append(pending)
+        with span("serve_batch"):
+            for members in groups.values():
+                binding = members[0].binding
+                unique = sorted({p.key for p in members})
+                inc_counter("serve.unique_shapes", len(unique))
+                try:
+                    shapes = np.array(unique, dtype=np.int64)
+                    result = plan_batch(
+                        shapes,
+                        binding.dtype,
+                        binding.gpu,
+                        params=binding.calibrated(),
+                    )
+                    by_key = {unique[i]: result.plan(i) for i in range(len(unique))}
+                    for plan in by_key.values():
+                        binding.cache.put(plan)
+                    for pending in members:
+                        pending.plan = by_key[pending.key]
+                        pending.event.set()
+                except BaseException as exc:  # propagate to every waiter
+                    for pending in members:
+                        pending.error = exc
+                        pending.event.set()
+
+    # ------------------------------------------------------------------ #
+    # Introspection / shutdown                                            #
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        """Aggregate serving statistics (the ``stats`` op of the wire
+        protocol and the numbers ``repro serve`` prints on shutdown)."""
+
+        def pct_us(values, q):
+            return float(np.percentile(values, q)) * 1e6 if values else None
+
+        with self._stats_lock:
+            hits, misses = list(self._hit_lat), list(self._miss_lat)
+            sizes = list(self._batch_sizes)
+            depth = self._max_queue_depth
+        requests = len(hits) + len(misses)
+        return {
+            "requests": requests,
+            "hits": len(hits),
+            "misses": len(misses),
+            "hit_rate": (len(hits) / requests) if requests else None,
+            "batches": len(sizes),
+            "mean_batch_occupancy": (
+                float(np.mean(sizes)) if sizes else None
+            ),
+            "max_queue_depth": depth,
+            "hit_p50_us": pct_us(hits, 50),
+            "hit_p99_us": pct_us(hits, 99),
+            "miss_p50_us": pct_us(misses, 50),
+            "miss_p99_us": pct_us(misses, 99),
+            "uptime_s": time.perf_counter() - self._started_at,
+            "bindings": sorted(
+                "%s@%s" % (b.dtype.name, b.gpu.name)
+                for b in self._bindings.values()
+            ),
+        }
+
+    def close(self) -> None:
+        """Stop the batcher (draining queued work) and flush plan shards."""
+        with self._cond:
+            if self._stop:
+                return
+            self._stop = True
+            self._cond.notify_all()
+        self._batcher.join(timeout=10.0)
+        with self._bindings_lock:
+            for binding in self._bindings.values():
+                binding.cache.flush()
+
+    def __enter__(self) -> "PlanService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

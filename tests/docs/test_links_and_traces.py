@@ -23,6 +23,7 @@ DOCS = [
     os.path.join("docs", "FAULTS.md"),
     os.path.join("docs", "HARDWARE.md"),
     os.path.join("docs", "CHECKPOINTING.md"),
+    os.path.join("docs", "SERVING.md"),
 ]
 
 # Repo paths the prose references in backticks (not markdown links).

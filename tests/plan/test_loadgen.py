@@ -1,0 +1,79 @@
+"""Zipf load generator: deterministic traces, faithful reports."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.plan import (
+    LoadgenConfig,
+    PlanServer,
+    PlanService,
+    ServeConfig,
+    run_loadgen,
+    zipf_trace,
+)
+
+
+class TestTrace:
+    def test_trace_is_deterministic(self):
+        cfg = LoadgenConfig(requests=500, universe=64, seed=3)
+        assert np.array_equal(zipf_trace(cfg), zipf_trace(cfg))
+
+    def test_seed_changes_trace(self):
+        a = zipf_trace(LoadgenConfig(requests=500, universe=64, seed=3))
+        b = zipf_trace(LoadgenConfig(requests=500, universe=64, seed=4))
+        assert not np.array_equal(a, b)
+
+    def test_zipf_skew_concentrates_on_hot_ranks(self):
+        cfg = LoadgenConfig(requests=4000, universe=100, zipf_s=1.1, seed=0)
+        trace = zipf_trace(cfg)
+        universe, counts = np.unique(trace, axis=0, return_counts=True)
+        # The hottest shape must dominate a uniform draw's share.
+        assert counts.max() > 5 * cfg.requests / cfg.universe
+        assert trace.shape == (4000, 3)
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ConfigurationError):
+            LoadgenConfig(requests=0)
+        with pytest.raises(ConfigurationError):
+            LoadgenConfig(zipf_s=-1.0)
+
+
+class TestInProcess:
+    def test_report_accounts_for_every_request(self):
+        report = run_loadgen(
+            LoadgenConfig(requests=300, universe=16, clients=4, seed=1),
+            serve_config=ServeConfig(persist=False, warm=False),
+        )
+        assert report["mode"] == "in-process"
+        assert report["completed"] == 300 and report["failed"] == 0
+        assert report["hits"] + report["misses"] == 300
+        # 16 distinct shapes, 300 requests: overwhelmingly cache hits.
+        assert report["hit_rate"] > 0.9
+        assert report["qps"] > 0
+        assert report["hit_p99_us"] > 0 and report["miss_p99_us"] > 0
+
+    def test_external_service_left_open(self):
+        svc = PlanService(ServeConfig(persist=False, warm=False))
+        run_loadgen(
+            LoadgenConfig(requests=50, universe=8, clients=2), service=svc
+        )
+        svc.submit(256, 256, 256)  # still usable
+        svc.close()
+
+
+class TestSocketMode:
+    def test_socket_replay_matches_contract(self):
+        service = PlanService(ServeConfig(persist=False, warm=False))
+        server = PlanServer(service, port=0).start()
+        try:
+            report = run_loadgen(
+                LoadgenConfig(requests=200, universe=16, clients=3, seed=2),
+                connect=("127.0.0.1", server.port),
+            )
+        finally:
+            server.stop()
+        assert report["mode"] == "socket"
+        assert report["completed"] == 200 and report["failed"] == 0
+        assert report["hits"] + report["misses"] == 200
+        assert report["hit_rate"] > 0.8

@@ -1,0 +1,170 @@
+"""Plan-cache correctness: cached == cold, bitwise; stale == miss.
+
+The differential suite the serving contract rests on: a plan served from
+either cache tier must be bitwise-identical to a cold ``plan_query``
+across every registered GPU preset, and any change to the GPU
+fingerprint or the planning-engine version must invalidate the cache
+rather than serve a stale plan.
+"""
+
+import dataclasses
+import json
+import os
+
+from repro.corpus.generator import CorpusSpec, generate_corpus
+from repro.gemm.dtypes import FP16_FP32
+from repro.gpu.spec import available_gpus, resolve_gpu
+from repro.obs.counters import get_counter
+from repro.plan import PlanCache, plan_query, wipe_plan_cache
+
+SHAPES = generate_corpus(CorpusSpec(size=24, seed=11))
+
+
+def _fields(plan):
+    """Every field that participates in equality (excludes provenance)."""
+    return tuple(
+        getattr(plan, f.name)
+        for f in dataclasses.fields(plan)
+        if f.compare
+    )
+
+
+class TestDifferential:
+    def test_cached_plans_bitwise_identical_across_all_presets(self, tmp_path):
+        """Cold query -> cache miss fill -> hot hit -> disk hit: all four
+        must produce identical plans on every registered preset."""
+        for gpu_name in available_gpus():
+            gpu = resolve_gpu(gpu_name)
+            cache_dir = str(tmp_path / gpu_name)
+            cache = PlanCache(gpu, FP16_FP32, cache_dir=cache_dir)
+            for m, n, k in SHAPES:
+                m, n, k = int(m), int(n), int(k)
+                cold = plan_query(m, n, k, FP16_FP32, gpu)
+                filled = cache.plan_or_compute(m, n, k)
+                hot = cache.plan_or_compute(m, n, k)
+                assert hot.provenance == "cache:hot"
+                # Dataclass equality covers every field bit-for-bit
+                # except provenance; compare the tuples too so a future
+                # field added without compare= shows up here.
+                assert _fields(cold) == _fields(filled) == _fields(hot)
+            assert cache.flush() is not None
+            # Fresh instance: the same plans must come back from disk.
+            reloaded = PlanCache(gpu, FP16_FP32, cache_dir=cache_dir)
+            for m, n, k in SHAPES:
+                m, n, k = int(m), int(n), int(k)
+                from_disk = reloaded.get(m, n, k)
+                assert from_disk is not None
+                assert from_disk.provenance == "cache:disk"
+                assert _fields(from_disk) == _fields(
+                    plan_query(m, n, k, FP16_FP32, gpu)
+                )
+
+    def test_hit_and_miss_counters(self, tmp_path):
+        cache = PlanCache(
+            resolve_gpu("a100"), FP16_FP32, cache_dir=str(tmp_path)
+        )
+        miss0 = get_counter("plancache.miss")
+        hit0 = get_counter("plancache.hot_hit")
+        cache.plan_or_compute(256, 256, 256)
+        cache.plan_or_compute(256, 256, 256)
+        assert get_counter("plancache.miss") == miss0 + 1
+        assert get_counter("plancache.hot_hit") == hit0 + 1
+
+
+class TestInvalidation:
+    def test_gpu_fingerprint_change_invalidates(self, tmp_path):
+        """Editing any GpuSpec field re-keys the cache: the old shard is
+        unreachable and the altered GPU's plans are computed fresh."""
+        gpu = resolve_gpu("hypothetical_4sm")
+        cache = PlanCache(gpu, FP16_FP32, cache_dir=str(tmp_path))
+        cache.plan_or_compute(640, 384, 96)
+        assert cache.flush() is not None
+
+        widened = gpu.with_sms(6)
+        recache = PlanCache(widened, FP16_FP32, cache_dir=str(tmp_path))
+        assert recache.fingerprint != cache.fingerprint
+        assert recache.shard_path() != cache.shard_path()
+        assert recache.get(640, 384, 96) is None  # never served stale
+        fresh = recache.plan_or_compute(640, 384, 96)
+        assert _fields(fresh) == _fields(
+            plan_query(640, 384, 96, FP16_FP32, widened)
+        )
+
+    def test_engine_version_bump_invalidates(self, tmp_path, monkeypatch):
+        gpu = resolve_gpu("a100")
+        cache = PlanCache(gpu, FP16_FP32, cache_dir=str(tmp_path))
+        stale = cache.plan_or_compute(512, 512, 4096)
+        path_v1 = cache.shard_path()
+        assert cache.flush() == path_v1
+
+        monkeypatch.setattr("repro.plan.core.PLAN_ENGINE_VERSION", 99)
+        bumped = PlanCache(gpu, FP16_FP32, cache_dir=str(tmp_path))
+        assert bumped.shard_path() != path_v1
+        assert bumped.get(512, 512, 4096) is None  # never served stale
+        fresh = bumped.plan_or_compute(512, 512, 4096)
+        assert fresh.engine_version == 99
+        # A stale-engine plan is refused on insert, not silently stored.
+        bumped.put(stale)
+        assert bumped.get(stale.m, stale.n, stale.k).engine_version == 99
+
+    def test_header_mismatch_is_clean_miss_not_crash(self, tmp_path):
+        """A shard whose header lies about its fingerprint is ignored."""
+        gpu = resolve_gpu("a100")
+        cache = PlanCache(gpu, FP16_FP32, cache_dir=str(tmp_path))
+        cache.plan_or_compute(256, 256, 256)
+        path = cache.flush()
+        doc = json.load(open(path))
+        doc["gpu_fingerprint"] = "0" * 64
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        reloaded = PlanCache(gpu, FP16_FP32, cache_dir=str(tmp_path))
+        assert reloaded.get(256, 256, 256) is None
+
+    def test_corrupt_shard_quarantined(self, tmp_path):
+        gpu = resolve_gpu("a100")
+        cache = PlanCache(gpu, FP16_FP32, cache_dir=str(tmp_path))
+        cache.plan_or_compute(256, 256, 256)
+        path = cache.flush()
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        before = get_counter("plancache.corrupt_quarantined")
+        reloaded = PlanCache(gpu, FP16_FP32, cache_dir=str(tmp_path))
+        assert reloaded.get(256, 256, 256) is None
+        assert os.path.exists(path + ".corrupt")
+        assert get_counter("plancache.corrupt_quarantined") == before + 1
+
+
+class TestStorageDiscipline:
+    def test_no_disk_cache_env_disables_persistence(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_DISK_CACHE", "1")
+        gpu = resolve_gpu("a100")
+        cache = PlanCache(gpu, FP16_FP32, cache_dir=str(tmp_path))
+        cache.plan_or_compute(256, 256, 256)
+        assert cache.flush() is None
+        assert not os.path.exists(cache.shard_path())
+
+    def test_lru_eviction_bounds_hot_tier(self, tmp_path):
+        gpu = resolve_gpu("a100")
+        cache = PlanCache(
+            gpu, FP16_FP32, capacity=8, cache_dir=str(tmp_path), persist=False
+        )
+        for m, n, k in SHAPES:
+            cache.plan_or_compute(int(m), int(n), int(k))
+        assert len(cache) == 8
+
+    def test_wipe_plan_cache(self, tmp_path):
+        gpu = resolve_gpu("a100")
+        cache = PlanCache(gpu, FP16_FP32, cache_dir=str(tmp_path))
+        cache.plan_or_compute(256, 256, 256)
+        cache.flush()
+        assert wipe_plan_cache(str(tmp_path)) == 1
+        assert not os.path.exists(cache.shard_path())
+
+    def test_foreign_plans_refused(self, tmp_path):
+        """A plan computed for one GPU can never pollute another's cache."""
+        a100 = resolve_gpu("a100")
+        h100 = resolve_gpu("h100_sxm")
+        cache = PlanCache(a100, FP16_FP32, cache_dir=str(tmp_path))
+        foreign = plan_query(256, 256, 256, FP16_FP32, h100)
+        cache.put(foreign)
+        assert cache.get(256, 256, 256) is None

@@ -1,0 +1,103 @@
+"""JSONL-over-TCP front-end: the docs/SERVING.md wire contract, live."""
+
+import json
+import socket
+
+from repro.gpu.spec import resolve_gpu
+from repro.plan import PlanServer, PlanService, ServeConfig, plan_query
+
+
+def _start():
+    service = PlanService(ServeConfig(persist=False, warm=False))
+    return PlanServer(service, port=0).start()
+
+
+def _rpc(fh, msg):
+    fh.write((json.dumps(msg) + "\n").encode("utf-8"))
+    fh.flush()
+    return json.loads(fh.readline().decode("utf-8"))
+
+
+class TestProtocol:
+    def test_plan_stats_shutdown_session(self):
+        server = _start()
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            ) as sock:
+                fh = sock.makefile("rwb")
+
+                reply = _rpc(fh, {
+                    "op": "plan", "m": 512, "n": 512, "k": 4096, "id": 7,
+                    "dtype": "fp16_fp32", "gpu": "a100",
+                })
+                assert reply["ok"] and reply["id"] == 7
+                assert reply["cache"] == "miss"
+                assert reply["server_latency_us"] > 0
+                expect = plan_query(
+                    512, 512, 4096, "fp16_fp32", resolve_gpu("a100")
+                )
+                assert reply["plan"]["kind"] == expect.kind
+                assert reply["plan"]["g"] == expect.g
+                assert reply["plan"]["time_s"] == expect.time_s
+
+                again = _rpc(fh, {"op": "plan", "m": 512, "n": 512, "k": 4096})
+                assert again["cache"] == "hit"
+                assert again["plan"]["g"] == expect.g
+
+                stats = _rpc(fh, {"op": "stats"})
+                assert stats["ok"]
+                assert stats["stats"]["requests"] == 2
+                assert stats["stats"]["hits"] == 1
+
+                bye = _rpc(fh, {"op": "shutdown"})
+                assert bye["ok"] and bye["bye"]
+        finally:
+            server.stop()
+
+    def test_errors_keep_connection_usable(self):
+        server = _start()
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            ) as sock:
+                fh = sock.makefile("rwb")
+                # Malformed JSON.
+                fh.write(b"{nope\n")
+                fh.flush()
+                bad = json.loads(fh.readline())
+                assert not bad["ok"] and "error" in bad
+                # Unknown op.
+                assert not _rpc(fh, {"op": "frobnicate"})["ok"]
+                # Invalid shape.
+                assert not _rpc(fh, {"op": "plan", "m": -1, "n": 1, "k": 1})["ok"]
+                # Still serving on the same connection.
+                good = _rpc(fh, {"op": "plan", "m": 256, "n": 256, "k": 256})
+                assert good["ok"]
+        finally:
+            server.stop()
+
+    def test_concurrent_connections(self):
+        server = _start()
+        try:
+            replies = []
+            conns = [
+                socket.create_connection(("127.0.0.1", server.port), timeout=10)
+                for _ in range(4)
+            ]
+            try:
+                files = [c.makefile("rwb") for c in conns]
+                for i, fh in enumerate(files):
+                    fh.write((json.dumps({
+                        "op": "plan", "m": 384 + 128 * i, "n": 384, "k": 768,
+                    }) + "\n").encode())
+                    fh.flush()
+                for fh in files:
+                    replies.append(json.loads(fh.readline()))
+            finally:
+                for c in conns:
+                    c.close()
+            assert all(r["ok"] for r in replies)
+            assert len({r["plan"]["m"] for r in replies}) == 4
+        finally:
+            server.stop()

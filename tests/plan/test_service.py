@@ -1,0 +1,137 @@
+"""PlanService: correctness under concurrency, coalescing, clean shutdown."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.spec import resolve_gpu
+from repro.obs.counters import get_counter
+from repro.plan import PlanService, ServeConfig, plan_query
+
+
+def _service(**overrides):
+    defaults = dict(persist=False, warm=False, batch_window_s=0.002)
+    defaults.update(overrides)
+    return PlanService(ServeConfig(**defaults))
+
+
+class TestCorrectness:
+    def test_served_plan_equals_cold_query(self):
+        with _service() as svc:
+            served = svc.submit(640, 384, 96, dtype="fp64", gpu="hypothetical_4sm")
+            cold = plan_query(
+                640, 384, 96, "fp64", resolve_gpu("hypothetical_4sm")
+            )
+            assert served == cold
+            assert served.provenance == "model"
+
+    def test_repeat_is_cache_hit(self):
+        with _service() as svc:
+            first = svc.submit(4096, 4096, 4096)
+            again = svc.submit(4096, 4096, 4096)
+            assert again == first
+            assert again.provenance == "cache:hot"
+
+    def test_mixed_bindings_do_not_cross_pollinate(self):
+        with _service() as svc:
+            a = svc.submit(512, 512, 512, dtype="fp16_fp32", gpu="a100")
+            b = svc.submit(512, 512, 512, dtype="fp16_fp32", gpu="h100_sxm")
+            assert a.gpu_fingerprint != b.gpu_fingerprint
+            assert svc.submit(512, 512, 512, gpu="a100") == a
+            assert svc.submit(512, 512, 512, gpu="h100_sxm") == b
+
+    def test_rejects_nonpositive_shape(self):
+        with _service() as svc:
+            with pytest.raises(ConfigurationError):
+                svc.submit(0, 128, 128)
+
+
+class TestMicroBatching:
+    def test_concurrent_misses_coalesce_into_few_batches(self):
+        """24 distinct shapes submitted concurrently must ride far fewer
+        than 24 plan_batch calls — the micro-batching window at work."""
+        shapes = [(256 + 16 * i, 384, 512 + 32 * i) for i in range(24)]
+        batches0 = get_counter("serve.batches")
+        with _service(batch_window_s=0.05) as svc:
+            results = {}
+            errors = []
+
+            def worker(shape):
+                try:
+                    results[shape] = svc.submit(*shape)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(s,)) for s in shapes
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors
+        batches = get_counter("serve.batches") - batches0
+        assert 1 <= batches <= 6  # 24 queries, a handful of batches
+        gpu = resolve_gpu("a100")
+        for shape, plan in results.items():
+            assert plan == plan_query(*shape, "fp16_fp32", gpu)
+
+    def test_duplicate_inflight_queries_share_one_computation(self):
+        shape = (1792, 896, 2048)
+        uniq0 = get_counter("serve.unique_shapes")
+        with _service(batch_window_s=0.05) as svc:
+            plans = []
+            threads = [
+                threading.Thread(
+                    target=lambda: plans.append(svc.submit(*shape))
+                )
+                for _ in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(set(plans)) == 1
+        # All 8 waiters resolved, but the planner saw the shape once per
+        # batch it rode in (typically exactly once).
+        assert get_counter("serve.unique_shapes") - uniq0 <= 2
+
+    def test_stats_report_shape(self):
+        with _service() as svc:
+            svc.submit(512, 512, 512)
+            svc.submit(512, 512, 512)
+            stats = svc.stats()
+        assert stats["requests"] == 2
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["batches"] >= 1
+        assert stats["miss_p99_us"] > 0
+        assert stats["bindings"] == ["fp16_fp32@a100"]
+
+
+class TestShutdown:
+    def test_submit_after_close_raises(self):
+        svc = _service()
+        svc.submit(256, 256, 256)
+        svc.close()
+        with pytest.raises(ConfigurationError):
+            svc.submit(256, 256, 256)
+
+    def test_close_is_idempotent(self):
+        svc = _service()
+        svc.close()
+        svc.close()
+
+    def test_close_flushes_persistent_shard(self, tmp_path):
+        svc = PlanService(
+            ServeConfig(warm=False, persist=True, cache_dir=str(tmp_path))
+        )
+        plan = svc.submit(640, 384, 96)
+        svc.close()
+        from repro.plan import PlanCache
+
+        reloaded = PlanCache(
+            resolve_gpu("a100"), "fp16_fp32", cache_dir=str(tmp_path)
+        )
+        assert reloaded.get(640, 384, 96) == plan

@@ -295,6 +295,79 @@ class TestExecutorFlag:
             )
 
 
+class TestServeCommand:
+    """``repro serve`` / ``repro loadgen`` (docs/SERVING.md)."""
+
+    def test_serve_demo_is_self_terminating(self, capsys):
+        rc = main(["serve", "--demo", "60", "--no-persist", "--no-warm"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serve demo (60 requests" in out
+        assert "mode        : in-process" in out
+        assert "hit rate" in out and "latency p99" in out
+
+    def test_loadgen_in_process_writes_report(self, capsys, tmp_path):
+        out_path = tmp_path / "loadgen.json"
+        rc = main(
+            ["loadgen", "--requests", "80", "--universe", "8",
+             "--clients", "2", "--no-persist", "--no-warm",
+             "--out", str(out_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        report = json.loads(out_path.read_text())
+        assert report["completed"] == 80 and report["failed"] == 0
+        assert report["hits"] + report["misses"] == 80
+
+    def test_loadgen_deterministic_trace_hits(self, capsys):
+        # One client, universe of 4 shapes, 50 sequential requests: each
+        # shape misses exactly once, every other request is a cache hit.
+        rc = main(
+            ["loadgen", "--requests", "50", "--universe", "4",
+             "--clients", "1", "--no-persist", "--no-warm"]
+        )
+        assert rc == 0
+        assert "46 hits / 4 misses" in capsys.readouterr().out
+
+    def test_loadgen_bad_connect_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="HOST:PORT"):
+            main(["loadgen", "--connect", "nonsense"])
+
+    def test_serve_daemon_port_file_and_shutdown(self, capsys, tmp_path):
+        import socket as _socket
+        import threading
+        import time
+
+        port_file = tmp_path / "port"
+        argv = [
+            "serve", "--port", "0", "--port-file", str(port_file),
+            "--no-persist", "--no-warm",
+        ]
+        rcs = []
+        t = threading.Thread(target=lambda: rcs.append(main(argv)))
+        t.start()
+        deadline = time.monotonic() + 30
+        while not port_file.exists() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        port = int(port_file.read_text())
+        with _socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+            fh = s.makefile("rwb")
+            fh.write(b'{"op": "plan", "m": 512, "n": 512, "k": 4096}\n')
+            fh.flush()
+            assert json.loads(fh.readline())["ok"]
+            fh.write(b'{"op": "shutdown"}\n')
+            fh.flush()
+            assert json.loads(fh.readline())["bye"]
+        t.join(timeout=30)
+        assert not t.is_alive() and rcs == [0]
+        out = capsys.readouterr().out
+        assert "serving plans on 127.0.0.1:%d" % port in out
+        assert "served 1 request(s)" in out
+
+
 class TestSweepCommand:
     """``repro sweep``: durable journaled sweeps (docs/CHECKPOINTING.md)."""
 
