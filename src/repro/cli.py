@@ -12,7 +12,8 @@ Commands
 ``profile``    profile a corpus evaluation (span report + counters)
 ``faults``     straggler-severity x schedule fault sweep (docs/FAULTS.md)
 ``crosshw``    schedule comparison across several GPUs (docs/HARDWARE.md)
-``sweep``      durable corpus sweep: WAL journal, ``--resume``, chaos kill
+``sweep``      durable corpus sweep: WAL journal, ``--resume``, chaos
+               kill, multi-worker lease fabric (``--workers``/``--join``)
                (docs/CHECKPOINTING.md)
 ``serve``      long-running plan server: micro-batched queries, tiered
                plan cache, JSONL-over-TCP protocol (docs/SERVING.md)
@@ -247,6 +248,35 @@ def build_parser() -> argparse.ArgumentParser:
         "completion is durably journaled (testing the resume contract)",
     )
     p.add_argument(
+        "--workers", type=int, default=None, metavar="W",
+        help="lease fabric: launch W cooperating worker processes that "
+        "claim shards from the shared journal, with heartbeat/lease-expiry "
+        "reclaim of dead workers' shards (requires a journal; "
+        "docs/CHECKPOINTING.md)",
+    )
+    p.add_argument(
+        "--join", default=None, metavar="DIR",
+        help="lease fabric: join a (possibly concurrent) sweep rooted at "
+        "journal directory DIR as one worker; every joiner merges and "
+        "reports the full result once all shards are committed",
+    )
+    p.add_argument(
+        "--lease-seconds", type=float, default=None, metavar="S",
+        help="lease expiry budget before a dead/wedged worker's shard is "
+        "reclaimed (default $REPRO_LEASE_SECONDS or 30)",
+    )
+    p.add_argument(
+        "--heartbeat-seconds", type=float, default=None, metavar="S",
+        help="lease renewal interval while evaluating a claimed shard "
+        "(default $REPRO_HEARTBEAT_SECONDS or lease/6)",
+    )
+    p.add_argument(
+        "--chaos-worker-kill", default=None, metavar="POINT[:K]",
+        help="chaos mode: SIGKILL one fabric worker at its K-th "
+        "claim/eval/commit boundary (worker 0 under --workers, this "
+        "process under --join)",
+    )
+    p.add_argument(
         "--out", default=None, metavar="PATH",
         help="optionally write the merged timings as an .npz artifact",
     )
@@ -291,6 +321,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-persist", action="store_true",
         help="disable the persistent plan-shard tier (memory-only cache)",
+    )
+    p.add_argument(
+        "--idle-timeout-s", type=float, default=30.0, metavar="S",
+        help="disconnect a client whose connection is idle (no request "
+        "line) for S seconds, freeing its handler thread (default 30)",
     )
     p.add_argument(
         "--demo", type=int, default=None, metavar="N",
@@ -660,7 +695,7 @@ def _cmd_crosshw(args) -> int:
 
 def _cmd_sweep(args) -> int:
     from .errors import ConfigurationError
-    from .faults.chaos import ChaosKill
+    from .faults.chaos import ChaosKill, ChaosWorkerKill
     from .harness.journal import default_journal_dir, write_timings_npz
     from .harness.parallel import evaluate_corpus_sharded
     from .metrics.report import format_relative_table
@@ -668,7 +703,7 @@ def _cmd_sweep(args) -> int:
     from .obs.counters import get_counter
 
     dtype, gpu = get_dtype_config(args.dtype), resolve_gpu(args.gpu)
-    journal_dir = args.journal or default_journal_dir()
+    journal_dir = args.join or args.journal or default_journal_dir()
     if journal_dir is None:
         raise ConfigurationError(
             "repro sweep needs a journal directory: pass --journal DIR or "
@@ -679,6 +714,17 @@ def _cmd_sweep(args) -> int:
         if args.chaos_kill_after is not None
         else None
     )
+    fabric_mode = args.join is not None or (args.workers or 0) > 1
+    chaos_worker = None
+    if args.chaos_worker_kill is not None:
+        # Validate the spec up front so a typo fails fast instead of
+        # deep inside a worker process.
+        chaos_worker = ChaosWorkerKill.parse(args.chaos_worker_kill)
+        if not fabric_mode:
+            raise ConfigurationError(
+                "--chaos-worker-kill targets lease-fabric workers: "
+                "combine it with --workers N or --join DIR"
+            )
     shapes = generate_corpus(CorpusSpec(size=args.size))
     res = evaluate_corpus_sharded(
         shapes,
@@ -692,8 +738,13 @@ def _cmd_sweep(args) -> int:
             else 300.0
         ),
         journal=journal_dir,
-        resume=args.resume,
+        resume=args.resume or args.join is not None,
         chaos=chaos,
+        workers=args.workers,
+        join=args.join is not None,
+        lease_seconds=args.lease_seconds,
+        heartbeat_seconds=args.heartbeat_seconds,
+        chaos_worker=chaos_worker,
     )
     skipped = get_counter("journal.skipped_shards")
     evaluated = get_counter("harness.shards_ok") + (
@@ -704,6 +755,13 @@ def _cmd_sweep(args) -> int:
           % (skipped, evaluated,
              "  [degraded: journal-less]"
              if get_counter("harness.journal.degraded") else ""))
+    if fabric_mode:
+        print("fabric     : %d claim(s), %d commit(s), %d lease(s) "
+              "expired, %d reclaim(s)"
+              % (get_counter("fabric.claims"),
+                 get_counter("fabric.commits"),
+                 get_counter("fabric.lease_expired"),
+                 get_counter("fabric.reclaims")))
     if args.out:
         write_timings_npz(args.out, res)
         print("artifact   : wrote merged timings to %s" % args.out)
@@ -796,7 +854,12 @@ def _cmd_serve(args) -> int:
         _print_loadgen_report(report)
         return 0
 
-    server = PlanServer(service, host=args.host, port=args.port)
+    server = PlanServer(
+        service,
+        host=args.host,
+        port=args.port,
+        recv_timeout_s=args.idle_timeout_s,
+    )
     if args.port_file:
         with open(args.port_file, "w") as fh:
             fh.write("%d\n" % server.port)

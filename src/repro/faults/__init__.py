@@ -20,10 +20,13 @@ that claim testable on the simulator:
 * :mod:`~repro.faults.sweep` — straggler-severity x schedule sweeps
   reporting makespan degradation (the sensitivity curves behind
   ``python -m repro faults``);
-* :mod:`~repro.faults.chaos` — :class:`ChaosKill`, deterministic
-  *process-level* kill-point injection for the durable sweep engine:
-  SIGKILL the harness right after the K-th journaled shard completion
-  (``repro sweep --chaos-kill-after K``, docs/CHECKPOINTING.md).
+* :mod:`~repro.faults.chaos` — :class:`ChaosKill` and
+  :class:`ChaosWorkerKill`, deterministic *process-level* kill-point
+  injection for the durable sweep engine: SIGKILL the harness right
+  after the K-th journaled shard completion (``repro sweep
+  --chaos-kill-after K``), or SIGKILL one lease-fabric worker at a
+  claim/eval/commit boundary (``repro sweep --workers N
+  --chaos-worker-kill POINT[:K]``, docs/CHECKPOINTING.md).
 
 Determinism contract: all randomness derives from
 :class:`FaultConfig.seed` through a counter-free splitmix64 hash of the
@@ -33,7 +36,7 @@ inert: traces are identical to the unfaulted simulator.  See
 ``docs/FAULTS.md`` for the full fault model.
 """
 
-from .chaos import ChaosKill
+from .chaos import ChaosKill, ChaosWorkerKill
 from .checker import InvariantReport, check_protocol_invariants
 from .config import FaultConfig
 from .injector import FaultInjector, InjectedFault
@@ -41,6 +44,7 @@ from .sweep import SweepCell, format_sweep_table, run_fault_sweep
 
 __all__ = [
     "ChaosKill",
+    "ChaosWorkerKill",
     "FaultConfig",
     "FaultInjector",
     "InjectedFault",

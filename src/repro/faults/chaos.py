@@ -30,7 +30,7 @@ import signal
 from ..errors import ConfigurationError
 from ..obs.counters import inc_counter
 
-__all__ = ["ChaosKill"]
+__all__ = ["ChaosKill", "ChaosWorkerKill"]
 
 
 class ChaosKill:
@@ -66,6 +66,83 @@ class ChaosKill:
             return
         self.fired = True
         inc_counter("faults.chaos_kills")
+        if self.action is not None:
+            self.action()
+        else:  # pragma: no cover - exercised via subprocess in CI/tests
+            os.kill(os.getpid(), self.sig)
+
+
+class ChaosWorkerKill:
+    """Kill one lease-fabric worker at a deterministic lease-lifecycle point.
+
+    Where :class:`ChaosKill` targets the single-process sweep driver
+    after a journaled completion, this targets a *fabric worker*
+    (:mod:`repro.harness.fabric`) at one of the three lease-lifecycle
+    boundaries the reclaim protocol must absorb:
+
+    ``claim``
+        immediately after the worker durably journals ``shard_claimed``
+        (the lease file exists, no evaluation has happened);
+    ``eval``
+        mid-evaluation — after the heartbeat thread has started, before
+        any result exists;
+    ``commit``
+        pre-commit — the shard is fully evaluated but ``shard_done``
+        has not been journaled, the worst-case wasted-work crash.
+
+    ``after`` is 1-based: ``ChaosWorkerKill("eval", 2)`` fires at the
+    second time this worker reaches the ``eval`` boundary.  The default
+    action is a raw self-``SIGKILL`` (no cleanup, the lease file stays
+    behind exactly as a power loss would leave it); the ``action`` seam
+    substitutes a callable for in-process tests.
+    """
+
+    POINTS = ("claim", "eval", "commit")
+
+    def __init__(
+        self,
+        point: str,
+        after: int = 1,
+        sig: int = signal.SIGKILL,
+        action=None,
+    ):
+        if point not in self.POINTS:
+            raise ConfigurationError(
+                "chaos worker kill point must be one of %s, got %r"
+                % ("/".join(self.POINTS), point)
+            )
+        if after < 1:
+            raise ConfigurationError(
+                "chaos worker kill count must be >= 1, got %r" % after
+            )
+        self.point = point
+        self.after = int(after)
+        self.sig = sig
+        self.action = action
+        self.fired = False
+        self._hits = 0
+
+    @classmethod
+    def parse(cls, spec: str, action=None) -> "ChaosWorkerKill":
+        """Parse a ``POINT`` or ``POINT:K`` spec (e.g. ``commit:2``)."""
+        point, _, count = str(spec).partition(":")
+        try:
+            after = int(count) if count else 1
+        except ValueError:
+            raise ConfigurationError(
+                "chaos worker kill spec must be POINT[:K], got %r" % spec
+            ) from None
+        return cls(point.strip(), after, action=action)
+
+    def on_event(self, event: str) -> None:
+        """Kill point: the worker loop calls this at every boundary."""
+        if event != self.point:
+            return
+        self._hits += 1
+        if self.fired or self._hits < self.after:
+            return
+        self.fired = True
+        inc_counter("faults.chaos_worker_kills")
         if self.action is not None:
             self.action()
         else:  # pragma: no cover - exercised via subprocess in CI/tests

@@ -14,7 +14,11 @@ Three layers, by scale:
   (:func:`evaluate_corpus_sharded`, :func:`evaluate_corpus_cached`),
   with :mod:`~repro.harness.journal` underneath for durability: a
   write-ahead shard journal so killed sweeps resume bitwise-identically
-  (``repro sweep``, docs/CHECKPOINTING.md).
+  (``repro sweep``, docs/CHECKPOINTING.md), and
+  :mod:`~repro.harness.fabric` on top for horizontal scale: a
+  lease-based multi-worker fabric where processes *claim* shards from
+  the shared journal (``repro sweep --workers N`` / ``--join DIR``)
+  and dead workers' shards are reclaimed after lease expiry.
 
 :mod:`~repro.harness.experiments` packages these as one entry point per
 paper artifact (``fig1_...``–``fig9_...``, ``relative_performance_table``);
@@ -45,6 +49,7 @@ from .experiments import (
     relative_performance_table,
     roofline_landscapes,
 )
+from .fabric import LeaseManager, fabric_sweep, join_sweep, make_worker_id
 from .io import timings_to_rows, write_csv, write_json
 from .journal import (
     RESUMABLE_EXIT_STATUS,
@@ -75,6 +80,7 @@ __all__ = [
     "CrossHwResult",
     "EVAL_ENGINE_VERSION",
     "FIG8_SCENARIOS",
+    "LeaseManager",
     "MeasuredRun",
     "RESUMABLE_EXIT_STATUS",
     "ShardJournal",
@@ -89,6 +95,9 @@ __all__ = [
     "evaluate_corpus",
     "evaluate_corpus_cached",
     "evaluate_corpus_sharded",
+    "fabric_sweep",
+    "join_sweep",
+    "make_worker_id",
     "merge_timings",
     "wipe_eval_cache",
     "fig1_data_parallel_quantization",

@@ -1,0 +1,717 @@
+"""Lease-based multi-worker sweep fabric: work-centric shard claiming.
+
+The WAL shard journal (:mod:`repro.harness.journal`) makes a sweep
+durable for *one* process; this module promotes it into a coordination
+substrate so many worker processes — cooperating children launched by
+``repro sweep --workers N``, or fully independent ``repro sweep --join
+DIR`` invocations that merely share a filesystem — evaluate one corpus
+together.  The design mirrors the paper's thesis at the process level:
+Stream-K replaces static ownership of output tiles with work-centric
+claiming of the iteration domain, and the fabric replaces static shard
+assignment with work-centric claiming of the shard domain.  A fixed
+worker-to-shard partition strands work on the slowest or deadest
+worker; a claim queue lets whoever is alive finish the sweep.
+
+How a shard flows through the fabric:
+
+1. **Claim** — a worker creates ``leases/shard_NNNNN.lease`` with
+   ``O_CREAT | O_EXCL``, binding the lease to its identity
+   (``host:pid:nonce``).  Exactly one creator wins; the claim is then
+   journaled as ``shard_claimed`` (forensics).
+2. **Heartbeat** — while evaluating, a daemon thread atomically
+   rewrites the lease file with an incrementing sequence number every
+   ``heartbeat_seconds`` and journals ``shard_heartbeat``.
+3. **Commit** — the result goes through the journal's existing
+   artifact-then-``shard_done`` protocol (npz published + fsync'd
+   *before* the record lands), then the lease is released.
+4. **Reclaim** — a worker with nothing left to claim watches the open
+   shards' lease files.  A lease whose *content* has not changed for
+   longer than ``lease_seconds`` — measured on the observer's own
+   monotonic clock from when it first saw that content, so no
+   cross-process clock comparison is ever made — belongs to a dead,
+   SIGKILLed, or wedged worker: the observer journals
+   ``shard_reclaimed``, unlinks the lease, and the shard is claimable
+   again (``fabric.lease_expired`` / ``fabric.reclaims``).
+
+**Why double execution is safe.**  Leases are liveness metadata, never
+a safety mechanism.  Shard evaluation is deterministic — the same rows
+on the same engine produce bitwise-identical ``SystemTimings`` — and a
+commit is a digest-carrying ``shard_done`` whose artifact is verified
+on load.  If a lease expires while its holder is merely slow (not
+dead) and a second worker re-evaluates the shard, both commit the same
+bytes under the same digest; replay keeps one canonical completion
+(``journal.duplicate_done``) and the merge is byte-identical to an
+uninterrupted single-process run.  The worst race costs wasted work,
+never a wrong answer — exactly Stream-K's fixup argument transplanted
+to the harness.
+
+**Degradation ladder.**  Any ``OSError`` on lease or journal I/O
+degrades: a worker falls back to plain in-process evaluation of the
+remaining shards (``fabric.degraded``), and the ``--workers`` parent
+finishes the sweep itself if every child dies
+(``fabric.parent_fallback``).  The fabric never aborts a sweep that
+plain evaluation could finish.
+
+Chaos coverage (:class:`repro.faults.chaos.ChaosWorkerKill`, the CI
+``fabric`` job) SIGKILLs workers at the claim, mid-evaluation, and
+pre-commit boundaries and asserts the surviving workers' merged
+``.npz`` is byte-identical to the reference.  See
+``docs/CHECKPOINTING.md`` for the full contract.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import socket
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from ..errors import SweepInterrupted
+from ..faults.chaos import ChaosWorkerKill
+from ..gemm.dtypes import DtypeConfig, get_dtype_config
+from ..gemm.tiling import Blocking
+from ..gpu.spec import GpuSpec
+from ..model.paramcache import calibrate_cached
+from ..obs import counters as _counters
+from ..obs.profiler import span
+from .journal import ShardJournal
+from .parallel import (
+    _check_drain,
+    _drain_signals,
+    _shard_bounds,
+    _shard_content_fp,
+    corpus_fingerprint,
+    merge_timings,
+)
+from .vectorized import SystemTimings, evaluate_corpus
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_FRACTION",
+    "DEFAULT_LEASE_SECONDS",
+    "LeaseManager",
+    "fabric_sweep",
+    "join_sweep",
+    "make_worker_id",
+    "resolve_heartbeat_seconds",
+    "resolve_lease_seconds",
+]
+
+_ENV_LEASE_SECONDS = "REPRO_LEASE_SECONDS"
+_ENV_HEARTBEAT_SECONDS = "REPRO_HEARTBEAT_SECONDS"
+
+#: Lease expiry budget: a claim whose heartbeat content is unchanged for
+#: this long (on the observer's monotonic clock) is reclaimable.
+DEFAULT_LEASE_SECONDS = 30.0
+
+#: Default heartbeat interval as a fraction of the lease budget — six
+#: renewals per budget means several must be *lost* before a live
+#: worker's shard is stolen (stealing is safe anyway, just wasteful).
+DEFAULT_HEARTBEAT_FRACTION = 1.0 / 6.0
+
+_LEASES_SUBDIR = "leases"
+
+#: Poll interval when a worker has nothing claimable and no lease has
+#: expired yet, and for the ``--workers`` parent's completion watch.
+_FABRIC_POLL_S = 0.05
+
+#: How long the ``--workers`` parent waits for a child that has seen
+#: the sweep complete to exit on its own before terminating it.
+_CHILD_JOIN_TIMEOUT_S = 10.0
+
+
+def resolve_lease_seconds(value: "float | None" = None) -> float:
+    """Explicit value, else ``$REPRO_LEASE_SECONDS``, else 30s."""
+    if value is not None:
+        return max(0.05, float(value))
+    raw = os.environ.get(_ENV_LEASE_SECONDS)
+    if raw:
+        try:
+            return max(0.05, float(raw))
+        except ValueError:
+            pass
+    return DEFAULT_LEASE_SECONDS
+
+
+def resolve_heartbeat_seconds(
+    value: "float | None", lease_seconds: float
+) -> float:
+    """Explicit value, else ``$REPRO_HEARTBEAT_SECONDS``, else lease/6.
+
+    Clamped to at most half the lease budget: a heartbeat slower than
+    the expiry clock would make every live worker look dead.
+    """
+    resolved = None
+    if value is not None:
+        resolved = float(value)
+    else:
+        raw = os.environ.get(_ENV_HEARTBEAT_SECONDS)
+        if raw:
+            try:
+                resolved = float(raw)
+            except ValueError:
+                resolved = None
+    if resolved is None:
+        resolved = lease_seconds * DEFAULT_HEARTBEAT_FRACTION
+    return max(0.01, min(resolved, lease_seconds / 2.0))
+
+
+def make_worker_id(index: "int | None" = None) -> str:
+    """Unique worker identity: ``host:pid:nonce[:wN]``.
+
+    The nonce distinguishes two incarnations with a recycled pid — a
+    reclaimed worker's stale lease must never be mistaken for the
+    replacement's live one.
+    """
+    try:
+        host = socket.gethostname() or "localhost"
+    except OSError:  # pragma: no cover - exotic resolver failure
+        host = "localhost"
+    wid = "%s:%d:%s" % (host, os.getpid(), os.urandom(4).hex())
+    if index is not None:
+        wid += ":w%d" % int(index)
+    return wid
+
+
+class LeaseManager:
+    """Atomic O_EXCL shard leases with observer-clock expiry.
+
+    One instance per worker.  ``try_claim`` creates the lease file
+    exclusively; ``heartbeat`` atomically rewrites it with a fresh
+    sequence number; ``expired_shards`` tracks, per open shard, the
+    last lease *content* seen and when this observer first saw it — a
+    lease is expired when its content has sat unchanged past the
+    budget.  Measuring age on the observer's own monotonic clock makes
+    expiry immune to cross-host clock skew and catches wedged workers
+    (process alive, heartbeat thread stopped) exactly like dead ones.
+
+    Raises ``OSError`` only where the caller is expected to degrade
+    (directory creation, claim-file write); observation and release are
+    best-effort.
+    """
+
+    def __init__(
+        self, directory: str, worker_id: str, lease_seconds: float
+    ):
+        self.lease_dir = os.path.join(directory, _LEASES_SUBDIR)
+        os.makedirs(self.lease_dir, exist_ok=True)
+        self.worker_id = worker_id
+        self.lease_seconds = float(lease_seconds)
+        self._held: "set[int]" = set()
+        #: shard -> (last content bytes, monotonic time first seen)
+        self._observed: "dict[int, tuple[bytes, float]]" = {}
+
+    def lease_path(self, shard: int) -> str:
+        return os.path.join(self.lease_dir, "shard_%05d.lease" % shard)
+
+    def _payload(self, seq: int) -> bytes:
+        return (
+            json.dumps(
+                {
+                    "worker": self.worker_id,
+                    "seq": int(seq),
+                    "wall": time.time(),  # human forensics only
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+            + b"\n"
+        )
+
+    def try_claim(self, shard: int) -> bool:
+        """Atomically claim ``shard``; False when someone else holds it."""
+        try:
+            fd = os.open(
+                self.lease_path(shard),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            return False
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(self._payload(0))
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError:
+            # Claim file exists but may be empty: release and re-raise
+            # so the worker degrades rather than holding a husk.
+            self.release(shard)
+            raise
+        self._held.add(shard)
+        return True
+
+    def heartbeat(self, shard: int, seq: int) -> None:
+        """Renew the lease: atomic rewrite with a fresh sequence number."""
+        fd, tmp = tempfile.mkstemp(
+            dir=self.lease_dir, prefix=".hb_", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(self._payload(seq))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.lease_path(shard))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def release(self, shard: int) -> None:
+        """Drop a lease this worker holds (best-effort)."""
+        self._held.discard(shard)
+        try:
+            os.unlink(self.lease_path(shard))
+        except OSError:
+            pass
+
+    def expired_shards(self, shards: "list[int]") -> "list[int]":
+        """Open shards whose lease content has outlived the budget.
+
+        Never reports a shard this worker holds, a shard with no lease
+        file (that one is simply claimable), or a lease whose content
+        changed since the last observation (its holder is heartbeating).
+        """
+        now = time.monotonic()
+        expired = []
+        for shard in shards:
+            if shard in self._held:
+                continue
+            try:
+                with open(self.lease_path(shard), "rb") as fh:
+                    content = fh.read()
+            except OSError:
+                self._observed.pop(shard, None)
+                continue
+            prev = self._observed.get(shard)
+            if prev is None or prev[0] != content:
+                self._observed[shard] = (content, now)
+                continue
+            if now - prev[1] > self.lease_seconds:
+                expired.append(shard)
+        return expired
+
+    def reclaim(self, shard: int) -> bool:
+        """Unlink an expired lease; False when a peer won the race.
+
+        Losing the unlink race (``FileNotFoundError``) is benign: some
+        other observer reclaimed it first and the shard is — or is
+        about to be — claimable again.
+        """
+        self._observed.pop(shard, None)
+        try:
+            os.unlink(self.lease_path(shard))
+        except FileNotFoundError:
+            return False
+        except OSError:
+            return False
+        return True
+
+
+class _HeartbeatThread(threading.Thread):
+    """Renews one shard's lease until stopped (daemon: dies with worker).
+
+    A renewal failure stops the thread quietly
+    (``fabric.heartbeat_failed``): the shard will eventually look
+    expired to peers and be re-evaluated — wasted work, never a wrong
+    answer — while this worker's own commit still stands if it lands
+    first.
+    """
+
+    def __init__(
+        self,
+        lease: LeaseManager,
+        journal: ShardJournal,
+        shard: int,
+        worker_id: str,
+        interval_s: float,
+    ):
+        super().__init__(name="fabric-heartbeat", daemon=True)
+        self._lease = lease
+        self._journal = journal
+        self._shard = shard
+        self._worker_id = worker_id
+        self._interval_s = interval_s
+        self._stop_evt = threading.Event()
+
+    def run(self) -> None:
+        seq = 0
+        while not self._stop_evt.wait(self._interval_s):
+            seq += 1
+            try:
+                self._lease.heartbeat(self._shard, seq)
+            except OSError:
+                _counters.inc_counter("fabric.heartbeat_failed")
+                return
+            self._journal.record_heartbeat(
+                self._shard, self._worker_id, seq
+            )
+            _counters.inc_counter("fabric.heartbeats")
+
+    def stop(self) -> None:
+        self._stop_evt.set()
+        self.join(timeout=5.0)
+
+
+def _as_worker_chaos(chaos) -> "ChaosWorkerKill | None":
+    if chaos is None or isinstance(chaos, ChaosWorkerKill):
+        return chaos
+    return ChaosWorkerKill.parse(chaos)
+
+
+def _chaos_spec(chaos) -> "str | None":
+    """Serialize a chaos config for a child process (specs only — an
+    in-process ``action`` seam cannot cross a process boundary)."""
+    if chaos is None:
+        return None
+    if isinstance(chaos, ChaosWorkerKill):
+        return "%s:%d" % (chaos.point, chaos.after)
+    return str(chaos)
+
+
+def _worker_loop(
+    shapes: np.ndarray,
+    dtype: DtypeConfig,
+    gpu: GpuSpec,
+    jr: ShardJournal,
+    lease: LeaseManager,
+    worker_id: str,
+    heartbeat_seconds: float,
+    claim_offset: int = 0,
+    chaos: "ChaosWorkerKill | None" = None,
+    check_drain=None,
+) -> None:
+    """Claim/evaluate/commit until every shard is durably done.
+
+    The loop is the fabric's heart: refresh peers' commits, claim the
+    next open shard (starting ``claim_offset`` shards in, so cohort
+    workers fan out instead of contending on shard 0), heartbeat while
+    evaluating, commit through the journal, release.  When nothing is
+    claimable, run a reclaim pass over expired leases; when nothing is
+    expired either, sleep briefly and re-check.  Raises ``OSError``
+    only for lease/journal I/O failure — the caller degrades to serial
+    evaluation.
+    """
+    bounds = jr.bounds
+    nshards = len(bounds)
+    reclaimed: "set[int]" = set()
+    while True:
+        if check_drain is not None:
+            check_drain()
+        done = jr.refresh_completed()
+        open_shards = [i for i in range(nshards) if i not in done]
+        if not open_shards:
+            return
+        off = claim_offset % len(open_shards)
+        progressed = False
+        for i in open_shards[off:] + open_shards[:off]:
+            if check_drain is not None:
+                check_drain()
+            if not lease.try_claim(i):
+                continue
+            # A peer may have committed (and released) this shard
+            # between our refresh and the claim: don't re-evaluate it.
+            if i in jr.refresh_completed():
+                lease.release(i)
+                continue
+            progressed = True
+            _counters.inc_counter("fabric.claims")
+            if i in reclaimed:
+                _counters.inc_counter("fabric.steals")
+            jr.record_claimed(i, worker_id)
+            if chaos is not None:
+                chaos.on_event("claim")
+            hb = _HeartbeatThread(
+                lease, jr, i, worker_id, heartbeat_seconds
+            )
+            hb.start()
+            try:
+                lo, hi = bounds[i]
+                if chaos is not None:
+                    chaos.on_event("eval")
+                with span("fabric_shard"):
+                    res = evaluate_corpus(shapes[lo:hi], dtype, gpu)
+                if chaos is not None:
+                    chaos.on_event("commit")
+                jr.record_done(
+                    i, res, fingerprint=_shard_content_fp(shapes[lo:hi])
+                )
+                _counters.inc_counter("fabric.commits")
+            finally:
+                hb.stop()
+                lease.release(i)
+        if progressed:
+            continue
+        done = jr.refresh_completed()
+        open_shards = [i for i in range(nshards) if i not in done]
+        if not open_shards:
+            return
+        expired = lease.expired_shards(open_shards)
+        for i in expired:
+            _counters.inc_counter("fabric.lease_expired")
+            if lease.reclaim(i):
+                _counters.inc_counter("fabric.reclaims")
+                jr.record_reclaimed(i, worker_id)
+                reclaimed.add(i)
+        if not expired:
+            time.sleep(_FABRIC_POLL_S)
+
+
+def _serial_finish(
+    shapes: np.ndarray,
+    dtype: DtypeConfig,
+    gpu: GpuSpec,
+    jr: ShardJournal,
+    check_drain=None,
+) -> None:
+    """Degradation terminal: evaluate every open shard in-process.
+
+    Ignores leases entirely — re-evaluating a shard some silent peer is
+    also working on is safe (digest-idempotent commits) and finishing
+    the sweep beats deadlocking on unreadable lease state.
+    """
+    done = jr.refresh_completed()
+    for i, (lo, hi) in enumerate(jr.bounds):
+        if i in done:
+            continue
+        if check_drain is not None:
+            check_drain()
+        _counters.inc_counter("fabric.serial_fallback_shards")
+        with span("fabric_serial_shard"):
+            res = evaluate_corpus(shapes[lo:hi], dtype, gpu)
+        jr.record_done(i, res, fingerprint=_shard_content_fp(shapes[lo:hi]))
+
+
+def _merge_from_journal(
+    shapes: np.ndarray,
+    dtype: DtypeConfig,
+    gpu: GpuSpec,
+    jr: ShardJournal,
+) -> SystemTimings:
+    """Merge barrier: digest-verified load of every shard, in order.
+
+    Any shard whose artifact is missing or fails digest verification is
+    re-evaluated in-process (``fabric.merge_reevaluated``) — the merge
+    never trusts an unverified byte, and determinism makes the repaired
+    result identical to the journaled one.
+    """
+    jr.refresh_completed()
+    parts: "list[SystemTimings]" = []
+    for i, (lo, hi) in enumerate(jr.bounds):
+        res = jr.load_completed(i)
+        if res is None:
+            _counters.inc_counter("fabric.merge_reevaluated")
+            res = evaluate_corpus(shapes[lo:hi], dtype, gpu)
+            jr.record_done(
+                i, res, fingerprint=_shard_content_fp(shapes[lo:hi])
+            )
+        parts.append(res)
+    with span("merge_shards"):
+        return merge_timings(parts)
+
+
+def _interrupt_info(exc: SweepInterrupted, jr: ShardJournal, directory: str):
+    exc.completed = len(jr.refresh_completed())
+    exc.total = len(jr.bounds)
+    exc.journal_dir = directory
+
+
+def join_sweep(
+    shapes: np.ndarray,
+    dtype: DtypeConfig,
+    gpu: GpuSpec,
+    journal_dir: str,
+    shard_rows: "int | None" = None,
+    lease_seconds: "float | None" = None,
+    heartbeat_seconds: "float | None" = None,
+    chaos=None,
+    worker_id: "str | None" = None,
+) -> SystemTimings:
+    """Join a (possibly already running) fabric sweep as one worker.
+
+    Independent invocations pointed at the same ``journal_dir`` on a
+    shared filesystem cooperate with no parent process: the first
+    arrival initializes the shared journal, every worker claims shards
+    until none are open, and **each** invocation then runs the merge
+    barrier and returns the full digest-verified result — byte-identical
+    across all of them and to a single-process run.  The journal is
+    deliberately not compacted here (a peer may still be appending).
+    """
+    shapes = np.asarray(shapes, dtype=np.int64)
+    lease_s = resolve_lease_seconds(lease_seconds)
+    hb_s = resolve_heartbeat_seconds(heartbeat_seconds, lease_s)
+    chaos = _as_worker_chaos(chaos)
+    key = corpus_fingerprint(shapes, dtype, gpu)
+    bounds = _shard_bounds(shapes.shape[0], 1, shard_rows)
+    jr = ShardJournal.open_shared(
+        journal_dir, key, bounds, dtype.name, gpu.name
+    )
+    wid = worker_id or make_worker_id()
+    try:
+        if jr.degraded:
+            _counters.inc_counter("fabric.degraded")
+            return evaluate_corpus(shapes, dtype, gpu)
+        calibrate_cached(gpu, Blocking(*dtype.default_blocking), dtype)
+        with span("fabric_join"), _drain_signals():
+            try:
+                lease = LeaseManager(journal_dir, wid, lease_s)
+                _worker_loop(
+                    shapes, dtype, gpu, jr, lease, wid, hb_s,
+                    chaos=chaos, check_drain=_check_drain,
+                )
+            except SweepInterrupted as exc:
+                _interrupt_info(exc, jr, journal_dir)
+                raise
+            except OSError:
+                _counters.inc_counter("fabric.degraded")
+                _serial_finish(
+                    shapes, dtype, gpu, jr, check_drain=_check_drain
+                )
+            return _merge_from_journal(shapes, dtype, gpu, jr)
+    finally:
+        jr.close()
+
+
+def _fabric_worker_main(
+    shapes: np.ndarray,
+    dtype_name: str,
+    gpu: GpuSpec,
+    journal_dir: str,
+    corpus_key: str,
+    bounds: "list[tuple[int, int]]",
+    worker_index: int,
+    lease_seconds: float,
+    heartbeat_seconds: float,
+    chaos_spec: "str | None",
+) -> None:
+    """Child-process entry point for one ``--workers`` fabric worker."""
+    # Forked children inherit the parent's drain handler; restore the
+    # default so the parent's terminate() can always kill us, and
+    # ignore Ctrl-C so only the parent drains (see _pool_worker_init).
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    dtype = get_dtype_config(dtype_name)
+    chaos = (
+        ChaosWorkerKill.parse(chaos_spec) if chaos_spec else None
+    )
+    jr = ShardJournal.open_shared(
+        journal_dir, corpus_key, bounds, dtype.name, gpu.name
+    )
+    try:
+        if jr.degraded:
+            return  # the parent's fallback finishes the sweep
+        wid = make_worker_id(worker_index)
+        try:
+            lease = LeaseManager(journal_dir, wid, lease_seconds)
+            _worker_loop(
+                shapes, dtype, gpu, jr, lease, wid, heartbeat_seconds,
+                claim_offset=worker_index, chaos=chaos,
+            )
+        except OSError:
+            _counters.inc_counter("fabric.degraded")
+            _serial_finish(shapes, dtype, gpu, jr)
+    finally:
+        jr.close()
+
+
+def fabric_sweep(
+    shapes: np.ndarray,
+    dtype: DtypeConfig,
+    gpu: GpuSpec,
+    journal_dir: str,
+    workers: int = 2,
+    shard_rows: "int | None" = None,
+    lease_seconds: "float | None" = None,
+    heartbeat_seconds: "float | None" = None,
+    chaos_worker=None,
+) -> SystemTimings:
+    """Run a corpus sweep across ``workers`` lease-claiming processes.
+
+    The parent initializes the shared journal, warms the calibration
+    cache, launches the workers, and watches the journal until every
+    shard is committed — then joins the children, runs the merge
+    barrier, and compacts.  ``chaos_worker`` (a
+    :class:`~repro.faults.chaos.ChaosWorkerKill` or its ``POINT[:K]``
+    spec) is armed in worker 0 only, so chaos runs always have a
+    survivor to finish the sweep.  If every child dies with shards
+    still open, the parent finishes them in-process
+    (``fabric.parent_fallback``) — losing all workers degrades, never
+    aborts.
+    """
+    shapes = np.asarray(shapes, dtype=np.int64)
+    workers = max(1, int(workers))
+    lease_s = resolve_lease_seconds(lease_seconds)
+    hb_s = resolve_heartbeat_seconds(heartbeat_seconds, lease_s)
+    chaos_spec = _chaos_spec(chaos_worker)
+    key = corpus_fingerprint(shapes, dtype, gpu)
+    bounds = _shard_bounds(shapes.shape[0], workers, shard_rows)
+    jr = ShardJournal.open_shared(
+        journal_dir, key, bounds, dtype.name, gpu.name
+    )
+    procs: "list" = []
+    try:
+        if jr.degraded:
+            _counters.inc_counter("fabric.degraded")
+            return evaluate_corpus(shapes, dtype, gpu)
+        # Warm the persistent calibration cache before forking so the
+        # workers hit the memo instead of racing on microbenchmarks.
+        calibrate_cached(gpu, Blocking(*dtype.default_blocking), dtype)
+        nshards = len(jr.bounds)
+        try:
+            ctx = multiprocessing.get_context()
+            for w in range(workers):
+                p = ctx.Process(
+                    target=_fabric_worker_main,
+                    args=(
+                        shapes, dtype.name, gpu, journal_dir, key,
+                        jr.bounds, w, lease_s, hb_s,
+                        chaos_spec if w == 0 else None,
+                    ),
+                )
+                p.start()
+                procs.append(p)
+        except Exception:
+            # Fork limits/sandboxing: no workers at all — run serial.
+            _counters.inc_counter("fabric.pool_unusable")
+        with span("fabric_sweep"), _drain_signals():
+            try:
+                while True:
+                    _check_drain()
+                    done = jr.refresh_completed()
+                    if len(done) >= nshards:
+                        break
+                    if not any(p.is_alive() for p in procs):
+                        _counters.inc_counter("fabric.parent_fallback")
+                        _serial_finish(
+                            shapes, dtype, gpu, jr,
+                            check_drain=_check_drain,
+                        )
+                        break
+                    time.sleep(_FABRIC_POLL_S)
+                # Workers exit on their own once they observe the sweep
+                # complete; reap them before compacting so no appender
+                # races the WAL rewrite.
+                for p in procs:
+                    p.join(timeout=_CHILD_JOIN_TIMEOUT_S)
+                for p in procs:
+                    if p.is_alive():  # pragma: no cover - wedged child
+                        p.terminate()
+                        p.join(timeout=_CHILD_JOIN_TIMEOUT_S)
+                merged = _merge_from_journal(shapes, dtype, gpu, jr)
+                jr.compact()
+                return merged
+            except SweepInterrupted as exc:
+                _interrupt_info(exc, jr, journal_dir)
+                raise
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join(timeout=_CHILD_JOIN_TIMEOUT_S)
+        jr.close()

@@ -47,7 +47,26 @@ Records (``kind`` field):
 ``shard_done``     shard index, content fingerprint, **result digest**
 ``shard_abandoned``  shard index + reason (watchdog deadline, etc.);
                    resume re-runs it
+``shard_claimed``  shard index + claiming worker identity (lease
+                   fabric, :mod:`repro.harness.fabric`); liveness-only
+``shard_heartbeat``  shard index, worker identity, renewal sequence
+                   number (forensics; replay ignores it)
+``shard_reclaimed``  shard index + reclaiming worker: a prior claim's
+                   lease expired and the shard is claimable again
 =================  ====================================================
+
+Lease records are **liveness metadata, never safety-critical**: replay
+derives completion exclusively from digest-carrying ``shard_done``
+records, so duplicate claims (``journal.duplicate_claim``), reclaims
+without a visible prior claim (``journal.orphan_reclaim``), and lost
+heartbeats can never corrupt a merged result.
+
+**Shared mode** (:meth:`ShardJournal.open_shared`) relaxes exactly two
+single-process assumptions so multiple worker processes can append to
+one WAL: appends go through ``O_APPEND`` (atomic for these small
+single-``write`` frames on POSIX filesystems), and replay **never
+truncates** a torn tail — with a live concurrent writer, an apparently
+torn frame may simply be another worker's append in flight.
 """
 
 from __future__ import annotations
@@ -57,6 +76,7 @@ import json
 import os
 import struct
 import tempfile
+import threading
 import time
 import zlib
 
@@ -98,6 +118,12 @@ _MAX_RECORD_BYTES = 1 << 20
 _WAL_NAME = "wal.bin"
 _CHECKPOINT_NAME = "checkpoint.json"
 _SHARDS_SUBDIR = "shards"
+_INIT_LOCK_NAME = ".init.lock"
+#: How long a shared-mode joiner waits for another process to finish
+#: initializing the journal before it steals the init lock (the
+#: initializer died between taking the lock and writing the header).
+_INIT_TIMEOUT_S = 20.0
+_INIT_POLL_S = 0.02
 
 
 def default_journal_dir() -> "str | None":
@@ -262,8 +288,16 @@ class ShardJournal:
         self.corpus_key = corpus_key
         self.bounds: "list[tuple[int, int]]" = []
         self.completed: "dict[int, str]" = {}
+        #: shard index -> worker identity for the last unreclaimed
+        #: ``shard_claimed`` seen during replay (forensics only; claim
+        #: *liveness* is carried by lease files, not the WAL).
+        self.claims: "dict[int, str]" = {}
         self.degraded = False
+        self.shared = False
         self._fh = None
+        # The lease fabric's heartbeat thread and the worker thread
+        # append through the same handle.
+        self._append_lock = threading.Lock()
 
     # -- paths --------------------------------------------------------- #
 
@@ -323,6 +357,94 @@ class ShardJournal:
             self._degrade()
         return self
 
+    @classmethod
+    def open_shared(
+        cls,
+        directory: str,
+        corpus_key: str,
+        bounds: "list[tuple[int, int]]",
+        dtype_name: str = "",
+        gpu_name: str = "",
+        init_timeout_s: float = _INIT_TIMEOUT_S,
+    ) -> "ShardJournal":
+        """Open a journal that multiple worker processes append to.
+
+        The first worker to arrive initializes the journal (guarded by
+        an ``O_EXCL`` init-lock file so two concurrent fresh joiners
+        cannot both truncate the WAL); every later worker *attaches*,
+        adopting the existing header's shard bounds and absorbing
+        already-committed shards.  A matching journal is always resumed
+        — shared sweeps are cooperative by definition.  If the lock
+        holder dies before writing the header, joiners steal the lock
+        after ``init_timeout_s`` (``journal.init_lock_stolen``).
+
+        Shared journals append via ``O_APPEND`` and never truncate torn
+        tails (see the module docstring).  Filesystem failure degrades
+        to a no-op journal exactly like :meth:`open`.
+        """
+        self = cls(directory, corpus_key)
+        self.shared = True
+        self.bounds = [(int(lo), int(hi)) for lo, hi in bounds]
+        try:
+            os.makedirs(
+                os.path.join(directory, _SHARDS_SUBDIR), exist_ok=True
+            )
+        except OSError:
+            self._degrade()
+            return self
+        lock_path = os.path.join(directory, _INIT_LOCK_NAME)
+        deadline = time.monotonic() + init_timeout_s
+        while True:
+            with span("journal_replay"):
+                matched = self._replay()
+            if matched:
+                try:
+                    self._fh = open(self.wal_path, "ab")
+                except OSError:
+                    self._degrade()
+                return self
+            try:
+                fd = os.open(
+                    lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                # Another process is initializing: wait for its header.
+                if time.monotonic() > deadline:
+                    inc_counter("journal.init_lock_stolen")
+                    try:
+                        os.unlink(lock_path)
+                    except OSError:
+                        pass
+                    deadline = time.monotonic() + init_timeout_s
+                else:
+                    time.sleep(_INIT_POLL_S)
+                continue
+            except OSError:
+                self._degrade()
+                return self
+            try:
+                os.close(fd)
+                # Re-check under the lock: the initializer may have
+                # finished between our replay and the lock grab.
+                if self._replay():
+                    self._fh = open(self.wal_path, "ab")
+                else:
+                    self._initialize_fresh(dtype_name, gpu_name)
+                    if not self.degraded:
+                        # A "wb" handle's position would not track the
+                        # other workers' O_APPEND writes: reopen so
+                        # every append lands at the true end of file.
+                        self.close()
+                        self._fh = open(self.wal_path, "ab")
+            except OSError:
+                self._degrade()
+            finally:
+                try:
+                    os.unlink(lock_path)
+                except OSError:
+                    pass
+            return self
+
     def _initialize_fresh(self, dtype_name: str, gpu_name: str) -> None:
         """Reset the directory to a new sweep: header-only WAL, no state."""
         self.completed = {}
@@ -346,18 +468,27 @@ class ShardJournal:
     def _replay(self) -> bool:
         """Load checkpoint + WAL; returns True iff the journal matches.
 
-        On a match, adopts the journal's shard bounds and fills
-        ``self.completed``; counts replayed records, torn-tail
-        truncations, duplicate completions, and fingerprint mismatches.
+        On a match, adopts the journal's shard bounds (counted in
+        ``journal.bounds_adopted`` when they differ from what the
+        caller requested, so resumed multi-worker runs are observable)
+        and fills ``self.completed``; counts replayed records,
+        torn-tail truncations, duplicate completions/claims, orphan
+        reclaims, and fingerprint mismatches.
+
+        In shared mode the torn tail is **not** truncated: what looks
+        torn may be a live concurrent writer's append in flight, and
+        truncating would destroy its committed record.
         """
+        requested = list(self.bounds)
         completed: "dict[int, str]" = {}
+        claims: "dict[int, str]" = {}
         adopted: "list[tuple[int, int]] | None" = None
         ck = self._load_checkpoint()
         if ck is not None:
             adopted = ck["bounds"]
             completed.update(ck["done"])
         records, good, torn = read_wal_records(self.wal_path)
-        if torn:
+        if torn and not self.shared:
             inc_counter("journal.torn_tail_truncated")
             try:
                 with open(self.wal_path, "rb+") as fh:
@@ -378,12 +509,25 @@ class ShardJournal:
                 (int(lo), int(hi)) for lo, hi in header.get("bounds", [])
             ]
             for rec in records[1:]:
-                if rec.get("kind") != "shard_done":
-                    continue
+                kind = rec.get("kind")
                 shard = int(rec.get("shard", -1))
-                if shard in completed:
-                    inc_counter("journal.duplicate_done")
-                completed[shard] = str(rec.get("digest", ""))
+                if kind == "shard_done":
+                    if shard in completed:
+                        inc_counter("journal.duplicate_done")
+                    completed[shard] = str(rec.get("digest", ""))
+                elif kind == "shard_claimed":
+                    # Deterministic resolution: the first journaled
+                    # claim wins; later duplicates are counted and
+                    # ignored (safety never depends on this map).
+                    if shard in claims:
+                        inc_counter("journal.duplicate_claim")
+                    else:
+                        claims[shard] = str(rec.get("worker", ""))
+                elif kind == "shard_reclaimed":
+                    if shard not in claims:
+                        inc_counter("journal.orphan_reclaim")
+                    else:
+                        claims.pop(shard, None)
             inc_counter("journal.replayed", len(records))
         elif header is not None:
             # First record is not a header: not our journal.
@@ -393,10 +537,16 @@ class ShardJournal:
             return False  # empty/absent WAL and no checkpoint: fresh sweep
         if not adopted:
             return False
+        if requested and adopted != requested:
+            inc_counter("journal.bounds_adopted")
         self.bounds = adopted
         nshards = len(self.bounds)
         self.completed = {
             s: d for s, d in completed.items() if 0 <= s < nshards and d
+        }
+        self.claims = {
+            s: w for s, w in claims.items()
+            if 0 <= s < nshards and s not in self.completed
         }
         return True
 
@@ -441,15 +591,25 @@ class ShardJournal:
     # -- appends ------------------------------------------------------- #
 
     def _append(self, obj: dict) -> None:
-        """fsync'd atomic-enough append: torn writes are CRC-detected."""
+        """fsync'd atomic-enough append: torn writes are CRC-detected.
+
+        Serialized under a lock: the lease fabric's heartbeat thread
+        appends concurrently with the worker thread, and interleaved
+        buffered writes would tear both frames.  Cross-*process*
+        atomicity in shared mode comes from ``O_APPEND`` plus each
+        frame being a single ``write`` call.
+        """
         if self.degraded or self._fh is None:
             return
-        try:
-            self._fh.write(_frame_record(obj))
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
-        except OSError:
-            self._degrade()
+        with self._append_lock:
+            if self.degraded or self._fh is None:
+                return
+            try:
+                self._fh.write(_frame_record(obj))
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            except OSError:
+                self._degrade()
 
     def record_started(self, shard: int, fingerprint: str = "") -> None:
         self._append(
@@ -495,7 +655,53 @@ class ShardJournal:
             {"kind": "shard_abandoned", "shard": int(shard), "reason": reason}
         )
 
+    def record_claimed(self, shard: int, worker: str) -> None:
+        """Journal a lease claim (forensics; liveness lives in the lease
+        file, see :class:`repro.harness.fabric.LeaseManager`)."""
+        self._append(
+            {"kind": "shard_claimed", "shard": int(shard), "worker": worker}
+        )
+
+    def record_heartbeat(self, shard: int, worker: str, seq: int) -> None:
+        """Journal a heartbeat renewal (forensics; replay ignores it)."""
+        self._append(
+            {
+                "kind": "shard_heartbeat",
+                "shard": int(shard),
+                "worker": worker,
+                "seq": int(seq),
+            }
+        )
+
+    def record_reclaimed(self, shard: int, worker: str) -> None:
+        """Journal that ``worker`` reclaimed an expired lease on ``shard``."""
+        self._append(
+            {"kind": "shard_reclaimed", "shard": int(shard), "worker": worker}
+        )
+
     # -- replayed-state access ----------------------------------------- #
+
+    def refresh_completed(self) -> "dict[int, str]":
+        """Re-read the WAL to absorb *other* workers' durable commits.
+
+        Shared-mode workers call this between claims so they never
+        re-evaluate a shard a peer already committed.  Read-only (no
+        truncation, no state reset beyond merging in new completions);
+        returns a snapshot of the completion map.  Read failure is
+        treated as "nothing new" — the degradation ladder, not an abort.
+        """
+        if self.degraded:
+            return dict(self.completed)
+        records, _, _ = read_wal_records(self.wal_path)
+        nshards = len(self.bounds)
+        for rec in records:
+            if rec.get("kind") != "shard_done":
+                continue
+            shard = int(rec.get("shard", -1))
+            digest = str(rec.get("digest", ""))
+            if 0 <= shard < nshards and digest:
+                self.completed[shard] = digest
+        return dict(self.completed)
 
     def load_completed(self, shard: int) -> "SystemTimings | None":
         """Digest-verified load of a replayed completion.

@@ -562,6 +562,11 @@ def evaluate_corpus_sharded(
     journal: "str | None" = None,
     resume: bool = False,
     chaos=None,
+    workers: "int | None" = None,
+    join: bool = False,
+    lease_seconds: "float | None" = None,
+    heartbeat_seconds: "float | None" = None,
+    chaos_worker=None,
 ) -> SystemTimings:
     """Evaluate a corpus across ``jobs`` worker processes, self-healing.
 
@@ -585,10 +590,53 @@ def evaluate_corpus_sharded(
     shards.  SIGINT/SIGTERM during any sharded sweep drain cleanly:
     dispatch stops, workers are reaped, and
     :class:`~repro.errors.SweepInterrupted` is raised.
+
+    ``workers > 1`` or ``join=True`` routes the sweep through the
+    **lease fabric** (:mod:`repro.harness.fabric`): worker processes
+    claim shards from the shared journal via atomic leases, heartbeat
+    while evaluating, and dead workers' shards are reclaimed after
+    ``lease_seconds`` — both require ``journal``.  ``chaos_worker``
+    (:class:`repro.faults.chaos.ChaosWorkerKill` or a ``POINT[:K]``
+    spec) arms a worker-targeted kill point.  A fabric that cannot run
+    at all (lease-I/O failure, unusable journal) degrades to this
+    function's ordinary journaled path (``fabric.unusable``) — never
+    an abort.
     """
     shapes = np.asarray(shapes, dtype=np.int64)
     jobs = _resolve_jobs(jobs)
     n = shapes.shape[0]
+
+    if join or (workers is not None and workers > 1):
+        if journal is None:
+            raise ConfigurationError(
+                "the lease fabric (workers/join) requires a shared "
+                "journal directory: pass journal=DIR"
+            )
+        from . import fabric  # local import: fabric imports this module
+
+        try:
+            if join:
+                return fabric.join_sweep(
+                    shapes, dtype, gpu, journal,
+                    shard_rows=shard_rows,
+                    lease_seconds=lease_seconds,
+                    heartbeat_seconds=heartbeat_seconds,
+                    chaos=chaos_worker,
+                )
+            return fabric.fabric_sweep(
+                shapes, dtype, gpu, journal,
+                workers=workers,
+                shard_rows=shard_rows,
+                lease_seconds=lease_seconds,
+                heartbeat_seconds=heartbeat_seconds,
+                chaos_worker=chaos_worker,
+            )
+        except (SweepInterrupted, ConfigurationError):
+            raise
+        except Exception:
+            # Degradation ladder: a fabric that cannot run falls back
+            # to the ordinary journaled single-process path below.
+            _counters.inc_counter("fabric.unusable")
     if journal is None and (jobs == 1 or n <= _MIN_SHARD_ROWS):
         return evaluate_corpus(shapes, dtype, gpu)
 

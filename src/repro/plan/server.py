@@ -18,15 +18,22 @@ on that line; the connection stays usable.  Each connection is handled
 by its own thread (``ThreadingTCPServer``), so concurrent clients' cache
 misses land in the same micro-batch window — the server inherits the
 batching behavior of the service it wraps.
+
+A connection that sits idle — connected but never sending a line — for
+longer than ``recv_timeout_s`` (default 30s, ``--idle-timeout-s``) is
+closed and its handler thread freed (``serve.idle_disconnects``); a
+client mid-request keeps full error-reply semantics.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import socketserver
 import threading
 import time
 
+from ..obs.counters import inc_counter
 from .service import PlanService
 
 __all__ = ["PlanServer"]
@@ -35,7 +42,19 @@ __all__ = ["PlanServer"]
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         server: "_TcpServer" = self.server  # type: ignore[assignment]
-        for raw in self.rfile:
+        if server.recv_timeout_s is not None:
+            self.connection.settimeout(server.recv_timeout_s)
+        while True:
+            try:
+                raw = self.rfile.readline()
+            except (socket.timeout, TimeoutError):
+                # Idle client: drop the connection, free the thread.
+                inc_counter("serve.idle_disconnects")
+                return
+            except OSError:
+                return  # peer reset mid-read
+            if not raw:
+                return  # clean EOF
             line = raw.strip()
             if not line:
                 continue
@@ -80,9 +99,15 @@ class _TcpServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, addr, service: PlanService):
+    def __init__(
+        self,
+        addr,
+        service: PlanService,
+        recv_timeout_s: "float | None" = None,
+    ):
         super().__init__(addr, _Handler)
         self.service = service
+        self.recv_timeout_s = recv_timeout_s
         self._shutdown_started = False
         self._shutdown_lock = threading.Lock()
 
@@ -113,9 +138,12 @@ class PlanServer:
         service: PlanService,
         host: str = "127.0.0.1",
         port: int = 0,
+        recv_timeout_s: "float | None" = 30.0,
     ):
         self.service = service
-        self._tcp = _TcpServer((host, port), service)
+        self._tcp = _TcpServer(
+            (host, port), service, recv_timeout_s=recv_timeout_s
+        )
         self._thread: "threading.Thread | None" = None
 
     @property
@@ -144,13 +172,31 @@ class PlanServer:
         thread."""
         self._tcp.serve_forever(poll_interval=0.05)
 
-    def stop(self) -> None:
-        """Stop accepting, close the listener, and close the service."""
+    def stop(self, timeout_s: float = 10.0) -> None:
+        """Stop accepting, close the listener, and close the service.
+
+        Raises :class:`RuntimeError` (after best-effort listener and
+        service teardown, counting ``serve.stop_timeout``) if the accept
+        loop is still alive once ``timeout_s`` expires — a wedged server
+        thread must be surfaced, not silently leaked as if stopped.
+        """
         self._tcp.begin_shutdown()
+        wedged = False
         if self._thread is not None:
-            self._thread.join(timeout=10.0)
-        self._tcp.server_close()
-        self.service.close()
+            self._thread.join(timeout=timeout_s)
+            wedged = self._thread.is_alive()
+            if wedged:
+                inc_counter("serve.stop_timeout")
+        try:
+            self._tcp.server_close()
+        finally:
+            self.service.close()
+        if wedged:
+            raise RuntimeError(
+                "plan server accept loop still alive %.1fs after stop(); "
+                "listener and service were closed, but the thread leaked"
+                % timeout_s
+            )
 
     def __enter__(self) -> "PlanServer":
         return self

@@ -326,6 +326,191 @@ class TestDegradation:
         jr.close()
 
 
+class TestLeaseRecords:
+    """WAL replay of the fabric's liveness records: torn, duplicate,
+    and orphaned lease records must never perturb completion state."""
+
+    def test_lease_record_round_trip(self, tmp_path):
+        jr = _open(tmp_path)
+        jr.record_claimed(0, "host:1:aaaa")
+        jr.record_heartbeat(0, "host:1:aaaa", 3)
+        jr.record_reclaimed(0, "host:2:bbbb")
+        jr.close()
+        records, _, torn = read_wal_records(jr.wal_path)
+        assert not torn
+        assert [r["kind"] for r in records[1:]] == [
+            "shard_claimed", "shard_heartbeat", "shard_reclaimed",
+        ]
+        assert records[1]["worker"] == "host:1:aaaa"
+        assert records[2]["seq"] == 3
+
+    def test_replay_fills_claims_map(self, tmp_path):
+        jr = _open(tmp_path)
+        jr.record_claimed(0, "host:1:aaaa")
+        jr.record_claimed(2, "host:2:bbbb")
+        jr.close()
+        jr2 = _open(tmp_path, resume=True)
+        assert jr2.claims == {0: "host:1:aaaa", 2: "host:2:bbbb"}
+        jr2.close()
+
+    def test_duplicate_claim_first_wins_deterministically(self, tmp_path):
+        jr = _open(tmp_path)
+        jr.record_claimed(1, "host:1:aaaa")
+        jr.record_claimed(1, "host:2:bbbb")  # double-execution race
+        jr.close()
+        reset_counters()
+        jr2 = _open(tmp_path, resume=True)
+        assert jr2.claims[1] == "host:1:aaaa"
+        assert get_counter("journal.duplicate_claim") == 1
+        jr2.close()
+
+    def test_orphan_reclaim_tolerated(self, tmp_path):
+        jr = _open(tmp_path)
+        jr.record_reclaimed(2, "host:9:ffff")  # no visible prior claim
+        jr.close()
+        reset_counters()
+        jr2 = _open(tmp_path, resume=True)
+        assert jr2.claims == {}
+        assert get_counter("journal.orphan_reclaim") == 1
+        jr2.close()
+
+    def test_reclaim_clears_claim(self, tmp_path):
+        jr = _open(tmp_path)
+        jr.record_claimed(0, "host:1:aaaa")
+        jr.record_reclaimed(0, "host:2:bbbb")
+        jr.close()
+        jr2 = _open(tmp_path, resume=True)
+        assert jr2.claims == {}
+        jr2.close()
+
+    def test_lease_records_never_imply_completion(self, tmp_path, timings):
+        """Liveness-only: completion comes exclusively from shard_done."""
+        jr = _open(tmp_path)
+        jr.record_claimed(0, "w")
+        jr.record_heartbeat(0, "w", 1)
+        jr.record_claimed(1, "w")
+        jr.record_done(1, timings)
+        jr.close()
+        jr2 = _open(tmp_path, resume=True)
+        assert sorted(jr2.completed) == [1]
+        assert 1 not in jr2.claims  # completed shards shed their claim
+        jr2.close()
+
+    def test_torn_claim_record_truncated_on_private_replay(
+        self, tmp_path, timings
+    ):
+        jr = _open(tmp_path)
+        jr.record_done(0, timings)
+        jr.record_claimed(1, "host:1:aaaa")
+        jr.close()
+        with open(jr.wal_path, "ab") as fh:
+            fh.write(journal_mod._MAGIC + struct.pack("<I", 64))  # torn
+        reset_counters()
+        jr2 = _open(tmp_path, resume=True)
+        assert sorted(jr2.completed) == [0]
+        assert jr2.claims == {1: "host:1:aaaa"}
+        assert get_counter("journal.torn_tail_truncated") == 1
+        jr2.close()
+        _, _, torn = read_wal_records(jr2.wal_path)
+        assert not torn
+
+
+class TestSharedMode:
+    def _open_shared(self, tmp_path, key=KEY, bounds=BOUNDS, **kw):
+        return ShardJournal.open_shared(
+            str(tmp_path), corpus_key=key, bounds=bounds, **kw
+        )
+
+    def test_first_arrival_initializes_later_arrival_attaches(
+        self, tmp_path, timings
+    ):
+        a = self._open_shared(tmp_path)
+        assert a.shared and not a.degraded
+        a.record_done(0, timings)
+        b = self._open_shared(tmp_path)
+        assert sorted(b.completed) == [0]  # attach absorbed the commit
+        a.close()
+        b.close()
+
+    def test_refresh_absorbs_peer_commits(self, tmp_path, timings):
+        a = self._open_shared(tmp_path)
+        b = self._open_shared(tmp_path)
+        assert b.completed == {}
+        a.record_done(2, timings)
+        assert sorted(b.refresh_completed()) == [2]
+        assert_timings_equal(b.load_completed(2), timings)
+        a.close()
+        b.close()
+
+    def test_interleaved_appends_from_two_handles_all_replay(
+        self, tmp_path
+    ):
+        """O_APPEND keeps two live writers' frames intact and ordered."""
+        a = self._open_shared(tmp_path)
+        b = self._open_shared(tmp_path)
+        for i in range(3):
+            a.record_claimed(i, "worker-a")
+            b.record_heartbeat(i, "worker-b", i)
+        a.close()
+        b.close()
+        records, _, torn = read_wal_records(a.wal_path)
+        assert not torn
+        assert len(records) == 1 + 6  # header + every interleaved append
+
+    def test_shared_replay_never_truncates_torn_tail(
+        self, tmp_path, timings
+    ):
+        a = self._open_shared(tmp_path)
+        a.record_done(0, timings)
+        a.close()
+        with open(a.wal_path, "ab") as fh:
+            fh.write(b"RKJ1\x03")  # a peer's append caught in flight
+        size_before = os.path.getsize(a.wal_path)
+        reset_counters()
+        b = self._open_shared(tmp_path)
+        assert sorted(b.completed) == [0]  # committed prefix still replays
+        assert os.path.getsize(a.wal_path) == size_before
+        assert get_counter("journal.torn_tail_truncated") == 0
+        b.close()
+
+    def test_foreign_corpus_is_reinitialized(self, tmp_path, timings):
+        a = self._open_shared(tmp_path)
+        a.record_done(0, timings)
+        a.close()
+        reset_counters()
+        b = self._open_shared(tmp_path, key="a-different-corpus")
+        assert b.completed == {}
+        assert get_counter("journal.fingerprint_mismatch") >= 1
+        b.close()
+
+    def test_stale_init_lock_is_stolen(self, tmp_path):
+        # An initializer died between taking the lock and writing the
+        # header: joiners must not wait forever.
+        os.makedirs(tmp_path, exist_ok=True)
+        open(os.path.join(str(tmp_path), ".init.lock"), "w").close()
+        jr = self._open_shared(tmp_path, init_timeout_s=0.2)
+        assert not jr.degraded
+        assert get_counter("journal.init_lock_stolen") == 1
+        records, _, _ = read_wal_records(jr.wal_path)
+        assert records[0]["kind"] == "sweep_header"
+        jr.close()
+
+    def test_bounds_adopted_counter_fires_only_on_difference(
+        self, tmp_path, timings
+    ):
+        a = self._open_shared(tmp_path)
+        a.record_done(0, timings)
+        a.close()
+        reset_counters()
+        same = self._open_shared(tmp_path, bounds=BOUNDS)
+        assert get_counter("journal.bounds_adopted") == 0
+        same.close()
+        other = self._open_shared(tmp_path, bounds=[(0, 96)])
+        assert other.bounds == BOUNDS  # the header owns the layout
+        assert get_counter("journal.bounds_adopted") == 1
+        other.close()
+
+
 class TestModuleSurface:
     def test_resumable_exit_status_is_distinct(self):
         assert RESUMABLE_EXIT_STATUS == 75

@@ -2,14 +2,18 @@
 
 import json
 import socket
+import time
+
+import pytest
 
 from repro.gpu.spec import resolve_gpu
+from repro.obs.counters import get_counter, reset_counters
 from repro.plan import PlanServer, PlanService, ServeConfig, plan_query
 
 
-def _start():
+def _start(**kw):
     service = PlanService(ServeConfig(persist=False, warm=False))
-    return PlanServer(service, port=0).start()
+    return PlanServer(service, port=0, **kw).start()
 
 
 def _rpc(fh, msg):
@@ -77,6 +81,37 @@ class TestProtocol:
         finally:
             server.stop()
 
+    def test_idle_connection_reaped_after_recv_timeout(self):
+        server = _start(recv_timeout_s=0.3)
+        reset_counters()
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            ) as sock:
+                # Connect and send nothing: the server must hang up.
+                assert sock.recv(64) == b""
+            assert get_counter("serve.idle_disconnects") == 1
+        finally:
+            server.stop()
+            reset_counters()
+
+    def test_active_connection_outlives_recv_timeout(self):
+        """The timeout is per-*recv*: a client issuing spaced requests is
+        never disconnected, and error-reply semantics are unchanged."""
+        server = _start(recv_timeout_s=0.5)
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            ) as sock:
+                fh = sock.makefile("rwb")
+                for _ in range(3):
+                    time.sleep(0.3)  # under the timeout, repeatedly
+                    ok = _rpc(fh, {"op": "plan", "m": 256, "n": 256, "k": 256})
+                    assert ok["ok"]
+                assert not _rpc(fh, {"op": "frobnicate"})["ok"]
+        finally:
+            server.stop()
+
     def test_concurrent_connections(self):
         server = _start()
         try:
@@ -101,3 +136,33 @@ class TestProtocol:
             assert len({r["plan"]["m"] for r in replies}) == 4
         finally:
             server.stop()
+
+
+class TestStopContract:
+    def test_stop_joins_accept_loop(self):
+        server = _start()
+        server.stop()
+        assert server._thread is not None
+        assert not server._thread.is_alive()
+
+    def test_wedged_accept_loop_raises_not_leaks(self, monkeypatch):
+        """A stop() whose accept loop refuses to exit must surface the
+        leak (counter + RuntimeError) after tearing down what it can —
+        the silent-leak regression this pins down."""
+        server = _start()
+        reset_counters()
+        # Wedge: the shutdown request never reaches the accept loop.
+        monkeypatch.setattr(server._tcp, "begin_shutdown", lambda: None)
+        try:
+            with pytest.raises(RuntimeError, match="still alive"):
+                server.stop(timeout_s=0.2)
+            assert get_counter("serve.stop_timeout") == 1
+            # Best-effort teardown happened anyway: the listener socket
+            # is closed even though the thread is still wedged.
+            assert server._tcp.socket.fileno() == -1
+            assert server._thread.is_alive()
+        finally:
+            monkeypatch.undo()
+            server._tcp.shutdown()  # un-wedge so the thread exits
+            server._thread.join(timeout=5)
+            reset_counters()

@@ -436,6 +436,36 @@ class TestSweepCommand:
                 + ["--journal", str(tmp_path / "j"), "--chaos-kill-after", "0"]
             )
 
+    def test_join_runs_fabric_and_reports(self, capsys, tmp_path):
+        jdir = str(tmp_path / "fabric-journal")
+        assert main(self.ARGS + ["--join", jdir]) == 0
+        out = capsys.readouterr().out
+        assert "fabric" in out
+        assert "claim(s)" in out
+        import os as _os
+
+        assert _os.path.exists(_os.path.join(jdir, "wal.bin"))
+
+    def test_chaos_worker_kill_requires_fabric_mode(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--workers N or --join"):
+            main(
+                self.ARGS
+                + ["--journal", str(tmp_path / "j"),
+                   "--chaos-worker-kill", "eval:1"]
+            )
+
+    def test_bad_chaos_worker_point_rejected(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(
+                self.ARGS
+                + ["--journal", str(tmp_path / "j"), "--workers", "2",
+                   "--chaos-worker-kill", "banana:1"]
+            )
+
     def test_corpus_accepts_journal_flags(self, capsys, tmp_path):
         rc = main(
             ["corpus", "--size", "300", "--dtype", "fp64",
