@@ -16,9 +16,13 @@ Commands
                kill, multi-worker lease fabric (``--workers``/``--join``)
                (docs/CHECKPOINTING.md)
 ``serve``      long-running plan server: micro-batched queries, tiered
-               plan cache, JSONL-over-TCP protocol (docs/SERVING.md)
+               plan cache, JSONL-over-TCP protocol (docs/SERVING.md);
+               ``--adaptive`` adds the Stream-K++ winner cache
 ``loadgen``    deterministic Zipf load generator for the serving path;
                reports QPS and p50/p99 split by cache hit/miss
+``adapt``      Stream-K++ adaptive-selection replay: Bloom-guarded
+               winner cache vs cold planning, with per-strategy regret
+               vs the oracle (docs/ADAPTIVE.md)
 
 Every command accepts ``--dtype {fp64,fp16_fp32,fp32,bf16_fp32}`` and
 ``--gpu NAME|path.json`` where ``NAME`` is a registered preset (see
@@ -332,6 +336,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="self-contained demo: boot the service, replay an N-request "
         "Zipf trace in-process, print the serving stats, and exit",
     )
+    p.add_argument(
+        "--adaptive", action="store_true",
+        help="enable the Stream-K++ adaptive winner cache ahead of the "
+        "LRU: a counting-Bloom probe serves repeat shapes before the "
+        "plan cache is consulted (docs/ADAPTIVE.md)",
+    )
+    p.add_argument(
+        "--filter-bits", type=int, default=65536, metavar="M",
+        help="counting-Bloom slots of the adaptive filter (default 65536; "
+        "0 = degenerate always-miss filter)",
+    )
 
     p = sub.add_parser(
         "loadgen",
@@ -379,6 +394,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-persist", action="store_true",
         help="keep the in-process service's plan cache memory-only "
         "(ignored with --connect)",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="optionally write the full report as JSON",
+    )
+
+    p = sub.add_parser(
+        "adapt",
+        help="replay Zipf traffic through the Stream-K++ adaptive "
+        "selector: hit rate, selection latency vs cold planning, filter "
+        "footprint vs FP rate, and regret vs the oracle "
+        "(docs/ADAPTIVE.md)",
+    )
+    _add_common(p)
+    p.add_argument(
+        "--requests", type=int, default=20000, metavar="N",
+        help="total requests to replay (default 20000)",
+    )
+    p.add_argument(
+        "--universe", type=int, default=512, metavar="N",
+        help="distinct shapes in the Zipf universe (default 512)",
+    )
+    p.add_argument(
+        "--zipf-s", type=float, default=1.1, metavar="S",
+        help="Zipf exponent; larger skews harder to hot shapes "
+        "(default 1.1)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, metavar="SEED",
+        help="trace + filter seed (same knobs => byte-identical replay)",
+    )
+    p.add_argument(
+        "--filter-bits", type=int, default=65536, metavar="M",
+        help="counting-Bloom slots (default 65536; 0 = always-miss "
+        "filter, every request falls back to the model)",
+    )
+    p.add_argument(
+        "--hashes", type=int, default=4, metavar="K",
+        help="hash functions per shape key (default 4)",
+    )
+    p.add_argument(
+        "--counter-bits", type=int, default=4, metavar="B",
+        help="bits per counting slot; counters saturate at 2**B - 1 "
+        "(default 4)",
+    )
+    p.add_argument(
+        "--max-winners", type=int, default=65536, metavar="N",
+        help="winner-table LRU capacity; evictions delete from the "
+        "filter (default 65536)",
+    )
+    p.add_argument(
+        "--evaluator", default="ensemble", choices=("ensemble", "analytic"),
+        help="miss path: 'ensemble' measures every cuBLAS-style variant "
+        "and remembers the oracle winner (default); 'analytic' runs the "
+        "planning arithmetic only",
     )
     p.add_argument(
         "--out", default=None, metavar="PATH",
@@ -794,6 +864,8 @@ def _serve_config(args) -> "object":
         warm=not getattr(args, "no_warm", False),
         persist=not getattr(args, "no_persist", False),
         warm_bindings=((args.gpu, args.dtype),),
+        adaptive=getattr(args, "adaptive", False),
+        adaptive_filter_bits=getattr(args, "filter_bits", 65536),
     )
 
 
@@ -915,6 +987,92 @@ def _cmd_loadgen(args) -> int:
     return 0 if report["failed"] == 0 else 1
 
 
+def _cmd_adapt(args) -> int:
+    from .ensembles.adaptive import (
+        AdaptiveConfig,
+        AdaptiveReplayConfig,
+        replay_adaptive,
+    )
+    from .harness import write_json
+
+    report = replay_adaptive(
+        AdaptiveReplayConfig(
+            requests=args.requests,
+            universe=args.universe,
+            zipf_s=args.zipf_s,
+            seed=args.seed,
+            dtype=args.dtype,
+            gpu=args.gpu,
+            adaptive=AdaptiveConfig(
+                filter_bits=args.filter_bits,
+                num_hashes=args.hashes,
+                counter_bits=args.counter_bits,
+                filter_seed=args.seed,
+                max_winners=args.max_winners,
+            ),
+            evaluator=args.evaluator,
+        )
+    )
+
+    def us(v):
+        return "%.1f us" % v if v is not None else "n/a"
+
+    flt = report["filter"]
+    reg = report["regret"]
+    print(
+        "adaptive replay: %d requests over %d distinct shapes "
+        "(zipf s=%.2f, seed %d, %s evaluator)"
+        % (
+            report["requests"], report["distinct_shapes"], report["zipf_s"],
+            report["seed"], report["evaluator"],
+        )
+    )
+    print(
+        "hit rate     : %s (%d winner hits / %d evaluations)"
+        % (
+            format_utilization(report["hit_rate"] or 0.0),
+            report["hits"], report["misses"],
+        )
+    )
+    print("selection p99: hit %s vs cold plan %s  (%.1fx)"
+          % (
+              us(report["hit_p99_us"]), us(report["cold_plan_p99_us"]),
+              report["p99_speedup_hit_vs_cold"] or 0.0,
+          ))
+    print(
+        "filter       : %d bits x %d hashes (%d-bit counters, seed %d) "
+        "= %d bytes"
+        % (
+            flt["bits"], flt["num_hashes"], flt["counter_bits"],
+            flt["seed"], flt["memory_bytes"],
+        )
+    )
+    print(
+        "fp rate      : measured %.2e vs analytic bound %.2e "
+        "(%d disjoint probes, %d saturations)"
+        % (
+            flt["measured_fp_rate"], flt["analytic_fp_rate"],
+            flt["probe_keys"], flt["saturations"],
+        )
+    )
+    print("regret vs oracle (mean / p99):")
+    for name, label in (
+        ("adaptive", "adaptive"),
+        ("analytic", "pure analytic"),
+        ("cublas", "cuBLAS heuristic"),
+    ):
+        print("  %-16s %8.3f%% / %8.3f%%"
+              % (
+                  label,
+                  100.0 * reg["%s_mean" % name],
+                  100.0 * reg["%s_p99" % name],
+              ))
+    if args.out:
+        write_json(args.out, report)
+        print("wrote %s" % args.out)
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from .harness.parallel import evaluate_corpus_cached
     from .obs import counters as _counters
@@ -963,6 +1121,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "adapt": _cmd_adapt,
 }
 
 

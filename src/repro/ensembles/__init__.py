@@ -1,6 +1,17 @@
 """Library emulations: CUTLASS singletons, the DP oracle, a cuBLAS-like
-heuristic ensemble, and the shipped Stream-K library."""
+heuristic ensemble, the shipped Stream-K library, and the Stream-K++
+adaptive selector (Bloom-guarded winner cache; docs/ADAPTIVE.md)."""
 
+from .adaptive import (
+    AdaptiveConfig,
+    AdaptiveReplayConfig,
+    AdaptiveSelector,
+    Selection,
+    Winner,
+    analytic_evaluator,
+    ensemble_evaluator,
+    replay_adaptive,
+)
 from .cublas import SPLIT_FACTORS, CublasChoice, cublas_select, cublas_variants
 from .cutlass import ORACLE_BLOCKINGS, oracle_variants, singleton_variant
 from .heuristics import ProxyScore, heuristic_select, proxy_score
@@ -10,6 +21,14 @@ from .streamk_duo import DuoChoice, StreamKDuoLibrary, small_blocking_for
 from .streamk_library import StreamKLibrary, StreamKPlan
 
 __all__ = [
+    "AdaptiveConfig",
+    "AdaptiveReplayConfig",
+    "AdaptiveSelector",
+    "Selection",
+    "Winner",
+    "analytic_evaluator",
+    "ensemble_evaluator",
+    "replay_adaptive",
     "CublasChoice",
     "KernelVariant",
     "ORACLE_BLOCKINGS",

@@ -1,0 +1,521 @@
+"""Stream-K++ adaptive selection: Bloom-guarded winner cache + fallback.
+
+Stream-K++ (PAPERS.md, arxiv 2408.11417) observes that production GEMM
+traffic is dominated by repeat shapes, and splits selection accordingly:
+a compact Bloom filter answers "seen this shape before?", repeats go
+straight to a remembered *winner* (schedule family + grid size), and
+only novel shapes pay for model/ensemble evaluation.  This module is
+that reproduction on top of the repo's planning layer:
+
+* :class:`AdaptiveSelector` — the filter-guarded winner table.  A
+  :class:`~repro.plan.filtercache.CountingBloomFilter` over the
+  ``(m, n, k, dtype, gpu-fingerprint)`` key gates an exact-keyed LRU
+  winner table; LRU eviction *deletes* the evicted key from the
+  counting filter so the filter tracks the table.  The correctness
+  contract (``tests/ensembles/test_adaptive.py``): a filter false
+  positive can only ever cost one winner-table probe — selection always
+  ends in either a remembered winner or a fresh, correct evaluation,
+  never a wrong plan.  With a zero-capacity filter every query falls
+  through, making the selector bitwise identical to plain
+  :func:`~repro.plan.core.plan_query`.
+* Evaluators — what a miss pays.  :func:`analytic_evaluator` runs just
+  the planning arithmetic (the serving hot path);
+  :func:`ensemble_evaluator` additionally measures every cuBLAS-style
+  variant and remembers whichever of {Stream-K plan, ensemble variant}
+  is fastest — the oracle-quality first visit that makes repeat-shape
+  regret zero.
+* :func:`replay_adaptive` — the ``repro adapt`` engine: replays a
+  deterministic Zipf trace and reports hit rate, hit-path selection
+  latency vs cold ``plan_query``, filter memory vs realized FP rate,
+  and per-strategy regret (adaptive / pure-analytic / cuBLAS heuristic,
+  each against the oracle makespan).
+
+Counters (:mod:`repro.obs.counters`): ``adaptive.hit`` /
+``adaptive.miss`` (winner served vs evaluated), ``adaptive.filter_fp``
+(filter said yes, table said no), ``adaptive.evicted`` (LRU evictions,
+each mirrored by a filter delete).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..gemm.dtypes import DtypeConfig, get_dtype_config
+from ..gemm.problem import GemmProblem
+from ..gpu.spec import DEFAULT_GPU_NAME, GpuSpec, resolve_gpu
+from ..model.paramcache import calibrate_cached, gpu_fingerprint
+from ..gemm.tiling import Blocking
+from ..obs.counters import inc_counter
+from ..plan.core import Plan, plan_query
+from ..plan.filtercache import BloomParams, CountingBloomFilter, shape_key
+from .cublas import cublas_select, cublas_variants
+from .kernels import variant_time_s
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveSelector",
+    "Selection",
+    "Winner",
+    "analytic_evaluator",
+    "ensemble_evaluator",
+    "replay_adaptive",
+]
+
+#: Default precision (mirrors the serving layer's default).
+_DEFAULT_DTYPE_NAME = "fp16_fp32"
+
+
+@dataclass(frozen=True)
+class Winner:
+    """The remembered decision for one shape: family, grid size, time.
+
+    ``family`` is a plan kind (:data:`repro.plan.core.KIND_NAMES`) or an
+    ensemble variant name; ``time_s`` is the winner's predicted kernel
+    time — by construction of :func:`ensemble_evaluator`, the *oracle*
+    makespan for that shape.  ``plan`` carries the full analytic plan
+    alongside (excluded from equality, like plan provenance) so the
+    serving integration can hand back a complete :class:`Plan`.
+    """
+
+    family: str
+    g: int
+    time_s: float
+    plan: "Plan | None" = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class Selection:
+    """One :meth:`AdaptiveSelector.select` outcome."""
+
+    m: int
+    n: int
+    k: int
+    winner: Winner
+    #: ``"winner"`` for a filter-guarded table hit, ``"model"`` for a
+    #: fresh evaluator run (novel or evicted shape).
+    source: str
+
+    @property
+    def plan(self) -> "Plan | None":
+        """The analytic plan riding with the winner (may be ``None``
+        only for custom evaluators that do not attach one)."""
+        return self.winner.plan
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Geometry of one :class:`AdaptiveSelector` (filter + table)."""
+
+    #: Counting-filter slots; 0 disables the fast path entirely.
+    filter_bits: int = 1 << 16
+    #: Hash functions per key.
+    num_hashes: int = 4
+    #: Bits per counting slot (saturating at ``2**bits - 1``).
+    counter_bits: int = 4
+    #: Hash seed: same seed, same slots, every process.
+    filter_seed: int = 0
+    #: Winner-table LRU capacity; evictions delete from the filter.
+    max_winners: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.max_winners < 0:
+            raise ConfigurationError("max_winners must be >= 0")
+
+    def bloom_params(self) -> BloomParams:
+        return BloomParams(
+            bits=self.filter_bits,
+            num_hashes=self.num_hashes,
+            counter_bits=self.counter_bits,
+            seed=self.filter_seed,
+        )
+
+
+# --------------------------------------------------------------------- #
+# Evaluators: what a miss pays                                          #
+# --------------------------------------------------------------------- #
+
+
+def analytic_evaluator(dtype: DtypeConfig, gpu: GpuSpec, params=None):
+    """Miss path = one :func:`plan_query`: pure planning arithmetic.
+
+    The winner is the plan's own (kind, g, time) — this is the serving
+    integration's evaluator, where a miss must stay cheap.
+    """
+    if params is None:
+        params = calibrate_cached(
+            gpu, Blocking(*dtype.default_blocking), dtype
+        )
+
+    def evaluate(m: int, n: int, k: int) -> Winner:
+        plan = plan_query(m, n, k, dtype, gpu, params=params)
+        return Winner(family=plan.kind, g=plan.g, time_s=plan.time_s, plan=plan)
+
+    return evaluate
+
+
+def ensemble_evaluator(dtype: DtypeConfig, gpu: GpuSpec, params=None):
+    """Miss path = plan *and* measure the whole cuBLAS-style ensemble.
+
+    Every variant is priced with :func:`variant_time_s`; the remembered
+    winner is the fastest of {Stream-K plan, ensemble variants} (ties
+    go to Stream-K), i.e. the oracle decision for that shape — which is
+    exactly why adaptive repeat-shape regret is zero.  Expensive first
+    visit, oracle-quality repeats: the Stream-K++ trade.
+    """
+    if params is None:
+        params = calibrate_cached(
+            gpu, Blocking(*dtype.default_blocking), dtype
+        )
+    variants = cublas_variants(dtype)
+
+    def evaluate(m: int, n: int, k: int) -> Winner:
+        plan = plan_query(m, n, k, dtype, gpu, params=params)
+        family, g, best = plan.kind, plan.g, plan.time_s
+        problem = GemmProblem(m, n, k, dtype=dtype)
+        for variant in variants:
+            t = variant_time_s(variant, problem, gpu)
+            if t < best:
+                family, g, best = variant.name, variant.s, t
+        return Winner(family=family, g=g, time_s=best, plan=plan)
+
+    return evaluate
+
+
+# --------------------------------------------------------------------- #
+# The selector                                                          #
+# --------------------------------------------------------------------- #
+
+
+class AdaptiveSelector:
+    """Filter-guarded winner cache with model fallback (Stream-K++).
+
+    Selection for one query:
+
+    1. **Filter probe** — the counting Bloom filter answers "possibly
+       seen".  A ``False`` is authoritative (no false negatives): go
+       straight to the evaluator.
+    2. **Winner table** — on a filter ``True``, probe the exact-keyed
+       LRU table.  A hit serves the remembered winner in microseconds;
+       a miss was a filter false positive (``adaptive.filter_fp``) and
+       costs only that probe.
+    3. **Fallback** — run the evaluator, remember the winner (filter
+       insert + table put, LRU-evicting and filter-deleting the
+       coldest entry at capacity).
+
+    Not thread-safe by itself; the serving integration guards it with
+    the binding's lock discipline (one selector per (dtype, gpu)
+    binding, mutations on the batcher thread).
+    """
+
+    def __init__(
+        self,
+        dtype: "DtypeConfig | str",
+        gpu: "GpuSpec | str",
+        config: "AdaptiveConfig | None" = None,
+        evaluator=None,
+    ):
+        self.dtype = (
+            get_dtype_config(dtype) if isinstance(dtype, str) else dtype
+        )
+        self.gpu = resolve_gpu(gpu)
+        self.config = config or AdaptiveConfig()
+        self.fingerprint = gpu_fingerprint(self.gpu)
+        self.filter = CountingBloomFilter(self.config.bloom_params())
+        self._winners: "OrderedDict[tuple[int, int, int], Winner]" = (
+            OrderedDict()
+        )
+        self._evaluate = evaluator or analytic_evaluator(self.dtype, self.gpu)
+
+    def _key(self, m: int, n: int, k: int) -> bytes:
+        return shape_key(m, n, k, self.dtype.name, self.fingerprint)
+
+    # -- fast path ----------------------------------------------------- #
+
+    def probe(self, m: int, n: int, k: int) -> "Winner | None":
+        """Winner for a previously-seen shape, or ``None`` (no evaluation).
+
+        ``None`` covers both authoritative filter misses and filter
+        false positives whose table entry was evicted or never existed —
+        in every case the caller falls back to a *correct* evaluation,
+        which is the whole false-positive safety argument.
+        """
+        if not self.filter.query(self._key(m, n, k)):
+            return None
+        winner = self._winners.get((int(m), int(n), int(k)))
+        if winner is None:
+            inc_counter("adaptive.filter_fp")
+            return None
+        self._winners.move_to_end((int(m), int(n), int(k)))
+        return winner
+
+    def probe_plan(self, m: int, n: int, k: int) -> "Plan | None":
+        """:meth:`probe`, decoded to the remembered plan for serving.
+
+        The returned copy is stamped ``provenance="cache:adaptive"`` so
+        the wire protocol reports it as a cache hit; provenance is
+        excluded from plan equality, so it still compares equal to a
+        cold :func:`plan_query`.
+        """
+        winner = self.probe(m, n, k)
+        if winner is None or winner.plan is None:
+            return None
+        return replace(winner.plan, provenance="cache:adaptive")
+
+    # -- write path ---------------------------------------------------- #
+
+    def remember(self, m: int, n: int, k: int, winner: Winner) -> None:
+        """Insert/refresh one shape's winner (filter + LRU table).
+
+        A zero-capacity filter makes the table unreachable (every probe
+        misses at the filter), so remembering is a no-op there — the
+        degenerate selector holds no state at all.
+        """
+        if self.config.max_winners == 0 or self.filter.params.bits == 0:
+            return
+        key = (int(m), int(n), int(k))
+        if key in self._winners:
+            self._winners[key] = winner
+            self._winners.move_to_end(key)
+            return
+        self.filter.insert(self._key(m, n, k))
+        self._winners[key] = winner
+        if len(self._winners) > self.config.max_winners:
+            (em, en, ek), _ = self._winners.popitem(last=False)
+            self.filter.delete(self._key(em, en, ek))
+            inc_counter("adaptive.evicted")
+
+    def remember_plan(self, plan: Plan) -> None:
+        """Remember a freshly-planned query (the serving miss path).
+
+        Foreign plans — wrong engine version or another device's
+        fingerprint — are refused, same rule as the plan cache.
+        """
+        if plan.gpu_fingerprint != self.fingerprint:
+            return
+        if plan.dtype_name != self.dtype.name:
+            return
+        self.remember(
+            plan.m,
+            plan.n,
+            plan.k,
+            Winner(family=plan.kind, g=plan.g, time_s=plan.time_s, plan=plan),
+        )
+
+    def forget(self, m: int, n: int, k: int) -> None:
+        """Drop one shape (table delete mirrored into the filter)."""
+        key = (int(m), int(n), int(k))
+        if self._winners.pop(key, None) is not None:
+            self.filter.delete(self._key(m, n, k))
+
+    # -- full selection ------------------------------------------------ #
+
+    def select(self, m: int, n: int, k: int) -> Selection:
+        """Serve a repeat from the winner table or evaluate and remember."""
+        winner = self.probe(m, n, k)
+        if winner is not None:
+            inc_counter("adaptive.hit")
+            return Selection(int(m), int(n), int(k), winner, source="winner")
+        inc_counter("adaptive.miss")
+        winner = self._evaluate(int(m), int(n), int(k))
+        self.remember(m, n, k, winner)
+        return Selection(int(m), int(n), int(k), winner, source="model")
+
+    def __len__(self) -> int:
+        return len(self._winners)
+
+
+# --------------------------------------------------------------------- #
+# Replay: the `repro adapt` engine                                      #
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class AdaptiveReplayConfig:
+    """Knobs of one ``repro adapt`` replay (deterministic given seed)."""
+
+    requests: int = 20000
+    universe: int = 512
+    zipf_s: float = 1.1
+    seed: int = 0
+    dtype: str = _DEFAULT_DTYPE_NAME
+    gpu: str = DEFAULT_GPU_NAME
+    adaptive: AdaptiveConfig = field(default_factory=AdaptiveConfig)
+    #: ``"ensemble"`` (oracle-quality first visit, the Stream-K++ mode)
+    #: or ``"analytic"`` (planning arithmetic only).
+    evaluator: str = "ensemble"
+
+    def __post_init__(self) -> None:
+        if self.requests <= 0 or self.universe <= 0:
+            raise ConfigurationError("requests and universe must be positive")
+        if self.evaluator not in ("ensemble", "analytic"):
+            raise ConfigurationError(
+                "evaluator must be 'ensemble' or 'analytic', got %r"
+                % (self.evaluator,)
+            )
+
+
+def _pct_us(values, q):
+    return float(np.percentile(values, q)) * 1e6 if len(values) else None
+
+
+def replay_adaptive(config: "AdaptiveReplayConfig | None" = None) -> dict:
+    """Replay a Zipf trace through the adaptive selector and report.
+
+    The report (the JSON behind ``repro adapt --out`` and the payload
+    ``bench_adaptive`` aggregates) covers the four headline claims:
+
+    * **hit rate** — fraction of requests served from the winner table;
+    * **selection latency** — hit-path p50/p99 vs the *cold*
+      ``plan_query`` p50/p99 (measured per distinct universe shape, no
+      cache anywhere) — the >=5x contract;
+    * **memory vs FP** — filter footprint, analytic FP bound at the
+      realized insert count, and the FP rate measured on a disjoint
+      probe corpus (seed+1, overlaps removed);
+    * **regret** — mean/p99 of ``(chosen - oracle) / oracle`` per
+      request for adaptive, the pure-analytic path, and the
+      cuBLAS-style heuristic.  The oracle is the fastest of {Stream-K
+      plan, every ensemble variant} per shape — what
+      :func:`ensemble_evaluator` remembers, so adaptive regret is zero
+      by construction in ensemble mode.
+    """
+    from ..corpus.generator import CorpusSpec, generate_corpus
+    from ..plan.loadgen import LoadgenConfig, zipf_trace
+
+    config = config or AdaptiveReplayConfig()
+    dtype = get_dtype_config(config.dtype)
+    gpu = resolve_gpu(config.gpu)
+    params = calibrate_cached(
+        gpu, Blocking(*dtype.default_blocking), dtype
+    )
+    make = ensemble_evaluator if config.evaluator == "ensemble" else analytic_evaluator
+    selector = AdaptiveSelector(
+        dtype, gpu, config.adaptive, evaluator=make(dtype, gpu, params=params)
+    )
+
+    trace = zipf_trace(
+        LoadgenConfig(
+            requests=config.requests,
+            universe=config.universe,
+            zipf_s=config.zipf_s,
+            seed=config.seed,
+            dtype=config.dtype,
+            gpu=config.gpu,
+        )
+    )
+
+    # Cold plan_query latency per distinct universe shape: the baseline
+    # every repeat-shape request would pay without the adaptive layer.
+    universe = np.unique(trace, axis=0)
+    cold_lat = []
+    for m, n, k in universe:
+        t0 = time.perf_counter()
+        plan_query(int(m), int(n), int(k), dtype, gpu, params=params)
+        cold_lat.append(time.perf_counter() - t0)
+
+    hit_lat, miss_lat = [], []
+    oracle_by_shape: "dict[tuple[int, int, int], float]" = {}
+    cublas_by_shape: "dict[tuple[int, int, int], float]" = {}
+    analytic_by_shape: "dict[tuple[int, int, int], float]" = {}
+    regret_adaptive, regret_analytic, regret_cublas = [], [], []
+    for row in trace:
+        m, n, k = (int(row[0]), int(row[1]), int(row[2]))
+        t0 = time.perf_counter()
+        sel = selector.select(m, n, k)
+        dt = time.perf_counter() - t0
+        (hit_lat if sel.source == "winner" else miss_lat).append(dt)
+
+        shape = (m, n, k)
+        if shape not in oracle_by_shape:
+            # The evaluator's winner *is* the oracle in ensemble mode;
+            # in analytic mode price the ensemble once for honest regret.
+            if config.evaluator == "ensemble":
+                oracle = sel.winner.time_s
+            else:
+                problem = GemmProblem(m, n, k, dtype=dtype)
+                oracle = min(
+                    [sel.winner.plan.time_s]
+                    + [
+                        variant_time_s(v, problem, gpu)
+                        for v in cublas_variants(dtype)
+                    ]
+                )
+            oracle_by_shape[shape] = oracle
+            analytic_by_shape[shape] = (
+                sel.winner.plan.time_s
+                if sel.winner.plan is not None
+                else sel.winner.time_s
+            )
+            cublas_by_shape[shape] = cublas_select(
+                GemmProblem(m, n, k, dtype=dtype), gpu
+            ).time_s
+        oracle = oracle_by_shape[shape]
+        regret_adaptive.append((sel.winner.time_s - oracle) / oracle)
+        regret_analytic.append((analytic_by_shape[shape] - oracle) / oracle)
+        regret_cublas.append((cublas_by_shape[shape] - oracle) / oracle)
+
+    # Realized FP rate on a disjoint probe set (fresh corpus, overlaps
+    # with the traffic universe removed — every True is a false alarm).
+    seen = {tuple(int(v) for v in row) for row in universe}
+    probe = generate_corpus(
+        CorpusSpec(size=config.universe, seed=config.seed + 1)
+    )
+    probe_keys = [
+        shape_key(int(m), int(n), int(k), dtype.name, selector.fingerprint)
+        for m, n, k in probe
+        if (int(m), int(n), int(k)) not in seen
+    ]
+    measured_fp = selector.filter.measured_fp_rate(probe_keys)
+    analytic_fp = selector.filter.analytic_fp_rate()
+
+    completed = len(hit_lat) + len(miss_lat)
+    hit_p99 = _pct_us(hit_lat, 99)
+    cold_p99 = _pct_us(cold_lat, 99)
+    return {
+        "requests": config.requests,
+        "universe": config.universe,
+        "distinct_shapes": int(universe.shape[0]),
+        "zipf_s": config.zipf_s,
+        "seed": config.seed,
+        "dtype": config.dtype,
+        "gpu": config.gpu,
+        "evaluator": config.evaluator,
+        "hits": len(hit_lat),
+        "misses": len(miss_lat),
+        "hit_rate": (len(hit_lat) / completed) if completed else None,
+        "hit_p50_us": _pct_us(hit_lat, 50),
+        "hit_p99_us": hit_p99,
+        "miss_p50_us": _pct_us(miss_lat, 50),
+        "miss_p99_us": _pct_us(miss_lat, 99),
+        "cold_plan_p50_us": _pct_us(cold_lat, 50),
+        "cold_plan_p99_us": cold_p99,
+        "p99_speedup_hit_vs_cold": (
+            cold_p99 / hit_p99 if hit_p99 and cold_p99 else None
+        ),
+        "regret": {
+            "adaptive_mean": float(np.mean(regret_adaptive)),
+            "adaptive_p99": float(np.percentile(regret_adaptive, 99)),
+            "analytic_mean": float(np.mean(regret_analytic)),
+            "analytic_p99": float(np.percentile(regret_analytic, 99)),
+            "cublas_mean": float(np.mean(regret_cublas)),
+            "cublas_p99": float(np.percentile(regret_cublas, 99)),
+        },
+        "filter": {
+            "bits": selector.filter.params.bits,
+            "num_hashes": selector.filter.params.num_hashes,
+            "counter_bits": selector.filter.params.counter_bits,
+            "seed": selector.filter.params.seed,
+            "memory_bytes": selector.filter.memory_bytes,
+            "inserted": selector.filter.inserted,
+            "saturations": selector.filter.saturations,
+            "analytic_fp_rate": analytic_fp,
+            "measured_fp_rate": measured_fp,
+            "probe_keys": len(probe_keys),
+        },
+        "winners": len(selector),
+        "max_winners": config.adaptive.max_winners,
+    }

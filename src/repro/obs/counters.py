@@ -34,8 +34,15 @@ rates uniformly.  Counters wired in by this PR:
 ``plancache.flush_failed``              plan-shard writes hit ENOSPC/EROFS
 ``serve.requests``                      plan queries accepted by the daemon
 ``serve.cache_hit|cache_miss``          ...split by plan-cache outcome
+``serve.adaptive_hit|adaptive_miss``    Stream-K++ winner-cache outcomes
 ``serve.batches|batched_queries``       micro-batches flushed / their size
 ``serve.unique_shapes``                 deduped shapes actually planned
+``bloom.insert|delete``                 counting-filter membership writes
+``bloom.query_hit|query_miss``          counting-filter probe outcomes
+``bloom.saturated``                     counters stuck at the ceiling
+``adaptive.hit|miss``                   winner served vs evaluator run
+``adaptive.filter_fp``                  filter said yes, table said no
+``adaptive.evicted``                    winner-table LRU evictions
 ======================================  =================================
 
 Like the profiler, worker processes ship :func:`snapshot_counters` back to

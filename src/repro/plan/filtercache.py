@@ -1,0 +1,261 @@
+"""Seeded counting Bloom filter over problem-shape keys (Stream-K++).
+
+Stream-K++ (PAPERS.md, arxiv 2408.11417) routes *repeat* problem shapes
+straight to a remembered winning schedule and reserves the analytical
+model for novel shapes.  The gatekeeper for "have we seen this shape?"
+is this module: a counting Bloom filter over the ``(m, n, k, dtype,
+gpu-fingerprint)`` shape key, sized in bits rather than entries so its
+memory footprint is a configuration constant, not a function of traffic.
+
+Design points (pinned by ``tests/properties/test_bloom_properties.py``):
+
+* **Seeded, deterministic hashing** — ``k`` indices per key via double
+  hashing over one keyed ``blake2b`` digest (``idx_i = (h1 + i * h2)
+  % bits`` with ``h2`` forced odd), so the same ``(params, key)`` pair
+  maps to the same counters in every process and on every platform.
+* **No false negatives, ever** — counters saturate at ``2**counter_bits
+  - 1``; a counter an insert *overflows* is marked sticky and never
+  changed again (it can no longer prove how many members hashed into
+  it), so :meth:`query` of an inserted, un-deleted key is always
+  ``True``.
+* **Delete restores** — :meth:`delete` decrements the key's
+  non-overflowed counters, exactly undoing a prior :meth:`insert` as
+  long as no counter overflowed in between.
+* **Bounded false positives** — the classic occupancy bound
+  :func:`analytic_fp_rate` ``(1 - exp(-k n / m)) ** k`` holds in
+  expectation; :meth:`measured_fp_rate` probes a disjoint key set so the
+  property suite can check the realized rate against the bound.
+* **Zero capacity = always miss** — ``bits=0`` is the degenerate filter
+  whose :meth:`query` is constantly ``False``; the adaptive selector
+  built on top of it is then bitwise identical to plain ``plan_query``
+  (the differential contract in ``tests/ensembles/test_adaptive.py``).
+
+Counters (:mod:`repro.obs.counters`): ``bloom.insert`` / ``bloom.delete``
+volume, ``bloom.query_hit`` / ``bloom.query_miss`` outcomes, and
+``bloom.saturated`` counter-ceiling events.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..obs.counters import inc_counter
+
+__all__ = [
+    "BloomParams",
+    "CountingBloomFilter",
+    "analytic_fp_rate",
+    "shape_key",
+]
+
+
+def shape_key(
+    m: int, n: int, k: int, dtype_name: str, gpu_fingerprint: str
+) -> bytes:
+    """Canonical byte key for one ``(m, n, k, dtype, gpu)`` query.
+
+    The key binds the shape to the precision *and* the exact device
+    fingerprint (every ``GpuSpec`` field, hashed), so a filter trained on
+    one binding never answers for another — the same binding rule the
+    tiered plan cache uses for its shards.
+    """
+    return b"%d|%d|%d|%s|%s" % (
+        int(m),
+        int(n),
+        int(k),
+        dtype_name.encode("utf-8"),
+        gpu_fingerprint.encode("utf-8"),
+    )
+
+
+def analytic_fp_rate(bits: int, num_hashes: int, inserted: int) -> float:
+    """Classic Bloom occupancy bound ``(1 - e^{-k n / m})^k``.
+
+    ``bits`` is ``m`` (counter slots), ``num_hashes`` is ``k``, and
+    ``inserted`` is ``n`` distinct inserted keys.  Returns 1.0 for the
+    degenerate ``bits == 0`` filter only in the vacuous sense that it
+    never answers ``True`` at all — callers gate on capacity first.
+    """
+    if bits <= 0:
+        return 0.0
+    if inserted <= 0:
+        return 0.0
+    return (1.0 - math.exp(-num_hashes * inserted / bits)) ** num_hashes
+
+
+@dataclass(frozen=True)
+class BloomParams:
+    """Size/shape of one :class:`CountingBloomFilter`.
+
+    ``bits`` is the number of counter slots (``m`` in the textbook
+    formulas); ``bits=0`` is the supported degenerate always-miss
+    filter.  ``counter_bits`` bounds each slot at ``2**counter_bits -
+    1``; 4 bits is the classical counting-Bloom choice (overflow odds
+    are negligible at sane load factors).
+    """
+
+    bits: int = 1 << 16
+    num_hashes: int = 4
+    counter_bits: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bits < 0:
+            raise ConfigurationError("bits must be >= 0 (0 = always-miss)")
+        if self.num_hashes < 1:
+            raise ConfigurationError("num_hashes must be >= 1")
+        if not 1 <= self.counter_bits <= 8:
+            raise ConfigurationError("counter_bits must be in [1, 8]")
+
+    @property
+    def counter_max(self) -> int:
+        """Saturation ceiling of each counter slot."""
+        return (1 << self.counter_bits) - 1
+
+    @property
+    def memory_bytes(self) -> int:
+        """Filter state size: ``bits`` counters of ``counter_bits`` each."""
+        return (self.bits * self.counter_bits + 7) // 8
+
+    def fp_rate(self, inserted: int) -> float:
+        """Analytic FP bound for this geometry at ``inserted`` keys."""
+        return analytic_fp_rate(self.bits, self.num_hashes, inserted)
+
+
+class CountingBloomFilter:
+    """Counting Bloom filter: insert/query/delete over byte keys.
+
+    Storage is one ``uint8`` slot per counter (we trade the sub-byte
+    packing for branch-free numpy updates; :attr:`memory_bytes` still
+    reports the packed figure the geometry implies, which is what the
+    footprint-vs-FP-rate tradeoff in ``repro adapt`` is about).
+    """
+
+    def __init__(self, params: "BloomParams | None" = None):
+        self.params = params or BloomParams()
+        self._counters = np.zeros(self.params.bits, dtype=np.uint8)
+        # Sticky per-slot overflow marks: a counter an insert found
+        # already at the ceiling has lost its exact count and is frozen
+        # (never incremented or decremented again).  A counter that
+        # merely *reached* the ceiling by exact counting stays live, so
+        # delete remains an exact inverse of insert until a real
+        # overflow happens — even at counter_bits=1.
+        self._overflowed = np.zeros(self.params.bits, dtype=bool)
+        self._seed_key = struct.pack("<Q", self.params.seed & (2**64 - 1))
+        #: Distinct-insert estimate for the analytic bound (callers
+        #: insert each key once; re-inserts are counted too, which only
+        #: makes the reported bound conservative).
+        self.inserted = 0
+        #: Times any counter hit the ceiling (delete-safety lost there).
+        self.saturations = 0
+
+    # ------------------------------------------------------------------ #
+    # Hashing                                                             #
+    # ------------------------------------------------------------------ #
+
+    def _indexes(self, key: bytes) -> np.ndarray:
+        """The ``num_hashes`` counter slots of ``key`` (double hashing)."""
+        digest = hashlib.blake2b(
+            key, digest_size=16, key=self._seed_key
+        ).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:], "little") | 1  # odd => full cycle
+        bits = self.params.bits
+        return np.fromiter(
+            ((h1 + i * h2) % bits for i in range(self.params.num_hashes)),
+            dtype=np.int64,
+            count=self.params.num_hashes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Membership ops                                                      #
+    # ------------------------------------------------------------------ #
+
+    def insert(self, key: bytes) -> None:
+        """Add ``key``; saturated counters stick at the ceiling."""
+        if self.params.bits == 0:
+            return
+        inc_counter("bloom.insert")
+        self.inserted += 1
+        idx = np.unique(self._indexes(key))
+        current = self._counters[idx]
+        ceiling = current >= self.params.counter_max
+        n_sat = int(np.count_nonzero(ceiling))
+        if n_sat:
+            self.saturations += n_sat
+            self._overflowed[idx[ceiling]] = True
+            inc_counter("bloom.saturated", n_sat)
+        self._counters[idx] = np.where(ceiling, current, current + 1)
+
+    def query(self, key: bytes) -> bool:
+        """Membership test: ``True`` iff every slot of ``key`` is set.
+
+        May return ``True`` for a never-inserted key (false positive,
+        bounded by :func:`analytic_fp_rate`); never returns ``False``
+        for an inserted, un-deleted key.
+        """
+        if self.params.bits == 0:
+            inc_counter("bloom.query_miss")
+            return False
+        hit = bool(np.all(self._counters[self._indexes(key)] > 0))
+        inc_counter("bloom.query_hit" if hit else "bloom.query_miss")
+        return hit
+
+    def delete(self, key: bytes) -> None:
+        """Remove one prior :meth:`insert` of ``key``.
+
+        Decrements the key's non-overflowed, non-zero counters.  An
+        overflowed counter is left alone — it has lost the count of how
+        many members map there, and decrementing it could manufacture a
+        false negative for a key that is still present.
+        """
+        if self.params.bits == 0:
+            return
+        inc_counter("bloom.delete")
+        self.inserted = max(0, self.inserted - 1)
+        idx = np.unique(self._indexes(key))
+        current = self._counters[idx]
+        keep = self._overflowed[idx] | (current == 0)
+        self._counters[idx] = np.where(keep, current, current - 1)
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def memory_bytes(self) -> int:
+        """Packed state size implied by the geometry (see class doc)."""
+        return self.params.memory_bytes
+
+    def analytic_fp_rate(self) -> float:
+        """FP bound at the current distinct-insert count."""
+        return self.params.fp_rate(self.inserted)
+
+    def measured_fp_rate(self, probe_keys: "list[bytes]") -> float:
+        """Realized FP rate over ``probe_keys``.
+
+        Callers must pass keys *disjoint* from everything inserted —
+        then every ``True`` is a false positive by construction.  The
+        probe is read-only (query counters still tick).
+        """
+        if not probe_keys:
+            return 0.0
+        positives = sum(1 for key in probe_keys if self.query(key))
+        return positives / len(probe_keys)
+
+    def clear(self) -> None:
+        """Reset to the empty filter (counters, overflow marks, tallies)."""
+        self._counters[:] = 0
+        self._overflowed[:] = False
+        self.inserted = 0
+        self.saturations = 0
+
+    def __len__(self) -> int:
+        """Distinct-insert tally (inserts minus deletes, floored at 0)."""
+        return self.inserted

@@ -24,6 +24,7 @@ DOCS = [
     os.path.join("docs", "HARDWARE.md"),
     os.path.join("docs", "CHECKPOINTING.md"),
     os.path.join("docs", "SERVING.md"),
+    os.path.join("docs", "ADAPTIVE.md"),
 ]
 
 # Repo paths the prose references in backticks (not markdown links).

@@ -38,6 +38,95 @@ class TestTrace:
         with pytest.raises(ConfigurationError):
             LoadgenConfig(zipf_s=-1.0)
 
+    def test_clients_do_not_affect_the_trace(self):
+        """--clients 1 vs --clients 4 replay byte-identical traces.
+
+        Client count only shards the trace across threads; the request
+        *sequence* is a pure function of (requests, universe, zipf_s,
+        seed) — the replay contract behind every committed benchmark.
+        """
+        base = dict(requests=600, universe=64, zipf_s=1.1, seed=7)
+        one = zipf_trace(LoadgenConfig(clients=1, **base))
+        four = zipf_trace(LoadgenConfig(clients=4, **base))
+        assert one.tobytes() == four.tobytes()
+
+
+def _chi2_critical(df: int, z: float = 3.0902) -> float:
+    """Chi-squared critical value via the Wilson-Hilferty cube
+    approximation (keeps the test scipy-free); z=3.0902 is the normal
+    99.9th percentile, i.e. alpha = 0.001."""
+    h = 2.0 / (9.0 * df)
+    return df * (1.0 - h + z * np.sqrt(h)) ** 3
+
+
+def _zipf_buckets(cfg: LoadgenConfig, min_expected: float = 5.0):
+    """(observed, expected) request counts per bucket for one trace.
+
+    Universe rows are grouped by value (the corpus can draw duplicate
+    shapes, whose rank masses merge), then low-expectation buckets are
+    pooled into a tail so every chi-squared cell has expected >= 5.
+    """
+    from repro.corpus.generator import CorpusSpec, generate_corpus
+
+    trace = zipf_trace(cfg)
+    universe = generate_corpus(CorpusSpec(size=cfg.universe, seed=cfg.seed))
+    ranks = np.arange(1, cfg.universe + 1, dtype=np.float64)
+    probs = ranks ** (-cfg.zipf_s)
+    probs /= probs.sum()
+
+    groups: "dict[tuple, float]" = {}
+    for i, row in enumerate(universe):
+        key = tuple(int(v) for v in row)
+        groups[key] = groups.get(key, 0.0) + probs[i]
+    observed_by_key: "dict[tuple, int]" = {k: 0 for k in groups}
+    for row in trace:
+        observed_by_key[tuple(int(v) for v in row)] += 1
+
+    observed, expected = [], []
+    tail_obs, tail_exp = 0.0, 0.0
+    for key, p in groups.items():
+        exp = p * cfg.requests
+        if exp >= min_expected:
+            observed.append(observed_by_key[key])
+            expected.append(exp)
+        else:
+            tail_obs += observed_by_key[key]
+            tail_exp += exp
+    if tail_exp > 0:
+        observed.append(tail_obs)
+        expected.append(tail_exp)
+    return np.asarray(observed, dtype=np.float64), np.asarray(expected)
+
+
+class TestZipfGoodnessOfFit:
+    def test_trace_matches_requested_zipf_distribution(self):
+        cfg = LoadgenConfig(requests=20000, universe=128, zipf_s=1.1, seed=0)
+        observed, expected = _zipf_buckets(cfg)
+        assert observed.sum() == cfg.requests
+        np.testing.assert_allclose(expected.sum(), cfg.requests)
+        chi2 = float(((observed - expected) ** 2 / expected).sum())
+        critical = _chi2_critical(len(observed) - 1)
+        assert chi2 < critical, (
+            "trace rejects Zipf(s=%.2f): chi2 %.1f >= critical %.1f (df %d)"
+            % (cfg.zipf_s, chi2, critical, len(observed) - 1)
+        )
+
+    def test_gof_holds_across_exponents(self):
+        for s in (0.7, 1.1, 1.4):
+            cfg = LoadgenConfig(requests=20000, universe=128, zipf_s=s, seed=0)
+            observed, expected = _zipf_buckets(cfg)
+            chi2 = float(((observed - expected) ** 2 / expected).sum())
+            assert chi2 < _chi2_critical(len(observed) - 1), "s=%.2f" % s
+
+    def test_negative_control_uniform_is_rejected(self):
+        # The same trace against a *uniform* expectation must fail the
+        # fit decisively — the statistic has teeth.
+        cfg = LoadgenConfig(requests=20000, universe=128, zipf_s=1.1, seed=0)
+        observed, _ = _zipf_buckets(cfg, min_expected=0.0)
+        uniform = np.full(len(observed), cfg.requests / len(observed))
+        chi2 = float(((observed - uniform) ** 2 / uniform).sum())
+        assert chi2 > 10 * _chi2_critical(len(observed) - 1)
+
 
 class TestInProcess:
     def test_report_accounts_for_every_request(self):

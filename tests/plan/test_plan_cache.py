@@ -152,6 +152,65 @@ class TestStorageDiscipline:
             cache.plan_or_compute(int(m), int(n), int(k))
         assert len(cache) == 8
 
+    def test_lru_exactly_at_capacity_evicts_nothing(self, tmp_path):
+        gpu = resolve_gpu("a100")
+        cache = PlanCache(
+            gpu, FP16_FP32, capacity=4, cache_dir=str(tmp_path), persist=False
+        )
+        before = get_counter("plancache.evicted")
+        shapes = [(64 * i, 64, 64) for i in range(1, 5)]
+        for m, n, k in shapes:
+            cache.plan_or_compute(m, n, k)
+        assert len(cache) == 4
+        assert get_counter("plancache.evicted") == before
+        for m, n, k in shapes:  # every resident entry still answers
+            assert cache.get(m, n, k) is not None
+
+    def test_lru_capacity_plus_one_evicts_exactly_the_oldest(self, tmp_path):
+        gpu = resolve_gpu("a100")
+        cache = PlanCache(
+            gpu, FP16_FP32, capacity=4, cache_dir=str(tmp_path), persist=False
+        )
+        before = get_counter("plancache.evicted")
+        shapes = [(64 * i, 64, 64) for i in range(1, 6)]
+        for m, n, k in shapes:
+            cache.plan_or_compute(m, n, k)
+        assert len(cache) == 4
+        assert get_counter("plancache.evicted") == before + 1
+        assert cache.get(*shapes[0]) is None  # the oldest, and only it
+        for m, n, k in shapes[1:]:
+            assert cache.get(m, n, k) is not None
+
+    def test_lru_get_promotes_against_eviction(self, tmp_path):
+        gpu = resolve_gpu("a100")
+        cache = PlanCache(
+            gpu, FP16_FP32, capacity=4, cache_dir=str(tmp_path), persist=False
+        )
+        shapes = [(64 * i, 64, 64) for i in range(1, 5)]
+        for m, n, k in shapes:
+            cache.plan_or_compute(m, n, k)
+        assert cache.get(*shapes[0]) is not None  # touch: now MRU
+        cache.plan_or_compute(320, 64, 64)  # evicts shapes[1], not [0]
+        assert cache.get(*shapes[0]) is not None
+        assert cache.get(*shapes[1]) is None
+        for m, n, k in shapes[2:]:
+            assert cache.get(m, n, k) is not None
+
+    def test_lru_reinsert_of_resident_key_does_not_evict(self, tmp_path):
+        gpu = resolve_gpu("a100")
+        cache = PlanCache(
+            gpu, FP16_FP32, capacity=4, cache_dir=str(tmp_path), persist=False
+        )
+        shapes = [(64 * i, 64, 64) for i in range(1, 5)]
+        for m, n, k in shapes:
+            cache.plan_or_compute(m, n, k)
+        before = get_counter("plancache.evicted")
+        cache.put(plan_query(*shapes[0], FP16_FP32, gpu))  # refresh resident
+        assert len(cache) == 4
+        assert get_counter("plancache.evicted") == before
+        for m, n, k in shapes:
+            assert cache.get(m, n, k) is not None
+
     def test_wipe_plan_cache(self, tmp_path):
         gpu = resolve_gpu("a100")
         cache = PlanCache(gpu, FP16_FP32, cache_dir=str(tmp_path))

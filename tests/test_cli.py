@@ -368,6 +368,56 @@ class TestServeCommand:
         assert "served 1 request(s)" in out
 
 
+class TestAdaptCommand:
+    """``repro adapt``: Stream-K++ adaptive replay (docs/ADAPTIVE.md)."""
+
+    def test_adapt_writes_report(self, capsys, tmp_path):
+        out_path = tmp_path / "adapt.json"
+        rc = main(
+            ["adapt", "--requests", "300", "--universe", "32",
+             "--out", str(out_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "adaptive replay: 300 requests" in out
+        assert "regret vs oracle" in out
+        report = json.loads(out_path.read_text())
+        assert report["hits"] + report["misses"] == 300
+        assert report["regret"]["adaptive_mean"] <= 0.01
+        assert report["filter"]["memory_bytes"] > 0
+
+    def test_adapt_analytic_evaluator(self, capsys):
+        rc = main(
+            ["adapt", "--requests", "200", "--universe", "16",
+             "--evaluator", "analytic"]
+        )
+        assert rc == 0
+        assert "analytic evaluator" in capsys.readouterr().out
+
+    def test_adapt_zero_capacity_filter_never_hits(self, capsys, tmp_path):
+        out_path = tmp_path / "adapt.json"
+        rc = main(
+            ["adapt", "--requests", "120", "--universe", "16",
+             "--filter-bits", "0", "--evaluator", "analytic",
+             "--out", str(out_path)]
+        )
+        assert rc == 0
+        report = json.loads(out_path.read_text())
+        assert report["hits"] == 0 and report["misses"] == 120
+
+    def test_serve_demo_with_adaptive_flag(self, capsys):
+        rc = main(
+            ["serve", "--demo", "40", "--adaptive", "--no-persist",
+             "--no-warm"]
+        )
+        assert rc == 0
+        assert "serve demo (40 requests" in capsys.readouterr().out
+
+    def test_bad_evaluator_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["adapt", "--evaluator", "psychic"])
+
+
 class TestSweepCommand:
     """``repro sweep``: durable journaled sweeps (docs/CHECKPOINTING.md)."""
 
