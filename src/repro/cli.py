@@ -332,6 +332,29 @@ def build_parser() -> argparse.ArgumentParser:
         "line) for S seconds, freeing its handler thread (default 30)",
     )
     p.add_argument(
+        "--max-queue-depth", type=int, default=1024, metavar="N",
+        help="admission control: bound on queued cache misses; at the "
+        "bound new misses are shed with a structured 'overloaded' error "
+        "instead of queueing (default 1024)",
+    )
+    p.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="K",
+        help="consecutive plan-batch failures that open the circuit "
+        "breaker (misses rejected fast, hits still served; 0 disables; "
+        "default 3)",
+    )
+    p.add_argument(
+        "--breaker-cooldown-ms", type=float, default=1000.0, metavar="MS",
+        help="open-breaker cooldown before a half-open probe is admitted "
+        "(default 1000)",
+    )
+    p.add_argument(
+        "--chaos-plan", default=None, metavar="SPEC",
+        help="deterministic planner chaos (test seam): off | stall:S[:N] "
+        "| fail[:N]; any value (including 'off') also authorizes the "
+        "wire protocol's chaos op (docs/SERVING.md)",
+    )
+    p.add_argument(
         "--demo", type=int, default=None, metavar="N",
         help="self-contained demo: boot the service, replay an N-request "
         "Zipf trace in-process, print the serving stats, and exit",
@@ -394,6 +417,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-persist", action="store_true",
         help="keep the in-process service's plan cache memory-only "
         "(ignored with --connect)",
+    )
+    p.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request latency budget propagated to the service; "
+        "expired requests are dropped, never planned (default: none)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retries per request on overloaded/timeout rejections, with "
+        "seeded exponential backoff + jitter (default 0)",
+    )
+    p.add_argument(
+        "--backoff-ms", type=float, default=5.0, metavar="MS",
+        help="first-retry backoff before jitter; doubles per retry, "
+        "capped (default 5)",
+    )
+    p.add_argument(
+        "--hedge-ms", type=float, default=None, metavar="MS",
+        help="hedge an unanswered request on a second connection after "
+        "MS (socket mode only; first reply wins; default: off)",
     )
     p.add_argument(
         "--out", default=None, metavar="PATH",
@@ -866,6 +909,10 @@ def _serve_config(args) -> "object":
         warm_bindings=((args.gpu, args.dtype),),
         adaptive=getattr(args, "adaptive", False),
         adaptive_filter_bits=getattr(args, "filter_bits", 65536),
+        max_queue_depth=getattr(args, "max_queue_depth", 1024),
+        breaker_threshold=getattr(args, "breaker_threshold", 3),
+        breaker_cooldown_s=getattr(args, "breaker_cooldown_ms", 1000.0) / 1e3,
+        chaos_spec=getattr(args, "chaos_plan", None),
     )
 
 
@@ -900,6 +947,14 @@ def _print_loadgen_report(report: dict) -> None:
     print("latency p99 : hit %s, miss %s%s"
           % (us(report["hit_p99_us"]), us(report["miss_p99_us"]),
              "  (%.1fx split)" % split if split else ""))
+    if report.get("retries") or report.get("hedges"):
+        print("resilience  : %d retr%s, %d hedge(s) (%d won)"
+              % (report["retries"],
+                 "y" if report["retries"] == 1 else "ies",
+                 report["hedges"], report["hedge_wins"]))
+    if report.get("outcomes"):
+        print("rejections  : %s"
+              % ", ".join("%s=%d" % kv for kv in report["outcomes"].items()))
 
 
 def _cmd_serve(args) -> int:
@@ -935,8 +990,20 @@ def _cmd_serve(args) -> int:
     if args.port_file:
         with open(args.port_file, "w") as fh:
             fh.write("%d\n" % server.port)
+    # Graceful drain on SIGTERM: stop admitting, flush in-flight
+    # batches, exit 0.  Signal handlers can only be installed from the
+    # main thread (tests drive main() from a worker thread).
+    import signal
+    import threading
+
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(
+            signal.SIGTERM,
+            lambda signum, frame: server.request_shutdown(),
+        )
     print("serving plans on %s:%d (batch window %.1f ms, protocol: "
-          "docs/SERVING.md; send {\"op\": \"shutdown\"} or Ctrl-C to stop)"
+          "docs/SERVING.md; send {\"op\": \"shutdown\"}, SIGTERM, or "
+          "Ctrl-C to stop)"
           % (server.host, server.port, args.batch_window_ms))
     sys.stdout.flush()
     try:
@@ -946,11 +1013,13 @@ def _cmd_serve(args) -> int:
     finally:
         server.stop()
     stats = service.stats()
-    print("served %d request(s), hit rate %s, %d micro-batch(es)"
+    print("served %d request(s), hit rate %s, %d micro-batch(es), "
+          "%d shed"
           % (
               stats["requests"],
               format_utilization(stats["hit_rate"] or 0.0),
               stats["batches"],
+              stats["shed"],
           ))
     return 0
 
@@ -968,6 +1037,10 @@ def _cmd_loadgen(args) -> int:
         clients=args.clients,
         dtype=args.dtype,
         gpu=args.gpu,
+        deadline_ms=args.deadline_ms,
+        retries=args.retries,
+        backoff_ms=args.backoff_ms,
+        hedge_ms=args.hedge_ms,
     )
     connect = None
     if args.connect:

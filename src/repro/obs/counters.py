@@ -37,6 +37,18 @@ rates uniformly.  Counters wired in by this PR:
 ``serve.adaptive_hit|adaptive_miss``    Stream-K++ winner-cache outcomes
 ``serve.batches|batched_queries``       micro-batches flushed / their size
 ``serve.unique_shapes``                 deduped shapes actually planned
+``serve.shed``                          misses rejected at max_queue_depth
+``serve.deadline_expired``              requests dropped past their budget
+``serve.abandoned``                     timed-out waiters pulled off queue
+``serve.degraded_rejected``             misses rejected by an open breaker
+``serve.draining|draining_rejected``    drains started / requests refused
+``serve.breaker_open``                  breaker trips (planner failing)
+``serve.breaker_half_open``             cooldown probes admitted
+``serve.breaker_closed``                probe succeeded; breaker recovered
+``serve.chaos_injected``                planner chaos activations (seam)
+``serve.oversized_line``                request lines over max_line_bytes
+``serve.idle_disconnects``              idle connections reaped
+``serve.stop_timeout``                  accept loop failed to stop in time
 ``bloom.insert|delete``                 counting-filter membership writes
 ``bloom.query_hit|query_miss``          counting-filter probe outcomes
 ``bloom.saturated``                     counters stuck at the ceiling

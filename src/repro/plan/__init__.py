@@ -16,7 +16,14 @@ side: :mod:`repro.harness`, :mod:`repro.gpu.executor`).
   cache (:mod:`repro.ensembles.adaptive`; ``docs/ADAPTIVE.md``).
 * :mod:`~repro.plan.service` — micro-batching :class:`PlanService`:
   synchronous cache hits, window-coalesced misses.
+* :mod:`~repro.plan.resilience` — the overload contract: structured
+  rejections (``overloaded``/``deadline_expired``/``degraded``/...),
+  the circuit breaker, the client retry policy, and the deterministic
+  planner-chaos seam.
 * :mod:`~repro.plan.server` — JSONL TCP front-end (``repro serve``).
+* :mod:`~repro.plan.client` — resilient wire client
+  (:class:`PlanClient`): deadline propagation, seeded-backoff retries,
+  request hedging.
 * :mod:`~repro.plan.loadgen` — deterministic Zipf load generator
   (``repro loadgen``) and its latency/QPS report.
 
@@ -41,7 +48,18 @@ from .core import (
     roofline_time,
     traffic_bytes,
 )
+from .client import PlanClient
 from .loadgen import LoadgenConfig, run_loadgen, zipf_trace
+from .resilience import (
+    CircuitBreaker,
+    DeadlineExpiredError,
+    DegradedError,
+    DrainingError,
+    OverloadedError,
+    PlanTimeoutError,
+    RetryPolicy,
+    ServeRejected,
+)
 from .server import PlanServer
 from .service import DEFAULT_DTYPE_NAME, PlanService, ServeConfig
 
@@ -64,7 +82,16 @@ __all__ = [
     "ServeConfig",
     "DEFAULT_DTYPE_NAME",
     "PlanServer",
+    "PlanClient",
     "LoadgenConfig",
     "run_loadgen",
     "zipf_trace",
+    "ServeRejected",
+    "OverloadedError",
+    "DeadlineExpiredError",
+    "DegradedError",
+    "DrainingError",
+    "PlanTimeoutError",
+    "CircuitBreaker",
+    "RetryPolicy",
 ]

@@ -21,12 +21,21 @@ Two drive modes share one measurement path:
 The report splits client-observed latency by cache outcome — the
 hit/miss split, not the blended number, is the serving contract's
 headline (docs/SERVING.md, "Tail-latency expectations").
+
+The generator also exercises the *client* half of the overload
+contract (docs/SERVING.md, "Overload behavior"): per-request
+``deadline_ms`` budgets, seeded exponential-backoff retries on
+``overloaded``/``timeout`` rejections, and optional request hedging
+(``hedge_ms``) — in socket mode through
+:class:`~repro.plan.client.PlanClient`, in-process through the same
+:class:`~repro.plan.resilience.RetryPolicy`.  Retry/hedge outcomes and
+a per-code rejection breakdown land in the report, and because every
+backoff draw is seeded, a replayed run makes byte-identical retry
+decisions.
 """
 
 from __future__ import annotations
 
-import json
-import socket
 import threading
 import time
 from dataclasses import dataclass
@@ -36,6 +45,8 @@ import numpy as np
 from ..corpus.generator import CorpusSpec, generate_corpus
 from ..errors import ConfigurationError
 from ..gpu.spec import DEFAULT_GPU_NAME
+from .client import PlanClient
+from .resilience import RetryPolicy
 from .service import DEFAULT_DTYPE_NAME, PlanService, ServeConfig
 
 __all__ = ["LoadgenConfig", "zipf_trace", "run_loadgen"]
@@ -58,6 +69,18 @@ class LoadgenConfig:
     #: Precision and GPU every request asks for.
     dtype: str = DEFAULT_DTYPE_NAME
     gpu: str = DEFAULT_GPU_NAME
+    #: Per-request latency budget propagated to the service (None = no
+    #: deadline); expired requests are dropped, never planned.
+    deadline_ms: "float | None" = None
+    #: Retries per request on ``overloaded``/``timeout`` rejections.
+    retries: int = 0
+    #: First-retry backoff before seeded jitter (exponential, capped).
+    backoff_ms: float = 5.0
+    #: Hedge delay: re-send an unanswered request on a second
+    #: connection after this long (socket mode only; None = off).
+    hedge_ms: "float | None" = None
+    #: Transport/service timeout per attempt.
+    timeout_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.requests <= 0 or self.universe <= 0 or self.clients <= 0:
@@ -66,6 +89,23 @@ class LoadgenConfig:
             )
         if self.zipf_s < 0:
             raise ConfigurationError("zipf_s must be non-negative")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ConfigurationError("deadline_ms must be positive")
+        if self.retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        if self.backoff_ms < 0:
+            raise ConfigurationError("backoff_ms must be >= 0")
+        if self.hedge_ms is not None and self.hedge_ms <= 0:
+            raise ConfigurationError("hedge_ms must be positive")
+
+    def retry_policy(self, client_index: int) -> RetryPolicy:
+        """The seeded per-client retry policy (distinct jitter streams
+        per client thread, reproducible across runs)."""
+        return RetryPolicy(
+            max_retries=self.retries,
+            base_backoff_s=self.backoff_ms / 1e3,
+            seed=self.seed * 8191 + client_index,
+        )
 
 
 def zipf_trace(config: LoadgenConfig) -> np.ndarray:
@@ -92,14 +132,30 @@ class _Recorder:
         self.hit_lat: "list[float]" = []
         self.miss_lat: "list[float]" = []
         self.errors: "list[str]" = []
+        self.outcomes: "dict[str, int]" = {}
+        self.retries = 0
+        self.hedges = 0
+        self.hedge_wins = 0
 
     def record(self, latency_s: float, hit: bool) -> None:
         with self._lock:
             (self.hit_lat if hit else self.miss_lat).append(latency_s)
 
-    def fail(self, message: str) -> None:
+    def fail(self, message: str, code: "str | None" = None) -> None:
         with self._lock:
             self.errors.append(message)
+            key = code or "error"
+            self.outcomes[key] = self.outcomes.get(key, 0) + 1
+
+    def merge_client(self, stats: dict) -> None:
+        with self._lock:
+            self.retries += stats["retries"]
+            self.hedges += stats["hedges"]
+            self.hedge_wins += stats["hedge_wins"]
+
+    def count_retry(self, n: int = 1) -> None:
+        with self._lock:
+            self.retries += n
 
 
 def _drive_inprocess(
@@ -107,19 +163,34 @@ def _drive_inprocess(
 ) -> _Recorder:
     rec = _Recorder()
 
-    def worker(rows: np.ndarray) -> None:
+    def worker(index: int, rows: np.ndarray) -> None:
+        policy = config.retry_policy(index)
+        rng = policy.rng()
         for m, n, k in rows:
             t0 = time.perf_counter()
-            try:
-                plan = service.submit(
-                    int(m), int(n), int(k), dtype=config.dtype, gpu=config.gpu
+            attempt = 0
+            while True:
+                try:
+                    plan = service.submit(
+                        int(m), int(n), int(k),
+                        dtype=config.dtype, gpu=config.gpu,
+                        timeout=config.timeout_s,
+                        deadline_ms=config.deadline_ms,
+                    )
+                except Exception as exc:
+                    code = getattr(exc, "code", None)
+                    if policy.should_retry(code, attempt):
+                        rec.count_retry()
+                        time.sleep(policy.backoff_s(attempt, rng))
+                        attempt += 1
+                        continue
+                    rec.fail(str(exc), code)
+                    break
+                rec.record(
+                    time.perf_counter() - t0,
+                    plan.provenance.startswith("cache"),
                 )
-            except Exception as exc:
-                rec.fail(str(exc))
-                continue
-            rec.record(
-                time.perf_counter() - t0, plan.provenance.startswith("cache")
-            )
+                break
 
     _run_clients(trace, config.clients, worker)
     return rec
@@ -130,27 +201,27 @@ def _drive_socket(
 ) -> _Recorder:
     rec = _Recorder()
 
-    def worker(rows: np.ndarray) -> None:
-        with socket.create_connection((host, port), timeout=30.0) as sock:
-            fh = sock.makefile("rwb")
+    def worker(index: int, rows: np.ndarray) -> None:
+        with PlanClient(
+            host,
+            port,
+            timeout_s=config.timeout_s,
+            retry=config.retry_policy(index),
+            hedge_ms=config.hedge_ms,
+        ) as client:
             for m, n, k in rows:
-                msg = {
-                    "op": "plan",
-                    "m": int(m),
-                    "n": int(n),
-                    "k": int(k),
-                    "dtype": config.dtype,
-                    "gpu": config.gpu,
-                }
                 t0 = time.perf_counter()
-                fh.write((json.dumps(msg) + "\n").encode("utf-8"))
-                fh.flush()
-                reply = json.loads(fh.readline().decode("utf-8"))
+                reply = client.plan(
+                    int(m), int(n), int(k),
+                    dtype=config.dtype, gpu=config.gpu,
+                    deadline_ms=config.deadline_ms,
+                )
                 latency = time.perf_counter() - t0
                 if not reply.get("ok"):
-                    rec.fail(str(reply.get("error")))
+                    rec.fail(str(reply.get("error")), reply.get("code"))
                     continue
                 rec.record(latency, reply.get("cache") == "hit")
+            rec.merge_client(client.stats)
 
     _run_clients(trace, config.clients, worker)
     return rec
@@ -159,7 +230,9 @@ def _drive_socket(
 def _run_clients(trace: np.ndarray, clients: int, worker) -> None:
     """Fan the trace out round-robin so hot ranks spread across threads."""
     threads = [
-        threading.Thread(target=worker, args=(trace[i::clients],), daemon=True)
+        threading.Thread(
+            target=worker, args=(i, trace[i::clients]), daemon=True
+        )
         for i in range(clients)
     ]
     for t in threads:
@@ -220,6 +293,11 @@ def run_loadgen(
         "gpu": config.gpu,
         "elapsed_s": elapsed,
         "qps": completed / elapsed if elapsed > 0 else None,
+        "deadline_ms": config.deadline_ms,
+        "retries": rec.retries,
+        "hedges": rec.hedges,
+        "hedge_wins": rec.hedge_wins,
+        "outcomes": dict(sorted(rec.outcomes.items())),
         "hits": len(rec.hit_lat),
         "misses": len(rec.miss_lat),
         "hit_rate": (len(rec.hit_lat) / completed) if completed else None,

@@ -4,25 +4,42 @@ The wire protocol (normative copy in ``docs/SERVING.md``): one JSON
 object per ``\\n``-terminated line, one JSON object back per request,
 over a plain TCP connection.  Ops:
 
-``{"op": "plan", "m": .., "n": .., "k": .., "dtype"?: .., "gpu"?: .., "id"?: ..}``
+``{"op": "plan", "m": .., "n": .., "k": .., "dtype"?: .., "gpu"?: .., "deadline_ms"?: .., "id"?: ..}``
     Plan one query.  Reply: ``{"id", "ok": true, "cache": "hit"|"miss",
     "plan": {...}, "server_latency_us"}`` where ``plan`` is
-    :meth:`repro.plan.core.Plan.to_payload`.
+    :meth:`repro.plan.core.Plan.to_payload`.  ``deadline_ms`` is the
+    client's end-to-end budget, propagated into the service so expired
+    work is dropped, never planned.
 ``{"op": "stats"}``
     Reply ``{"ok": true, "stats": {...}}`` — :meth:`PlanService.stats`.
+``{"op": "health"}``
+    Reply ``{"ok": true, "health": {...}}`` — queue depth, breaker
+    state, shed rate, uptime (:meth:`PlanService.health`); cheap
+    enough to poll.
+``{"op": "chaos", "spec": "stall:S[:N]"|"fail[:N]"|"off"}``
+    Test seam: (re-)arm the deterministic planner chaos.  Only honored
+    when the daemon was started with ``--chaos-plan``; otherwise a
+    structured ``forbidden`` error.
 ``{"op": "shutdown"}``
     Reply ``{"ok": true, "bye": true}`` and stop the server.
 
 Any malformed line or failed query yields ``{"ok": false, "error": ..}``
-on that line; the connection stays usable.  Each connection is handled
-by its own thread (``ThreadingTCPServer``), so concurrent clients' cache
-misses land in the same micro-batch window — the server inherits the
-batching behavior of the service it wraps.
+on that line — with a stable machine-readable ``"code"`` field for
+structured rejections (``overloaded``, ``deadline_expired``,
+``degraded``, ``draining``, ``timeout``, ``oversized``; see
+:mod:`repro.plan.resilience`) and the request ``id`` echoed when it was
+parseable — and the connection stays usable.  Each connection is
+handled by its own thread (``ThreadingTCPServer``), so concurrent
+clients' cache misses land in the same micro-batch window — the server
+inherits the batching behavior of the service it wraps.
 
-A connection that sits idle — connected but never sending a line — for
-longer than ``recv_timeout_s`` (default 30s, ``--idle-timeout-s``) is
-closed and its handler thread freed (``serve.idle_disconnects``); a
-client mid-request keeps full error-reply semantics.
+A request line longer than ``max_line_bytes`` (default 64 KiB) is
+consumed and answered with an ``oversized`` error instead of buffering
+without bound (``serve.oversized_line``).  A connection that sits
+idle — connected but never sending a line — for longer than
+``recv_timeout_s`` (default 30s, ``--idle-timeout-s``) is closed and
+its handler thread freed (``serve.idle_disconnects``); a client
+mid-request keeps full error-reply semantics.
 """
 
 from __future__ import annotations
@@ -36,6 +53,9 @@ import time
 from ..obs.counters import inc_counter
 from .service import PlanService
 
+#: Default bound on one JSONL request line (bytes, newline included).
+DEFAULT_MAX_LINE_BYTES = 1 << 16
+
 __all__ = ["PlanServer"]
 
 
@@ -44,9 +64,15 @@ class _Handler(socketserver.StreamRequestHandler):
         server: "_TcpServer" = self.server  # type: ignore[assignment]
         if server.recv_timeout_s is not None:
             self.connection.settimeout(server.recv_timeout_s)
+        limit = server.max_line_bytes
         while True:
             try:
-                raw = self.rfile.readline()
+                raw = self.rfile.readline(limit + 1)
+                oversized = len(raw) > limit
+                # Consume the rest of an oversized line so the stream
+                # stays framed and the connection stays usable.
+                while raw and not raw.endswith(b"\n"):
+                    raw = self.rfile.readline(limit + 1)
             except (socket.timeout, TimeoutError):
                 # Idle client: drop the connection, free the thread.
                 inc_counter("serve.idle_disconnects")
@@ -55,34 +81,67 @@ class _Handler(socketserver.StreamRequestHandler):
                 return  # peer reset mid-read
             if not raw:
                 return  # clean EOF
+            if oversized:
+                inc_counter("serve.oversized_line")
+                reply = {
+                    "ok": False,
+                    "error": "request line exceeds %d bytes" % limit,
+                    "code": "oversized",
+                }
+                self._reply(reply)
+                continue
             line = raw.strip()
             if not line:
                 continue
+            msg = None
             try:
-                reply = self._dispatch(server, json.loads(line.decode("utf-8")))
+                msg = json.loads(line.decode("utf-8"))
+                reply = self._dispatch(server, msg)
             except Exception as exc:  # malformed line / planner error
                 reply = {"ok": False, "error": str(exc)}
-            self.wfile.write((json.dumps(reply) + "\n").encode("utf-8"))
-            self.wfile.flush()
+                code = getattr(exc, "code", None)
+                if code:
+                    reply["code"] = code
+                if isinstance(msg, dict) and "id" in msg:
+                    reply["id"] = msg["id"]
+            self._reply(reply)
             if reply.get("bye"):
                 break
+
+    def _reply(self, reply: dict) -> None:
+        self.wfile.write((json.dumps(reply) + "\n").encode("utf-8"))
+        self.wfile.flush()
 
     def _dispatch(self, server: "_TcpServer", msg: dict) -> dict:
         op = msg.get("op", "plan")
         if op == "stats":
             return {"ok": True, "stats": server.service.stats()}
+        if op == "health":
+            return {"ok": True, "health": server.service.health()}
+        if op == "chaos":
+            if not server.service.chaos_allowed:
+                return {
+                    "ok": False,
+                    "error": "chaos injection not enabled; start the "
+                    "daemon with --chaos-plan to allow it",
+                    "code": "forbidden",
+                }
+            # An invalid spec falls through to the generic error reply.
+            return {"ok": True, "chaos": server.service.arm_chaos(msg.get("spec"))}
         if op == "shutdown":
             server.begin_shutdown()
             return {"ok": True, "bye": True}
         if op != "plan":
             return {"ok": False, "error": "unknown op %r" % (op,)}
         t0 = time.perf_counter()
+        deadline_ms = msg.get("deadline_ms")
         plan = server.service.submit(
             int(msg["m"]),
             int(msg["n"]),
             int(msg["k"]),
             dtype=msg.get("dtype") or "fp16_fp32",
             gpu=msg.get("gpu") or "a100",
+            deadline_ms=float(deadline_ms) if deadline_ms is not None else None,
         )
         reply = {
             "ok": True,
@@ -104,10 +163,12 @@ class _TcpServer(socketserver.ThreadingTCPServer):
         addr,
         service: PlanService,
         recv_timeout_s: "float | None" = None,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
     ):
         super().__init__(addr, _Handler)
         self.service = service
         self.recv_timeout_s = recv_timeout_s
+        self.max_line_bytes = int(max_line_bytes)
         self._shutdown_started = False
         self._shutdown_lock = threading.Lock()
 
@@ -139,10 +200,14 @@ class PlanServer:
         host: str = "127.0.0.1",
         port: int = 0,
         recv_timeout_s: "float | None" = 30.0,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
     ):
         self.service = service
         self._tcp = _TcpServer(
-            (host, port), service, recv_timeout_s=recv_timeout_s
+            (host, port),
+            service,
+            recv_timeout_s=recv_timeout_s,
+            max_line_bytes=max_line_bytes,
         )
         self._thread: "threading.Thread | None" = None
 
@@ -171,6 +236,17 @@ class PlanServer:
         Returns after a ``shutdown`` op or a :meth:`stop` from another
         thread."""
         self._tcp.serve_forever(poll_interval=0.05)
+
+    def request_shutdown(self) -> None:
+        """Ask the accept loop to exit without blocking (signal-safe).
+
+        This is the graceful-drain entry point: the CLI's SIGTERM
+        handler calls it, ``serve_forever`` returns, and the normal
+        :meth:`stop` path drains the service (in-flight batches flush,
+        plan shards are written) before the process exits 0.
+        """
+        self.service.drain()
+        self._tcp.begin_shutdown()
 
     def stop(self, timeout_s: float = 10.0) -> None:
         """Stop accepting, close the listener, and close the service.

@@ -11,8 +11,8 @@ from repro.obs.counters import get_counter, reset_counters
 from repro.plan import PlanServer, PlanService, ServeConfig, plan_query
 
 
-def _start(**kw):
-    service = PlanService(ServeConfig(persist=False, warm=False))
+def _start(config=None, **kw):
+    service = PlanService(config or ServeConfig(persist=False, warm=False))
     return PlanServer(service, port=0, **kw).start()
 
 
@@ -134,6 +134,100 @@ class TestProtocol:
                     c.close()
             assert all(r["ok"] for r in replies)
             assert len({r["plan"]["m"] for r in replies}) == 4
+        finally:
+            server.stop()
+
+
+class TestErrorPaths:
+    def test_oversized_request_line_structured_error(self):
+        server = _start(max_line_bytes=256)
+        reset_counters()
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            ) as sock:
+                fh = sock.makefile("rwb")
+                fh.write(b"x" * 4096 + b"\n")
+                fh.flush()
+                reply = json.loads(fh.readline())
+                assert not reply["ok"]
+                assert reply["code"] == "oversized"
+                assert "256" in reply["error"]
+                assert get_counter("serve.oversized_line") == 1
+                # The stream stayed framed: next request is served.
+                good = _rpc(fh, {"op": "plan", "m": 256, "n": 256, "k": 256})
+                assert good["ok"]
+        finally:
+            server.stop()
+            reset_counters()
+
+    def test_health_op_over_the_wire(self):
+        server = _start()
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            ) as sock:
+                fh = sock.makefile("rwb")
+                assert _rpc(fh, {"op": "plan", "m": 256, "n": 256, "k": 256})["ok"]
+                reply = _rpc(fh, {"op": "health"})
+                assert reply["ok"]
+                health = reply["health"]
+                assert health["state"] == "serving"
+                assert health["breaker"] == "closed"
+                assert health["requests"] == 1
+                assert health["shed"] == 0
+                assert health["shed_rate"] == 0.0
+                assert health["uptime_s"] >= 0
+        finally:
+            server.stop()
+
+    def test_request_during_drain_rejected_health_still_answers(self):
+        server = _start()
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            ) as sock:
+                fh = sock.makefile("rwb")
+                server.service.drain()
+                reply = _rpc(fh, {"op": "plan", "m": 256, "n": 256,
+                                  "k": 256, "id": 3})
+                assert not reply["ok"]
+                assert reply["code"] == "draining"
+                assert reply["id"] == 3
+                health = _rpc(fh, {"op": "health"})
+                assert health["ok"]
+                assert health["health"]["state"] == "draining"
+        finally:
+            server.stop()
+
+    def test_chaos_op_forbidden_without_flag(self):
+        server = _start()
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            ) as sock:
+                fh = sock.makefile("rwb")
+                reply = _rpc(fh, {"op": "chaos", "spec": "fail:1"})
+                assert not reply["ok"]
+                assert reply["code"] == "forbidden"
+        finally:
+            server.stop()
+
+    def test_chaos_op_allowed_when_armed_at_boot(self):
+        server = _start(ServeConfig(
+            persist=False, warm=False, chaos_spec="off",
+        ))
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=10
+            ) as sock:
+                fh = sock.makefile("rwb")
+                reply = _rpc(fh, {"op": "chaos", "spec": "fail:2"})
+                assert reply["ok"] and reply["chaos"] == "fail:2"
+                off = _rpc(fh, {"op": "chaos", "spec": "off"})
+                assert off["ok"] and off["chaos"] == "off"
+                bad = _rpc(fh, {"op": "chaos", "spec": "explode"})
+                assert not bad["ok"]
         finally:
             server.stop()
 
