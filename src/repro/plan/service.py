@@ -162,7 +162,7 @@ class _Pending:
 
     __slots__ = (
         "key", "binding", "event", "plan", "error", "enqueued_at",
-        "deadline_at",
+        "deadline_at", "probe",
     )
 
     def __init__(
@@ -171,6 +171,7 @@ class _Pending:
         key,
         enqueued_at: float,
         deadline_at: "float | None" = None,
+        probe: bool = False,
     ):
         self.binding = binding
         self.key = key
@@ -181,6 +182,10 @@ class _Pending:
         #: Absolute ``perf_counter`` instant after which planning this
         #: entry is wasted work (None = no deadline).
         self.deadline_at = deadline_at
+        #: This entry was admitted as the breaker's half-open probe;
+        #: any path that drops it unplanned must release the slot
+        #: (``CircuitBreaker.cancel_probe``) or the breaker wedges.
+        self.probe = probe
 
 
 class _Binding:
@@ -369,11 +374,20 @@ class PlanService:
                 "circuit breaker %s after repeated plan-batch failures; "
                 "serving cache hits only" % self._breaker.state
             )
+        # Admitted while half-open == admitted AS the probe (the breaker
+        # holds one slot).  If a concurrent outcome already moved the
+        # state on, the slot was released with it — not our probe.
+        is_probe = self._breaker.state == "half_open"
         deadline_at = t0 + deadline_ms / 1e3 if deadline_ms is not None else None
-        pending = _Pending(binding, (int(m), int(n), int(k)), t0, deadline_at)
+        pending = _Pending(
+            binding, (int(m), int(n), int(k)), t0, deadline_at, probe=is_probe
+        )
         with self._cond:
             if self._draining:
                 self._breaker.cancel_probe()
+                inc_counter("serve.draining_rejected")
+                with self._stats_lock:
+                    self._draining_rejects += 1
                 raise DrainingError(
                     "PlanService is draining; no new queries accepted"
                 )
@@ -430,7 +444,13 @@ class PlanService:
             try:
                 self._queue.remove(pending)
             except ValueError:
+                # The batcher already claimed it; the batch outcome (or
+                # the deadline-drop in _run_batch) settles the probe.
                 return False
+        if pending.probe:
+            # The probe dies unplanned: free the half-open slot or no
+            # future miss could ever be admitted to close the breaker.
+            self._breaker.cancel_probe()
         inc_counter("serve.abandoned")
         with self._stats_lock:
             self._abandoned += 1
@@ -469,6 +489,10 @@ class PlanService:
         live: "list[_Pending]" = []
         for pending in batch:
             if pending.deadline_at is not None and now >= pending.deadline_at:
+                if pending.probe:
+                    # Dropped unplanned: release the half-open slot so
+                    # the breaker can admit a fresh probe.
+                    self._breaker.cancel_probe()
                 inc_counter("serve.deadline_expired")
                 with self._stats_lock:
                     self._deadline_expired += 1
@@ -633,7 +657,9 @@ class PlanService:
             "breaker": self._breaker.state,
             "requests": requests,
             "shed": shed,
-            "shed_rate": (shed / (requests + shed)) if (requests + shed) else 0.0,
+            # _requests_total already counts shed requests (incremented
+            # at submit() entry), so the rate is shed over all requests.
+            "shed_rate": (shed / requests) if requests else 0.0,
             "deadline_expired": deadline_expired,
             "abandoned": abandoned,
             "degraded_rejects": degraded,
@@ -669,7 +695,15 @@ class PlanService:
 
     def close(self) -> None:
         """Drain, stop the batcher (flushing queued work), and flush
-        plan shards.  Idempotent; :meth:`stats` stays callable after."""
+        plan shards.  Idempotent; :meth:`stats` stays callable after.
+
+        If the batcher does not exit within the join timeout (a wedged
+        planner that outlived its chaos budget), the shard flush is
+        skipped — flushing under a live writer could interleave with
+        the batcher's own ``cache.put`` calls — and the still-running
+        thread stays visible as ``batcher_alive`` in :meth:`stats`
+        (``serve.close_wedged``).
+        """
         self.drain()
         with self._cond:
             if self._stop:
@@ -677,13 +711,19 @@ class PlanService:
             self._stop = True
             self._cond.notify_all()
         batcher = self._batcher
+        wedged = False
         if batcher is not None:
             batcher.join(timeout=10.0)
-        self._batcher = None
+            wedged = batcher.is_alive()
+        if wedged:
+            inc_counter("serve.close_wedged")
+        else:
+            self._batcher = None
         self._closed = True
-        with self._bindings_lock:
-            for binding in self._bindings.values():
-                binding.cache.flush()
+        if not wedged:
+            with self._bindings_lock:
+                for binding in self._bindings.values():
+                    binding.cache.flush()
 
     def __enter__(self) -> "PlanService":
         return self

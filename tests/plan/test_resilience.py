@@ -389,6 +389,62 @@ class TestBreakerLifecycle:
         finally:
             svc.close()
 
+    def test_timed_out_probe_frees_the_half_open_slot(self):
+        """A half-open probe whose waiter times out while still queued
+        must release the probe slot on abandon — otherwise the breaker
+        wedges half-open and every future miss is rejected forever."""
+        svc = _service(
+            chaos_spec="off",
+            breaker_threshold=1,
+            breaker_cooldown_s=0.0,
+            batch_window_s=0.5,
+        )
+        try:
+            svc.arm_chaos("fail:1")
+            with pytest.raises(RuntimeError, match="injected planner"):
+                svc.submit(350, 96, 96)
+            assert svc._breaker.state == "open"
+            svc.arm_chaos("off")
+            # Zero cooldown: this miss is the half-open probe.  Its
+            # timeout lapses inside the long batching window, so it is
+            # abandoned while still queued.
+            with pytest.raises(PlanTimeoutError):
+                svc.submit(351, 96, 96, timeout=0.05)
+            assert svc._breaker.state == "half_open"
+            # The slot is free again: a fresh probe is admitted and its
+            # success recovers the breaker.
+            plan = svc.submit(352, 96, 96, timeout=10.0)
+            assert plan.provenance == "model"
+            assert svc._breaker.state == "closed"
+        finally:
+            svc.close()
+
+    def test_deadline_dropped_probe_frees_the_half_open_slot(self):
+        """The batcher's deadline-expiry drop must release the probe
+        slot too — the other way an admitted probe can die unplanned."""
+        svc = _service(breaker_threshold=1, breaker_cooldown_s=0.0)
+        try:
+            br = svc._breaker
+            br.record_failure()
+            assert br.state == "open"
+            assert br.admit()  # this caller is the probe
+            assert br.state == "half_open"
+            assert not br.admit()  # slot held
+            binding = svc._binding("fp16_fp32", "a100")
+            now = time.perf_counter()
+            pending = _Pending(
+                binding, (64, 64, 64), now - 1.0,
+                deadline_at=now - 0.5, probe=True,
+            )
+            with svc._cond:
+                svc._queue.append(pending)
+                svc._cond.notify_all()
+            assert pending.event.wait(5.0)
+            assert isinstance(pending.error, DeadlineExpiredError)
+            assert br.admit()  # slot released by the drop path
+        finally:
+            svc.close()
+
 
 # --------------------------------------------------------------------- #
 # Service: lifecycle introspection                                       #
@@ -435,6 +491,71 @@ class TestLifecycle:
             assert not svc.chaos_allowed
             with pytest.raises(ConfigurationError):
                 svc.arm_chaos("fail:1")
+
+    def test_late_drain_rejection_is_counted(self):
+        """The draining check under ``_cond`` (taken when drain lands
+        between admission and enqueue) must count the rejection just
+        like the entry-point check."""
+        svc = _service()
+        try:
+            real_admit = svc._breaker.admit
+
+            def admit_then_drain():
+                ok = real_admit()
+                svc._draining = True  # drain races in after admission
+                return ok
+
+            svc._breaker.admit = admit_then_drain
+            before = get_counter("serve.draining_rejected")
+            with pytest.raises(DrainingError):
+                svc.submit(64, 64, 64)
+            assert get_counter("serve.draining_rejected") == before + 1
+            with svc._stats_lock:
+                assert svc._draining_rejects == 1
+        finally:
+            svc.close()
+
+    def test_shed_rate_counts_shed_requests_once(self):
+        """``serve.requests`` is incremented before the shed decision,
+        so shed requests are already in the denominator — 50 sheds out
+        of 100 requests is a 0.5 rate, not 0.33."""
+        with _service() as svc:
+            with svc._stats_lock:
+                svc._requests_total = 100
+                svc._shed = 50
+            assert svc.health()["shed_rate"] == 0.5
+
+    def test_close_with_wedged_batcher_skips_flush(self):
+        """If the batcher outlives the join timeout, close() must not
+        flush plan shards under the still-live writer, and stats() must
+        keep reporting the thread as alive."""
+        svc = _service()
+        real_batcher = svc._batcher
+        try:
+            svc.submit(64, 64, 64)
+            flushed = []
+            for binding in svc._bindings.values():
+                binding.cache.flush = lambda: flushed.append(True)
+
+            class Wedged:
+                def join(self, timeout=None):
+                    pass
+
+                def is_alive(self):
+                    return True
+
+            svc._batcher = Wedged()
+            wedged0 = get_counter("serve.close_wedged")
+            svc.close()
+            assert not flushed
+            assert get_counter("serve.close_wedged") == wedged0 + 1
+            stats = svc.stats()
+            assert stats["state"] == "closed"
+            assert stats["batcher_alive"] is True
+        finally:
+            # close() set _stop and notified, so the real batcher exits.
+            real_batcher.join(timeout=10)
+            assert not real_batcher.is_alive()
 
 
 # --------------------------------------------------------------------- #
